@@ -1,0 +1,92 @@
+// Ablations of Eva's design choices (DESIGN.md §4):
+//   A. the default pairwise throughput t (§4.3 calls it the knob trading
+//      packing aggressiveness against interference risk; the paper fixes
+//      t = 0.95),
+//   B. the VSBPP downsizing step in Algorithm 1 (shrink each accepted set
+//      to the cheapest fitting type),
+//   C. the ensemble reconfiguration policy vs Full-only / Partial-only
+//      (complements Figures 5 and 6).
+//
+// Scale with EVA_BENCH_SCALE (percent of 6,274 jobs; default 4%).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/full_reconfig.h"
+#include "src/sim/experiment.h"
+#include "src/workload/trace_gen.h"
+
+namespace {
+
+using namespace eva;
+
+void AblateDefaultThroughput(const Trace& trace) {
+  std::printf("\n--- A. default pairwise throughput t ---\n");
+  std::printf("%-6s %10s %12s %8s\n", "t", "NormCost", "Tasks/Inst", "Tput");
+  ExperimentOptions base;
+  const double no_packing =
+      RunComparison(trace, {SchedulerKind::kNoPacking}, base)[0].metrics.total_cost;
+  for (double t : {1.0, 0.95, 0.9, 0.8}) {
+    ExperimentOptions options;
+    options.eva.default_pairwise_throughput = t;
+    const auto results = RunComparison(trace, {SchedulerKind::kEva}, options);
+    std::printf("%-6.2f %9.1f%% %12.2f %8.2f\n", t,
+                results[0].metrics.total_cost / no_packing * 100.0,
+                results[0].metrics.avg_tasks_per_instance,
+                results[0].metrics.avg_norm_job_throughput);
+  }
+  std::printf("(smaller t = more conservative packing; paper uses t = 0.95)\n");
+}
+
+void AblateDownsizing() {
+  std::printf("\n--- B. Algorithm 1 downsizing step (static packing) ---\n");
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  std::printf("%-8s %14s %14s\n", "Seed", "With shrink", "Without");
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const SchedulingContext context = MakeRandomTaskContext(120, seed, catalog);
+    const TnrpCalculator calculator(context, {.interference_aware = false});
+    PackingOptions with;
+    PackingOptions without;
+    without.shrink_to_cheapest_type = false;
+    const Money cost_with =
+        FullReconfiguration(context, calculator, with).HourlyCost(catalog);
+    const Money cost_without =
+        FullReconfiguration(context, calculator, without).HourlyCost(catalog);
+    std::printf("%-8llu %13.2f$ %13.2f$\n", static_cast<unsigned long long>(seed), cost_with,
+                cost_without);
+  }
+}
+
+void AblateReconfigPolicy(const Trace& trace) {
+  std::printf("\n--- C. reconfiguration policy ---\n");
+  ExperimentOptions options;
+  const auto results = RunComparison(
+      trace,
+      {SchedulerKind::kNoPacking, SchedulerKind::kEvaPartialOnly, SchedulerKind::kEvaFullOnly,
+       SchedulerKind::kEva},
+      options);
+  std::printf("%-18s %10s %10s %10s\n", "Policy", "NormCost", "Mig/Task", "Idle(h)");
+  for (const auto& result : results) {
+    std::printf("%-18s %9.1f%% %10.2f %10.2f\n", SchedulerKindName(result.kind),
+                result.normalized_cost * 100.0, result.metrics.migrations_per_task,
+                result.metrics.avg_job_idle_hours);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace eva;
+  PrintBenchHeader("Design-choice ablations", "DESIGN.md design notes; complements Figs 5-6");
+
+  AlibabaTraceOptions trace_options;
+  trace_options.num_jobs = ScaledJobCount(6274, 4);
+  trace_options.seed = 2023;
+  trace_options.max_duration_hours = 72.0;  // Bound single-job variance at reduced scale.
+  const Trace trace = GenerateAlibabaTrace(trace_options);
+
+  AblateDefaultThroughput(trace);
+  AblateDownsizing();
+  AblateReconfigPolicy(trace);
+  return 0;
+}

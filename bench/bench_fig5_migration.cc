@@ -1,0 +1,54 @@
+// Figure 5: impact of migration overhead.
+//
+// Scales every job's checkpoint+launch delay by {1, 2, 4, 8} and reports
+// (a) the fraction of rounds adopting Full Reconfiguration and the
+// migration count per job for Eva, and (b) normalized cost for Eva,
+// Eva-with-Full-Reconfig-only, Stratus, and No-Packing. As migration gets
+// expensive, Eva shifts toward Partial Reconfiguration while Full-only
+// keeps paying the overhead.
+//
+// Scale with EVA_BENCH_SCALE (percent of 6,274 jobs; default 5%).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/experiment.h"
+#include "src/workload/trace_gen.h"
+
+int main() {
+  using namespace eva;
+
+  PrintBenchHeader("Impact of migration overhead", "Figure 5");
+
+  AlibabaTraceOptions trace_options;
+  trace_options.num_jobs = ScaledJobCount(6274, 5);
+  trace_options.seed = 2023;
+  trace_options.max_duration_hours = 72.0;  // Bound single-job variance at reduced scale.
+  const Trace trace = GenerateAlibabaTrace(trace_options);
+
+  const double multipliers[] = {1.0, 2.0, 4.0, 8.0};
+  std::printf("%-6s %14s %10s | %8s %10s %9s %8s\n", "Delay", "FullAdopted%", "Mig/Job",
+              "Eva", "Eva(Full)", "Stratus", "NoPack");
+  for (double mult : multipliers) {
+    ExperimentOptions options;
+    options.simulator.migration_delay_multiplier = mult;
+    options.eva.migration_delay_multiplier = mult;
+    const std::vector<ExperimentResult> results =
+        RunComparison(trace,
+                      {SchedulerKind::kNoPacking, SchedulerKind::kStratus, SchedulerKind::kEva,
+                       SchedulerKind::kEvaFullOnly},
+                      options);
+    const ExperimentResult& eva = results[2];
+    const double mig_per_job =
+        eva.metrics.jobs_completed > 0
+            ? static_cast<double>(eva.metrics.task_migrations) / eva.metrics.jobs_completed
+            : 0.0;
+    std::printf("%-6.0fx %13.1f%% %10.2f | %7.1f%% %9.1f%% %8.1f%% %7.1f%%\n", mult,
+                eva.full_adoption_fraction * 100.0, mig_per_job,
+                results[2].normalized_cost * 100.0, results[3].normalized_cost * 100.0,
+                results[1].normalized_cost * 100.0, results[0].normalized_cost * 100.0);
+  }
+  std::printf("\nPaper: Full-Reconfig adoption and migrations/job fall as delays grow (5a);\n");
+  std::printf("Full-only costs visibly more than the ensemble at high delays (5b).\n");
+  return 0;
+}

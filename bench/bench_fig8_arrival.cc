@@ -1,0 +1,43 @@
+// Figure 8: impact of job arrival rate.
+//
+// Rescales the trace's arrival process to 0.5-3 jobs/hour. Fewer concurrent
+// jobs mean fewer packing opportunities, shrinking every packer's edge over
+// No-Packing — but Eva stays the cheapest throughout. Scale with
+// EVA_BENCH_SCALE (percent of 6,274 jobs; default 4%).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/experiment.h"
+#include "src/workload/trace_gen.h"
+
+int main() {
+  using namespace eva;
+
+  PrintBenchHeader("Impact of job arrival rate", "Figure 8");
+
+  AlibabaTraceOptions trace_options;
+  trace_options.num_jobs = ScaledJobCount(6274, 4);
+  trace_options.seed = 2023;
+  trace_options.max_duration_hours = 72.0;  // Bound single-job variance at reduced scale.
+  const Trace base = GenerateAlibabaTrace(trace_options);
+
+  std::printf("%-9s | %8s %9s %9s %7s %7s   (normalized cost)\n", "Jobs/hr", "NoPack",
+              "Stratus", "Synergy", "Owl", "Eva");
+  for (double rate = 0.5; rate <= 3.01; rate += 0.5) {
+    const Trace trace = WithArrivalRate(base, rate);
+    ExperimentOptions options;
+    const std::vector<ExperimentResult> results =
+        RunComparison(trace,
+                      {SchedulerKind::kNoPacking, SchedulerKind::kStratus,
+                       SchedulerKind::kSynergy, SchedulerKind::kOwl, SchedulerKind::kEva},
+                      options);
+    std::printf("%-9.1f | %7.1f%% %8.1f%% %8.1f%% %6.1f%% %6.1f%%\n", rate,
+                results[0].normalized_cost * 100.0, results[1].normalized_cost * 100.0,
+                results[2].normalized_cost * 100.0, results[3].normalized_cost * 100.0,
+                results[4].normalized_cost * 100.0);
+  }
+  std::printf("\nPaper: packing benefit shrinks at low arrival rates, but Eva keeps a\n");
+  std::printf("10-16%% edge over the other packers at every rate.\n");
+  return 0;
+}

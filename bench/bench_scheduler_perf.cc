@@ -1,0 +1,125 @@
+// google-benchmark micro-benchmarks of the scheduler internals: reservation
+// price computation, Algorithm 1 packing, the config differ, the throughput
+// table, and the B&B solver on small instances.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/full_reconfig.h"
+#include "src/core/partial_reconfig.h"
+#include "src/sched/config_diff.h"
+#include "src/sched/throughput_estimator.h"
+#include "src/sim/experiment.h"
+#include "src/solver/bnb_solver.h"
+#include "src/workload/trace_gen.h"
+
+namespace {
+
+using namespace eva;
+
+const InstanceCatalog& Catalog() {
+  static const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  return catalog;
+}
+
+void BM_ReservationPrice(benchmark::State& state) {
+  const SchedulingContext context = MakeRandomTaskContext(64, 1, Catalog());
+  for (auto _ : state) {
+    const TnrpCalculator calculator(context, {});
+    Money total = 0.0;
+    for (const TaskInfo& task : context.tasks) {
+      total += calculator.ReservationPrice(task);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_ReservationPrice);
+
+void BM_FullReconfiguration(benchmark::State& state) {
+  const SchedulingContext context =
+      MakeRandomTaskContext(static_cast<int>(state.range(0)), 1, Catalog());
+  const TnrpCalculator calculator(context, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FullReconfiguration(context, calculator));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullReconfiguration)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_PartialReconfigurationQuiescent(benchmark::State& state) {
+  // A cluster already packed by Full Reconfiguration: Partial should be
+  // near-free because every instance stays cost-efficient.
+  SchedulingContext context = MakeRandomTaskContext(200, 1, Catalog());
+  const TnrpCalculator calculator(context, {});
+  const ClusterConfig packed = FullReconfiguration(context, calculator);
+  InstanceId next_id = 0;
+  for (const ConfigInstance& instance : packed.instances) {
+    InstanceInfo info;
+    info.id = next_id++;
+    info.type_index = instance.type_index;
+    info.tasks = instance.tasks;
+    for (TaskId task : instance.tasks) {
+      for (TaskInfo& task_info : context.tasks) {
+        if (task_info.id == task) {
+          task_info.current_instance = info.id;
+        }
+      }
+    }
+    context.instances.push_back(std::move(info));
+  }
+  context.Finalize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartialReconfiguration(context, calculator));
+  }
+}
+BENCHMARK(BM_PartialReconfigurationQuiescent);
+
+void BM_ConfigDiff(benchmark::State& state) {
+  const SchedulingContext context = MakeRandomTaskContext(200, 1, Catalog());
+  const TnrpCalculator calculator(context, {});
+  const ClusterConfig config = FullReconfiguration(context, calculator);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiffConfig(context, config));
+  }
+}
+BENCHMARK(BM_ConfigDiff);
+
+void BM_ThroughputTableEstimate(benchmark::State& state) {
+  ThroughputTable table(0.95);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const WorkloadId a = static_cast<WorkloadId>(rng.UniformInt(0, 9));
+    const WorkloadId b = static_cast<WorkloadId>(rng.UniformInt(0, 9));
+    table.Record(a, {b}, rng.Uniform(0.6, 1.0));
+  }
+  const std::vector<WorkloadId> partners = {0, 3, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Estimate(1, partners));
+  }
+}
+BENCHMARK(BM_ThroughputTableEstimate);
+
+void BM_SolverSmall(benchmark::State& state) {
+  const SchedulingContext context =
+      MakeRandomTaskContext(static_cast<int>(state.range(0)), 5, Catalog());
+  for (auto _ : state) {
+    SolverOptions options;
+    options.time_limit_seconds = 2.0;
+    benchmark::DoNotOptimize(SolveOptimalPacking(context, options));
+  }
+}
+BENCHMARK(BM_SolverSmall)->Arg(8)->Arg(12);
+
+void BM_EndToEndSmallTrace(benchmark::State& state) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 16;
+  trace_options.seed = 9;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  for (auto _ : state) {
+    ExperimentOptions options;
+    benchmark::DoNotOptimize(RunComparison(trace, {SchedulerKind::kEva}, options));
+  }
+}
+BENCHMARK(BM_EndToEndSmallTrace)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,31 @@
+// Table 11: end-to-end physical experiment, 32-job trace, all 5 schedulers.
+//
+// Scale with EVA_BENCH_SCALE (percent of 32 jobs; default 100%).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/experiment.h"
+#include "src/workload/trace_gen.h"
+
+int main() {
+  using namespace eva;
+
+  PrintBenchHeader("End-to-end physical experiment, 32 jobs", "Table 11");
+
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = ScaledJobCount(32);
+  trace_options.seed = 32;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+
+  ExperimentOptions options;
+  options.simulator.physical_mode = true;
+  options.simulator.seed = 12;
+
+  const std::vector<SchedulerKind> kinds = {SchedulerKind::kNoPacking, SchedulerKind::kStratus,
+                                            SchedulerKind::kSynergy, SchedulerKind::kOwl,
+                                            SchedulerKind::kEva};
+  PrintComparisonTable(RunComparison(trace, kinds, options));
+  std::printf("\nPaper: No-Packing 100%%, Stratus 88.9%%, Synergy 89.0%%, Owl 87.7%%, Eva 75.1%%.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 12: simulator fidelity.
+//
+// Runs the 32-job trace under each scheduler twice: once in physical mode
+// (stochastic delays + observation noise — the stand-in for the AWS run)
+// and once in simulated mode (deterministic mean delays), and reports the
+// relative cost difference. The paper observes <= 5% divergence.
+//
+// Scale with EVA_BENCH_SCALE (percent of 32 jobs; default 100%).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/experiment.h"
+#include "src/workload/trace_gen.h"
+
+int main() {
+  using namespace eva;
+
+  PrintBenchHeader("Simulator fidelity", "Table 12");
+
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = ScaledJobCount(32);
+  trace_options.seed = 32;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+
+  const std::vector<SchedulerKind> kinds = {SchedulerKind::kNoPacking, SchedulerKind::kStratus,
+                                            SchedulerKind::kSynergy, SchedulerKind::kOwl,
+                                            SchedulerKind::kEva};
+
+  ExperimentOptions physical;
+  physical.simulator.physical_mode = true;
+  physical.simulator.seed = 13;
+  const std::vector<ExperimentResult> actual = RunComparison(trace, kinds, physical);
+
+  ExperimentOptions simulated;
+  simulated.simulator.physical_mode = false;
+  const std::vector<ExperimentResult> predicted = RunComparison(trace, kinds, simulated);
+
+  std::printf("%-12s %14s %14s %12s\n", "Scheduler", "\"Actual\"($)", "Simulated($)",
+              "Difference");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const double a = actual[i].metrics.total_cost;
+    const double s = predicted[i].metrics.total_cost;
+    const double diff = a > 0.0 ? (s - a) / a : 0.0;
+    worst = std::max(worst, std::fabs(diff));
+    std::printf("%-12s %14.2f %14.2f %11.1f%%\n", SchedulerKindName(kinds[i]), a, s,
+                diff * 100.0);
+  }
+  std::printf("\nLargest divergence: %.1f%% (paper observes <= 4.9%%).\n", worst * 100.0);
+  return 0;
+}

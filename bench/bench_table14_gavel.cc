@@ -1,0 +1,33 @@
+// Table 14: end-to-end simulation, Alibaba-like trace, Gavel durations.
+//
+// Same setup as Table 13 but with the Gavel duration model (10^x minutes),
+// emphasizing long-running ML training jobs. Scale with EVA_BENCH_SCALE
+// (percent of 6,274 jobs; default 8%).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/experiment.h"
+#include "src/workload/trace_gen.h"
+
+int main() {
+  using namespace eva;
+
+  PrintBenchHeader("End-to-end simulation, Gavel durations", "Table 14");
+
+  AlibabaTraceOptions trace_options;
+  trace_options.num_jobs = ScaledJobCount(6274, 8);
+  trace_options.duration_model = DurationModel::kGavel;
+  trace_options.seed = 2023;
+  const Trace trace = GenerateAlibabaTrace(trace_options);
+  std::printf("Trace: %d jobs (Gavel duration model)\n\n", trace_options.num_jobs);
+
+  ExperimentOptions options;
+  const std::vector<SchedulerKind> kinds = {SchedulerKind::kNoPacking, SchedulerKind::kStratus,
+                                            SchedulerKind::kSynergy, SchedulerKind::kOwl,
+                                            SchedulerKind::kEva};
+  PrintComparisonTable(RunComparison(trace, kinds, options));
+  std::printf("\nPaper: No-Packing 100%%, Stratus 67%%, Synergy 67%%, Owl 75%%, Eva 58%%;\n");
+  std::printf("tasks/instance up to 2.59 for Eva; JCT 16.81->19.42h.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 5: Full Reconfiguration runtime vs. number of tasks.
+//
+// Scale with EVA_BENCH_SCALE (default 50% caps the sweep at 4000 tasks; 100%
+// reproduces the paper's 8000-task point).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/full_reconfig.h"
+#include "src/sim/experiment.h"
+
+int main() {
+  using namespace eva;
+  using Clock = std::chrono::steady_clock;
+
+  PrintBenchHeader("Full Reconfiguration runtime scaling", "Table 5");
+
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const int max_tasks = ScaledJobCount(8000, 50);
+
+  std::printf("%-12s %s\n", "Num. Tasks", "Runtime (sec)");
+  for (int n = 1000; n <= max_tasks; n *= 2) {
+    const SchedulingContext context = MakeRandomTaskContext(n, 7, catalog);
+    const TnrpCalculator calculator(context, {.interference_aware = false});
+    const auto t0 = Clock::now();
+    const ClusterConfig config = FullReconfiguration(context, calculator);
+    const auto t1 = Clock::now();
+    std::printf("%-12d %.2f   (%zu instances, $%.0f/hr)\n", n,
+                std::chrono::duration<double>(t1 - t0).count(), config.instances.size(),
+                config.HourlyCost(catalog));
+  }
+  std::printf("\nPaper: 0.40s / 1.50s / 5.53s / 22.06s for 1000/2000/4000/8000 tasks.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the table/figure reproduction harnesses.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/sched/types.h"
+#include "src/workload/workload.h"
+
+namespace eva {
+
+// A static packing problem: `num_tasks` single-task jobs sampled uniformly
+// from the Table 7 workloads (the Table 4/5 micro-benchmark setup).
+// `catalog` must outlive the returned context.
+inline SchedulingContext MakeRandomTaskContext(int num_tasks, std::uint64_t seed,
+                                               const InstanceCatalog& catalog) {
+  Rng rng(seed);
+  SchedulingContext context;
+  context.catalog = &catalog;
+  for (int i = 0; i < num_tasks; ++i) {
+    const WorkloadId workload =
+        static_cast<WorkloadId>(rng.UniformInt(0, WorkloadRegistry::NumWorkloads() - 1));
+    const WorkloadSpec& spec = WorkloadRegistry::Get(workload);
+    TaskInfo task;
+    task.id = i;
+    task.job = i;
+    task.workload = workload;
+    task.demand_p3 = spec.demand_p3;
+    task.demand_cpu = spec.demand_cpu;
+    context.tasks.push_back(task);
+  }
+  context.Finalize();
+  return context;
+}
+
+inline void PrintBenchHeader(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s)\n", title, paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace eva
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+#include "src/baselines/baseline_util.h"
+
+#include <algorithm>
+
+#include "src/sched/reservation_price.h"
+
+namespace eva {
+
+std::vector<ConfigInstance> KeepNonEmptyInstances(const SchedulingContext& context) {
+  std::vector<ConfigInstance> kept;
+  for (const InstanceInfo& instance : context.instances) {
+    if (instance.tasks.empty()) {
+      continue;
+    }
+    ConfigInstance entry;
+    entry.type_index = instance.type_index;
+    entry.reuse_instance = instance.id;
+    entry.tasks = instance.tasks;
+    kept.push_back(std::move(entry));
+  }
+  return kept;
+}
+
+std::vector<const TaskInfo*> UnassignedTasksByRp(const SchedulingContext& context) {
+  const TnrpCalculator calculator(context, {.interference_aware = false});
+  std::vector<const TaskInfo*> unassigned;
+  for (const TaskInfo& task : context.tasks) {
+    if (task.current_instance == kInvalidInstanceId) {
+      unassigned.push_back(&task);
+    }
+  }
+  std::sort(unassigned.begin(), unassigned.end(),
+            [&calculator](const TaskInfo* a, const TaskInfo* b) {
+              const Money rp_a = calculator.ReservationPrice(*a);
+              const Money rp_b = calculator.ReservationPrice(*b);
+              if (rp_a != rp_b) {
+                return rp_a > rp_b;
+              }
+              return a->id < b->id;
+            });
+  return unassigned;
+}
+
+ResourceVector RemainingCapacity(const SchedulingContext& context,
+                                 const ConfigInstance& instance) {
+  const InstanceType& type = context.catalog->Get(instance.type_index);
+  ResourceVector remaining = type.capacity;
+  for (TaskId task_id : instance.tasks) {
+    if (const TaskInfo* task = context.FindTask(task_id)) {
+      remaining -= task->DemandFor(type.family);
+    }
+  }
+  return remaining;
+}
+
+std::vector<const TaskInfo*> MembersOf(const SchedulingContext& context,
+                                       const ConfigInstance& instance) {
+  std::vector<const TaskInfo*> members;
+  for (TaskId task_id : instance.tasks) {
+    if (const TaskInfo* task = context.FindTask(task_id)) {
+      members.push_back(task);
+    }
+  }
+  return members;
+}
+
+}  // namespace eva

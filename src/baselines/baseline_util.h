@@ -1,0 +1,33 @@
+// Shared helpers for the incremental baseline schedulers (No-Packing,
+// Stratus, Synergy, Owl): all of them keep the current placement and only
+// decide where newly arrived tasks go, terminating instances that drained.
+
+#ifndef SRC_BASELINES_BASELINE_UTIL_H_
+#define SRC_BASELINES_BASELINE_UTIL_H_
+
+#include <vector>
+
+#include "src/sched/types.h"
+
+namespace eva {
+
+// Config entries for every running instance that still hosts tasks, with
+// reuse ids set so the differ leaves them untouched. Instances with no
+// remaining tasks are omitted (== terminated).
+std::vector<ConfigInstance> KeepNonEmptyInstances(const SchedulingContext& context);
+
+// Tasks that have not been placed yet, in descending reservation-price
+// order (deterministic tie-break by id).
+std::vector<const TaskInfo*> UnassignedTasksByRp(const SchedulingContext& context);
+
+// Remaining capacity of a config entry on its instance type.
+ResourceVector RemainingCapacity(const SchedulingContext& context,
+                                 const ConfigInstance& instance);
+
+// Live TaskInfo pointers for a config entry's tasks.
+std::vector<const TaskInfo*> MembersOf(const SchedulingContext& context,
+                                       const ConfigInstance& instance);
+
+}  // namespace eva
+
+#endif  // SRC_BASELINES_BASELINE_UTIL_H_

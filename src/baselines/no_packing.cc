@@ -1,0 +1,26 @@
+#include "src/baselines/no_packing.h"
+
+#include "src/baselines/baseline_util.h"
+#include "src/common/logging.h"
+
+namespace eva {
+
+ClusterConfig NoPackingScheduler::Schedule(const SchedulingContext& context) {
+  ClusterConfig config;
+  config.instances = KeepNonEmptyInstances(context);
+  for (const TaskInfo* task : UnassignedTasksByRp(context)) {
+    const std::optional<int> type_index = context.catalog->CheapestFitting(
+        [task](InstanceFamily family) { return task->DemandFor(family); });
+    if (!type_index.has_value()) {
+      EVA_LOG_WARNING("no instance type fits task %lld", static_cast<long long>(task->id));
+      continue;
+    }
+    ConfigInstance instance;
+    instance.type_index = *type_index;
+    instance.tasks.push_back(task->id);
+    config.instances.push_back(std::move(instance));
+  }
+  return config;
+}
+
+}  // namespace eva

@@ -1,0 +1,20 @@
+// No-Packing Scheduler (§6.1): every task runs alone on the cheapest
+// instance type that fits it — the strategy of most existing cloud cluster
+// managers and the paper's cost-normalization baseline.
+
+#ifndef SRC_BASELINES_NO_PACKING_H_
+#define SRC_BASELINES_NO_PACKING_H_
+
+#include "src/sched/scheduler.h"
+
+namespace eva {
+
+class NoPackingScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "No-Packing"; }
+  ClusterConfig Schedule(const SchedulingContext& context) override;
+};
+
+}  // namespace eva
+
+#endif  // SRC_BASELINES_NO_PACKING_H_

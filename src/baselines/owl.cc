@@ -1,0 +1,132 @@
+#include "src/baselines/owl.h"
+
+#include <algorithm>
+
+#include "src/baselines/baseline_util.h"
+#include "src/common/logging.h"
+#include "src/sched/reservation_price.h"
+
+namespace eva {
+
+OwlScheduler::OwlScheduler(const ThroughputEstimator* profile)
+    : OwlScheduler(profile, Options{}) {}
+
+OwlScheduler::OwlScheduler(const ThroughputEstimator* profile, Options options)
+    : profile_(profile), options_(options) {}
+
+ClusterConfig OwlScheduler::Schedule(const SchedulingContext& context) {
+  SchedulingContext local = context;
+  local.throughput = profile_;
+  const TnrpCalculator calculator(local, {});
+
+  ClusterConfig config;
+  // Keep instances that already host two or more tasks; their pairing is
+  // final. Instances hosting exactly one task re-enter the pairing pool
+  // (consolidating two running singletons costs one migration, which Owl
+  // accepts when the profile certifies the pair).
+  std::vector<const TaskInfo*> pool;
+  for (const ConfigInstance& kept : KeepNonEmptyInstances(local)) {
+    if (kept.tasks.size() >= 2) {
+      config.instances.push_back(kept);
+    } else {
+      pool.push_back(local.FindTask(kept.tasks.front()));
+    }
+  }
+  for (const TaskInfo* task : UnassignedTasksByRp(local)) {
+    pool.push_back(task);
+  }
+
+  // Enumerate candidate pairs and their cost-efficiency ratios.
+  struct PairCandidate {
+    std::size_t a;
+    std::size_t b;
+    int type_index;
+    double ratio;
+  };
+  std::vector<PairCandidate> candidates;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      const TaskInfo& a = *pool[i];
+      const TaskInfo& b = *pool[j];
+      const double tput_a = profile_->Estimate(a.workload, {b.workload});
+      const double tput_b = profile_->Estimate(b.workload, {a.workload});
+      if (std::min(tput_a, tput_b) < options_.min_pair_throughput) {
+        continue;
+      }
+      const std::optional<int> type_index =
+          local.catalog->CheapestFitting([&a, &b](InstanceFamily family) {
+            return a.DemandFor(family) + b.DemandFor(family);
+          });
+      if (!type_index.has_value()) {
+        continue;
+      }
+      const Money cost = local.catalog->Get(*type_index).cost_per_hour;
+      const Money tnrp = calculator.SetTnrp({&a, &b});
+      if (cost <= 0.0) {
+        continue;
+      }
+      const double ratio = tnrp / cost;
+      if (ratio >= options_.min_cost_ratio) {
+        candidates.push_back({i, j, *type_index, ratio});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const PairCandidate& x, const PairCandidate& y) {
+              if (x.ratio != y.ratio) {
+                return x.ratio > y.ratio;
+              }
+              if (x.a != y.a) {
+                return x.a < y.a;
+              }
+              return x.b < y.b;
+            });
+
+  std::vector<bool> taken(pool.size(), false);
+  for (const PairCandidate& candidate : candidates) {
+    if (taken[candidate.a] || taken[candidate.b]) {
+      continue;
+    }
+    taken[candidate.a] = true;
+    taken[candidate.b] = true;
+    ConfigInstance instance;
+    instance.type_index = candidate.type_index;
+    instance.tasks = {pool[candidate.a]->id, pool[candidate.b]->id};
+    config.instances.push_back(std::move(instance));
+  }
+
+  // Unpaired tasks run standalone. A task already running alone keeps its
+  // instance only when that instance is already the cheapest type fitting
+  // it; a survivor stranded on an oversized ex-pair instance is relocated
+  // to its reservation-price instance (otherwise the oversized box bleeds
+  // money for the rest of a potentially long job).
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (taken[i]) {
+      continue;
+    }
+    const TaskInfo& task = *pool[i];
+    const std::optional<int> type_index = local.catalog->CheapestFitting(
+        [&task](InstanceFamily family) { return task.DemandFor(family); });
+    if (!type_index.has_value()) {
+      EVA_LOG_WARNING("no instance type fits task %lld", static_cast<long long>(task.id));
+      continue;
+    }
+    ConfigInstance instance;
+    if (task.current_instance != kInvalidInstanceId) {
+      const InstanceInfo* existing = local.FindInstance(task.current_instance);
+      if (existing != nullptr && existing->type_index == *type_index) {
+        instance.type_index = existing->type_index;
+        instance.reuse_instance = existing->id;
+        instance.tasks.push_back(task.id);
+        config.instances.push_back(std::move(instance));
+        continue;
+      }
+    }
+    instance.type_index = *type_index;
+    instance.tasks.push_back(task.id);
+    config.instances.push_back(std::move(instance));
+  }
+  return config;
+}
+
+}  // namespace eva

@@ -1,0 +1,45 @@
+// Owl (Tian et al., SoCC '22) adapted to cloud-based clusters (§6.1).
+//
+// Owl avoids interference by only co-locating task *pairs* whose profiled
+// interference is low. The paper grants Owl the full offline pairwise
+// profile (the same ground truth the simulator runs on) and extends its
+// algorithm to optimize cost: candidate pairs are considered in descending
+// ratio of the pair's TNRP to the cost of the cheapest instance type that
+// fits both tasks, and a pair is formed only when that ratio certifies
+// cost-efficiency and both tasks keep throughput above an interference
+// threshold. Unpaired tasks run alone; instances hosting pairs are never
+// repacked further.
+
+#ifndef SRC_BASELINES_OWL_H_
+#define SRC_BASELINES_OWL_H_
+
+#include "src/sched/scheduler.h"
+#include "src/sched/throughput_estimator.h"
+
+namespace eva {
+
+class OwlScheduler : public Scheduler {
+ public:
+  struct Options {
+    // Minimum pairwise throughput either member of a pair may have.
+    double min_pair_throughput = 0.85;
+
+    // Minimum TNRP(pair)/cost ratio to certify the pair as cost-efficient.
+    double min_cost_ratio = 1.0;
+  };
+
+  // `profile` is the offline interference profile (ground-truth oracle).
+  explicit OwlScheduler(const ThroughputEstimator* profile);
+  OwlScheduler(const ThroughputEstimator* profile, Options options);
+
+  std::string name() const override { return "Owl"; }
+  ClusterConfig Schedule(const SchedulingContext& context) override;
+
+ private:
+  const ThroughputEstimator* profile_;
+  Options options_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_BASELINES_OWL_H_

@@ -1,0 +1,106 @@
+#include "src/baselines/stratus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/baselines/baseline_util.h"
+#include "src/common/logging.h"
+
+namespace eva {
+
+StratusScheduler::StratusScheduler() : StratusScheduler(Options{}) {}
+
+StratusScheduler::StratusScheduler(Options options) : options_(options) {}
+
+int StratusScheduler::RuntimeBin(const TaskInfo& task) const {
+  const double hours = std::max(SecondsToHours(std::max(task.remaining_work_s, 0.0)),
+                                options_.bin_base_hours);
+  return static_cast<int>(std::floor(std::log2(hours / options_.bin_base_hours)));
+}
+
+ClusterConfig StratusScheduler::Schedule(const SchedulingContext& context) {
+  ClusterConfig config;
+  config.instances = KeepNonEmptyInstances(context);
+
+  // Bin of an instance: the bin of its longest-remaining task, mirroring
+  // Stratus's rule that the instance is released when its longest task ends.
+  auto instance_bin = [&](const ConfigInstance& instance) {
+    int bin = 0;
+    bool first = true;
+    for (const TaskInfo* member : MembersOf(context, instance)) {
+      const int b = RuntimeBin(*member);
+      bin = first ? b : std::max(bin, b);
+      first = false;
+    }
+    return bin;
+  };
+
+  std::vector<const TaskInfo*> waiting = UnassignedTasksByRp(context);
+  std::vector<bool> placed(waiting.size(), false);
+
+  for (std::size_t i = 0; i < waiting.size(); ++i) {
+    if (placed[i]) {
+      continue;
+    }
+    const TaskInfo& task = *waiting[i];
+    const int bin = RuntimeBin(task);
+
+    // 1. Best-fit among existing instances in the same runtime bin: pick
+    // the fitting instance with the least remaining capacity (measured on
+    // the bottleneck CPU dimension) so larger holes stay available.
+    int best_index = -1;
+    double best_slack = 0.0;
+    for (std::size_t k = 0; k < config.instances.size(); ++k) {
+      const ConfigInstance& candidate = config.instances[k];
+      if (instance_bin(candidate) != bin) {
+        continue;
+      }
+      const InstanceType& type = context.catalog->Get(candidate.type_index);
+      const ResourceVector remaining = RemainingCapacity(context, candidate);
+      if (!task.DemandFor(type.family).FitsWithin(remaining)) {
+        continue;
+      }
+      const double slack = remaining.cpus() - task.DemandFor(type.family).cpus();
+      if (best_index < 0 || slack < best_slack) {
+        best_index = static_cast<int>(k);
+        best_slack = slack;
+      }
+    }
+    if (best_index >= 0) {
+      config.instances[static_cast<std::size_t>(best_index)].tasks.push_back(task.id);
+      placed[i] = true;
+      continue;
+    }
+
+    // 2. Open a fresh instance of the cheapest type fitting the task, then
+    // greedily pull in other waiting tasks from the same bin.
+    const std::optional<int> type_index = context.catalog->CheapestFitting(
+        [&task](InstanceFamily family) { return task.DemandFor(family); });
+    if (!type_index.has_value()) {
+      EVA_LOG_WARNING("no instance type fits task %lld", static_cast<long long>(task.id));
+      placed[i] = true;
+      continue;
+    }
+    ConfigInstance fresh;
+    fresh.type_index = *type_index;
+    fresh.tasks.push_back(task.id);
+    placed[i] = true;
+    const InstanceType& type = context.catalog->Get(*type_index);
+    ResourceVector used = task.DemandFor(type.family);
+    for (std::size_t j = i + 1; j < waiting.size(); ++j) {
+      if (placed[j] || RuntimeBin(*waiting[j]) != bin) {
+        continue;
+      }
+      const ResourceVector& demand = waiting[j]->DemandFor(type.family);
+      if ((used + demand).FitsWithin(type.capacity)) {
+        fresh.tasks.push_back(waiting[j]->id);
+        used += demand;
+        placed[j] = true;
+      }
+    }
+    config.instances.push_back(std::move(fresh));
+  }
+  return config;
+}
+
+}  // namespace eva

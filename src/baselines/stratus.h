@@ -1,0 +1,43 @@
+// Stratus (Chung et al., SoCC '18), the paper's state-of-the-art cloud
+// baseline (§6.1).
+//
+// Stratus packs tasks with similar finish times onto the same instance so
+// instances drain together and can be released promptly, and is
+// deliberately conservative about migration. The paper evaluates Stratus in
+// its best case by granting it perfect job-runtime estimates; here those
+// arrive via TaskInfo::remaining_work_s. Tasks are binned by
+// power-of-two remaining runtime ("runtime binning" in Stratus); new tasks
+// prefer an existing instance in the same bin (best fit), then a fresh
+// instance of the cheapest fitting type, onto which other waiting same-bin
+// tasks are packed.
+
+#ifndef SRC_BASELINES_STRATUS_H_
+#define SRC_BASELINES_STRATUS_H_
+
+#include "src/sched/scheduler.h"
+
+namespace eva {
+
+class StratusScheduler : public Scheduler {
+ public:
+  struct Options {
+    // Bin width base: tasks with remaining runtime in [2^b, 2^{b+1}) hours
+    // share bin b.
+    double bin_base_hours = 0.5;
+  };
+
+  StratusScheduler();
+  explicit StratusScheduler(Options options);
+
+  std::string name() const override { return "Stratus"; }
+  ClusterConfig Schedule(const SchedulingContext& context) override;
+
+ private:
+  int RuntimeBin(const TaskInfo& task) const;
+
+  Options options_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_BASELINES_STRATUS_H_

@@ -1,0 +1,34 @@
+// Synergy (Mohan et al., OSDI '22) adapted to cloud-based clusters (§6.1).
+//
+// Synergy's best-fit packing minimizes resource fragmentation in a
+// fixed-size cluster. The paper adapts it for variable-size clouds by
+// launching the lowest-cost instance type that accommodates a task whenever
+// no existing instance has capacity, and enhances the placement test to be
+// interference-aware via throughput-normalized reservation price: a task
+// joins an existing instance only if doing so does not lower the set's
+// TNRP. Like Stratus, Synergy performs no proactive migration. It learns
+// interference online through the same observation channel Eva uses.
+
+#ifndef SRC_BASELINES_SYNERGY_H_
+#define SRC_BASELINES_SYNERGY_H_
+
+#include "src/core/throughput_monitor.h"
+#include "src/sched/scheduler.h"
+
+namespace eva {
+
+class SynergyScheduler : public Scheduler {
+ public:
+  explicit SynergyScheduler(double default_pairwise_throughput = 0.95);
+
+  std::string name() const override { return "Synergy"; }
+  ClusterConfig Schedule(const SchedulingContext& context) override;
+  void ObserveThroughput(const std::vector<JobThroughputObservation>& observations) override;
+
+ private:
+  ThroughputMonitor monitor_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_BASELINES_SYNERGY_H_

@@ -1,0 +1,86 @@
+// Cloud instance types (set K in the paper) and the instance catalog.
+//
+// The paper's evaluation provisions from 21 AWS EC2 on-demand types across
+// three families: P3 (GPU), C7i (compute-optimized) and R7i (memory-
+// optimized). Capacities and us-east-1 hourly prices are reproduced in
+// InstanceCatalog::AwsDefault().
+
+#ifndef SRC_CLOUD_INSTANCE_TYPE_H_
+#define SRC_CLOUD_INSTANCE_TYPE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/resources.h"
+#include "src/common/units.h"
+
+namespace eva {
+
+// Instance families. Tasks may declare different demand vectors per family
+// (Table 7: CPU jobs need fewer of the higher-frequency C7i/R7i cores).
+enum class InstanceFamily : int {
+  kP3 = 0,
+  kC7i = 1,
+  kR7i = 2,
+};
+
+inline constexpr int kNumInstanceFamilies = 3;
+
+const char* InstanceFamilyName(InstanceFamily family);
+
+struct InstanceType {
+  std::string name;          // e.g. "p3.2xlarge"
+  InstanceFamily family;
+  ResourceVector capacity;   // Q_k
+  Money cost_per_hour;       // C_k
+};
+
+// Resolves a task's demand vector for a given family. Tasks with a single
+// demand vector return it unconditionally.
+using DemandResolver = std::function<ResourceVector(InstanceFamily)>;
+
+// An immutable set of available instance types.
+class InstanceCatalog {
+ public:
+  // The paper's 21-type AWS catalog (3 P3 + 9 C7i + 9 R7i).
+  static InstanceCatalog AwsDefault();
+
+  // The 4-type example catalog of Table 3 (used in unit tests and the
+  // quickstart example's walk-through of Algorithm 1).
+  static InstanceCatalog PaperExample();
+
+  explicit InstanceCatalog(std::vector<InstanceType> types);
+
+  int NumTypes() const { return static_cast<int>(types_.size()); }
+  const InstanceType& Get(int index) const { return types_[static_cast<std::size_t>(index)]; }
+  const std::vector<InstanceType>& types() const { return types_; }
+
+  // Index of the type with the given name, or -1.
+  int IndexOf(const std::string& name) const;
+
+  // Indices sorted by descending hourly cost — the iteration order of
+  // Algorithm 1 (ties broken by ascending index for determinism).
+  const std::vector<int>& IndicesByDescendingCost() const { return by_descending_cost_; }
+
+  // The cheapest type whose capacity fits the demand (demand may differ per
+  // family). Returns nullopt if no type fits. This defines the reservation
+  // price instance of a task (§4.2).
+  std::optional<int> CheapestFitting(const DemandResolver& demand) const;
+
+  // Convenience overload for a family-independent demand.
+  std::optional<int> CheapestFitting(const ResourceVector& demand) const;
+
+  // Hourly cost of CheapestFitting, i.e. the reservation price RP(tau);
+  // nullopt if the demand fits nowhere.
+  std::optional<Money> ReservationPrice(const DemandResolver& demand) const;
+
+ private:
+  std::vector<InstanceType> types_;
+  std::vector<int> by_descending_cost_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_CLOUD_INSTANCE_TYPE_H_

@@ -1,0 +1,141 @@
+#include "src/common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace eva {
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF input.
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string EscapeCsvField(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JoinCsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out += EscapeCsvField(fields[i]);
+  }
+  return out;
+}
+
+std::optional<CsvTable> CsvTable::Parse(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line)) {
+    return std::nullopt;
+  }
+  CsvTable table(ParseCsvLine(line));
+  const std::size_t width = table.header_.size();
+  while (std::getline(stream, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> row = ParseCsvLine(line);
+    if (row.size() != width) {
+      return std::nullopt;
+    }
+    table.rows_.push_back(std::move(row));
+  }
+  return table;
+}
+
+std::optional<CsvTable> CsvTable::Load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Parse(buffer.str());
+}
+
+CsvTable::CsvTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvTable::AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const std::string& CsvTable::Field(std::size_t row, const std::string& column) const {
+  static const std::string kEmpty;
+  const int col = ColumnIndex(column);
+  if (col < 0 || row >= rows_.size()) {
+    return kEmpty;
+  }
+  return rows_[row][static_cast<std::size_t>(col)];
+}
+
+std::string CsvTable::ToString() const {
+  std::string out = JoinCsvLine(header_);
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    out += JoinCsvLine(row);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool CsvTable::Save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << ToString();
+  return static_cast<bool>(file);
+}
+
+}  // namespace eva

@@ -1,0 +1,62 @@
+// Minimal CSV reading/writing for traces and experiment output.
+//
+// Supports the subset of RFC 4180 the trace files need: comma separation,
+// double-quote quoting with doubled-quote escapes, and a header row.
+
+#ifndef SRC_COMMON_CSV_H_
+#define SRC_COMMON_CSV_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eva {
+
+// Splits a single CSV line into fields, honoring quotes.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+// Quotes a field if it contains a comma, quote, or newline.
+std::string EscapeCsvField(const std::string& field);
+
+// Joins fields into one CSV line (no trailing newline).
+std::string JoinCsvLine(const std::vector<std::string>& fields);
+
+// A parsed CSV document: a header plus data rows aligned to it.
+class CsvTable {
+ public:
+  // Parses from text. Returns nullopt on structural errors (rows with a
+  // different field count than the header, unterminated quotes).
+  static std::optional<CsvTable> Parse(const std::string& text);
+
+  // Reads and parses a file. Returns nullopt if the file cannot be read or
+  // parsed.
+  static std::optional<CsvTable> Load(const std::string& path);
+
+  explicit CsvTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t NumRows() const { return rows_.size(); }
+  const std::vector<std::string>& Row(std::size_t i) const { return rows_[i]; }
+
+  // Column index by name, or -1 if not present.
+  int ColumnIndex(const std::string& name) const;
+
+  // Field access by row index and column name; empty string if missing.
+  const std::string& Field(std::size_t row, const std::string& column) const;
+
+  // Serializes (header + rows) with '\n' line endings.
+  std::string ToString() const;
+
+  // Writes to a file; returns false on I/O failure.
+  bool Save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_COMMON_CSV_H_

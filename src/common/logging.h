@@ -1,0 +1,41 @@
+// Lightweight leveled logging with printf-style formatting.
+//
+// The simulator and scheduler log scheduling decisions at kDebug; the
+// experiment harnesses run with kWarning by default so bench output stays
+// parseable.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace eva {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Process-wide log threshold. Messages below the threshold are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Core sink; adds "[LEVEL] " prefix and a newline, writes to stderr.
+void LogMessage(LogLevel level, const char* format, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace eva
+
+#define EVA_LOG_DEBUG(...) ::eva::LogMessage(::eva::LogLevel::kDebug, __VA_ARGS__)
+#define EVA_LOG_INFO(...) ::eva::LogMessage(::eva::LogLevel::kInfo, __VA_ARGS__)
+#define EVA_LOG_WARNING(...) ::eva::LogMessage(::eva::LogLevel::kWarning, __VA_ARGS__)
+#define EVA_LOG_ERROR(...) ::eva::LogMessage(::eva::LogLevel::kError, __VA_ARGS__)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,82 @@
+#include "src/common/resources.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace eva {
+namespace {
+
+// Tolerance for capacity checks. Demands in the traces carry at most two
+// decimal places, so 1e-9 is far below any meaningful quantum.
+constexpr double kEpsilon = 1e-9;
+
+}  // namespace
+
+const char* ResourceName(Resource r) {
+  switch (r) {
+    case Resource::kGpu:
+      return "GPU";
+    case Resource::kCpu:
+      return "CPU";
+    case Resource::kRamGb:
+      return "RAM";
+  }
+  return "?";
+}
+
+bool ResourceVector::FitsWithin(const ResourceVector& capacity) const {
+  for (int i = 0; i < kNumResources; ++i) {
+    if (values_[i] > capacity.values_[i] + kEpsilon) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ResourceVector::IsZero() const {
+  for (double v : values_) {
+    if (std::fabs(v) > kEpsilon) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ResourceVector::IsNonNegative() const {
+  for (double v : values_) {
+    if (v < -kEpsilon) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& other) {
+  for (int i = 0; i < kNumResources; ++i) {
+    values_[i] += other.values_[i];
+  }
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& other) {
+  for (int i = 0; i < kNumResources; ++i) {
+    values_[i] -= other.values_[i];
+  }
+  return *this;
+}
+
+ResourceVector ResourceVector::Scaled(double factor) const {
+  ResourceVector out = *this;
+  for (int i = 0; i < kNumResources; ++i) {
+    out.values_[i] *= factor;
+  }
+  return out;
+}
+
+std::string ResourceVector::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[g=%.2f, c=%.2f, m=%.2f]", values_[0], values_[1], values_[2]);
+  return buf;
+}
+
+}  // namespace eva

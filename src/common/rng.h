@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiment randomness flows through Rng instances seeded by the
+// harness, so every table and figure in EXPERIMENTS.md is reproducible
+// bit-for-bit. The generator is xoshiro256** (public domain, Blackman &
+// Vigna) seeded via SplitMix64, implemented here to avoid a dependency on
+// unspecified standard-library engine behavior across platforms.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace eva {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Raw 64 uniform bits.
+  std::uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double Exponential(double rate);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // Lognormal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  // Pareto with scale x_m > 0 and shape alpha > 0.
+  double Pareto(double x_m, double alpha);
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Index in [0, weights.size()) sampled proportionally to weights.
+  // Requires at least one strictly positive weight.
+  std::size_t Categorical(const std::vector<double>& weights);
+
+  // Derives an independent child generator; useful for giving each
+  // subsystem its own stream so adding draws in one place does not perturb
+  // another.
+  Rng Fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,98 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace eva {
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (double v : values) {
+    total += v;
+  }
+  return total / static_cast<double>(values.size());
+}
+
+double Median(std::vector<double> values) { return Quantile(std::move(values), 0.5); }
+
+void TimeWeightedAverage::Add(double value, double duration) {
+  if (duration <= 0.0) {
+    return;
+  }
+  weighted_sum_ += value * duration;
+  total_duration_ += duration;
+}
+
+double TimeWeightedAverage::Average() const {
+  return total_duration_ == 0.0 ? 0.0 : weighted_sum_ / total_duration_;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> values) {
+  std::vector<std::pair<double, double>> out;
+  if (values.empty()) {
+    return out;
+  }
+  std::sort(values.begin(), values.end());
+  out.reserve(values.size());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.emplace_back(values[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+std::string MeanPlusMinus(const RunningStats& stats, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f ± %.*f", precision, stats.mean(), precision,
+                stats.stddev());
+  return buf;
+}
+
+}  // namespace eva

@@ -1,0 +1,64 @@
+// Descriptive statistics used by the metrics pipeline and the benches.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eva {
+
+// Streaming accumulator for count/mean/variance/min/max (Welford's method).
+class RunningStats {
+ public:
+  void Add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  // Sample variance (n-1 denominator); 0 if n < 2.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Quantile of a sample using linear interpolation between order statistics
+// (the "R-7" definition used by numpy). q in [0, 1]. Returns 0 for empty
+// samples.
+double Quantile(std::vector<double> values, double q);
+
+double Mean(const std::vector<double>& values);
+double Median(std::vector<double> values);
+
+// Time-weighted average of a piecewise-constant signal: the i-th value holds
+// over the i-th duration. Returns 0 if total duration is 0.
+class TimeWeightedAverage {
+ public:
+  void Add(double value, double duration);
+  double Average() const;
+  double total_duration() const { return total_duration_; }
+
+ private:
+  double weighted_sum_ = 0.0;
+  double total_duration_ = 0.0;
+};
+
+// Empirical CDF support: returns the sorted sample together with cumulative
+// probabilities, formatted as "value,cdf" rows. Used to emit Figure 3.
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> values);
+
+// Formats "12.34 ± 0.56" the way the paper's tables do.
+std::string MeanPlusMinus(const RunningStats& stats, int precision = 2);
+
+}  // namespace eva
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,45 @@
+// Time and money conventions shared across the codebase.
+//
+// Simulation time is seconds since experiment start, stored as double; money
+// is US dollars stored as double. Both choices mirror the quantities the
+// paper reports (hourly instance prices, delays measured in seconds).
+
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace eva {
+
+// Simulation timestamps and durations, in seconds.
+using SimTime = double;
+
+// US dollars.
+using Money = double;
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+
+// Converts an hourly price and an uptime in seconds into a dollar amount.
+inline Money CostForUptime(Money cost_per_hour, SimTime uptime_seconds) {
+  return cost_per_hour * (uptime_seconds / kSecondsPerHour);
+}
+
+inline SimTime HoursToSeconds(double hours) { return hours * kSecondsPerHour; }
+inline double SecondsToHours(SimTime seconds) { return seconds / kSecondsPerHour; }
+inline SimTime MinutesToSeconds(double minutes) { return minutes * kSecondsPerMinute; }
+
+// Strongly-typed identifiers. Plain integers are easy to mix up across the
+// scheduler/simulator boundary; distinct aliases at least document intent.
+using JobId = std::int64_t;
+using TaskId = std::int64_t;
+using InstanceId = std::int64_t;
+
+inline constexpr JobId kInvalidJobId = -1;
+inline constexpr TaskId kInvalidTaskId = -1;
+inline constexpr InstanceId kInvalidInstanceId = -1;
+
+}  // namespace eva
+
+#endif  // SRC_COMMON_UNITS_H_

@@ -1,0 +1,140 @@
+#include "src/core/eva_scheduler.h"
+
+#include "src/common/logging.h"
+#include "src/core/full_reconfig.h"
+#include "src/core/partial_reconfig.h"
+#include "src/sched/config_diff.h"
+
+namespace eva {
+namespace {
+
+// Instantaneous provisioning saving S of a configuration: the amount by
+// which the tasks' willingness-to-pay exceeds what the configuration
+// actually costs per hour (§4.5).
+Money ProvisioningSaving(const SchedulingContext& context, const TnrpCalculator& calculator,
+                         const ClusterConfig& config) {
+  Money saving = 0.0;
+  std::vector<const TaskInfo*> members;
+  for (const ConfigInstance& instance : config.instances) {
+    members.clear();
+    for (TaskId task_id : instance.tasks) {
+      if (const TaskInfo* task = context.FindTask(task_id)) {
+        members.push_back(task);
+      }
+    }
+    const InstanceType& type = context.catalog->Get(instance.type_index);
+    saving += calculator.SetTnrp(members, type.family) - type.cost_per_hour;
+  }
+  return saving;
+}
+
+}  // namespace
+
+EvaScheduler::EvaScheduler(EvaOptions options)
+    : options_(std::move(options)),
+      monitor_(options_.default_pairwise_throughput),
+      estimator_(options_.estimator) {}
+
+std::string EvaScheduler::name() const {
+  if (!options_.name.empty()) {
+    return options_.name;
+  }
+  std::string base = "Eva";
+  if (!options_.tnrp.interference_aware) {
+    base += "-RP";
+  }
+  if (!options_.tnrp.multi_task_aware) {
+    base += "-Single";
+  }
+  switch (options_.policy) {
+    case EvaOptions::Policy::kEnsemble:
+      break;
+    case EvaOptions::Policy::kFullOnly:
+      base += " (Full only)";
+      break;
+    case EvaOptions::Policy::kPartialOnly:
+      base += " (w/o Full)";
+      break;
+  }
+  return base;
+}
+
+int EvaScheduler::CountJobEvents(const SchedulingContext& context) {
+  std::set<JobId> current;
+  for (const TaskInfo& task : context.tasks) {
+    current.insert(task.job);
+  }
+  int events = 0;
+  for (JobId job : current) {
+    if (!last_jobs_.count(job)) {
+      ++events;  // Arrival.
+    }
+  }
+  for (JobId job : last_jobs_) {
+    if (!current.count(job)) {
+      ++events;  // Completion.
+    }
+  }
+  last_jobs_ = std::move(current);
+  return events;
+}
+
+ClusterConfig EvaScheduler::Schedule(const SchedulingContext& context) {
+  // Re-bind the context's throughput estimates to the learned table — Eva
+  // never reads ground truth.
+  SchedulingContext local = context;
+  local.throughput = &monitor_.table();
+
+  const TnrpCalculator calculator(local, options_.tnrp);
+
+  ClusterConfig full = FullReconfiguration(local, calculator);
+  ClusterConfig partial = PartialReconfiguration(local, calculator);
+
+  bool adopt_full = false;
+  switch (options_.policy) {
+    case EvaOptions::Policy::kFullOnly:
+      adopt_full = true;
+      break;
+    case EvaOptions::Policy::kPartialOnly:
+      adopt_full = false;
+      break;
+    case EvaOptions::Policy::kEnsemble: {
+      const Money saving_full = ProvisioningSaving(local, calculator, full);
+      const Money saving_partial = ProvisioningSaving(local, calculator, partial);
+      const Money migration_full =
+          EstimateMigrationCost(local, DiffConfig(local, full), options_.cloud_delays,
+                                options_.migration_delay_multiplier);
+      const Money migration_partial =
+          EstimateMigrationCost(local, DiffConfig(local, partial), options_.cloud_delays,
+                                options_.migration_delay_multiplier);
+      const double d_hat = estimator_.ExpectedConfigurationDurationHours();
+      adopt_full = ShouldAdoptFull(saving_full, saving_partial, migration_full,
+                                   migration_partial, d_hat);
+      EVA_LOG_DEBUG(
+          "round t=%.0f: S_F=%.3f S_P=%.3f M_F=%.3f M_P=%.3f D=%.2fh -> %s", local.now_s,
+          saving_full, saving_partial, migration_full, migration_partial, d_hat,
+          adopt_full ? "full" : "partial");
+      break;
+    }
+  }
+
+  const int events = CountJobEvents(local);
+  const SimTime elapsed =
+      last_round_time_ >= 0.0 ? local.now_s - last_round_time_ : 0.0;
+  estimator_.RecordRound(events, elapsed, adopt_full);
+  last_round_time_ = local.now_s;
+
+  ++stats_.rounds;
+  stats_.events_seen += events;
+  if (adopt_full) {
+    ++stats_.full_adopted;
+  }
+  return adopt_full ? full : partial;
+}
+
+void EvaScheduler::ObserveThroughput(
+    const std::vector<JobThroughputObservation>& observations) {
+  monitor_.Observe(observations);
+}
+
+}  // namespace eva

@@ -1,0 +1,82 @@
+// EvaScheduler — the paper's scheduler (§3-§4), tying together Algorithm 1,
+// Partial Reconfiguration, the online throughput table, and the
+// reconfiguration decision criterion.
+//
+// Each scheduling round the scheduler computes both candidate
+// configurations, prices their savings and migration overhead, estimates
+// the expected configuration lifetime D_hat, and adopts Full
+// Reconfiguration only when Equation 1 favors it. Configurable ablations
+// reproduce the paper's variants: Eva-RP (interference-oblivious),
+// Eva-Single (multi-task-oblivious), Eva w/o Full Reconfig, and Full-only.
+
+#ifndef SRC_CORE_EVA_SCHEDULER_H_
+#define SRC_CORE_EVA_SCHEDULER_H_
+
+#include <set>
+#include <string>
+
+#include "src/cloud/delays.h"
+#include "src/core/reconfig_decision.h"
+#include "src/core/throughput_monitor.h"
+#include "src/sched/reservation_price.h"
+#include "src/sched/scheduler.h"
+
+namespace eva {
+
+struct EvaOptions {
+  // Which reconfiguration algorithms may be adopted.
+  enum class Policy {
+    kEnsemble,     // Eva: choose per Equation 1.
+    kFullOnly,     // Ablation of Figure 5b ("Eva w/ Full Reconfig only").
+    kPartialOnly,  // Ablation of Figure 6 ("Eva w/o Full Reconfig").
+  };
+
+  Policy policy = Policy::kEnsemble;
+  TnrpCalculator::Options tnrp;  // interference_aware -> TNRP vs RP,
+                                 // multi_task_aware -> Eva vs Eva-Single.
+
+  // Default pairwise throughput t for unobserved co-locations (§4.3).
+  double default_pairwise_throughput = 0.95;
+
+  CloudDelayModel cloud_delays;
+  double migration_delay_multiplier = 1.0;
+
+  EventRateEstimator::Options estimator;
+
+  // Custom display name; empty derives one from the options.
+  std::string name;
+};
+
+class EvaScheduler : public Scheduler {
+ public:
+  struct Stats {
+    int rounds = 0;
+    int full_adopted = 0;
+    int events_seen = 0;
+  };
+
+  explicit EvaScheduler(EvaOptions options = {});
+
+  std::string name() const override;
+  ClusterConfig Schedule(const SchedulingContext& context) override;
+  void ObserveThroughput(const std::vector<JobThroughputObservation>& observations) override;
+
+  const Stats& stats() const { return stats_; }
+  const ThroughputTable& throughput_table() const { return monitor_.table(); }
+  const EventRateEstimator& event_estimator() const { return estimator_; }
+
+ private:
+  int CountJobEvents(const SchedulingContext& context);
+
+  EvaOptions options_;
+  ThroughputMonitor monitor_;
+  EventRateEstimator estimator_;
+  Stats stats_;
+
+  std::set<JobId> last_jobs_;
+  SimTime last_round_time_ = -1.0;
+};
+
+}  // namespace eva
+
+#endif  // SRC_CORE_EVA_SCHEDULER_H_

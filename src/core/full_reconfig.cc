@@ -1,0 +1,184 @@
+#include "src/core/full_reconfig.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace eva {
+namespace {
+
+// True if `task` fits in the remaining capacity of an instance of `type`.
+bool Fits(const TaskInfo& task, const InstanceType& type, const ResourceVector& used) {
+  return (used + task.DemandFor(type.family)).FitsWithin(type.capacity);
+}
+
+}  // namespace
+
+PackingResult PackByReservationPrice(const SchedulingContext& context,
+                                     const TnrpCalculator& calculator,
+                                     std::vector<const TaskInfo*> pool,
+                                     const PackingOptions& options) {
+  PackingResult result;
+
+  // Deterministic candidate order: descending RP, then ascending id. The
+  // argmax below breaks ties by this order, matching the VSBPP heuristic's
+  // "largest ball first" intuition.
+  std::sort(pool.begin(), pool.end(), [&calculator](const TaskInfo* a, const TaskInfo* b) {
+    const Money rp_a = calculator.ReservationPrice(*a);
+    const Money rp_b = calculator.ReservationPrice(*b);
+    if (rp_a != rp_b) {
+      return rp_a > rp_b;
+    }
+    return a->id < b->id;
+  });
+
+  std::vector<bool> assigned(pool.size(), false);
+  std::size_t num_assigned = 0;
+
+  for (int type_index : context.catalog->IndicesByDescendingCost()) {
+    const InstanceType& type = context.catalog->Get(type_index);
+    if (num_assigned == pool.size()) {
+      break;
+    }
+    // Marks pool members tentatively placed on the instance being filled,
+    // so the argmax never re-selects a task already in T.
+    std::vector<bool> in_tentative_set(pool.size(), false);
+    while (true) {
+      // Open a tentative instance of this type and fill it greedily.
+      std::vector<const TaskInfo*> members;
+      std::vector<std::size_t> member_indices;
+      ResourceVector used;
+      Money best_set_tnrp = 0.0;
+      std::fill(in_tentative_set.begin(), in_tentative_set.end(), false);
+
+      while (true) {
+        // Pick the unassigned, fitting task that maximizes TNRP(T + {tau}).
+        int best_candidate = -1;
+        Money best_candidate_tnrp = 0.0;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          if (assigned[i] || in_tentative_set[i] || !Fits(*pool[i], type, used)) {
+            continue;
+          }
+          std::vector<const TaskInfo*> tentative = members;
+          tentative.push_back(pool[i]);
+          const Money tnrp = calculator.SetTnrp(tentative, type.family);
+          if (best_candidate < 0 || tnrp > best_candidate_tnrp) {
+            best_candidate = static_cast<int>(i);
+            best_candidate_tnrp = tnrp;
+          }
+        }
+        if (best_candidate < 0) {
+          break;  // Nothing fits anymore.
+        }
+        if (!members.empty() && best_candidate_tnrp < best_set_tnrp) {
+          break;  // Line 9-11: adding would reduce the set's TNRP.
+        }
+        members.push_back(pool[static_cast<std::size_t>(best_candidate)]);
+        member_indices.push_back(static_cast<std::size_t>(best_candidate));
+        in_tentative_set[static_cast<std::size_t>(best_candidate)] = true;
+        used += pool[static_cast<std::size_t>(best_candidate)]->DemandFor(type.family);
+        best_set_tnrp = best_candidate_tnrp;
+      }
+
+      // Line 14: keep the instance only if the assignment is cost-efficient.
+      const bool cost_efficient =
+          !members.empty() &&
+          best_set_tnrp + options.cost_epsilon * type.cost_per_hour >= type.cost_per_hour;
+      if (!cost_efficient) {
+        break;  // Move on to the next cheaper instance type.
+      }
+      ConfigInstance instance;
+      instance.type_index = type_index;
+      for (const TaskInfo* member : members) {
+        instance.tasks.push_back(member->id);
+      }
+      result.instances.push_back(std::move(instance));
+      for (std::size_t index : member_indices) {
+        assigned[index] = true;
+      }
+      num_assigned += member_indices.size();
+    }
+  }
+
+  // Downsizing step of the VSBPP heuristic: a set that was filled on a large
+  // type but fits a cheaper one moves there (e.g. two 2-GPU tasks packed
+  // while iterating the 8-GPU type fit the 4-GPU type at half the price).
+  if (options.shrink_to_cheapest_type) {
+    std::vector<const TaskInfo*> members;
+    for (ConfigInstance& instance : result.instances) {
+      members.clear();
+      for (TaskId id : instance.tasks) {
+        if (const TaskInfo* task = context.FindTask(id)) {
+          members.push_back(task);
+        }
+      }
+      // Pick the fitting type with the largest net value (TNRP - cost).
+      // With homogeneous speedups this is simply the cheapest fitting type;
+      // with §4.2's heterogeneous families it also weighs where the set
+      // runs fastest per dollar.
+      int best_type = instance.type_index;
+      Money best_net =
+          calculator.SetTnrp(members, context.catalog->Get(best_type).family) -
+          context.catalog->Get(best_type).cost_per_hour;
+      for (int k = 0; k < context.catalog->NumTypes(); ++k) {
+        const InstanceType& type = context.catalog->Get(k);
+        ResourceVector total;
+        for (const TaskInfo* member : members) {
+          total += member->DemandFor(type.family);
+        }
+        if (!total.FitsWithin(type.capacity)) {
+          continue;
+        }
+        const Money net = calculator.SetTnrp(members, type.family) - type.cost_per_hour;
+        if (net > best_net + 1e-12) {
+          best_net = net;
+          best_type = k;
+        }
+      }
+      instance.type_index = best_type;
+    }
+  }
+
+  // Safety net: the greedy pass can strand a task when a tentative set at
+  // its reservation-price type failed the cost test as a group. Hosting the
+  // task alone on its RP instance is cost-efficient by definition
+  // (TNRP = RP = C_k with no co-location), so fall back to that.
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (assigned[i]) {
+      continue;
+    }
+    if (!options.assign_leftovers_standalone) {
+      result.unassigned.push_back(pool[i]->id);
+      continue;
+    }
+    const std::optional<int> type_index = context.catalog->CheapestFitting(
+        [task = pool[i]](InstanceFamily family) { return task->DemandFor(family); });
+    if (!type_index.has_value()) {
+      EVA_LOG_WARNING("task %lld fits no instance type; leaving unassigned",
+                      static_cast<long long>(pool[i]->id));
+      result.unassigned.push_back(pool[i]->id);
+      continue;
+    }
+    ConfigInstance instance;
+    instance.type_index = *type_index;
+    instance.tasks.push_back(pool[i]->id);
+    result.instances.push_back(std::move(instance));
+  }
+  return result;
+}
+
+ClusterConfig FullReconfiguration(const SchedulingContext& context,
+                                  const TnrpCalculator& calculator,
+                                  const PackingOptions& options) {
+  std::vector<const TaskInfo*> pool;
+  pool.reserve(context.tasks.size());
+  for (const TaskInfo& task : context.tasks) {
+    pool.push_back(&task);
+  }
+  ClusterConfig config;
+  config.instances = PackByReservationPrice(context, calculator, std::move(pool), options)
+                         .instances;
+  return config;
+}
+
+}  // namespace eva

@@ -1,0 +1,60 @@
+// Full Reconfiguration — Algorithm 1 of the paper (§4.2), generalized to
+// throughput-normalized reservation price (§4.3).
+//
+// The algorithm walks instance types in descending hourly cost. For each
+// type it repeatedly opens a fresh instance and greedily fills it with the
+// unassigned task maximizing the set's TNRP, stopping early if adding the
+// best candidate would *decrease* the set TNRP (possible under severe
+// interference or multi-task straggler penalties). The instance is kept only
+// if the set's TNRP covers the instance's hourly cost; otherwise the
+// algorithm moves on to the next cheaper type.
+
+#ifndef SRC_CORE_FULL_RECONFIG_H_
+#define SRC_CORE_FULL_RECONFIG_H_
+
+#include <vector>
+
+#include "src/sched/reservation_price.h"
+#include "src/sched/types.h"
+
+namespace eva {
+
+struct PackingResult {
+  std::vector<ConfigInstance> instances;
+
+  // Tasks the greedy pass could not place cost-efficiently. With the
+  // safety-net pass enabled (the default) this is always empty: each
+  // leftover task is placed alone on its reservation-price instance, which
+  // is cost-efficient by definition.
+  std::vector<TaskId> unassigned;
+};
+
+struct PackingOptions {
+  // Relative slack on the cost-efficiency test TNRP(T) >= C_k, avoiding
+  // spurious rejections from floating-point noise.
+  double cost_epsilon = 1e-9;
+
+  // Place greedy leftovers on their standalone RP instances.
+  bool assign_leftovers_standalone = true;
+
+  // The VSBPP heuristic's downsizing step: after a task set is accepted on
+  // an instance type, switch to the cheapest type that still fits the set.
+  // Never increases cost, so cost-efficiency is preserved.
+  bool shrink_to_cheapest_type = true;
+};
+
+// Runs Algorithm 1 over `pool` (tasks to place). Instances in the result
+// carry no reuse ids; callers layering Partial Reconfiguration add them.
+PackingResult PackByReservationPrice(const SchedulingContext& context,
+                                     const TnrpCalculator& calculator,
+                                     std::vector<const TaskInfo*> pool,
+                                     const PackingOptions& options = {});
+
+// The Full Reconfiguration entry point: packs *all* tasks in the context.
+ClusterConfig FullReconfiguration(const SchedulingContext& context,
+                                  const TnrpCalculator& calculator,
+                                  const PackingOptions& options = {});
+
+}  // namespace eva
+
+#endif  // SRC_CORE_FULL_RECONFIG_H_

@@ -1,0 +1,54 @@
+#include "src/core/partial_reconfig.h"
+
+#include <unordered_set>
+
+namespace eva {
+
+ClusterConfig PartialReconfiguration(const SchedulingContext& context,
+                                     const TnrpCalculator& calculator,
+                                     const PackingOptions& options) {
+  ClusterConfig config;
+  std::vector<const TaskInfo*> pool;
+
+  // (a) Unassigned tasks from recently submitted jobs.
+  for (const TaskInfo& task : context.tasks) {
+    if (task.current_instance == kInvalidInstanceId) {
+      pool.push_back(&task);
+    }
+  }
+
+  // (b) Tasks on instances that are no longer cost-efficient; those
+  // instances are released. Every other instance is kept unchanged.
+  for (const InstanceInfo& instance : context.instances) {
+    std::vector<const TaskInfo*> members;
+    for (TaskId task_id : instance.tasks) {
+      if (const TaskInfo* task = context.FindTask(task_id)) {
+        members.push_back(task);
+      }
+    }
+    const InstanceType& type = context.catalog->Get(instance.type_index);
+    const Money cost = type.cost_per_hour;
+    const bool cost_efficient =
+        !members.empty() &&
+        calculator.SetTnrp(members, type.family) + options.cost_epsilon * cost >= cost;
+    if (cost_efficient) {
+      ConfigInstance kept;
+      kept.type_index = instance.type_index;
+      kept.reuse_instance = instance.id;
+      kept.tasks = instance.tasks;
+      config.instances.push_back(std::move(kept));
+    } else {
+      for (const TaskInfo* member : members) {
+        pool.push_back(member);
+      }
+    }
+  }
+
+  PackingResult packed = PackByReservationPrice(context, calculator, std::move(pool), options);
+  for (ConfigInstance& instance : packed.instances) {
+    config.instances.push_back(std::move(instance));
+  }
+  return config;
+}
+
+}  // namespace eva

@@ -1,0 +1,26 @@
+// Partial Reconfiguration (§4.5).
+//
+// Preserves the bulk of the current cluster configuration and re-packs only
+//   (a) tasks from recently submitted jobs not yet assigned to an instance,
+//   (b) tasks on instances that are no longer cost-efficient, i.e. whose
+//       set TNRP has dropped below the instance's hourly cost (job
+//       completions or newly learned interference can cause this).
+// The re-packed subset goes through Algorithm 1; all other instances are
+// kept verbatim (with reuse ids so the differ performs no action on them).
+
+#ifndef SRC_CORE_PARTIAL_RECONFIG_H_
+#define SRC_CORE_PARTIAL_RECONFIG_H_
+
+#include "src/core/full_reconfig.h"
+#include "src/sched/reservation_price.h"
+#include "src/sched/types.h"
+
+namespace eva {
+
+ClusterConfig PartialReconfiguration(const SchedulingContext& context,
+                                     const TnrpCalculator& calculator,
+                                     const PackingOptions& options = {});
+
+}  // namespace eva
+
+#endif  // SRC_CORE_PARTIAL_RECONFIG_H_

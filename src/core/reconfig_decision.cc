@@ -1,0 +1,46 @@
+#include "src/core/reconfig_decision.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eva {
+
+EventRateEstimator::EventRateEstimator(const Options& options)
+    : options_(options),
+      events_per_hour_(options.initial_events_per_hour),
+      full_probability_(options.initial_full_probability) {}
+
+void EventRateEstimator::RecordRound(int events, SimTime elapsed_s, bool adopted_full) {
+  if (elapsed_s > 0.0) {
+    const double observed_rate = static_cast<double>(events) / SecondsToHours(elapsed_s);
+    events_per_hour_ = options_.ema_alpha * observed_rate +
+                       (1.0 - options_.ema_alpha) * events_per_hour_;
+  }
+  // p is the per-event probability of triggering a Full Reconfiguration;
+  // attribute this round's adoption outcome to each event it contained.
+  for (int i = 0; i < events; ++i) {
+    full_probability_ = options_.ema_alpha * (adopted_full ? 1.0 : 0.0) +
+                        (1.0 - options_.ema_alpha) * full_probability_;
+  }
+  full_probability_ =
+      std::clamp(full_probability_, options_.min_probability, options_.max_probability);
+}
+
+double EventRateEstimator::ExpectedConfigurationDurationHours() const {
+  const double lambda = std::max(events_per_hour_, 1e-6);
+  const double p = std::clamp(full_probability_, options_.min_probability,
+                              options_.max_probability);
+  // D_hat = -1 / (lambda * ln(1 - p)); ln(1-p) < 0 so D_hat > 0.
+  return -1.0 / (lambda * std::log(1.0 - p));
+}
+
+bool ShouldAdoptFull(Money saving_full_per_hour, Money saving_partial_per_hour,
+                     Money migration_cost_full, Money migration_cost_partial,
+                     double expected_duration_hours) {
+  const Money net_full = saving_full_per_hour * expected_duration_hours - migration_cost_full;
+  const Money net_partial =
+      saving_partial_per_hour * expected_duration_hours - migration_cost_partial;
+  return net_full > net_partial;
+}
+
+}  // namespace eva

@@ -1,0 +1,61 @@
+// The quantitative Full-vs-Partial criterion (§4.5).
+//
+// Eva adopts Full Reconfiguration when the provisioning savings it unlocks
+// outlast the migration overhead it incurs:
+//     S_F * D - M_F > S_P * D - M_P                       (Equation 1)
+// where S is each candidate's instantaneous provisioning saving ($/hr,
+// computed as sum over instances of TNRP - cost), M is the migration cost
+// of switching to the candidate ($), and D is how long the configuration
+// will last. D is unknown; modeling job arrivals/completions ("events") as
+// a Poisson process with rate lambda, and each event triggering a Full
+// Reconfiguration with probability p, the expected time to the next Full
+// Reconfiguration is
+//     D_hat = -1 / (lambda * ln(1 - p)).
+// lambda and p are estimated online with exponential moving averages.
+
+#ifndef SRC_CORE_RECONFIG_DECISION_H_
+#define SRC_CORE_RECONFIG_DECISION_H_
+
+#include "src/common/units.h"
+
+namespace eva {
+
+// Online estimator for lambda (events/hour) and p (P[event adopts Full]).
+class EventRateEstimator {
+ public:
+  struct Options {
+    double initial_events_per_hour = 6.0;
+    double initial_full_probability = 0.5;
+    double ema_alpha = 0.1;
+    double min_probability = 0.02;
+    double max_probability = 0.98;
+  };
+
+  explicit EventRateEstimator(const Options& options);
+
+  // Reports one scheduling round: how many arrival/completion events were
+  // seen since the previous round, the elapsed wall time, and whether the
+  // round adopted Full Reconfiguration.
+  void RecordRound(int events, SimTime elapsed_s, bool adopted_full);
+
+  double events_per_hour() const { return events_per_hour_; }
+  double full_probability() const { return full_probability_; }
+
+  // D_hat in hours.
+  double ExpectedConfigurationDurationHours() const;
+
+ private:
+  Options options_;
+  double events_per_hour_;
+  double full_probability_;
+};
+
+// Equation 1. All S/M values in dollars-per-hour / dollars; duration in
+// hours. Returns true when Full Reconfiguration should be adopted.
+bool ShouldAdoptFull(Money saving_full_per_hour, Money saving_partial_per_hour,
+                     Money migration_cost_full, Money migration_cost_partial,
+                     double expected_duration_hours);
+
+}  // namespace eva
+
+#endif  // SRC_CORE_RECONFIG_DECISION_H_

@@ -1,0 +1,102 @@
+#include "src/core/throughput_monitor.h"
+
+#include <algorithm>
+
+namespace eva {
+
+ThroughputMonitor::ThroughputMonitor(double default_pairwise) : table_(default_pairwise) {}
+
+void ThroughputMonitor::Observe(const std::vector<JobThroughputObservation>& observations) {
+  for (const JobThroughputObservation& observation : observations) {
+    ObserveJob(observation);
+  }
+}
+
+void ThroughputMonitor::ObserveJob(const JobThroughputObservation& observation) {
+  // Only co-located tasks can be blamed for interference.
+  std::vector<const TaskPlacementObservation*> colocated_tasks;
+  for (const TaskPlacementObservation& task : observation.tasks) {
+    if (!task.colocated.empty()) {
+      colocated_tasks.push_back(&task);
+    }
+  }
+  if (colocated_tasks.empty()) {
+    return;  // Nothing to attribute; any degradation is noise or stragglers
+             // outside co-location (not modeled).
+  }
+
+  const double observed = observation.normalized_throughput;
+
+  if (colocated_tasks.size() == 1) {
+    // Unambiguous: the single co-located task is the only possible source
+    // of the degradation (single-task jobs always take this path).
+    const TaskPlacementObservation* task = colocated_tasks.front();
+    table_.Record(task->workload, task->colocated, observed);
+    return;
+  }
+
+  // Multi-task attribution. Gather the recorded state of each candidate.
+  struct Candidate {
+    const TaskPlacementObservation* task;
+    std::optional<double> recorded;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(colocated_tasks.size());
+  for (const TaskPlacementObservation* task : colocated_tasks) {
+    candidates.push_back({task, table_.Lookup(task->workload, task->colocated)});
+  }
+
+  auto most_colocated = [](const Candidate* a, const Candidate* b) {
+    return a->task->colocated.size() < b->task->colocated.size();
+  };
+
+  // Rule 1: no previous observations.
+  const bool any_recorded =
+      std::any_of(candidates.begin(), candidates.end(),
+                  [](const Candidate& c) { return c.recorded.has_value(); });
+  if (!any_recorded) {
+    const Candidate* pick = &candidates.front();
+    for (const Candidate& c : candidates) {
+      if (most_colocated(pick, &c)) {
+        pick = &c;
+      }
+    }
+    table_.Record(pick->task->workload, pick->task->colocated, observed);
+    return;
+  }
+
+  // Rule 2: some recorded entry is lower than the observation — the
+  // recorded value was too pessimistic; adjust the lowest one upward.
+  const Candidate* lowest_recorded = nullptr;
+  for (const Candidate& c : candidates) {
+    if (c.recorded.has_value() &&
+        (lowest_recorded == nullptr || *c.recorded < *lowest_recorded->recorded)) {
+      lowest_recorded = &c;
+    }
+  }
+  if (lowest_recorded != nullptr && *lowest_recorded->recorded < observed) {
+    table_.Record(lowest_recorded->task->workload, lowest_recorded->task->colocated, observed);
+    return;
+  }
+
+  // Rule 3: all recorded entries exceed the observation — a task whose
+  // entry we have not seen yet must be the straggler; blame the unrecorded
+  // task with the most co-located neighbors.
+  const Candidate* pick = nullptr;
+  for (const Candidate& c : candidates) {
+    if (!c.recorded.has_value() && (pick == nullptr || most_colocated(pick, &c))) {
+      pick = &c;
+    }
+  }
+  if (pick != nullptr) {
+    table_.Record(pick->task->workload, pick->task->colocated, observed);
+    return;
+  }
+
+  // Every entry is recorded and all are >= observed: under noise-free
+  // observations this cannot happen (recorded values are lower bounds);
+  // with noise, lower the minimum entry so the table stays a lower bound.
+  table_.Record(lowest_recorded->task->workload, lowest_recorded->task->colocated, observed);
+}
+
+}  // namespace eva

@@ -1,0 +1,47 @@
+// The ThroughputMonitor (§3, §4.3, §4.4).
+//
+// Maintains Eva's co-location throughput table online. Single-task jobs
+// update their entry directly; for multi-task jobs a drop in job throughput
+// could come from any task's co-location, so the monitor applies the
+// paper's attribution rules to update exactly one entry per observation,
+// keeping every recorded value a lower bound of the true co-location
+// throughput:
+//   1. no task's entry recorded yet        -> update the task co-located
+//      with the most tasks;
+//   2. some recorded entry is lower than   -> raise the lowest recorded
+//      the observation                        entry to the observation;
+//   3. all recorded entries are >= the     -> update the *unrecorded* task
+//      observation                            co-located with the most
+//                                             tasks (or, if every entry is
+//                                             recorded, lower the minimum —
+//                                             observation noise).
+
+#ifndef SRC_CORE_THROUGHPUT_MONITOR_H_
+#define SRC_CORE_THROUGHPUT_MONITOR_H_
+
+#include <vector>
+
+#include "src/sched/scheduler.h"
+#include "src/sched/throughput_estimator.h"
+
+namespace eva {
+
+class ThroughputMonitor {
+ public:
+  explicit ThroughputMonitor(double default_pairwise = 0.95);
+
+  // Processes one scheduling window's worth of observations.
+  void Observe(const std::vector<JobThroughputObservation>& observations);
+
+  const ThroughputTable& table() const { return table_; }
+  ThroughputTable& mutable_table() { return table_; }
+
+ private:
+  void ObserveJob(const JobThroughputObservation& observation);
+
+  ThroughputTable table_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_CORE_THROUGHPUT_MONITOR_H_

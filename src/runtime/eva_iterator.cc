@@ -1,0 +1,115 @@
+#include "src/runtime/eva_iterator.h"
+
+#include <algorithm>
+
+namespace eva {
+
+EvaIterator::EvaIterator(SimTime max_history_s) : max_history_s_(max_history_s) {}
+
+void EvaIterator::RecordIteration(SimTime now) {
+  iterations_.push_back(now);
+  Prune(now);
+}
+
+void EvaIterator::Prune(SimTime now) {
+  while (!iterations_.empty() && iterations_.front() < now - max_history_s_) {
+    iterations_.pop_front();
+  }
+}
+
+double EvaIterator::IterationsPerSecond(SimTime now, SimTime window_s) const {
+  if (window_s <= 0.0 || iterations_.empty()) {
+    return 0.0;
+  }
+  const SimTime start = now - window_s;
+  const auto first =
+      std::lower_bound(iterations_.begin(), iterations_.end(), start);
+  const auto count = static_cast<double>(std::distance(first, iterations_.end()));
+  return count / window_s;
+}
+
+void EvaIterator::SetBaseline(double iterations_per_second) {
+  if (iterations_per_second > 0.0) {
+    baseline_ = iterations_per_second;
+  }
+}
+
+std::optional<double> EvaIterator::NormalizedThroughput(SimTime now, SimTime window_s) const {
+  if (!baseline_.has_value() || *baseline_ <= 0.0) {
+    return std::nullopt;
+  }
+  const double rate = IterationsPerSecond(now, window_s);
+  if (rate <= 0.0) {
+    return std::nullopt;
+  }
+  return rate / *baseline_;
+}
+
+WorkerReporter::WorkerReporter(SimTime window_s) : window_s_(window_s) {}
+
+void WorkerReporter::RegisterTask(TaskId task, JobId job, WorkloadId workload) {
+  TaskEntry& entry = tasks_[task];  // Idempotent: keeps existing history.
+  entry.job = job;
+  entry.workload = workload;
+}
+
+void WorkerReporter::UnregisterTask(TaskId task) { tasks_.erase(task); }
+
+void WorkerReporter::RecordIteration(TaskId task, SimTime now) {
+  const auto it = tasks_.find(task);
+  if (it != tasks_.end()) {
+    it->second.iterator.RecordIteration(now);
+  }
+}
+
+void WorkerReporter::SetBaseline(TaskId task, double iterations_per_second) {
+  const auto it = tasks_.find(task);
+  if (it != tasks_.end()) {
+    it->second.iterator.SetBaseline(iterations_per_second);
+  }
+}
+
+void WorkerReporter::SetColocation(TaskId task, std::vector<WorkloadId> colocated) {
+  const auto it = tasks_.find(task);
+  if (it != tasks_.end()) {
+    it->second.colocated = std::move(colocated);
+  }
+}
+
+std::vector<JobThroughputObservation> WorkerReporter::CollectObservations(SimTime now) const {
+  std::map<JobId, JobThroughputObservation> by_job;
+  for (const auto& [task_id, entry] : tasks_) {
+    const std::optional<double> normalized =
+        entry.iterator.NormalizedThroughput(now, window_s_);
+    if (!normalized.has_value()) {
+      continue;
+    }
+    JobThroughputObservation& observation = by_job[entry.job];
+    if (observation.tasks.empty()) {
+      observation.job = entry.job;
+      observation.normalized_throughput = *normalized;
+    } else {
+      observation.normalized_throughput =
+          std::min(observation.normalized_throughput, *normalized);
+    }
+    TaskPlacementObservation placement;
+    placement.task = task_id;
+    placement.workload = entry.workload;
+    placement.colocated = entry.colocated;
+    observation.tasks.push_back(std::move(placement));
+  }
+  std::vector<JobThroughputObservation> observations;
+  observations.reserve(by_job.size());
+  for (auto& [job_id, observation] : by_job) {
+    (void)job_id;
+    observations.push_back(std::move(observation));
+  }
+  return observations;
+}
+
+const EvaIterator* WorkerReporter::iterator(TaskId task) const {
+  const auto it = tasks_.find(task);
+  return it == tasks_.end() ? nullptr : &it->second.iterator;
+}
+
+}  // namespace eva

@@ -1,0 +1,98 @@
+// EvaIterator — the lightweight throughput-reporting API of §5.
+//
+// In the real deployment users wrap their training/data iterator in
+// EvaIterator; each worker then answers the master's per-round query
+// "what was your throughput over the last window?". This module provides
+// that wrapper plus the worker-side aggregation that turns per-task
+// iterator readings into the JobThroughputObservation records the
+// scheduler consumes. Time is injected (SimTime) so the same code runs
+// against wall clocks in deployment and virtual clocks in tests.
+
+#ifndef SRC_RUNTIME_EVA_ITERATOR_H_
+#define SRC_RUNTIME_EVA_ITERATOR_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sched/scheduler.h"
+
+namespace eva {
+
+// Tracks iteration completion times and reports windowed throughput.
+class EvaIterator {
+ public:
+  // `max_history_s` bounds memory: iterations older than this are pruned.
+  explicit EvaIterator(SimTime max_history_s = 3600.0);
+
+  // Call once per completed iteration (training step, batch, ...).
+  void RecordIteration(SimTime now);
+
+  // Iterations per second over the trailing window [now - window_s, now].
+  // Returns 0 before any iteration completes.
+  double IterationsPerSecond(SimTime now, SimTime window_s) const;
+
+  // Declares the standalone (no co-location) iteration rate, against which
+  // NormalizedThroughput is computed. Users who profiled offline set it
+  // explicitly; otherwise the first window observed while the master knows
+  // the task runs alone is used (the Profiler path of §3).
+  void SetBaseline(double iterations_per_second);
+  std::optional<double> baseline() const { return baseline_; }
+
+  // Throughput relative to the standalone baseline, clamped to (0, inf);
+  // nullopt until a baseline is known.
+  std::optional<double> NormalizedThroughput(SimTime now, SimTime window_s) const;
+
+  std::size_t NumRecorded() const { return iterations_.size(); }
+
+ private:
+  void Prune(SimTime now);
+
+  SimTime max_history_s_;
+  std::deque<SimTime> iterations_;
+  std::optional<double> baseline_;
+};
+
+// Worker-side aggregation: owns one EvaIterator per task and assembles the
+// per-job observations the master forwards to Scheduler::ObserveThroughput.
+class WorkerReporter {
+ public:
+  explicit WorkerReporter(SimTime window_s = 10.0 * kSecondsPerMinute);
+
+  // Registers a task (idempotent). `workload` keys the co-location table.
+  void RegisterTask(TaskId task, JobId job, WorkloadId workload);
+  void UnregisterTask(TaskId task);
+
+  // Iteration callback routed from the task's EvaIterator hook.
+  void RecordIteration(TaskId task, SimTime now);
+
+  // Declares a task's standalone rate (profiler or first-solo window).
+  void SetBaseline(TaskId task, double iterations_per_second);
+
+  // Snapshot of co-residents per task, provided by the executor each round.
+  void SetColocation(TaskId task, std::vector<WorkloadId> colocated);
+
+  // Builds one observation per job that has at least one task with a known
+  // baseline and a measurable window. A job's normalized throughput is the
+  // minimum over its reporting tasks (§4.4's lockstep assumption).
+  std::vector<JobThroughputObservation> CollectObservations(SimTime now) const;
+
+  const EvaIterator* iterator(TaskId task) const;
+
+ private:
+  struct TaskEntry {
+    JobId job = kInvalidJobId;
+    WorkloadId workload = kInvalidWorkloadId;
+    EvaIterator iterator;
+    std::vector<WorkloadId> colocated;
+  };
+
+  SimTime window_s_;
+  std::map<TaskId, TaskEntry> tasks_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_RUNTIME_EVA_ITERATOR_H_

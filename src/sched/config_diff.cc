@@ -1,0 +1,155 @@
+#include "src/sched/config_diff.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace eva {
+
+int ConfigDiff::NumLaunches() const {
+  int count = 0;
+  for (const Binding& binding : bindings) {
+    if (binding.existing_id == kInvalidInstanceId) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int ConfigDiff::NumMigrations() const {
+  int count = 0;
+  for (const Move& move : moves) {
+    if (move.from_instance != kInvalidInstanceId) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+ConfigDiff DiffConfig(const SchedulingContext& context, const ClusterConfig& desired) {
+  ConfigDiff diff;
+  diff.bindings.resize(desired.instances.size());
+
+  std::unordered_set<InstanceId> bound_existing;
+
+  // Pass 1: honor explicit reuse requests.
+  for (std::size_t i = 0; i < desired.instances.size(); ++i) {
+    const ConfigInstance& want = desired.instances[i];
+    ConfigDiff::Binding& binding = diff.bindings[i];
+    binding.config_index = static_cast<int>(i);
+    binding.type_index = want.type_index;
+    binding.tasks = want.tasks;
+    if (want.reuse_instance == kInvalidInstanceId) {
+      continue;
+    }
+    const InstanceInfo* existing = context.FindInstance(want.reuse_instance);
+    if (existing != nullptr && existing->type_index == want.type_index &&
+        !bound_existing.count(existing->id)) {
+      binding.existing_id = existing->id;
+      bound_existing.insert(existing->id);
+    }
+  }
+
+  // Pass 2: greedy same-type matching by descending task overlap. Candidate
+  // pairs are enumerated once and sorted so the result is deterministic.
+  struct Candidate {
+    int overlap;
+    std::size_t config_index;
+    InstanceId existing_id;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < desired.instances.size(); ++i) {
+    if (diff.bindings[i].existing_id != kInvalidInstanceId) {
+      continue;
+    }
+    const ConfigInstance& want = desired.instances[i];
+    const std::set<TaskId> wanted_tasks(want.tasks.begin(), want.tasks.end());
+    for (const InstanceInfo& existing : context.instances) {
+      if (existing.type_index != want.type_index || bound_existing.count(existing.id)) {
+        continue;
+      }
+      int overlap = 0;
+      for (TaskId task : existing.tasks) {
+        if (wanted_tasks.count(task)) {
+          ++overlap;
+        }
+      }
+      candidates.push_back({overlap, i, existing.id});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.overlap != b.overlap) {
+      return a.overlap > b.overlap;
+    }
+    if (a.config_index != b.config_index) {
+      return a.config_index < b.config_index;
+    }
+    return a.existing_id < b.existing_id;
+  });
+  for (const Candidate& candidate : candidates) {
+    ConfigDiff::Binding& binding = diff.bindings[candidate.config_index];
+    if (binding.existing_id != kInvalidInstanceId || bound_existing.count(candidate.existing_id)) {
+      continue;
+    }
+    binding.existing_id = candidate.existing_id;
+    bound_existing.insert(candidate.existing_id);
+  }
+
+  // Terminate every running instance that was not bound.
+  for (const InstanceInfo& existing : context.instances) {
+    if (!bound_existing.count(existing.id)) {
+      diff.terminate.push_back(existing.id);
+    }
+  }
+
+  // Task moves: any task whose bound destination differs from its current
+  // instance.
+  for (std::size_t i = 0; i < diff.bindings.size(); ++i) {
+    const ConfigDiff::Binding& binding = diff.bindings[i];
+    for (TaskId task_id : binding.tasks) {
+      const TaskInfo* task = context.FindTask(task_id);
+      if (task == nullptr) {
+        continue;
+      }
+      const bool stays = binding.existing_id != kInvalidInstanceId &&
+                         task->current_instance == binding.existing_id;
+      if (!stays) {
+        diff.moves.push_back({task_id, task->current_instance, static_cast<int>(i)});
+      }
+    }
+  }
+  return diff;
+}
+
+Money EstimateMigrationCost(const SchedulingContext& context, const ConfigDiff& diff,
+                            const CloudDelayModel& cloud_delays,
+                            double migration_delay_multiplier) {
+  Money total = 0.0;
+  const SimTime provisioning_s = cloud_delays.ProvisioningDelay(nullptr);
+  for (const ConfigDiff::Binding& binding : diff.bindings) {
+    if (binding.existing_id == kInvalidInstanceId) {
+      const Money rate = context.catalog->Get(binding.type_index).cost_per_hour;
+      total += CostForUptime(rate, provisioning_s);
+    }
+  }
+  for (const ConfigDiff::Move& move : diff.moves) {
+    const TaskInfo* task = context.FindTask(move.task);
+    if (task == nullptr) {
+      continue;
+    }
+    const WorkloadSpec& workload = WorkloadRegistry::Get(task->workload);
+    SimTime delay_s = workload.launch_delay_s;
+    if (move.from_instance != kInvalidInstanceId) {
+      delay_s += workload.checkpoint_delay_s;
+    }
+    delay_s *= migration_delay_multiplier;
+    const ConfigDiff::Binding& binding =
+        diff.bindings[static_cast<std::size_t>(move.to_binding)];
+    const Money rate = context.catalog->Get(binding.type_index).cost_per_hour;
+    total += CostForUptime(rate, delay_s);
+  }
+  return total;
+}
+
+}  // namespace eva

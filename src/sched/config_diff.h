@@ -1,0 +1,64 @@
+// Diffing a desired ClusterConfig against the running cluster.
+//
+// Schedulers express *what* the cluster should look like; this differ
+// decides the cheapest way to get there: which running instances to keep
+// (possibly with a different task set), which to terminate, which new ones
+// to launch, and which tasks migrate. Both the simulator (to apply a
+// configuration) and Eva's decision criterion (to price migration overhead,
+// §4.5) use it, so the two always agree on what a reconfiguration entails.
+
+#ifndef SRC_SCHED_CONFIG_DIFF_H_
+#define SRC_SCHED_CONFIG_DIFF_H_
+
+#include <vector>
+
+#include "src/cloud/delays.h"
+#include "src/sched/types.h"
+
+namespace eva {
+
+struct ConfigDiff {
+  // One desired instance bound to either an existing instance (existing_id
+  // valid) or a fresh launch (existing_id == kInvalidInstanceId).
+  struct Binding {
+    int config_index = -1;  // Index into ClusterConfig::instances.
+    int type_index = -1;
+    InstanceId existing_id = kInvalidInstanceId;
+    std::vector<TaskId> tasks;
+  };
+
+  // A task changing instances (from_instance may be kInvalidInstanceId for
+  // a first placement, which costs a launch but no checkpoint).
+  struct Move {
+    TaskId task = kInvalidTaskId;
+    InstanceId from_instance = kInvalidInstanceId;
+    int to_binding = -1;  // Index into `bindings`.
+  };
+
+  std::vector<Binding> bindings;
+  std::vector<InstanceId> terminate;  // Running instances not in the config.
+  std::vector<Move> moves;
+
+  int NumLaunches() const;
+  int NumMigrations() const;  // Moves with a valid source instance.
+};
+
+// Computes the diff. Binding preference order:
+//   1. explicit reuse_instance requests (honored when type matches),
+//   2. greedy same-type matching by descending task overlap,
+//   3. remaining same-type instances (avoids a launch even with 0 overlap),
+//   4. fresh launches.
+ConfigDiff DiffConfig(const SchedulingContext& context, const ClusterConfig& desired);
+
+// Estimated dollar cost of executing the diff (§4.5's M term): for every
+// migrated task, checkpoint + launch delays priced at the destination
+// instance's hourly rate; for every fresh launch, the mean provisioning
+// delay priced at the new instance's rate. First placements of new tasks
+// price only the launch delay (no checkpoint).
+Money EstimateMigrationCost(const SchedulingContext& context, const ConfigDiff& diff,
+                            const CloudDelayModel& cloud_delays,
+                            double migration_delay_multiplier);
+
+}  // namespace eva
+
+#endif  // SRC_SCHED_CONFIG_DIFF_H_

@@ -1,0 +1,88 @@
+#include "src/sched/reservation_price.h"
+
+namespace eva {
+
+TnrpCalculator::TnrpCalculator(const SchedulingContext& context, Options options)
+    : context_(context), options_(options) {}
+
+Money TnrpCalculator::ReservationPrice(const TaskInfo& task) const {
+  const auto cached = rp_cache_.find(task.id);
+  if (cached != rp_cache_.end()) {
+    return cached->second;
+  }
+  // Minimum cost of executing the task's work: cost per hour divided by the
+  // task's relative speed on the hosting family. With homogeneous speedups
+  // (all 1.0) this reduces to the paper's original definition.
+  Money best = 0.0;
+  bool found = false;
+  for (const InstanceType& type : context_.catalog->types()) {
+    if (!task.DemandFor(type.family).FitsWithin(type.capacity)) {
+      continue;
+    }
+    const double speedup = task.SpeedupOn(type.family);
+    if (speedup <= 0.0) {
+      continue;
+    }
+    const Money effective = type.cost_per_hour / speedup;
+    if (!found || effective < best) {
+      best = effective;
+      found = true;
+    }
+  }
+  rp_cache_[task.id] = best;
+  return best;
+}
+
+Money TnrpCalculator::TaskTnrp(const TaskInfo& task,
+                               const std::vector<const TaskInfo*>& partners,
+                               std::optional<InstanceFamily> family) const {
+  const double speedup = family.has_value() ? task.SpeedupOn(*family) : 1.0;
+  const Money rp = ReservationPrice(task) * speedup;
+  if (!options_.interference_aware || partners.empty()) {
+    return rp;
+  }
+  std::vector<WorkloadId> partner_workloads;
+  partner_workloads.reserve(partners.size());
+  for (const TaskInfo* partner : partners) {
+    partner_workloads.push_back(partner->workload);
+  }
+  const double tput =
+      context_.throughput != nullptr ? context_.throughput->Estimate(task.workload,
+                                                                     partner_workloads)
+                                     : 1.0;
+  const int job_size = context_.JobSize(task.job);
+  if (!options_.multi_task_aware || job_size <= 1) {
+    return tput * rp;
+  }
+  // §4.4: the straggler effect propagates to every sibling; charge the full
+  // job-level loss to this placement. All tasks of a job share demands, so
+  // each sibling's RP equals this task's.
+  return rp - static_cast<double>(job_size) * (1.0 - tput) * rp;
+}
+
+Money TnrpCalculator::SetTnrp(const std::vector<const TaskInfo*>& tasks,
+                              std::optional<InstanceFamily> family) const {
+  Money total = 0.0;
+  std::vector<const TaskInfo*> partners;
+  partners.reserve(tasks.size());
+  for (const TaskInfo* task : tasks) {
+    partners.clear();
+    for (const TaskInfo* other : tasks) {
+      if (other != task) {
+        partners.push_back(other);
+      }
+    }
+    total += TaskTnrp(*task, partners, family);
+  }
+  return total;
+}
+
+Money TnrpCalculator::SetRp(const std::vector<const TaskInfo*>& tasks) const {
+  Money total = 0.0;
+  for (const TaskInfo* task : tasks) {
+    total += ReservationPrice(*task);
+  }
+  return total;
+}
+
+}  // namespace eva

@@ -1,0 +1,71 @@
+// Reservation price (RP) and throughput-normalized reservation price (TNRP)
+// calculators (§4.2-§4.4).
+//
+// RP(tau) is the hourly cost of the cheapest instance type capable of
+// hosting tau alone — the maximum hourly price worth paying for the task.
+// TNRP scales RP by the (estimated) normalized throughput the task would
+// achieve under a given co-location, so that a task-to-instance assignment
+// is cost-efficient exactly when TNRP(T) >= instance cost. For multi-task
+// jobs, the degradation a placement inflicts on the whole data-parallel job
+// is charged to that placement:
+//   TNRP(tau, T) = RP(tau) - sum_{tau' in job(tau)} (1 - tput_{tau,T}) * RP(tau').
+
+#ifndef SRC_SCHED_RESERVATION_PRICE_H_
+#define SRC_SCHED_RESERVATION_PRICE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/sched/throughput_estimator.h"
+#include "src/sched/types.h"
+
+namespace eva {
+
+class TnrpCalculator {
+ public:
+  struct Options {
+    // When false, throughput is treated as 1.0 everywhere — this is the
+    // Eva-RP ablation of Figure 4.
+    bool interference_aware = true;
+
+    // When false, tasks of multi-task jobs are treated as independent —
+    // the Eva-Single ablation of Table 6 / Figure 7.
+    bool multi_task_aware = true;
+  };
+
+  TnrpCalculator(const SchedulingContext& context, Options options);
+
+  // RP(tau): hourly cost of the cheapest fitting type. With heterogeneous
+  // per-family speedups (§4.2's extension) this becomes the minimum cost of
+  // executing one unit of work: min_k C_k / speedup(family(k)) over fitting
+  // types. Cached per task. Tasks that fit no instance type have RP 0 (the
+  // simulator rejects such jobs at admission, so this is defensive).
+  Money ReservationPrice(const TaskInfo& task) const;
+
+  // TNRP of one task co-located with `partners` (the other tasks on the
+  // same hypothetical instance, excluding the task itself). May be negative
+  // for multi-task jobs under severe interference. When `family` is given,
+  // the task's relative speed on that family scales its value (§4.2).
+  Money TaskTnrp(const TaskInfo& task, const std::vector<const TaskInfo*>& partners,
+                 std::optional<InstanceFamily> family = std::nullopt) const;
+
+  // TNRP of a set of tasks placed together: sum of per-task TNRP where each
+  // task's partners are the other members of the set.
+  Money SetTnrp(const std::vector<const TaskInfo*>& tasks,
+                std::optional<InstanceFamily> family = std::nullopt) const;
+
+  // Plain reservation-price sum of a set (used by Eva-RP and the
+  // cost-efficiency walk-through of §4.2).
+  Money SetRp(const std::vector<const TaskInfo*>& tasks) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const SchedulingContext& context_;
+  Options options_;
+  mutable std::unordered_map<TaskId, Money> rp_cache_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_SCHED_RESERVATION_PRICE_H_

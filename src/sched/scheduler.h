@@ -1,0 +1,50 @@
+// The scheduler interface all five schedulers implement.
+
+#ifndef SRC_SCHED_SCHEDULER_H_
+#define SRC_SCHED_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sched/types.h"
+#include "src/workload/workload.h"
+
+namespace eva {
+
+// Placement observation for one task of a job during the last scheduling
+// window: the workloads it shared an instance with.
+struct TaskPlacementObservation {
+  TaskId task = kInvalidTaskId;
+  WorkloadId workload = kInvalidWorkloadId;
+  std::vector<WorkloadId> colocated;
+};
+
+// Throughput observation for one job over the last scheduling window,
+// reported by the workers' EvaIterator in the real system and by the
+// execution model in simulation.
+struct JobThroughputObservation {
+  JobId job = kInvalidJobId;
+  double normalized_throughput = 1.0;  // min over the job's tasks
+  std::vector<TaskPlacementObservation> tasks;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  // Computes the desired cluster configuration for the current state. Called
+  // once per scheduling period.
+  virtual ClusterConfig Schedule(const SchedulingContext& context) = 0;
+
+  // Delivers the throughput observations collected since the previous
+  // scheduling round. Default: ignore (throughput-oblivious schedulers).
+  virtual void ObserveThroughput(const std::vector<JobThroughputObservation>& observations) {
+    (void)observations;
+  }
+};
+
+}  // namespace eva
+
+#endif  // SRC_SCHED_SCHEDULER_H_

@@ -1,0 +1,50 @@
+#include "src/sched/throughput_estimator.h"
+
+#include <algorithm>
+
+namespace eva {
+
+ThroughputTable::ThroughputTable(double default_pairwise)
+    : default_pairwise_(default_pairwise) {}
+
+ThroughputTable::Key ThroughputTable::MakeKey(WorkloadId w, std::vector<WorkloadId> partners) {
+  std::sort(partners.begin(), partners.end());
+  return {w, std::move(partners)};
+}
+
+double ThroughputTable::Estimate(WorkloadId w, const std::vector<WorkloadId>& partners) const {
+  if (partners.empty()) {
+    return 1.0;
+  }
+  const auto exact = entries_.find(MakeKey(w, partners));
+  if (exact != entries_.end()) {
+    return exact->second;
+  }
+  // §4.3: estimate as the product of pairwise co-location throughputs,
+  // initializing unobserved pairs with the default t.
+  double product = 1.0;
+  for (WorkloadId partner : partners) {
+    const auto pair = entries_.find(MakeKey(w, {partner}));
+    product *= pair != entries_.end() ? pair->second : default_pairwise_;
+  }
+  return product;
+}
+
+std::optional<double> ThroughputTable::Lookup(WorkloadId w,
+                                              std::vector<WorkloadId> partners) const {
+  const auto it = entries_.find(MakeKey(w, std::move(partners)));
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void ThroughputTable::Record(WorkloadId w, std::vector<WorkloadId> partners, double throughput) {
+  entries_[MakeKey(w, std::move(partners))] = throughput;
+}
+
+double OracleThroughput::Estimate(WorkloadId w, const std::vector<WorkloadId>& partners) const {
+  return model_->Throughput(w, partners);
+}
+
+}  // namespace eva

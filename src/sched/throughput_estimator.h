@@ -1,0 +1,73 @@
+// Throughput estimation interfaces.
+//
+// ThroughputEstimator is the read-side abstraction schedulers use to reason
+// about co-location interference. Two implementations exist:
+//   * ThroughputTable — Eva's online-learned co-location throughput table
+//     (§4.3/§4.4), owned by the ThroughputMonitor;
+//   * OracleThroughput — a view over the ground-truth InterferenceModel,
+//     granted to the Owl baseline (the paper provides Owl the full pairwise
+//     profile, §6.1).
+
+#ifndef SRC_SCHED_THROUGHPUT_ESTIMATOR_H_
+#define SRC_SCHED_THROUGHPUT_ESTIMATOR_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/workload/interference.h"
+#include "src/workload/workload.h"
+
+namespace eva {
+
+class ThroughputEstimator {
+ public:
+  virtual ~ThroughputEstimator() = default;
+
+  // Estimated normalized throughput of a task of workload `w` when
+  // co-located with tasks of workloads `partners` (order irrelevant,
+  // multiplicity matters). Must return 1.0 when partners is empty.
+  virtual double Estimate(WorkloadId w, const std::vector<WorkloadId>& partners) const = 0;
+};
+
+// Eva's co-location throughput table (§4.3). Entries record the observed
+// normalized throughput of a workload co-located with a multiset of partner
+// workloads. Lookups fall back to the product of pairwise entries; unseen
+// pairs use the optimistic default t (0.95 in all of the paper's
+// experiments), which controls packing aggressiveness.
+class ThroughputTable : public ThroughputEstimator {
+ public:
+  explicit ThroughputTable(double default_pairwise = 0.95);
+
+  double Estimate(WorkloadId w, const std::vector<WorkloadId>& partners) const override;
+
+  // Exact-entry access (partners are canonicalized internally).
+  std::optional<double> Lookup(WorkloadId w, std::vector<WorkloadId> partners) const;
+  void Record(WorkloadId w, std::vector<WorkloadId> partners, double throughput);
+
+  double default_pairwise() const { return default_pairwise_; }
+  std::size_t NumEntries() const { return entries_.size(); }
+
+ private:
+  using Key = std::pair<WorkloadId, std::vector<WorkloadId>>;
+  static Key MakeKey(WorkloadId w, std::vector<WorkloadId> partners);
+
+  double default_pairwise_;
+  std::map<Key, double> entries_;
+};
+
+// Ground-truth estimator backed by the interference model (product of true
+// pairwise factors). The simulator also uses this to drive execution.
+class OracleThroughput : public ThroughputEstimator {
+ public:
+  explicit OracleThroughput(const InterferenceModel* model) : model_(model) {}
+
+  double Estimate(WorkloadId w, const std::vector<WorkloadId>& partners) const override;
+
+ private:
+  const InterferenceModel* model_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_SCHED_THROUGHPUT_ESTIMATOR_H_

@@ -1,0 +1,75 @@
+#include "src/sched/types.h"
+
+#include <set>
+#include <string>
+
+namespace eva {
+
+void SchedulingContext::Finalize() {
+  task_index_.clear();
+  instance_index_.clear();
+  job_tasks_.clear();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    task_index_[tasks[i].id] = i;
+    job_tasks_[tasks[i].job].push_back(tasks[i].id);
+  }
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    instance_index_[instances[i].id] = i;
+  }
+}
+
+const TaskInfo* SchedulingContext::FindTask(TaskId id) const {
+  const auto it = task_index_.find(id);
+  return it == task_index_.end() ? nullptr : &tasks[it->second];
+}
+
+const InstanceInfo* SchedulingContext::FindInstance(InstanceId id) const {
+  const auto it = instance_index_.find(id);
+  return it == instance_index_.end() ? nullptr : &instances[it->second];
+}
+
+const std::vector<TaskId>& SchedulingContext::JobTasks(JobId job) const {
+  static const std::vector<TaskId> kEmpty;
+  const auto it = job_tasks_.find(job);
+  return it == job_tasks_.end() ? kEmpty : it->second;
+}
+
+int SchedulingContext::JobSize(JobId job) const {
+  return static_cast<int>(JobTasks(job).size());
+}
+
+Money ClusterConfig::HourlyCost(const InstanceCatalog& catalog) const {
+  Money total = 0.0;
+  for (const ConfigInstance& instance : instances) {
+    total += catalog.Get(instance.type_index).cost_per_hour;
+  }
+  return total;
+}
+
+std::optional<std::string> ClusterConfig::Validate(const SchedulingContext& context) const {
+  std::set<TaskId> seen;
+  for (const ConfigInstance& instance : instances) {
+    if (instance.type_index < 0 || instance.type_index >= context.catalog->NumTypes()) {
+      return "invalid instance type index " + std::to_string(instance.type_index);
+    }
+    const InstanceType& type = context.catalog->Get(instance.type_index);
+    ResourceVector used;
+    for (TaskId task_id : instance.tasks) {
+      if (!seen.insert(task_id).second) {
+        return "task " + std::to_string(task_id) + " assigned to multiple instances";
+      }
+      const TaskInfo* task = context.FindTask(task_id);
+      if (task == nullptr) {
+        return "unknown task " + std::to_string(task_id);
+      }
+      used += task->DemandFor(type.family);
+    }
+    if (!used.FitsWithin(type.capacity)) {
+      return "capacity exceeded on " + type.name + ": " + used.ToString() + " > " +
+             type.capacity.ToString();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace eva

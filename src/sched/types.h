@@ -1,0 +1,127 @@
+// Scheduler-facing types: what a scheduler sees (SchedulingContext) and what
+// it returns (ClusterConfig).
+//
+// The simulator builds a context each scheduling period (§3); a scheduler
+// returns the desired cluster configuration — the number of instances, the
+// type of each instance, and the task-to-instance assignment. The simulator
+// then diffs the desired configuration against the running cluster and
+// issues launch/terminate/migrate actions.
+
+#ifndef SRC_SCHED_TYPES_H_
+#define SRC_SCHED_TYPES_H_
+
+#include <array>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cloud/instance_type.h"
+#include "src/common/resources.h"
+#include "src/common/units.h"
+#include "src/workload/workload.h"
+
+namespace eva {
+
+class ThroughputEstimator;
+
+// A task as visible to schedulers.
+struct TaskInfo {
+  TaskId id = kInvalidTaskId;
+  JobId job = kInvalidJobId;
+  WorkloadId workload = kInvalidWorkloadId;
+  ResourceVector demand_p3;
+  ResourceVector demand_cpu;
+
+  // Relative per-iteration speed of this task on each instance family
+  // (§4.2 "Generalizability to Heterogeneous Resources"): e.g. a CPU job
+  // that runs 1.5x faster on C7i's higher-frequency cores. 1.0 everywhere
+  // means the homogeneous model used in the paper's main evaluation.
+  std::array<double, kNumInstanceFamilies> family_speedup = {1.0, 1.0, 1.0};
+
+  double SpeedupOn(InstanceFamily family) const {
+    return family_speedup[static_cast<std::size_t>(family)];
+  }
+
+  // Instance currently hosting the task, or kInvalidInstanceId if the task
+  // has not been placed yet (recently submitted).
+  InstanceId current_instance = kInvalidInstanceId;
+
+  // Remaining standalone work in seconds, if the scheduler has been granted
+  // runtime estimates (Stratus's best case is evaluated with perfect
+  // estimates, §6.1). Negative when unknown.
+  SimTime remaining_work_s = -1.0;
+
+  const ResourceVector& DemandFor(InstanceFamily family) const {
+    return family == InstanceFamily::kP3 ? demand_p3 : demand_cpu;
+  }
+};
+
+// A provisioned (or provisioning) instance as visible to schedulers.
+struct InstanceInfo {
+  InstanceId id = kInvalidInstanceId;
+  int type_index = -1;
+  std::vector<TaskId> tasks;
+};
+
+// Snapshot handed to Scheduler::Schedule each period.
+class SchedulingContext {
+ public:
+  SimTime now_s = 0.0;
+  const InstanceCatalog* catalog = nullptr;
+
+  // Throughput estimates the scheduler is entitled to. For Eva this is the
+  // learned co-location table; for Owl it is the offline profile (the paper
+  // grants Owl the full pairwise profile); may be null for throughput-
+  // oblivious schedulers.
+  const ThroughputEstimator* throughput = nullptr;
+
+  std::vector<TaskInfo> tasks;
+  std::vector<InstanceInfo> instances;
+
+  // Must be called after populating tasks/instances; builds lookup indices.
+  void Finalize();
+
+  const TaskInfo* FindTask(TaskId id) const;
+  const InstanceInfo* FindInstance(InstanceId id) const;
+
+  // All tasks belonging to a job (data-parallel siblings).
+  const std::vector<TaskId>& JobTasks(JobId job) const;
+
+  // Number of tasks in the given job.
+  int JobSize(JobId job) const;
+
+ private:
+  std::unordered_map<TaskId, std::size_t> task_index_;
+  std::unordered_map<InstanceId, std::size_t> instance_index_;
+  std::unordered_map<JobId, std::vector<TaskId>> job_tasks_;
+};
+
+// One desired instance in a configuration.
+struct ConfigInstance {
+  int type_index = -1;
+
+  // When set, the scheduler asks to keep this existing instance (Partial
+  // Reconfiguration and the incremental baselines set this). When unset,
+  // the simulator's differ may still match the entry to a running instance
+  // of the same type to avoid needless churn.
+  InstanceId reuse_instance = kInvalidInstanceId;
+
+  std::vector<TaskId> tasks;
+};
+
+// The desired cluster configuration. Tasks not mentioned anywhere are
+// treated as intentionally unscheduled (left pending).
+struct ClusterConfig {
+  std::vector<ConfigInstance> instances;
+
+  Money HourlyCost(const InstanceCatalog& catalog) const;
+
+  // Verifies structural invariants: valid type indices, no task assigned
+  // twice, and per-instance demands within capacity. Returns an error
+  // description, or nullopt if valid.
+  std::optional<std::string> Validate(const SchedulingContext& context) const;
+};
+
+}  // namespace eva
+
+#endif  // SRC_SCHED_TYPES_H_

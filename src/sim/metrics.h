@@ -1,0 +1,53 @@
+// Simulation output metrics — everything the paper's tables report.
+
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace eva {
+
+struct SimulationMetrics {
+  std::string scheduler_name;
+  std::string trace_name;
+
+  // Total provisioning cost: sum over instances of uptime x hourly price.
+  Money total_cost = 0.0;
+
+  int jobs_submitted = 0;
+  int jobs_completed = 0;
+  int tasks_total = 0;
+
+  int instances_launched = 0;
+  int task_migrations = 0;  // Moves of already-placed tasks.
+  double migrations_per_task = 0.0;
+
+  // Time-weighted average number of tasks per live instance.
+  double avg_tasks_per_instance = 0.0;
+
+  // Time-weighted allocation fraction per resource (allocated / provisioned).
+  double avg_alloc_gpu = 0.0;
+  double avg_alloc_cpu = 0.0;
+  double avg_alloc_ram = 0.0;
+
+  // Mean over completed jobs of standalone-work / time-spent-executing
+  // (1.0 = no interference ever).
+  double avg_norm_job_throughput = 0.0;
+
+  double avg_jct_hours = 0.0;
+  double avg_job_idle_hours = 0.0;  // JCT minus executing time.
+
+  SimTime makespan_s = 0.0;
+  int scheduling_rounds = 0;
+
+  // Raw distributions for CDFs / percentile reporting (Figure 3).
+  std::vector<double> instance_uptime_hours;
+  std::vector<double> jct_hours;
+};
+
+}  // namespace eva
+
+#endif  // SRC_SIM_METRICS_H_

@@ -1,0 +1,249 @@
+#include "src/solver/bnb_solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/core/full_reconfig.h"
+#include "src/sched/reservation_price.h"
+
+namespace eva {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Cheapest per-unit price of each resource across the catalog, using the
+// capacity on the family where it is largest relative to cost.
+std::array<double, kNumResources> UnitPrices(const InstanceCatalog& catalog) {
+  std::array<double, kNumResources> unit{};
+  for (int r = 0; r < kNumResources; ++r) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const InstanceType& type : catalog.types()) {
+      const double capacity = type.capacity.Get(static_cast<Resource>(r));
+      if (capacity > 0.0) {
+        best = std::min(best, type.cost_per_hour / capacity);
+      }
+    }
+    unit[static_cast<std::size_t>(r)] = std::isfinite(best) ? best : 0.0;
+  }
+  return unit;
+}
+
+// Minimum resource consumption of a task across families (a task will
+// consume at least this much of r wherever it is placed).
+ResourceVector MinDemand(const TaskInfo& task) {
+  ResourceVector demand = task.demand_p3;
+  for (int r = 0; r < kNumResources; ++r) {
+    const Resource res = static_cast<Resource>(r);
+    demand.Set(res, std::min(task.demand_p3.Get(res), task.demand_cpu.Get(res)));
+  }
+  return demand;
+}
+
+struct OpenInstance {
+  int type_index;
+  ResourceVector used;
+  std::vector<TaskId> tasks;
+};
+
+class Search {
+ public:
+  Search(const SchedulingContext& context, const SolverOptions& options)
+      : context_(context),
+        options_(options),
+        unit_prices_(UnitPrices(*context.catalog)),
+        start_(Clock::now()) {
+    for (const TaskInfo& task : context.tasks) {
+      tasks_.push_back(&task);
+    }
+    // Branch on the "hardest" tasks first: descending reservation price.
+    const TnrpCalculator calculator(context, {.interference_aware = false});
+    std::sort(tasks_.begin(), tasks_.end(),
+              [&calculator](const TaskInfo* a, const TaskInfo* b) {
+                const Money rp_a = calculator.ReservationPrice(*a);
+                const Money rp_b = calculator.ReservationPrice(*b);
+                if (rp_a != rp_b) {
+                  return rp_a > rp_b;
+                }
+                return a->id < b->id;
+              });
+    // Suffix lower bounds: bound on cost of tasks_[i..).
+    suffix_bound_.assign(tasks_.size() + 1, 0.0);
+    std::array<double, kNumResources> volume{};
+    for (std::size_t i = tasks_.size(); i-- > 0;) {
+      const ResourceVector demand = MinDemand(*tasks_[i]);
+      for (int r = 0; r < kNumResources; ++r) {
+        volume[static_cast<std::size_t>(r)] += demand.Get(static_cast<Resource>(r));
+      }
+      double bound = 0.0;
+      for (int r = 0; r < kNumResources; ++r) {
+        bound = std::max(bound, volume[static_cast<std::size_t>(r)] *
+                                    unit_prices_[static_cast<std::size_t>(r)]);
+      }
+      suffix_bound_[i] = bound;
+    }
+  }
+
+  void SetIncumbent(const ClusterConfig& config) {
+    incumbent_ = config;
+    incumbent_cost_ = config.HourlyCost(*context_.catalog);
+  }
+
+  SolverResult Run() {
+    std::vector<OpenInstance> open;
+    Branch(0, 0.0, open);
+    SolverResult result;
+    result.config = incumbent_;
+    result.hourly_cost = incumbent_cost_;
+    result.proven_optimal = !aborted_;
+    result.nodes_explored = nodes_;
+    result.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    return result;
+  }
+
+ private:
+  bool TimeExceeded() {
+    if (aborted_) {
+      return true;
+    }
+    if (nodes_ > options_.max_nodes) {
+      aborted_ = true;
+      return true;
+    }
+    // Check the wall clock every 4096 nodes to keep overhead negligible.
+    if ((nodes_ & 0xFFF) == 0 &&
+        std::chrono::duration<double>(Clock::now() - start_).count() >
+            options_.time_limit_seconds) {
+      aborted_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  void Branch(std::size_t next_task, Money cost_so_far, std::vector<OpenInstance>& open) {
+    ++nodes_;
+    if (TimeExceeded()) {
+      return;
+    }
+    if (next_task == tasks_.size()) {
+      if (cost_so_far < incumbent_cost_ - 1e-12) {
+        incumbent_cost_ = cost_so_far;
+        incumbent_.instances.clear();
+        for (const OpenInstance& instance : open) {
+          ConfigInstance entry;
+          entry.type_index = instance.type_index;
+          entry.tasks = instance.tasks;
+          incumbent_.instances.push_back(std::move(entry));
+        }
+      }
+      return;
+    }
+    if (cost_so_far + suffix_bound_[next_task] >= incumbent_cost_ - 1e-12) {
+      return;  // Prune: even a fractional relaxation cannot beat incumbent.
+    }
+    const TaskInfo& task = *tasks_[next_task];
+
+    // Option A: place into an existing open instance. Skip duplicates of
+    // (type, used) states to break symmetry among identical instances.
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      bool duplicate = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (open[j].type_index == open[i].type_index && open[j].used == open[i].used) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) {
+        continue;
+      }
+      const InstanceType& type = context_.catalog->Get(open[i].type_index);
+      const ResourceVector& demand = task.DemandFor(type.family);
+      if (!(open[i].used + demand).FitsWithin(type.capacity)) {
+        continue;
+      }
+      open[i].used += demand;
+      open[i].tasks.push_back(task.id);
+      Branch(next_task + 1, cost_so_far, open);
+      open[i].tasks.pop_back();
+      open[i].used -= demand;
+      if (aborted_) {
+        return;
+      }
+    }
+
+    // Option B: open a fresh instance of each type that fits, cheapest
+    // first so good incumbents appear early.
+    std::vector<int> fitting;
+    for (int k = 0; k < context_.catalog->NumTypes(); ++k) {
+      const InstanceType& type = context_.catalog->Get(k);
+      if (task.DemandFor(type.family).FitsWithin(type.capacity)) {
+        fitting.push_back(k);
+      }
+    }
+    std::sort(fitting.begin(), fitting.end(), [this](int a, int b) {
+      return context_.catalog->Get(a).cost_per_hour < context_.catalog->Get(b).cost_per_hour;
+    });
+    for (int type_index : fitting) {
+      const InstanceType& type = context_.catalog->Get(type_index);
+      if (cost_so_far + type.cost_per_hour >= incumbent_cost_ - 1e-12) {
+        break;  // Sorted ascending; all later types cost at least as much.
+      }
+      OpenInstance fresh;
+      fresh.type_index = type_index;
+      fresh.used = task.DemandFor(type.family);
+      fresh.tasks.push_back(task.id);
+      open.push_back(std::move(fresh));
+      Branch(next_task + 1, cost_so_far + type.cost_per_hour, open);
+      open.pop_back();
+      if (aborted_) {
+        return;
+      }
+    }
+  }
+
+  const SchedulingContext& context_;
+  SolverOptions options_;
+  std::array<double, kNumResources> unit_prices_;
+  Clock::time_point start_;
+
+  std::vector<const TaskInfo*> tasks_;
+  std::vector<double> suffix_bound_;
+
+  ClusterConfig incumbent_;
+  Money incumbent_cost_ = std::numeric_limits<double>::infinity();
+  std::uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+Money PackingLowerBound(const SchedulingContext& context,
+                        const std::vector<const TaskInfo*>& tasks) {
+  const std::array<double, kNumResources> unit = UnitPrices(*context.catalog);
+  std::array<double, kNumResources> volume{};
+  for (const TaskInfo* task : tasks) {
+    const ResourceVector demand = MinDemand(*task);
+    for (int r = 0; r < kNumResources; ++r) {
+      volume[static_cast<std::size_t>(r)] += demand.Get(static_cast<Resource>(r));
+    }
+  }
+  Money bound = 0.0;
+  for (int r = 0; r < kNumResources; ++r) {
+    bound = std::max(bound,
+                     volume[static_cast<std::size_t>(r)] * unit[static_cast<std::size_t>(r)]);
+  }
+  return bound;
+}
+
+SolverResult SolveOptimalPacking(const SchedulingContext& context,
+                                 const SolverOptions& options) {
+  Search search(context, options);
+  if (options.seed_with_heuristic) {
+    const TnrpCalculator calculator(context, {.interference_aware = false});
+    search.SetIncumbent(FullReconfiguration(context, calculator));
+  }
+  return search.Run();
+}
+
+}  // namespace eva

@@ -1,0 +1,68 @@
+#include "src/workload/interference.h"
+
+#include <cassert>
+
+namespace eva {
+
+InterferenceModel InterferenceModel::Measured() {
+  // Figure 1, rows = observed workload, columns = co-located partner, in
+  // profile order: ResNet18, GraphSAGE, CycleGAN, GPT2, GCN, OpenFOAM,
+  // Diamond, A3C.
+  std::vector<std::vector<double>> matrix = {
+      {0.93, 0.97, 1.00, 0.92, 0.83, 0.99, 0.89, 0.83},  // ResNet18
+      {0.89, 0.89, 0.98, 0.97, 0.88, 0.95, 1.00, 0.74},  // GraphSAGE
+      {0.99, 1.00, 0.99, 0.99, 0.85, 1.00, 1.00, 1.00},  // CycleGAN
+      {0.79, 0.96, 0.79, 0.86, 1.00, 0.99, 0.80, 0.78},  // GPT2
+      {0.92, 0.90, 0.95, 0.98, 0.90, 0.99, 0.95, 0.65},  // GCN
+      {0.81, 0.98, 0.98, 0.99, 0.95, 0.97, 0.83, 0.94},  // OpenFOAM
+      {0.96, 0.98, 1.00, 1.00, 0.99, 1.00, 0.93, 0.89},  // Diamond
+      {0.91, 0.91, 0.98, 0.96, 0.94, 1.00, 0.94, 0.67},  // A3C
+  };
+  return InterferenceModel(std::move(matrix));
+}
+
+InterferenceModel InterferenceModel::Uniform(double pairwise_throughput) {
+  std::vector<std::vector<double>> matrix(
+      kNumInterferenceProfiles,
+      std::vector<double>(kNumInterferenceProfiles, pairwise_throughput));
+  return InterferenceModel(std::move(matrix));
+}
+
+InterferenceModel::InterferenceModel(std::vector<std::vector<double>> matrix)
+    : matrix_(std::move(matrix)) {
+  assert(matrix_.size() == static_cast<std::size_t>(kNumInterferenceProfiles));
+  for (const auto& row : matrix_) {
+    assert(row.size() == static_cast<std::size_t>(kNumInterferenceProfiles));
+    (void)row;
+  }
+}
+
+double InterferenceModel::Pairwise(InterferenceProfile observed,
+                                   InterferenceProfile partner) const {
+  return matrix_[static_cast<std::size_t>(observed)][static_cast<std::size_t>(partner)];
+}
+
+double InterferenceModel::Throughput(InterferenceProfile observed,
+                                     const std::vector<InterferenceProfile>& partners) const {
+  double tput = 1.0;
+  for (InterferenceProfile partner : partners) {
+    tput *= Pairwise(observed, partner);
+  }
+  return tput;
+}
+
+double InterferenceModel::Pairwise(WorkloadId observed, WorkloadId partner) const {
+  return Pairwise(WorkloadRegistry::Get(observed).profile,
+                  WorkloadRegistry::Get(partner).profile);
+}
+
+double InterferenceModel::Throughput(WorkloadId observed,
+                                     const std::vector<WorkloadId>& partners) const {
+  double tput = 1.0;
+  for (WorkloadId partner : partners) {
+    tput *= Pairwise(observed, partner);
+  }
+  return tput;
+}
+
+}  // namespace eva

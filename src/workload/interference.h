@@ -1,0 +1,52 @@
+// Ground-truth co-location interference model (Figure 1 of the paper).
+//
+// Figure 1 reports the normalized throughput of workload A when co-located
+// with workload B on the same instance (both on disjoint GPUs/CPUs, sharing
+// LLC / disk / network). The simulator uses this as hidden ground truth; the
+// Eva scheduler never reads it directly and must learn it online through the
+// ThroughputMonitor, exactly as in the paper.
+//
+// For more than two co-resident tasks the model multiplies pairwise factors,
+// which is also the estimator the paper's co-location throughput table uses
+// for unobserved sets (§4.3).
+
+#ifndef SRC_WORKLOAD_INTERFERENCE_H_
+#define SRC_WORKLOAD_INTERFERENCE_H_
+
+#include <vector>
+
+#include "src/workload/workload.h"
+
+namespace eva {
+
+class InterferenceModel {
+ public:
+  // The Figure 1 matrix.
+  static InterferenceModel Measured();
+
+  // Uniform pairwise throughput (the Figure 4 sweep sets this to
+  // {1, 0.95, 0.9, 0.85, 0.8}). Self-pairs included.
+  static InterferenceModel Uniform(double pairwise_throughput);
+
+  // Normalized throughput of `observed` when co-located with one `partner`.
+  double Pairwise(InterferenceProfile observed, InterferenceProfile partner) const;
+
+  // Normalized throughput of `observed` when co-located with all `partners`
+  // (product of pairwise factors; 1.0 for no partners).
+  double Throughput(InterferenceProfile observed,
+                    const std::vector<InterferenceProfile>& partners) const;
+
+  // Convenience overloads keyed by workload id.
+  double Pairwise(WorkloadId observed, WorkloadId partner) const;
+  double Throughput(WorkloadId observed, const std::vector<WorkloadId>& partners) const;
+
+ private:
+  explicit InterferenceModel(
+      std::vector<std::vector<double>> matrix);
+
+  std::vector<std::vector<double>> matrix_;  // [observed][partner]
+};
+
+}  // namespace eva
+
+#endif  // SRC_WORKLOAD_INTERFERENCE_H_

@@ -1,0 +1,83 @@
+#include "src/workload/job.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/csv.h"
+
+namespace eva {
+
+JobSpec JobSpec::FromWorkload(JobId id, SimTime arrival_time_s, WorkloadId workload,
+                              SimTime duration_s, int num_tasks) {
+  const WorkloadSpec& spec = WorkloadRegistry::Get(workload);
+  JobSpec job;
+  job.id = id;
+  job.arrival_time_s = arrival_time_s;
+  job.num_tasks = num_tasks > 0 ? num_tasks : spec.default_num_tasks;
+  job.workload = workload;
+  job.demand_p3 = spec.demand_p3;
+  job.demand_cpu = spec.demand_cpu;
+  job.duration_s = duration_s;
+  return job;
+}
+
+void Trace::Normalize() {
+  std::stable_sort(jobs.begin(), jobs.end(), [](const JobSpec& a, const JobSpec& b) {
+    return a.arrival_time_s < b.arrival_time_s;
+  });
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+  }
+}
+
+std::string Trace::ToCsv() const {
+  CsvTable table({"id", "arrival_s", "num_tasks", "workload", "gpu", "cpu", "ram", "gpu_alt",
+                  "cpu_alt", "ram_alt", "duration_s"});
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  for (const JobSpec& job : jobs) {
+    table.AddRow({std::to_string(job.id), fmt(job.arrival_time_s), std::to_string(job.num_tasks),
+                  WorkloadRegistry::Get(job.workload).name, fmt(job.demand_p3.gpus()),
+                  fmt(job.demand_p3.cpus()), fmt(job.demand_p3.ram_gb()),
+                  fmt(job.demand_cpu.gpus()), fmt(job.demand_cpu.cpus()),
+                  fmt(job.demand_cpu.ram_gb()), fmt(job.duration_s)});
+  }
+  return table.ToString();
+}
+
+std::optional<Trace> Trace::FromCsv(const std::string& csv, const std::string& name) {
+  std::optional<CsvTable> table = CsvTable::Parse(csv);
+  if (!table.has_value()) {
+    return std::nullopt;
+  }
+  Trace trace;
+  trace.name = name;
+  for (std::size_t i = 0; i < table->NumRows(); ++i) {
+    JobSpec job;
+    try {
+      job.id = std::stoll(table->Field(i, "id"));
+      job.arrival_time_s = std::stod(table->Field(i, "arrival_s"));
+      job.num_tasks = std::stoi(table->Field(i, "num_tasks"));
+      job.workload = WorkloadRegistry::IdOf(table->Field(i, "workload"));
+      job.demand_p3 = ResourceVector(std::stod(table->Field(i, "gpu")),
+                                     std::stod(table->Field(i, "cpu")),
+                                     std::stod(table->Field(i, "ram")));
+      job.demand_cpu = ResourceVector(std::stod(table->Field(i, "gpu_alt")),
+                                      std::stod(table->Field(i, "cpu_alt")),
+                                      std::stod(table->Field(i, "ram_alt")));
+      job.duration_s = std::stod(table->Field(i, "duration_s"));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    if (job.workload == kInvalidWorkloadId || job.num_tasks < 1 || job.duration_s <= 0.0) {
+      return std::nullopt;
+    }
+    trace.jobs.push_back(job);
+  }
+  return trace;
+}
+
+}  // namespace eva

@@ -1,0 +1,64 @@
+#include "src/workload/workload.h"
+
+#include <cassert>
+
+namespace eva {
+
+const std::vector<WorkloadSpec>& WorkloadRegistry::Table7() {
+  // Demands are per task: (GPU, CPU, RAM GB). The second vector is the
+  // demand on C7i/R7i; per Table 7, CPU-only jobs achieve the same
+  // throughput there with fewer cores. ViT reuses the ResNet18 interference
+  // profile (same application class); ResNet18-4task shares ResNet18's.
+  static const std::vector<WorkloadSpec> kTable = {
+      {"ResNet18-2task", {1, 4, 24}, {1, 4, 24}, 2.0, 80.0, 2, InterferenceProfile::kResNet18},
+      {"ResNet18-4task", {1, 4, 24}, {1, 4, 24}, 2.0, 80.0, 4, InterferenceProfile::kResNet18},
+      {"ViT", {2, 8, 60}, {2, 8, 60}, 3.0, 143.0, 1, InterferenceProfile::kResNet18},
+      {"CycleGAN", {1, 4, 10}, {1, 4, 10}, 7.0, 2.0, 1, InterferenceProfile::kCycleGan},
+      {"GPT2", {4, 4, 10}, {4, 4, 10}, 30.0, 15.0, 1, InterferenceProfile::kGpt2},
+      {"GraphSAGE", {1, 8, 50}, {1, 8, 50}, 2.0, 160.0, 1, InterferenceProfile::kGraphSage},
+      {"GCN", {0, 12, 40}, {0, 6, 40}, 2.0, 28.0, 1, InterferenceProfile::kGcn},
+      {"A3C", {0, 10, 8}, {0, 4, 8}, 2.0, 10.0, 1, InterferenceProfile::kA3c},
+      {"Diamond", {0, 14, 16}, {0, 8, 16}, 8.0, 12.0, 1, InterferenceProfile::kDiamond},
+      {"OpenFOAM", {0, 8, 8}, {0, 6, 8}, 21.0, 1.0, 1, InterferenceProfile::kOpenFoam},
+  };
+  return kTable;
+}
+
+int WorkloadRegistry::NumWorkloads() { return static_cast<int>(Table7().size()); }
+
+const WorkloadSpec& WorkloadRegistry::Get(WorkloadId id) {
+  assert(id >= 0 && id < NumWorkloads());
+  return Table7()[static_cast<std::size_t>(id)];
+}
+
+WorkloadId WorkloadRegistry::IdOf(const std::string& name) {
+  const auto& table = Table7();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i].name == name) {
+      return static_cast<WorkloadId>(i);
+    }
+  }
+  return kInvalidWorkloadId;
+}
+
+std::vector<WorkloadId> WorkloadRegistry::GpuWorkloads() {
+  std::vector<WorkloadId> ids;
+  for (int i = 0; i < NumWorkloads(); ++i) {
+    if (Get(i).IsGpuWorkload()) {
+      ids.push_back(i);
+    }
+  }
+  return ids;
+}
+
+std::vector<WorkloadId> WorkloadRegistry::CpuWorkloads() {
+  std::vector<WorkloadId> ids;
+  for (int i = 0; i < NumWorkloads(); ++i) {
+    if (!Get(i).IsGpuWorkload()) {
+      ids.push_back(i);
+    }
+  }
+  return ids;
+}
+
+}  // namespace eva

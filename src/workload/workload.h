@@ -1,0 +1,79 @@
+// The Table 7 workload registry.
+//
+// The paper evaluates 10 batch workloads spanning ML training, bioinformatics
+// and CFD. Each workload carries per-task resource demands (with lower CPU
+// demands on the higher-frequency C7i/R7i families), checkpoint/launch
+// migration delays, a default task count (the two ResNet18 entries are
+// multi-task data-parallel jobs), and an interference profile indexing into
+// the Figure 1 matrix.
+
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cloud/instance_type.h"
+#include "src/common/resources.h"
+#include "src/common/units.h"
+
+namespace eva {
+
+// Index into WorkloadRegistry::Table7().
+using WorkloadId = int;
+
+inline constexpr WorkloadId kInvalidWorkloadId = -1;
+
+// Interference profiles measured in Figure 1 (8 distinct applications).
+enum class InterferenceProfile : int {
+  kResNet18 = 0,
+  kGraphSage = 1,
+  kCycleGan = 2,
+  kGpt2 = 3,
+  kGcn = 4,
+  kOpenFoam = 5,
+  kDiamond = 6,
+  kA3c = 7,
+};
+
+inline constexpr int kNumInterferenceProfiles = 8;
+
+struct WorkloadSpec {
+  std::string name;
+  ResourceVector demand_p3;    // Per-task demand on P3 (GPU) instances.
+  ResourceVector demand_cpu;   // Per-task demand on C7i/R7i instances.
+  SimTime checkpoint_delay_s;  // Table 7 "Mig. Delay / Checkpoint".
+  SimTime launch_delay_s;      // Table 7 "Mig. Delay / Launch".
+  int default_num_tasks;       // 1 except the two ResNet18 entries.
+  InterferenceProfile profile; // Row/column of Figure 1 this workload uses.
+
+  // Demand on a given instance family (GPU workloads demand the same vector
+  // everywhere; CPU workloads need fewer C7i/R7i cores).
+  const ResourceVector& DemandFor(InstanceFamily family) const {
+    return family == InstanceFamily::kP3 ? demand_p3 : demand_cpu;
+  }
+
+  bool IsGpuWorkload() const { return demand_p3.gpus() > 0.0; }
+};
+
+class WorkloadRegistry {
+ public:
+  // The 10 workloads of Table 7, in paper order:
+  //   0 ResNet18-2task, 1 ResNet18-4task, 2 ViT, 3 CycleGAN, 4 GPT2,
+  //   5 GraphSAGE, 6 GCN, 7 A3C, 8 Diamond, 9 OpenFOAM.
+  static const std::vector<WorkloadSpec>& Table7();
+
+  static int NumWorkloads();
+  static const WorkloadSpec& Get(WorkloadId id);
+
+  // Id by name, or kInvalidWorkloadId.
+  static WorkloadId IdOf(const std::string& name);
+
+  // Ids of all GPU (resp. CPU-only) workloads, for composition sweeps.
+  static std::vector<WorkloadId> GpuWorkloads();
+  static std::vector<WorkloadId> CpuWorkloads();
+};
+
+}  // namespace eva
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/baselines/no_packing.h"
+#include "src/baselines/owl.h"
+#include "src/baselines/stratus.h"
+#include "src/baselines/synergy.h"
+
+namespace eva {
+namespace {
+
+class BaselineFixture : public testing::Test {
+ protected:
+  BaselineFixture() : catalog_(InstanceCatalog::AwsDefault()) {
+    context_.catalog = &catalog_;
+  }
+
+  TaskId AddTask(WorkloadId workload, InstanceId on = kInvalidInstanceId,
+                 SimTime remaining_s = HoursToSeconds(1.0)) {
+    TaskInfo task;
+    task.id = next_task_id_++;
+    task.job = task.id;
+    task.workload = workload;
+    const WorkloadSpec& spec = WorkloadRegistry::Get(workload);
+    task.demand_p3 = spec.demand_p3;
+    task.demand_cpu = spec.demand_cpu;
+    task.current_instance = on;
+    task.remaining_work_s = remaining_s;
+    context_.tasks.push_back(task);
+    return task.id;
+  }
+
+  void AddInstance(InstanceId id, const char* type, std::vector<TaskId> tasks) {
+    InstanceInfo instance;
+    instance.id = id;
+    instance.type_index = catalog_.IndexOf(type);
+    instance.tasks = std::move(tasks);
+    context_.instances.push_back(instance);
+  }
+
+  InstanceCatalog catalog_;
+  SchedulingContext context_;
+  TaskId next_task_id_ = 0;
+};
+
+// ---------- No-Packing ----------
+
+using NoPackingTest = BaselineFixture;
+
+TEST_F(NoPackingTest, OneCheapestInstancePerTask) {
+  AddTask(WorkloadRegistry::IdOf("CycleGAN"));
+  AddTask(WorkloadRegistry::IdOf("GCN"));
+  context_.Finalize();
+  NoPackingScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 2u);
+  for (const ConfigInstance& instance : config.instances) {
+    EXPECT_EQ(instance.tasks.size(), 1u);
+  }
+  EXPECT_EQ(catalog_.Get(config.instances[0].type_index).name, "p3.2xlarge");
+  EXPECT_EQ(catalog_.Get(config.instances[1].type_index).name, "r7i.4xlarge");
+}
+
+TEST_F(NoPackingTest, KeepsExistingPlacements) {
+  const TaskId placed = AddTask(WorkloadRegistry::IdOf("CycleGAN"), 100);
+  AddInstance(100, "p3.2xlarge", {placed});
+  AddTask(WorkloadRegistry::IdOf("A3C"));
+  context_.Finalize();
+  NoPackingScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 2u);
+  EXPECT_EQ(config.instances[0].reuse_instance, 100);
+}
+
+TEST_F(NoPackingTest, DropsEmptyInstances) {
+  AddInstance(100, "p3.2xlarge", {});
+  context_.Finalize();
+  NoPackingScheduler scheduler;
+  EXPECT_TRUE(scheduler.Schedule(context_).instances.empty());
+}
+
+// ---------- Stratus ----------
+
+using StratusTest = BaselineFixture;
+
+TEST_F(StratusTest, PacksSameBinTasksTogether) {
+  // Two CycleGAN tasks with ~1h remaining: same runtime bin, and a
+  // p3.2xlarge only fits one -> the second opens its own instance; two GCN
+  // tasks fit one r7i.2xlarge? GCN needs (0,6,40): r7i.2xlarge (8,64) fits
+  // only one (12 CPUs needed for two). Use A3C (0,4,8 on C7i): two fit a
+  // c7i.xlarge? c7i.xlarge is (4,8): one. Use CPU tasks on one big box via
+  // fresh-instance pull-in: first A3C opens c7i.xlarge (cheapest fitting),
+  // no room for second. So instead verify bin separation below and packing
+  // via existing capacity here.
+  const WorkloadId a3c = WorkloadRegistry::IdOf("A3C");
+  const TaskId placed = AddTask(a3c, 100, HoursToSeconds(1.0));
+  AddInstance(100, "c7i.8xlarge", {placed});  // 32 CPUs, lots of room.
+  AddTask(a3c, kInvalidInstanceId, HoursToSeconds(1.1));  // Same bin.
+  context_.Finalize();
+  StratusScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(config.instances[0].tasks.size(), 2u);
+}
+
+TEST_F(StratusTest, DoesNotMixRuntimeBins) {
+  const WorkloadId a3c = WorkloadRegistry::IdOf("A3C");
+  const TaskId placed = AddTask(a3c, 100, HoursToSeconds(8.0));  // Long job.
+  AddInstance(100, "c7i.8xlarge", {placed});
+  AddTask(a3c, kInvalidInstanceId, HoursToSeconds(0.6));  // Short job.
+  context_.Finalize();
+  StratusScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  // The short task must NOT join the long task's instance.
+  ASSERT_EQ(config.instances.size(), 2u);
+  EXPECT_EQ(config.instances[0].tasks.size(), 1u);
+  EXPECT_EQ(config.instances[1].tasks.size(), 1u);
+}
+
+TEST_F(StratusTest, NeverMigratesExistingTasks) {
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const TaskId a = AddTask(vit, 100);
+  const TaskId b = AddTask(vit, 101);
+  AddInstance(100, "p3.8xlarge", {a});
+  AddInstance(101, "p3.8xlarge", {b});
+  context_.Finalize();
+  StratusScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 2u);
+  std::set<InstanceId> reused;
+  for (const ConfigInstance& instance : config.instances) {
+    reused.insert(instance.reuse_instance);
+    EXPECT_EQ(instance.tasks.size(), 1u);
+  }
+  EXPECT_EQ(reused, std::set<InstanceId>({100, 101}));
+}
+
+TEST_F(StratusTest, FreshInstancePullsInWaitingSameBinTasks) {
+  // ViT (2 GPUs) opens a p3.8xlarge (4 GPUs); a second same-bin ViT fits
+  // the leftover capacity and is pulled in.
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  AddTask(vit, kInvalidInstanceId, HoursToSeconds(1.0));
+  AddTask(vit, kInvalidInstanceId, HoursToSeconds(1.2));
+  context_.Finalize();
+  StratusScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(config.instances[0].tasks.size(), 2u);
+}
+
+// ---------- Synergy ----------
+
+using SynergyTest = BaselineFixture;
+
+TEST_F(SynergyTest, BestFitPrefersTightestInstance) {
+  // Two p3.8xlarge fragments around GraphSAGE anchors (RP $12.24 keeps them
+  // cost-efficient); the tighter one (GraphSAGE + ResNet18) wins best-fit
+  // for the incoming ResNet18 task.
+  const TaskId g1 = AddTask(WorkloadRegistry::IdOf("GraphSAGE"), 100);
+  const TaskId g2 = AddTask(WorkloadRegistry::IdOf("GraphSAGE"), 101);
+  const TaskId r1 = AddTask(WorkloadRegistry::IdOf("ResNet18-2task"), 101);
+  AddInstance(100, "p3.8xlarge", {g1});        // Loose leftover.
+  AddInstance(101, "p3.8xlarge", {g2, r1});    // Tight leftover.
+  AddTask(WorkloadRegistry::IdOf("ResNet18-2task"));
+  context_.Finalize();
+  SynergyScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 2u);
+  const ConfigInstance& tight = config.instances[1];
+  EXPECT_EQ(tight.reuse_instance, 101);
+  EXPECT_EQ(tight.tasks.size(), 3u);
+}
+
+TEST_F(SynergyTest, CostEfficiencyGuardBlocksDegradingJoins) {
+  // A cost-covered anchor (lone ViT on its RP instance, TNRP = cost) may
+  // not accept a joiner that drags the set below coverage: with the
+  // learned pair throughput at 0.4, two ViTs are worth 2*0.4*$12.24 = $9.8
+  // on the $12.24 box.
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const TaskId anchor = AddTask(vit, 100);
+  AddInstance(100, "p3.8xlarge", {anchor});
+  AddTask(vit);
+  context_.Finalize();
+  SynergyScheduler scheduler;
+  JobThroughputObservation observation;
+  observation.job = 999;
+  observation.normalized_throughput = 0.4;
+  TaskPlacementObservation placement;
+  placement.task = 0;
+  placement.workload = vit;
+  placement.colocated = {vit};
+  observation.tasks.push_back(placement);
+  scheduler.ObserveThroughput({observation});
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 2u);
+}
+
+TEST_F(SynergyTest, StrandedInstanceAcceptsImprovingJoins) {
+  // A GPT2 stranded alone on a p3.16xlarge (TNRP $12.24 < $24.48) cannot
+  // be migrated by Synergy, but a joiner that raises the set's value is
+  // welcome — the box is being paid for either way.
+  const TaskId anchor = AddTask(WorkloadRegistry::IdOf("GPT2"), 100);
+  AddInstance(100, "p3.16xlarge", {anchor});
+  AddTask(WorkloadRegistry::IdOf("CycleGAN"));
+  context_.Finalize();
+  SynergyScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(config.instances[0].tasks.size(), 2u);
+}
+
+TEST_F(SynergyTest, LaunchesCheapestWhenNothingFits) {
+  AddTask(WorkloadRegistry::IdOf("GPT2"));
+  context_.Finalize();
+  SynergyScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(catalog_.Get(config.instances[0].type_index).name, "p3.8xlarge");
+}
+
+TEST_F(SynergyTest, InterferenceGuardBlocksDestructiveColocation) {
+  // The learned table (via observations) says co-locating destroys most of
+  // the newcomer's value: Synergy must open a new instance instead.
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const TaskId placed = AddTask(vit, 100);
+  AddInstance(100, "p3.16xlarge", {placed});
+  AddTask(vit);
+  context_.Finalize();
+  SynergyScheduler scheduler;
+  // Feed observations that ViT next to ViT collapses to 0.2.
+  JobThroughputObservation observation;
+  observation.job = 999;
+  observation.normalized_throughput = 0.2;
+  TaskPlacementObservation p;
+  p.task = 0;
+  p.workload = vit;
+  p.colocated = {vit};
+  observation.tasks.push_back(p);
+  scheduler.ObserveThroughput({observation});
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 2u);
+}
+
+// ---------- Owl ----------
+
+class OwlTest : public BaselineFixture {
+ protected:
+  OwlTest() : model_(InterferenceModel::Measured()), oracle_(&model_) {}
+
+  InterferenceModel model_;
+  OracleThroughput oracle_;
+};
+
+TEST_F(OwlTest, PairsCompatibleTasks) {
+  // Two ViTs: profile says ResNet18-profile x ResNet18-profile = 0.93,
+  // above the 0.85 threshold, and TNRP(pair)/cost(p3.8xlarge) =
+  // 2*0.93*12.24 / 12.24 = 1.86 >= 1.
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  AddTask(vit);
+  AddTask(vit);
+  context_.Finalize();
+  OwlScheduler scheduler(&oracle_);
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(config.instances[0].tasks.size(), 2u);
+}
+
+TEST_F(OwlTest, RefusesHighInterferencePairs) {
+  // GCN + A3C: GCN's throughput under A3C is 0.65 < 0.85 threshold.
+  AddTask(WorkloadRegistry::IdOf("GCN"));
+  AddTask(WorkloadRegistry::IdOf("A3C"));
+  context_.Finalize();
+  OwlScheduler scheduler(&oracle_);
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 2u);
+  for (const ConfigInstance& instance : config.instances) {
+    EXPECT_EQ(instance.tasks.size(), 1u);
+  }
+}
+
+TEST_F(OwlTest, RefusesCostInefficientPairs) {
+  // CycleGAN + Diamond: the pair needs a GPU box with 22 C7i... on P3:
+  // (1,4,10)+(0,14,16) = (1,18,26) -> no p3.2xlarge (8 cpu); p3.8xlarge
+  // costs 12.24 while the pair's TNRP is ~3.4 -> ratio < 1.
+  AddTask(WorkloadRegistry::IdOf("CycleGAN"));
+  AddTask(WorkloadRegistry::IdOf("Diamond"));
+  context_.Finalize();
+  OwlScheduler scheduler(&oracle_);
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 2u);
+}
+
+TEST_F(OwlTest, ConsolidatesRunningSingletons) {
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const TaskId a = AddTask(vit, 100);
+  const TaskId b = AddTask(vit, 101);
+  AddInstance(100, "p3.8xlarge", {a});
+  AddInstance(101, "p3.8xlarge", {b});
+  context_.Finalize();
+  OwlScheduler scheduler(&oracle_);
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(config.instances[0].tasks.size(), 2u);
+}
+
+TEST_F(OwlTest, NeverFormsTriples) {
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  AddTask(vit);
+  AddTask(vit);
+  AddTask(vit);
+  context_.Finalize();
+  OwlScheduler scheduler(&oracle_);
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 2u);
+  for (const ConfigInstance& instance : config.instances) {
+    EXPECT_LE(instance.tasks.size(), 2u);
+  }
+}
+
+TEST_F(OwlTest, KeepsEstablishedPairsIntact) {
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const TaskId a = AddTask(vit, 100);
+  const TaskId b = AddTask(vit, 100);
+  AddInstance(100, "p3.8xlarge", {a, b});
+  context_.Finalize();
+  OwlScheduler scheduler(&oracle_);
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(config.instances[0].reuse_instance, 100);
+}
+
+TEST_F(OwlTest, UnpairedSingletonKeepsItsInstance) {
+  const WorkloadId gcn = WorkloadRegistry::IdOf("GCN");
+  const TaskId a = AddTask(gcn, 100);
+  AddInstance(100, "r7i.4xlarge", {a});
+  context_.Finalize();
+  OwlScheduler scheduler(&oracle_);
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(config.instances[0].reuse_instance, 100);
+}
+
+}  // namespace
+}  // namespace eva

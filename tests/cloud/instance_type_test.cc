@@ -1,0 +1,137 @@
+#include "src/cloud/instance_type.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+TEST(InstanceCatalogTest, AwsDefaultHas21Types) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  EXPECT_EQ(catalog.NumTypes(), 21);
+  int p3 = 0;
+  int c7i = 0;
+  int r7i = 0;
+  for (const InstanceType& type : catalog.types()) {
+    switch (type.family) {
+      case InstanceFamily::kP3:
+        ++p3;
+        break;
+      case InstanceFamily::kC7i:
+        ++c7i;
+        break;
+      case InstanceFamily::kR7i:
+        ++r7i;
+        break;
+    }
+  }
+  EXPECT_EQ(p3, 3);
+  EXPECT_EQ(c7i, 9);
+  EXPECT_EQ(r7i, 9);
+}
+
+TEST(InstanceCatalogTest, OnlyP3HasGpus) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  for (const InstanceType& type : catalog.types()) {
+    if (type.family == InstanceFamily::kP3) {
+      EXPECT_GT(type.capacity.gpus(), 0.0) << type.name;
+    } else {
+      EXPECT_DOUBLE_EQ(type.capacity.gpus(), 0.0) << type.name;
+    }
+  }
+}
+
+TEST(InstanceCatalogTest, PricesScaleWithSize) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  // Within a family, bigger capacity must cost more.
+  for (const InstanceType& a : catalog.types()) {
+    for (const InstanceType& b : catalog.types()) {
+      if (a.family == b.family && a.capacity.cpus() < b.capacity.cpus()) {
+        EXPECT_LT(a.cost_per_hour, b.cost_per_hour) << a.name << " vs " << b.name;
+      }
+    }
+  }
+}
+
+TEST(InstanceCatalogTest, IndexOf) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const int index = catalog.IndexOf("p3.8xlarge");
+  ASSERT_GE(index, 0);
+  EXPECT_DOUBLE_EQ(catalog.Get(index).capacity.gpus(), 4.0);
+  EXPECT_EQ(catalog.IndexOf("m5.large"), -1);
+}
+
+TEST(InstanceCatalogTest, IndicesByDescendingCost) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const std::vector<int>& order = catalog.IndicesByDescendingCost();
+  ASSERT_EQ(order.size(), 21u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(catalog.Get(order[i - 1]).cost_per_hour, catalog.Get(order[i]).cost_per_hour);
+  }
+  // p3.16xlarge is the most expensive type in the catalog.
+  EXPECT_EQ(catalog.Get(order[0]).name, "p3.16xlarge");
+}
+
+TEST(InstanceCatalogTest, CheapestFittingSimpleCpuTask) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  // 1 core, 4 GB: c7i.large at $0.0893 is the cheapest host.
+  const auto index = catalog.CheapestFitting(ResourceVector(0, 1, 4));
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(catalog.Get(*index).name, "c7i.large");
+}
+
+TEST(InstanceCatalogTest, CheapestFittingPrefersMemoryOptimizedForRamHeavy) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  // GCN on C7i/R7i: 6 cores + 40 GB RAM. c7i would need an 8xlarge
+  // ($1.428); r7i.4xlarge (8 cores, 128 GB) costs $1.0584.
+  const auto index = catalog.CheapestFitting(ResourceVector(0, 6, 40));
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(catalog.Get(*index).name, "r7i.4xlarge");
+}
+
+TEST(InstanceCatalogTest, CheapestFittingGpuTask) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const auto index = catalog.CheapestFitting(ResourceVector(1, 4, 24));
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(catalog.Get(*index).name, "p3.2xlarge");
+}
+
+TEST(InstanceCatalogTest, CheapestFittingUsesPerFamilyDemands) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  // A3C: 10 CPUs on P3 but only 4 on C7i/R7i. With family-aware demand the
+  // c7i.2xlarge (4 cores, 16 GB, $0.357) fits.
+  const auto index = catalog.CheapestFitting([](InstanceFamily family) {
+    return family == InstanceFamily::kP3 ? ResourceVector(0, 10, 8) : ResourceVector(0, 4, 8);
+  });
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(catalog.Get(*index).name, "c7i.2xlarge");
+}
+
+TEST(InstanceCatalogTest, NothingFitsReturnsNullopt) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  EXPECT_FALSE(catalog.CheapestFitting(ResourceVector(16, 4, 4)).has_value());
+  EXPECT_FALSE(catalog.ReservationPrice([](InstanceFamily) {
+    return ResourceVector(0, 1000, 1);
+  }).has_value());
+}
+
+TEST(InstanceCatalogTest, ReservationPricePaperExample) {
+  // Table 3: RP(tau1..tau4) = 12, 3, 0.8, 0.4.
+  const InstanceCatalog catalog = InstanceCatalog::PaperExample();
+  const ResourceVector demands[] = {{2, 8, 24}, {1, 4, 10}, {0, 6, 20}, {0, 4, 12}};
+  const double expected[] = {12.0, 3.0, 0.8, 0.4};
+  for (int i = 0; i < 4; ++i) {
+    const auto rp = catalog.ReservationPrice(
+        [&demands, i](InstanceFamily) { return demands[i]; });
+    ASSERT_TRUE(rp.has_value()) << i;
+    EXPECT_DOUBLE_EQ(*rp, expected[i]) << i;
+  }
+}
+
+TEST(InstanceFamilyTest, Names) {
+  EXPECT_STREQ(InstanceFamilyName(InstanceFamily::kP3), "P3");
+  EXPECT_STREQ(InstanceFamilyName(InstanceFamily::kC7i), "C7i");
+  EXPECT_STREQ(InstanceFamilyName(InstanceFamily::kR7i), "R7i");
+}
+
+}  // namespace
+}  // namespace eva

@@ -1,0 +1,109 @@
+#include "src/common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+TEST(ParseCsvLineTest, SimpleFields) {
+  const auto fields = ParseCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  const auto fields = ParseCsvLine("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithComma) {
+  const auto fields = ParseCsvLine(R"(a,"b,c",d)");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+}
+
+TEST(ParseCsvLineTest, EscapedQuote) {
+  const auto fields = ParseCsvLine(R"("say ""hi""")");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLineTest, ToleratesCarriageReturn) {
+  const auto fields = ParseCsvLine("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(EscapeCsvFieldTest, PlainPassthrough) { EXPECT_EQ(EscapeCsvField("abc"), "abc"); }
+
+TEST(EscapeCsvFieldTest, QuotesWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(JoinCsvLineTest, RoundTripsThroughParse) {
+  const std::vector<std::string> fields = {"plain", "with,comma", "with\"quote", ""};
+  EXPECT_EQ(ParseCsvLine(JoinCsvLine(fields)), fields);
+}
+
+TEST(CsvTableTest, ParseWithHeader) {
+  const auto table = CsvTable::Parse("id,name\n1,alpha\n2,beta\n");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->NumRows(), 2u);
+  EXPECT_EQ(table->Field(0, "name"), "alpha");
+  EXPECT_EQ(table->Field(1, "id"), "2");
+}
+
+TEST(CsvTableTest, RejectsRaggedRows) {
+  EXPECT_FALSE(CsvTable::Parse("a,b\n1\n").has_value());
+}
+
+TEST(CsvTableTest, RejectsEmptyInput) { EXPECT_FALSE(CsvTable::Parse("").has_value()); }
+
+TEST(CsvTableTest, SkipsBlankLines) {
+  const auto table = CsvTable::Parse("a,b\n\n1,2\n");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->NumRows(), 1u);
+}
+
+TEST(CsvTableTest, ColumnIndexMissing) {
+  const auto table = CsvTable::Parse("a,b\n1,2\n");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->ColumnIndex("a"), 0);
+  EXPECT_EQ(table->ColumnIndex("zzz"), -1);
+  EXPECT_EQ(table->Field(0, "zzz"), "");
+}
+
+TEST(CsvTableTest, FieldOutOfRangeRowIsEmpty) {
+  const auto table = CsvTable::Parse("a\n1\n");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->Field(5, "a"), "");
+}
+
+TEST(CsvTableTest, ToStringRoundTrip) {
+  CsvTable table({"x", "y"});
+  table.AddRow({"1", "hello,world"});
+  const auto reparsed = CsvTable::Parse(table.ToString());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->Field(0, "y"), "hello,world");
+}
+
+TEST(CsvTableTest, SaveAndLoad) {
+  CsvTable table({"k", "v"});
+  table.AddRow({"a", "1"});
+  const std::string path = testing::TempDir() + "/eva_csv_test.csv";
+  ASSERT_TRUE(table.Save(path));
+  const auto loaded = CsvTable::Load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->Field(0, "k"), "a");
+}
+
+TEST(CsvTableTest, LoadMissingFileFails) {
+  EXPECT_FALSE(CsvTable::Load("/nonexistent/nope.csv").has_value());
+}
+
+}  // namespace
+}  // namespace eva

@@ -1,0 +1,98 @@
+#include "src/common/resources.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+TEST(ResourceVectorTest, DefaultIsZero) {
+  ResourceVector v;
+  EXPECT_TRUE(v.IsZero());
+  EXPECT_TRUE(v.IsNonNegative());
+  EXPECT_DOUBLE_EQ(v.gpus(), 0.0);
+  EXPECT_DOUBLE_EQ(v.cpus(), 0.0);
+  EXPECT_DOUBLE_EQ(v.ram_gb(), 0.0);
+}
+
+TEST(ResourceVectorTest, ComponentAccessors) {
+  ResourceVector v(1, 4, 24);
+  EXPECT_DOUBLE_EQ(v.gpus(), 1.0);
+  EXPECT_DOUBLE_EQ(v.cpus(), 4.0);
+  EXPECT_DOUBLE_EQ(v.ram_gb(), 24.0);
+  EXPECT_DOUBLE_EQ(v.Get(Resource::kGpu), 1.0);
+  EXPECT_DOUBLE_EQ(v.Get(Resource::kCpu), 4.0);
+  EXPECT_DOUBLE_EQ(v.Get(Resource::kRamGb), 24.0);
+}
+
+TEST(ResourceVectorTest, SetMutates) {
+  ResourceVector v;
+  v.Set(Resource::kCpu, 8.0);
+  EXPECT_DOUBLE_EQ(v.cpus(), 8.0);
+  EXPECT_FALSE(v.IsZero());
+}
+
+TEST(ResourceVectorTest, FitsWithinExact) {
+  ResourceVector demand(1, 8, 61);
+  EXPECT_TRUE(demand.FitsWithin(demand));
+}
+
+TEST(ResourceVectorTest, FitsWithinSmaller) {
+  ResourceVector demand(0, 4, 10);
+  ResourceVector capacity(1, 8, 61);
+  EXPECT_TRUE(demand.FitsWithin(capacity));
+  EXPECT_FALSE(capacity.FitsWithin(demand));
+}
+
+TEST(ResourceVectorTest, FitsWithinFailsPerDimension) {
+  ResourceVector capacity(1, 8, 61);
+  EXPECT_FALSE(ResourceVector(2, 1, 1).FitsWithin(capacity));
+  EXPECT_FALSE(ResourceVector(0, 9, 1).FitsWithin(capacity));
+  EXPECT_FALSE(ResourceVector(0, 1, 62).FitsWithin(capacity));
+}
+
+TEST(ResourceVectorTest, FitsWithinToleratesFloatNoise) {
+  ResourceVector capacity(1, 8, 61);
+  ResourceVector demand(1, 8, 61);
+  // Simulate accumulate/subtract noise.
+  demand += ResourceVector(0, 1e-12, 0);
+  EXPECT_TRUE(demand.FitsWithin(capacity));
+}
+
+TEST(ResourceVectorTest, AdditionAndSubtraction) {
+  ResourceVector a(1, 4, 24);
+  ResourceVector b(0, 4, 10);
+  ResourceVector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.gpus(), 1.0);
+  EXPECT_DOUBLE_EQ(sum.cpus(), 8.0);
+  EXPECT_DOUBLE_EQ(sum.ram_gb(), 34.0);
+  ResourceVector diff = sum - b;
+  EXPECT_EQ(diff, a);
+}
+
+TEST(ResourceVectorTest, SubtractionCanGoNegative) {
+  ResourceVector a(0, 2, 4);
+  ResourceVector b(1, 4, 8);
+  ResourceVector diff = a - b;
+  EXPECT_FALSE(diff.IsNonNegative());
+}
+
+TEST(ResourceVectorTest, Scaled) {
+  ResourceVector v(1, 4, 24);
+  ResourceVector half = v.Scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.gpus(), 0.5);
+  EXPECT_DOUBLE_EQ(half.cpus(), 2.0);
+  EXPECT_DOUBLE_EQ(half.ram_gb(), 12.0);
+}
+
+TEST(ResourceVectorTest, ToStringMatchesNotation) {
+  EXPECT_EQ(ResourceVector(1, 4, 24).ToString(), "[g=1.00, c=4.00, m=24.00]");
+}
+
+TEST(ResourceVectorTest, ResourceNames) {
+  EXPECT_STREQ(ResourceName(Resource::kGpu), "GPU");
+  EXPECT_STREQ(ResourceName(Resource::kCpu), "CPU");
+  EXPECT_STREQ(ResourceName(Resource::kRamGb), "RAM");
+}
+
+}  // namespace
+}  // namespace eva

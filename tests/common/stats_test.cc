@@ -1,0 +1,103 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(4.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) { EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0); }
+
+TEST(QuantileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStats) {
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> xs = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 9.0);
+}
+
+TEST(QuantileTest, ClampsOutOfRangeQ) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.5), 2.0);
+}
+
+TEST(MeanMedianTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(TimeWeightedAverageTest, WeightsByDuration) {
+  TimeWeightedAverage avg;
+  avg.Add(1.0, 3.0);
+  avg.Add(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(avg.Average(), 2.0);
+  EXPECT_DOUBLE_EQ(avg.total_duration(), 4.0);
+}
+
+TEST(TimeWeightedAverageTest, IgnoresNonPositiveDurations) {
+  TimeWeightedAverage avg;
+  avg.Add(100.0, 0.0);
+  avg.Add(100.0, -1.0);
+  EXPECT_DOUBLE_EQ(avg.Average(), 0.0);
+  avg.Add(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(avg.Average(), 2.0);
+}
+
+TEST(EmpiricalCdfTest, SortedWithCumulativeProbabilities) {
+  const auto cdf = EmpiricalCdf({3.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[3].first, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[3].second, 1.0);
+}
+
+TEST(EmpiricalCdfTest, EmptyInput) { EXPECT_TRUE(EmpiricalCdf({}).empty()); }
+
+TEST(MeanPlusMinusTest, Formats) {
+  RunningStats stats;
+  stats.Add(1.0);
+  stats.Add(3.0);
+  EXPECT_EQ(MeanPlusMinus(stats, 1), "2.0 ± 1.4");
+}
+
+}  // namespace
+}  // namespace eva

@@ -1,0 +1,182 @@
+#include "src/core/eva_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace eva {
+namespace {
+
+class EvaSchedulerTest : public testing::Test {
+ protected:
+  EvaSchedulerTest() : catalog_(InstanceCatalog::AwsDefault()) {
+    context_.catalog = &catalog_;
+  }
+
+  TaskId AddTask(WorkloadId workload, JobId job, InstanceId on = kInvalidInstanceId) {
+    TaskInfo task;
+    task.id = next_task_id_++;
+    task.job = job;
+    task.workload = workload;
+    const WorkloadSpec& spec = WorkloadRegistry::Get(workload);
+    task.demand_p3 = spec.demand_p3;
+    task.demand_cpu = spec.demand_cpu;
+    task.current_instance = on;
+    context_.tasks.push_back(task);
+    return task.id;
+  }
+
+  InstanceCatalog catalog_;
+  SchedulingContext context_;
+  TaskId next_task_id_ = 0;
+};
+
+TEST_F(EvaSchedulerTest, EmptyContextYieldsEmptyConfig) {
+  context_.Finalize();
+  EvaScheduler scheduler;
+  EXPECT_TRUE(scheduler.Schedule(context_).instances.empty());
+  EXPECT_EQ(scheduler.stats().rounds, 1);
+}
+
+TEST_F(EvaSchedulerTest, CoversAllTasks) {
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  AddTask(vit, 1);
+  AddTask(vit, 2);
+  AddTask(WorkloadRegistry::IdOf("GCN"), 3);
+  context_.Finalize();
+  EvaScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  EXPECT_FALSE(config.Validate(context_).has_value());
+  std::set<TaskId> seen;
+  for (const ConfigInstance& instance : config.instances) {
+    seen.insert(instance.tasks.begin(), instance.tasks.end());
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST_F(EvaSchedulerTest, PacksCompatibleGpuJobs) {
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  AddTask(vit, 1);
+  AddTask(vit, 2);
+  context_.Finalize();
+  EvaScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(catalog_.Get(config.instances[0].type_index).name, "p3.8xlarge");
+}
+
+TEST_F(EvaSchedulerTest, EventCountingTracksArrivalsAndCompletions) {
+  EvaScheduler scheduler;
+  context_.Finalize();
+  context_.now_s = 0;
+  scheduler.Schedule(context_);
+  AddTask(WorkloadRegistry::IdOf("GCN"), 1);
+  AddTask(WorkloadRegistry::IdOf("A3C"), 2);
+  context_.Finalize();
+  context_.now_s = 300;
+  scheduler.Schedule(context_);
+  EXPECT_EQ(scheduler.stats().events_seen, 2);  // Two arrivals.
+  context_.tasks.clear();
+  context_.Finalize();
+  context_.now_s = 600;
+  scheduler.Schedule(context_);
+  EXPECT_EQ(scheduler.stats().events_seen, 4);  // Plus two completions.
+}
+
+TEST_F(EvaSchedulerTest, ObservationsFeedTheTable) {
+  EvaScheduler scheduler;
+  JobThroughputObservation observation;
+  observation.job = 1;
+  observation.normalized_throughput = 0.77;
+  TaskPlacementObservation placement;
+  placement.task = 0;
+  placement.workload = 2;
+  placement.colocated = {5};
+  observation.tasks.push_back(placement);
+  scheduler.ObserveThroughput({observation});
+  const auto entry = scheduler.throughput_table().Lookup(2, {5});
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(*entry, 0.77);
+}
+
+TEST_F(EvaSchedulerTest, QuiescentClusterKeepsConfiguration) {
+  // A packed, cost-efficient cluster with no events: Eva must not migrate.
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const TaskId a = AddTask(vit, 1, 100);
+  const TaskId b = AddTask(vit, 2, 100);
+  InstanceInfo instance;
+  instance.id = 100;
+  instance.type_index = catalog_.IndexOf("p3.8xlarge");
+  instance.tasks = {a, b};
+  context_.instances.push_back(instance);
+  context_.Finalize();
+  EvaScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(config.instances[0].reuse_instance, 100);
+}
+
+TEST_F(EvaSchedulerTest, FullOnlyPolicyAlwaysAdoptsFull) {
+  EvaOptions options;
+  options.policy = EvaOptions::Policy::kFullOnly;
+  EvaScheduler scheduler(options);
+  AddTask(WorkloadRegistry::IdOf("GCN"), 1);
+  context_.Finalize();
+  scheduler.Schedule(context_);
+  EXPECT_EQ(scheduler.stats().full_adopted, 1);
+}
+
+TEST_F(EvaSchedulerTest, PartialOnlyPolicyNeverAdoptsFull) {
+  EvaOptions options;
+  options.policy = EvaOptions::Policy::kPartialOnly;
+  EvaScheduler scheduler(options);
+  AddTask(WorkloadRegistry::IdOf("GCN"), 1);
+  context_.Finalize();
+  scheduler.Schedule(context_);
+  EXPECT_EQ(scheduler.stats().full_adopted, 0);
+}
+
+TEST_F(EvaSchedulerTest, NamesReflectConfiguration) {
+  EXPECT_EQ(EvaScheduler().name(), "Eva");
+  EvaOptions rp;
+  rp.tnrp.interference_aware = false;
+  EXPECT_EQ(EvaScheduler(rp).name(), "Eva-RP");
+  EvaOptions single;
+  single.tnrp.multi_task_aware = false;
+  EXPECT_EQ(EvaScheduler(single).name(), "Eva-Single");
+  EvaOptions full;
+  full.policy = EvaOptions::Policy::kFullOnly;
+  EXPECT_EQ(EvaScheduler(full).name(), "Eva (Full only)");
+  EvaOptions partial;
+  partial.policy = EvaOptions::Policy::kPartialOnly;
+  EXPECT_EQ(EvaScheduler(partial).name(), "Eva (w/o Full)");
+  EvaOptions named;
+  named.name = "Custom";
+  EXPECT_EQ(EvaScheduler(named).name(), "Custom");
+}
+
+TEST_F(EvaSchedulerTest, EnsembleConsolidatesWhenSavingsAreLarge) {
+  // Two ViTs running on separate p3.8xlarge instances (one task each is not
+  // cost-efficient use: RP 12.24 = cost, so instances are *barely*
+  // efficient); Full Reconfiguration packs them onto one and saves $12/hr,
+  // which dwarfs the migration overhead.
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const TaskId a = AddTask(vit, 1, 100);
+  const TaskId b = AddTask(vit, 2, 101);
+  for (InstanceId id : {100, 101}) {
+    InstanceInfo instance;
+    instance.id = id;
+    instance.type_index = catalog_.IndexOf("p3.8xlarge");
+    instance.tasks = {id == 100 ? a : b};
+    context_.instances.push_back(instance);
+  }
+  context_.Finalize();
+  EvaScheduler scheduler;
+  const ClusterConfig config = scheduler.Schedule(context_);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(config.instances[0].tasks.size(), 2u);
+  EXPECT_EQ(scheduler.stats().full_adopted, 1);
+}
+
+}  // namespace
+}  // namespace eva

@@ -1,0 +1,123 @@
+// Tests for the §4.2 "Generalizability to Heterogeneous Resources"
+// extension: reservation price as minimum cost-per-work, family-scaled
+// TNRP, packing decisions, and end-to-end execution speedups.
+
+#include <gtest/gtest.h>
+
+#include "src/core/eva_scheduler.h"
+#include "src/core/full_reconfig.h"
+#include "src/sched/reservation_price.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace eva {
+namespace {
+
+class HeterogeneityTest : public testing::Test {
+ protected:
+  HeterogeneityTest() : catalog_(InstanceCatalog::AwsDefault()) {
+    context_.catalog = &catalog_;
+  }
+
+  // A CPU task fitting both c7i.2xlarge ($0.357) and r7i.2xlarge ($0.5292).
+  TaskId AddCpuTask(double c7i_speedup, double r7i_speedup) {
+    TaskInfo task;
+    task.id = next_id_++;
+    task.job = task.id;
+    task.workload = WorkloadRegistry::IdOf("A3C");
+    task.demand_p3 = {0, 4, 8};
+    task.demand_cpu = {0, 4, 8};
+    task.family_speedup = {1.0, c7i_speedup, r7i_speedup};
+    context_.tasks.push_back(task);
+    return task.id;
+  }
+
+  InstanceCatalog catalog_;
+  SchedulingContext context_;
+  TaskId next_id_ = 0;
+};
+
+TEST_F(HeterogeneityTest, HomogeneousSpeedupsReduceToOriginalRp) {
+  const TaskId id = AddCpuTask(1.0, 1.0);
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {});
+  // Cheapest fitting type is c7i.2xlarge at $0.357.
+  EXPECT_DOUBLE_EQ(calculator.ReservationPrice(*context_.FindTask(id)), 0.357);
+}
+
+TEST_F(HeterogeneityTest, RpIsMinimumCostPerWork) {
+  // 3x faster on R7i: effective cost there is 0.5292/3 = 0.1764 < 0.357.
+  const TaskId id = AddCpuTask(1.0, 3.0);
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {});
+  EXPECT_NEAR(calculator.ReservationPrice(*context_.FindTask(id)), 0.5292 / 3.0, 1e-12);
+}
+
+TEST_F(HeterogeneityTest, TnrpScalesWithHostFamilySpeed) {
+  const TaskId id = AddCpuTask(1.0, 3.0);
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {});
+  const TaskInfo& task = *context_.FindTask(id);
+  const Money rp = calculator.ReservationPrice(task);
+  // Hosted on R7i the task delivers 3x its per-work value; on C7i only 1x.
+  EXPECT_NEAR(calculator.TaskTnrp(task, {}, InstanceFamily::kR7i), rp * 3.0, 1e-12);
+  EXPECT_NEAR(calculator.TaskTnrp(task, {}, InstanceFamily::kC7i), rp, 1e-12);
+}
+
+TEST_F(HeterogeneityTest, PackerPlacesTaskOnFastestPerDollarFamily) {
+  const TaskId id = AddCpuTask(1.0, 3.0);
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {});
+  const ClusterConfig config = FullReconfiguration(context_, calculator);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(catalog_.Get(config.instances[0].type_index).family, InstanceFamily::kR7i);
+}
+
+TEST_F(HeterogeneityTest, ZeroSpeedupFamilyIsNeverUsed) {
+  // Speedup 0 marks a family as unable to run the task at all.
+  const TaskId id = AddCpuTask(0.0, 1.0);
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {});
+  EXPECT_NEAR(calculator.ReservationPrice(*context_.FindTask(id)), 0.5292, 1e-12);
+}
+
+TEST(HeterogeneitySimTest, FasterFamilyShortensJct) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const InterferenceModel interference = InterferenceModel::Measured();
+
+  Trace trace;
+  trace.name = "hetero";
+  JobSpec job = JobSpec::FromWorkload(0, 0.0, WorkloadRegistry::IdOf("A3C"), 3600.0);
+  job.demand_p3 = {0, 4, 8};
+  job.demand_cpu = {0, 4, 8};
+  job.family_speedup = {1.0, 2.0, 1.0};  // 2x faster on C7i.
+  trace.jobs.push_back(job);
+
+  EvaScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog, interference, {});
+  EXPECT_EQ(metrics.jobs_completed, 1);
+  // RP favors C7i (0.357/2 per work beats everything); 3600s of work at 2x
+  // takes 1800s: JCT = 209 provisioning + 10 launch + 1800.
+  EXPECT_NEAR(metrics.jct_hours[0], (209.0 + 10.0 + 1800.0) / 3600.0, 1e-6);
+}
+
+TEST(HeterogeneitySimTest, ObservationsExcludeFamilySpeedup) {
+  // Even on a 2x family, a standalone job must observe co-location
+  // throughput 1.0 (the table records interference, not hardware speed).
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const InterferenceModel interference = InterferenceModel::Measured();
+  Trace trace;
+  trace.name = "hetero-obs";
+  JobSpec job = JobSpec::FromWorkload(0, 0.0, WorkloadRegistry::IdOf("A3C"),
+                                      HoursToSeconds(1.0));
+  job.family_speedup = {1.0, 2.0, 1.0};
+  trace.jobs.push_back(job);
+  EvaScheduler scheduler;
+  RunSimulation(trace, &scheduler, catalog, interference, {});
+  // No co-location ever happened: the learned table must stay empty.
+  EXPECT_EQ(scheduler.throughput_table().NumEntries(), 0u);
+}
+
+}  // namespace
+}  // namespace eva

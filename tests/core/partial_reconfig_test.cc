@@ -1,0 +1,144 @@
+#include "src/core/partial_reconfig.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace eva {
+namespace {
+
+class PartialReconfigTest : public testing::Test {
+ protected:
+  PartialReconfigTest() : catalog_(InstanceCatalog::AwsDefault()) {
+    context_.catalog = &catalog_;
+    p3_2x_ = catalog_.IndexOf("p3.2xlarge");
+    p3_8x_ = catalog_.IndexOf("p3.8xlarge");
+  }
+
+  TaskId AddTask(WorkloadId workload, InstanceId on = kInvalidInstanceId) {
+    TaskInfo task;
+    task.id = next_task_id_++;
+    task.job = task.id;
+    task.workload = workload;
+    const WorkloadSpec& spec = WorkloadRegistry::Get(workload);
+    task.demand_p3 = spec.demand_p3;
+    task.demand_cpu = spec.demand_cpu;
+    task.current_instance = on;
+    context_.tasks.push_back(task);
+    return task.id;
+  }
+
+  void AddInstance(InstanceId id, int type_index, std::vector<TaskId> tasks) {
+    InstanceInfo instance;
+    instance.id = id;
+    instance.type_index = type_index;
+    instance.tasks = std::move(tasks);
+    context_.instances.push_back(instance);
+  }
+
+  InstanceCatalog catalog_;
+  SchedulingContext context_;
+  TaskId next_task_id_ = 0;
+  int p3_2x_ = -1;
+  int p3_8x_ = -1;
+};
+
+TEST_F(PartialReconfigTest, KeepsCostEfficientInstancesVerbatim) {
+  // Two ViTs on one p3.8xlarge: RP sum 24.48 >= 12.24, clearly efficient.
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const TaskId a = AddTask(vit, 100);
+  const TaskId b = AddTask(vit, 100);
+  AddInstance(100, p3_8x_, {a, b});
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {.interference_aware = false});
+  const ClusterConfig config = PartialReconfiguration(context_, calculator);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(config.instances[0].reuse_instance, 100);
+  EXPECT_EQ(config.instances[0].tasks.size(), 2u);
+}
+
+TEST_F(PartialReconfigTest, PacksOnlyNewTasks) {
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const TaskId a = AddTask(vit, 100);
+  const TaskId b = AddTask(vit, 100);
+  AddInstance(100, p3_8x_, {a, b});
+  const TaskId fresh = AddTask(WorkloadRegistry::IdOf("CycleGAN"));
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {.interference_aware = false});
+  const ClusterConfig config = PartialReconfiguration(context_, calculator);
+  ASSERT_EQ(config.instances.size(), 2u);
+  // The kept instance is untouched; the new task gets a fresh instance.
+  EXPECT_EQ(config.instances[0].reuse_instance, 100);
+  EXPECT_EQ(config.instances[1].reuse_instance, kInvalidInstanceId);
+  EXPECT_EQ(config.instances[1].tasks, std::vector<TaskId>({fresh}));
+  EXPECT_EQ(catalog_.Get(config.instances[1].type_index).name, "p3.2xlarge");
+}
+
+TEST_F(PartialReconfigTest, ReleasesInstancesBelowCostEfficiency) {
+  // A lone CycleGAN ($3.06 RP) left on a p3.8xlarge ($12.24) after its
+  // neighbors completed: the instance is no longer cost-efficient and its
+  // task must be re-packed onto a p3.2xlarge.
+  const TaskId lonely = AddTask(WorkloadRegistry::IdOf("CycleGAN"), 100);
+  AddInstance(100, p3_8x_, {lonely});
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {.interference_aware = false});
+  const ClusterConfig config = PartialReconfiguration(context_, calculator);
+  ASSERT_EQ(config.instances.size(), 1u);
+  EXPECT_EQ(config.instances[0].reuse_instance, kInvalidInstanceId);
+  EXPECT_EQ(catalog_.Get(config.instances[0].type_index).name, "p3.2xlarge");
+  EXPECT_EQ(config.instances[0].tasks, std::vector<TaskId>({lonely}));
+}
+
+TEST_F(PartialReconfigTest, EmptyInstancesAreDropped) {
+  AddInstance(100, p3_2x_, {});
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {.interference_aware = false});
+  const ClusterConfig config = PartialReconfiguration(context_, calculator);
+  EXPECT_TRUE(config.instances.empty());
+}
+
+TEST_F(PartialReconfigTest, InterferenceDropCanEvictInstances) {
+  // Two ViTs sharing a p3.8xlarge stay efficient at t=0.95 but not once the
+  // learned table reports 0.45 for the pair (2 * 0.45 * 12.24 = 11.0 < 12.24).
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const TaskId a = AddTask(vit, 100);
+  const TaskId b = AddTask(vit, 100);
+  AddInstance(100, p3_8x_, {a, b});
+  context_.Finalize();
+  ThroughputTable table(0.95);
+  table.Record(vit, {vit}, 0.45);
+  context_.throughput = &table;
+  const TnrpCalculator calculator(context_, {});
+  const ClusterConfig config = PartialReconfiguration(context_, calculator);
+  // Both tasks re-packed standalone.
+  ASSERT_EQ(config.instances.size(), 2u);
+  for (const ConfigInstance& instance : config.instances) {
+    EXPECT_EQ(instance.reuse_instance, kInvalidInstanceId);
+    EXPECT_EQ(instance.tasks.size(), 1u);
+  }
+}
+
+TEST_F(PartialReconfigTest, AllTasksCoveredExactlyOnce) {
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const TaskId a = AddTask(vit, 100);
+  const TaskId b = AddTask(vit, 100);
+  AddInstance(100, p3_8x_, {a, b});
+  AddTask(WorkloadRegistry::IdOf("GCN"));
+  AddTask(WorkloadRegistry::IdOf("A3C"));
+  const TaskId lonely = AddTask(WorkloadRegistry::IdOf("CycleGAN"), 101);
+  AddInstance(101, p3_8x_, {lonely});
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {.interference_aware = false});
+  const ClusterConfig config = PartialReconfiguration(context_, calculator);
+  EXPECT_FALSE(config.Validate(context_).has_value());
+  std::set<TaskId> seen;
+  for (const ConfigInstance& instance : config.instances) {
+    for (TaskId id : instance.tasks) {
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), context_.tasks.size());
+}
+
+}  // namespace
+}  // namespace eva

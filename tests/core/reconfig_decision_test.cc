@@ -1,0 +1,104 @@
+#include "src/core/reconfig_decision.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eva {
+namespace {
+
+EventRateEstimator::Options DefaultOptions() {
+  EventRateEstimator::Options options;
+  options.initial_events_per_hour = 6.0;
+  options.initial_full_probability = 0.5;
+  options.ema_alpha = 0.1;
+  return options;
+}
+
+TEST(EventRateEstimatorTest, InitialValues) {
+  const EventRateEstimator estimator(DefaultOptions());
+  EXPECT_DOUBLE_EQ(estimator.events_per_hour(), 6.0);
+  EXPECT_DOUBLE_EQ(estimator.full_probability(), 0.5);
+}
+
+TEST(EventRateEstimatorTest, DHatFormula) {
+  // D_hat = -1 / (lambda * ln(1 - p)).
+  const EventRateEstimator estimator(DefaultOptions());
+  EXPECT_NEAR(estimator.ExpectedConfigurationDurationHours(),
+              -1.0 / (6.0 * std::log(0.5)), 1e-12);
+}
+
+TEST(EventRateEstimatorTest, RateEmaTracksObservedRate) {
+  EventRateEstimator estimator(DefaultOptions());
+  // 300-second rounds with 1 event each => 12 events/hour.
+  for (int i = 0; i < 200; ++i) {
+    estimator.RecordRound(1, 300.0, false);
+  }
+  EXPECT_NEAR(estimator.events_per_hour(), 12.0, 0.5);
+}
+
+TEST(EventRateEstimatorTest, ZeroElapsedDoesNotUpdateRate) {
+  EventRateEstimator estimator(DefaultOptions());
+  estimator.RecordRound(5, 0.0, false);
+  EXPECT_DOUBLE_EQ(estimator.events_per_hour(), 6.0);
+}
+
+TEST(EventRateEstimatorTest, ProbabilityConvergesTowardAdoptionFrequency) {
+  EventRateEstimator estimator(DefaultOptions());
+  for (int i = 0; i < 300; ++i) {
+    estimator.RecordRound(1, 300.0, i % 4 == 0);  // Full adopted 25% of rounds.
+  }
+  EXPECT_NEAR(estimator.full_probability(), 0.25, 0.1);
+}
+
+TEST(EventRateEstimatorTest, ProbabilityClamped) {
+  EventRateEstimator estimator(DefaultOptions());
+  for (int i = 0; i < 500; ++i) {
+    estimator.RecordRound(3, 300.0, true);
+  }
+  EXPECT_LE(estimator.full_probability(), 0.98);
+  for (int i = 0; i < 2000; ++i) {
+    estimator.RecordRound(3, 300.0, false);
+  }
+  EXPECT_GE(estimator.full_probability(), 0.02);
+}
+
+TEST(EventRateEstimatorTest, RoundsWithoutEventsDoNotMoveProbability) {
+  EventRateEstimator estimator(DefaultOptions());
+  const double before = estimator.full_probability();
+  estimator.RecordRound(0, 300.0, true);
+  EXPECT_DOUBLE_EQ(estimator.full_probability(), before);
+}
+
+TEST(EventRateEstimatorTest, HigherEventRateShortensDHat) {
+  EventRateEstimator fast(DefaultOptions());
+  EventRateEstimator slow(DefaultOptions());
+  for (int i = 0; i < 200; ++i) {
+    fast.RecordRound(4, 300.0, false);
+    slow.RecordRound(0, 300.0, false);
+  }
+  EXPECT_LT(fast.ExpectedConfigurationDurationHours(),
+            slow.ExpectedConfigurationDurationHours());
+}
+
+TEST(ShouldAdoptFullTest, FullWinsWithBigSavingsAndLongHorizon) {
+  // S_F = 2 $/hr vs S_P = 0.5; M_F = 1 vs M_P = 0; D = 2h.
+  EXPECT_TRUE(ShouldAdoptFull(2.0, 0.5, 1.0, 0.0, 2.0));
+}
+
+TEST(ShouldAdoptFullTest, PartialWinsWhenHorizonShort) {
+  // Same savings/overheads but D = 0.5h: 2*0.5-1 = 0 vs 0.5*0.5-0 = 0.25.
+  EXPECT_FALSE(ShouldAdoptFull(2.0, 0.5, 1.0, 0.0, 0.5));
+}
+
+TEST(ShouldAdoptFullTest, TieGoesToPartial) {
+  EXPECT_FALSE(ShouldAdoptFull(1.0, 1.0, 0.0, 0.0, 1.0));
+}
+
+TEST(ShouldAdoptFullTest, ExpensiveMigrationSuppressesFull) {
+  EXPECT_TRUE(ShouldAdoptFull(2.0, 0.5, 1.0, 0.0, 1.0));
+  EXPECT_FALSE(ShouldAdoptFull(2.0, 0.5, 5.0, 0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace eva

@@ -1,0 +1,146 @@
+#include "src/core/throughput_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+JobThroughputObservation MakeObservation(
+    JobId job, double tput,
+    std::vector<std::pair<WorkloadId, std::vector<WorkloadId>>> placements) {
+  JobThroughputObservation observation;
+  observation.job = job;
+  observation.normalized_throughput = tput;
+  TaskId next = 0;
+  for (auto& [workload, colocated] : placements) {
+    TaskPlacementObservation task;
+    task.task = next++;
+    task.workload = workload;
+    task.colocated = std::move(colocated);
+    observation.tasks.push_back(std::move(task));
+  }
+  return observation;
+}
+
+TEST(ThroughputMonitorTest, SingleTaskJobRecordsDirectly) {
+  ThroughputMonitor monitor(0.95);
+  monitor.Observe({MakeObservation(1, 0.83, {{0, {5}}})});
+  const auto entry = monitor.table().Lookup(0, {5});
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(*entry, 0.83);
+}
+
+TEST(ThroughputMonitorTest, StandaloneJobIsIgnored) {
+  ThroughputMonitor monitor(0.95);
+  monitor.Observe({MakeObservation(1, 0.7, {{0, {}}})});
+  EXPECT_EQ(monitor.table().NumEntries(), 0u);
+}
+
+TEST(ThroughputMonitorTest, OnlyColocatedTaskBlamedInMixedJob) {
+  // Two tasks; only the second shares an instance. Any degradation must be
+  // attributed to the co-located one.
+  ThroughputMonitor monitor(0.95);
+  monitor.Observe({MakeObservation(1, 0.8, {{0, {}}, {0, {3}}})});
+  EXPECT_EQ(monitor.table().NumEntries(), 1u);
+  EXPECT_TRUE(monitor.table().Lookup(0, {3}).has_value());
+}
+
+TEST(ThroughputMonitorTest, Rule1NoPreviousObservationsBlamesMostColocated) {
+  ThroughputMonitor monitor(0.95);
+  // Task A co-located with one neighbor, task B with two.
+  monitor.Observe({MakeObservation(1, 0.7, {{0, {5}}, {0, {5, 6}}})});
+  EXPECT_FALSE(monitor.table().Lookup(0, {5}).has_value());
+  const auto entry = monitor.table().Lookup(0, {5, 6});
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(*entry, 0.7);
+}
+
+TEST(ThroughputMonitorTest, Rule2RaisesLowestRecordedEntry) {
+  ThroughputMonitor monitor(0.95);
+  ThroughputTable& table = monitor.mutable_table();
+  table.Record(0, {5}, 0.6);   // Pessimistic lower bound from an old round.
+  table.Record(0, {6}, 0.9);
+  // The job now runs at 0.8: the 0.6 entry was too low; raise it.
+  monitor.Observe({MakeObservation(1, 0.8, {{0, {5}}, {0, {6}}})});
+  EXPECT_DOUBLE_EQ(*monitor.table().Lookup(0, {5}), 0.8);
+  EXPECT_DOUBLE_EQ(*monitor.table().Lookup(0, {6}), 0.9);
+}
+
+TEST(ThroughputMonitorTest, Rule3BlamesUnrecordedTask) {
+  ThroughputMonitor monitor(0.95);
+  monitor.mutable_table().Record(0, {5}, 0.9);
+  // Observation 0.7 is below every recorded entry (0.9): the unrecorded
+  // placement must be the straggler.
+  monitor.Observe({MakeObservation(1, 0.7, {{0, {5}}, {0, {6, 7}}})});
+  EXPECT_DOUBLE_EQ(*monitor.table().Lookup(0, {5}), 0.9);  // Untouched.
+  EXPECT_DOUBLE_EQ(*monitor.table().Lookup(0, {6, 7}), 0.7);
+}
+
+TEST(ThroughputMonitorTest, Rule3PrefersMostColocatedUnrecorded) {
+  ThroughputMonitor monitor(0.95);
+  monitor.mutable_table().Record(0, {5}, 0.9);
+  monitor.Observe({MakeObservation(1, 0.7, {{0, {5}}, {0, {6}}, {0, {6, 7, 8}}})});
+  EXPECT_FALSE(monitor.table().Lookup(0, {6}).has_value());
+  EXPECT_DOUBLE_EQ(*monitor.table().Lookup(0, {6, 7, 8}), 0.7);
+}
+
+TEST(ThroughputMonitorTest, AllRecordedAboveObservationLowersMinimum) {
+  // Noise case: every entry recorded, all above the observation.
+  ThroughputMonitor monitor(0.95);
+  monitor.mutable_table().Record(0, {5}, 0.9);
+  monitor.mutable_table().Record(0, {6}, 0.8);
+  monitor.Observe({MakeObservation(1, 0.75, {{0, {5}}, {0, {6}}})});
+  EXPECT_DOUBLE_EQ(*monitor.table().Lookup(0, {6}), 0.75);
+  EXPECT_DOUBLE_EQ(*monitor.table().Lookup(0, {5}), 0.9);
+}
+
+TEST(ThroughputMonitorTest, ExactlyOneEntryUpdatedPerMultiTaskObservation) {
+  ThroughputMonitor monitor(0.95);
+  monitor.Observe({MakeObservation(1, 0.8, {{0, {5}}, {1, {6}}, {2, {7}}})});
+  EXPECT_EQ(monitor.table().NumEntries(), 1u);
+}
+
+TEST(ThroughputMonitorTest, RecordedValuesStayLowerBoundsUnderExactObservations) {
+  // Simulate a job whose true co-location throughputs are (0.9, 0.7): the
+  // job-level observation is min = 0.7. Repeated observation must never
+  // push any entry above its true value.
+  ThroughputMonitor monitor(0.95);
+  for (int round = 0; round < 5; ++round) {
+    monitor.Observe({MakeObservation(1, 0.7, {{0, {5}}, {0, {6}}})});
+  }
+  const auto e5 = monitor.table().Lookup(0, {5});
+  const auto e6 = monitor.table().Lookup(0, {6});
+  // One of them carries 0.7 (a valid lower bound for both true values); the
+  // other may be unset or also 0.7, but never above.
+  if (e5.has_value()) {
+    EXPECT_LE(*e5, 0.9 + 1e-12);
+  }
+  if (e6.has_value()) {
+    EXPECT_LE(*e6, 0.7 + 1e-12);
+  }
+  ASSERT_TRUE(e5.has_value() || e6.has_value());
+}
+
+TEST(ThroughputMonitorTest, ConvergesUpwardAsStragglerIsDisambiguated) {
+  // Round 1: both placements unknown; blame one (both have 1 neighbor; the
+  // first by order). Round 2: the true fast task runs nearly clean at 0.95
+  // while the straggler is still there -> rule 2 raises the pessimistic
+  // entry.
+  ThroughputMonitor monitor(0.95);
+  monitor.Observe({MakeObservation(1, 0.7, {{0, {5}}, {0, {6}}})});
+  const bool blamed5 = monitor.table().Lookup(0, {5}).has_value();
+  // Later, a single-task job of workload 0 next to the same neighbor shows
+  // 0.95: direct update fixes the wrongly blamed entry.
+  monitor.Observe({MakeObservation(2, 0.95, {{0, {blamed5 ? 5 : 6}}})});
+  const auto fixed = monitor.table().Lookup(0, {blamed5 ? 5 : 6});
+  ASSERT_TRUE(fixed.has_value());
+  EXPECT_DOUBLE_EQ(*fixed, 0.95);
+}
+
+TEST(ThroughputMonitorTest, DefaultPairwisePropagatesToTable) {
+  ThroughputMonitor monitor(0.9);
+  EXPECT_DOUBLE_EQ(monitor.table().Estimate(0, {1}), 0.9);
+}
+
+}  // namespace
+}  // namespace eva

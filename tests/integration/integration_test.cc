@@ -1,0 +1,157 @@
+// Cross-module integration tests: full traces through the scheduler +
+// simulator stack, checking the paper's qualitative claims end to end.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/experiment.h"
+#include "src/workload/trace_gen.h"
+
+namespace eva {
+namespace {
+
+TEST(IntegrationTest, EvaBeatsNoPackingOnPackableTrace) {
+  // A dense synthetic trace (arrivals every 5 minutes) gives plenty of
+  // co-location opportunity; Eva must come out cheaper.
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 24;
+  trace_options.mean_interarrival_s = 5 * kSecondsPerMinute;
+  trace_options.seed = 41;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  ExperimentOptions options;
+  const std::vector<ExperimentResult> results = RunComparison(
+      trace, {SchedulerKind::kNoPacking, SchedulerKind::kEva}, options);
+  EXPECT_LT(results[1].normalized_cost, 0.98);
+}
+
+TEST(IntegrationTest, EvaRpPacksMoreButLosesThroughputUnderInterference) {
+  // Figure 4's mechanism at small scale: with harsh uniform interference,
+  // interference-oblivious packing (Eva-RP) hurts throughput vs Eva-TNRP.
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 20;
+  trace_options.mean_interarrival_s = 5 * kSecondsPerMinute;
+  trace_options.seed = 42;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  ExperimentOptions options;
+  options.interference = InterferenceModel::Uniform(0.8);
+  const std::vector<ExperimentResult> results = RunComparison(
+      trace, {SchedulerKind::kEvaRp, SchedulerKind::kEva}, options);
+  EXPECT_LE(results[0].metrics.avg_norm_job_throughput,
+            results[1].metrics.avg_norm_job_throughput + 1e-9);
+}
+
+TEST(IntegrationTest, NoInterferenceMeansFullThroughputForNoPacking) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 10;
+  trace_options.seed = 43;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  ExperimentOptions options;
+  const std::vector<ExperimentResult> results =
+      RunComparison(trace, {SchedulerKind::kNoPacking}, options);
+  EXPECT_DOUBLE_EQ(results[0].metrics.avg_norm_job_throughput, 1.0);
+  EXPECT_EQ(results[0].metrics.task_migrations, 0);
+}
+
+TEST(IntegrationTest, HigherMigrationDelayReducesEvaMigrations) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 20;
+  trace_options.mean_interarrival_s = 5 * kSecondsPerMinute;
+  trace_options.seed = 44;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+
+  ExperimentOptions cheap;
+  const auto at1 = RunComparison(trace, {SchedulerKind::kEva}, cheap);
+
+  ExperimentOptions expensive;
+  expensive.simulator.migration_delay_multiplier = 16.0;
+  expensive.eva.migration_delay_multiplier = 16.0;
+  const auto at16 = RunComparison(trace, {SchedulerKind::kEva}, expensive);
+
+  EXPECT_LE(at16[0].metrics.task_migrations, at1[0].metrics.task_migrations);
+}
+
+TEST(IntegrationTest, MultiTaskAwarenessDoesNotLoseToSingle) {
+  MultiTaskMicroOptions trace_options;
+  trace_options.num_jobs = 16;
+  trace_options.seed = 45;
+  const Trace trace = GenerateMultiTaskMicroTrace(trace_options);
+  ExperimentOptions options;
+  const std::vector<ExperimentResult> results = RunComparison(
+      trace, {SchedulerKind::kNoPacking, SchedulerKind::kEvaSingle, SchedulerKind::kEva},
+      options);
+  // Both Eva variants must not exceed No-Packing by more than noise, and
+  // Eva-Multi should not be materially worse than Eva-Single.
+  EXPECT_LT(results[2].normalized_cost, 1.05);
+  EXPECT_LT(results[2].normalized_cost, results[1].normalized_cost + 0.10);
+}
+
+TEST(IntegrationTest, SimulatedAndPhysicalModesStayClose) {
+  // Table 12's fidelity claim in miniature.
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 16;
+  trace_options.seed = 46;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+
+  ExperimentOptions simulated;
+  const auto sim = RunComparison(trace, {SchedulerKind::kNoPacking}, simulated);
+
+  ExperimentOptions physical;
+  physical.simulator.physical_mode = true;
+  physical.simulator.seed = 7;
+  const auto phys = RunComparison(trace, {SchedulerKind::kNoPacking}, physical);
+
+  const double diff = std::abs(sim[0].metrics.total_cost - phys[0].metrics.total_cost) /
+                      phys[0].metrics.total_cost;
+  EXPECT_LT(diff, 0.10);
+}
+
+TEST(IntegrationTest, ArrivalRateScalingPreservesCompletion) {
+  AlibabaTraceOptions trace_options;
+  trace_options.num_jobs = 40;
+  trace_options.seed = 47;
+  const Trace base = GenerateAlibabaTrace(trace_options);
+  for (double rate : {0.5, 3.0}) {
+    const Trace trace = WithArrivalRate(base, rate);
+    ExperimentOptions options;
+    const auto results = RunComparison(trace, {SchedulerKind::kEva}, options);
+    EXPECT_EQ(results[0].metrics.jobs_completed, results[0].metrics.jobs_submitted)
+        << "rate " << rate;
+  }
+}
+
+TEST(IntegrationTest, AlibabaTraceRunsUnderAllSchedulers) {
+  AlibabaTraceOptions trace_options;
+  trace_options.num_jobs = 60;
+  trace_options.seed = 48;
+  const Trace trace = GenerateAlibabaTrace(trace_options);
+  ExperimentOptions options;
+  const std::vector<ExperimentResult> results = RunComparison(
+      trace,
+      {SchedulerKind::kNoPacking, SchedulerKind::kStratus, SchedulerKind::kSynergy,
+       SchedulerKind::kOwl, SchedulerKind::kEva},
+      options);
+  for (const ExperimentResult& result : results) {
+    EXPECT_EQ(result.metrics.jobs_completed, 60) << SchedulerKindName(result.kind);
+    EXPECT_GT(result.metrics.total_cost, 0.0);
+  }
+  // Eva is the cheapest packer on this trace (paper's headline ordering).
+  EXPECT_LE(results[4].normalized_cost, results[0].normalized_cost + 1e-9);
+}
+
+TEST(IntegrationTest, EvaLearnsMeasuredInterferenceOnline) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 40;
+  trace_options.mean_interarrival_s = 4 * kSecondsPerMinute;
+  trace_options.seed = 49;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const InterferenceModel interference = InterferenceModel::Measured();
+  EvaScheduler scheduler;
+  SimulatorOptions sim_options;
+  RunSimulation(trace, &scheduler, catalog, interference, sim_options);
+  // The run must have produced real observations; every learned entry is a
+  // valid lower bound (<= 1).
+  EXPECT_GT(scheduler.throughput_table().NumEntries(), 0u);
+}
+
+}  // namespace
+}  // namespace eva

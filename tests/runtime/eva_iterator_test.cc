@@ -1,0 +1,144 @@
+#include "src/runtime/eva_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/eva_scheduler.h"
+
+namespace eva {
+namespace {
+
+TEST(EvaIteratorTest, EmptyReportsZeroRate) {
+  EvaIterator iterator;
+  EXPECT_DOUBLE_EQ(iterator.IterationsPerSecond(100.0, 60.0), 0.0);
+}
+
+TEST(EvaIteratorTest, CountsIterationsInWindow) {
+  EvaIterator iterator;
+  for (int i = 0; i < 60; ++i) {
+    iterator.RecordIteration(static_cast<SimTime>(i));  // 1 iter/sec.
+  }
+  EXPECT_NEAR(iterator.IterationsPerSecond(59.0, 30.0), 1.0, 0.05);
+}
+
+TEST(EvaIteratorTest, WindowExcludesOldIterations) {
+  EvaIterator iterator;
+  for (int i = 0; i < 10; ++i) {
+    iterator.RecordIteration(static_cast<SimTime>(i));
+  }
+  // All recorded iterations are older than the window at t=100.
+  EXPECT_DOUBLE_EQ(iterator.IterationsPerSecond(100.0, 30.0), 0.0);
+}
+
+TEST(EvaIteratorTest, PrunesHistoryBeyondLimit) {
+  EvaIterator iterator(/*max_history_s=*/100.0);
+  for (int i = 0; i < 1000; ++i) {
+    iterator.RecordIteration(static_cast<SimTime>(i));
+  }
+  EXPECT_LE(iterator.NumRecorded(), 102u);
+}
+
+TEST(EvaIteratorTest, ZeroOrNegativeWindowIsZero) {
+  EvaIterator iterator;
+  iterator.RecordIteration(1.0);
+  EXPECT_DOUBLE_EQ(iterator.IterationsPerSecond(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(iterator.IterationsPerSecond(1.0, -5.0), 0.0);
+}
+
+TEST(EvaIteratorTest, NormalizedThroughputNeedsBaseline) {
+  EvaIterator iterator;
+  iterator.RecordIteration(1.0);
+  EXPECT_FALSE(iterator.NormalizedThroughput(2.0, 10.0).has_value());
+  iterator.SetBaseline(1.0);
+  ASSERT_TRUE(iterator.NormalizedThroughput(2.0, 10.0).has_value());
+}
+
+TEST(EvaIteratorTest, NormalizedThroughputRelativeToBaseline) {
+  EvaIterator iterator;
+  // 0.5 iterations/sec against a baseline of 1.0 -> 0.5 normalized.
+  for (int i = 0; i < 30; ++i) {
+    iterator.RecordIteration(static_cast<SimTime>(2 * i));
+  }
+  iterator.SetBaseline(1.0);
+  const auto normalized = iterator.NormalizedThroughput(58.0, 20.0);
+  ASSERT_TRUE(normalized.has_value());
+  EXPECT_NEAR(*normalized, 0.5, 0.06);
+}
+
+TEST(EvaIteratorTest, IgnoresNonPositiveBaseline) {
+  EvaIterator iterator;
+  iterator.SetBaseline(0.0);
+  EXPECT_FALSE(iterator.baseline().has_value());
+  iterator.SetBaseline(-2.0);
+  EXPECT_FALSE(iterator.baseline().has_value());
+}
+
+TEST(WorkerReporterTest, NoObservationsWithoutBaselines) {
+  WorkerReporter reporter(60.0);
+  reporter.RegisterTask(1, 10, 0);
+  reporter.RecordIteration(1, 5.0);
+  EXPECT_TRUE(reporter.CollectObservations(10.0).empty());
+}
+
+TEST(WorkerReporterTest, BuildsPerJobObservations) {
+  WorkerReporter reporter(60.0);
+  reporter.RegisterTask(1, 10, 2);
+  reporter.RegisterTask(2, 10, 2);
+  reporter.RegisterTask(3, 20, 5);
+  for (int i = 0; i < 60; ++i) {
+    reporter.RecordIteration(1, static_cast<SimTime>(i));        // 1.0/s
+    if (i % 2 == 0) {
+      reporter.RecordIteration(2, static_cast<SimTime>(i));      // 0.5/s
+    }
+    reporter.RecordIteration(3, static_cast<SimTime>(i));        // 1.0/s
+  }
+  reporter.SetBaseline(1, 1.0);
+  reporter.SetBaseline(2, 1.0);
+  reporter.SetBaseline(3, 1.0);
+  reporter.SetColocation(1, {5});
+  const auto observations = reporter.CollectObservations(59.0);
+  ASSERT_EQ(observations.size(), 2u);
+  const auto& job10 = observations[0].job == 10 ? observations[0] : observations[1];
+  const auto& job20 = observations[0].job == 20 ? observations[0] : observations[1];
+  // The job's throughput is the slowest member's (lockstep).
+  EXPECT_NEAR(job10.normalized_throughput, 0.5, 0.06);
+  EXPECT_NEAR(job20.normalized_throughput, 1.0, 0.06);
+  ASSERT_EQ(job10.tasks.size(), 2u);
+  EXPECT_EQ(job10.tasks[0].colocated, std::vector<WorkloadId>({5}));
+}
+
+TEST(WorkerReporterTest, UnregisterStopsReporting) {
+  WorkerReporter reporter(60.0);
+  reporter.RegisterTask(1, 10, 0);
+  for (int i = 0; i < 30; ++i) {
+    reporter.RecordIteration(1, static_cast<SimTime>(i));
+  }
+  reporter.SetBaseline(1, 1.0);
+  EXPECT_EQ(reporter.CollectObservations(29.0).size(), 1u);
+  reporter.UnregisterTask(1);
+  EXPECT_TRUE(reporter.CollectObservations(29.0).empty());
+}
+
+TEST(WorkerReporterTest, ObservationsFeedEvaMonitorEndToEnd) {
+  // The full reporting pipeline: iterator readings -> observations ->
+  // EvaScheduler's learned table.
+  WorkerReporter reporter(60.0);
+  reporter.RegisterTask(1, 10, /*workload=*/3);
+  for (int i = 0; i < 60; ++i) {
+    if (i % 5 == 0) {
+      reporter.RecordIteration(1, static_cast<SimTime>(i));  // 0.2/s.
+    }
+  }
+  reporter.SetBaseline(1, 0.25);  // Standalone rate: degraded to 0.8.
+  reporter.SetColocation(1, {7});
+  const auto observations = reporter.CollectObservations(59.0);
+  ASSERT_EQ(observations.size(), 1u);
+
+  EvaScheduler scheduler;
+  scheduler.ObserveThroughput(observations);
+  const auto entry = scheduler.throughput_table().Lookup(3, {7});
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_NEAR(*entry, 0.8, 0.1);
+}
+
+}  // namespace
+}  // namespace eva

@@ -1,0 +1,173 @@
+#include "src/sched/reservation_price.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+// Context with the Table 3 tasks over the Table 3 catalog, plus an optional
+// throughput table.
+class ReservationPriceTest : public testing::Test {
+ protected:
+  ReservationPriceTest() : catalog_(InstanceCatalog::PaperExample()) {
+    context_.catalog = &catalog_;
+    const ResourceVector demands[] = {{2, 8, 24}, {1, 4, 10}, {0, 6, 20}, {0, 4, 12}};
+    for (int i = 0; i < 4; ++i) {
+      TaskInfo task;
+      task.id = i + 1;
+      task.job = i + 1;  // Single-task jobs.
+      task.workload = i % WorkloadRegistry::NumWorkloads();
+      task.demand_p3 = demands[i];
+      task.demand_cpu = demands[i];
+      context_.tasks.push_back(task);
+    }
+    context_.Finalize();
+  }
+
+  const TaskInfo& Task(int id) { return *context_.FindTask(id); }
+
+  InstanceCatalog catalog_;
+  SchedulingContext context_;
+  ThroughputTable table_{0.95};
+};
+
+TEST_F(ReservationPriceTest, Table3ReservationPrices) {
+  const TnrpCalculator calculator(context_, {});
+  EXPECT_DOUBLE_EQ(calculator.ReservationPrice(Task(1)), 12.0);
+  EXPECT_DOUBLE_EQ(calculator.ReservationPrice(Task(2)), 3.0);
+  EXPECT_DOUBLE_EQ(calculator.ReservationPrice(Task(3)), 0.8);
+  EXPECT_DOUBLE_EQ(calculator.ReservationPrice(Task(4)), 0.4);
+}
+
+TEST_F(ReservationPriceTest, SetRpIsSumOfMembers) {
+  const TnrpCalculator calculator(context_, {});
+  EXPECT_DOUBLE_EQ(calculator.SetRp({&Task(1), &Task(2), &Task(4)}), 15.4);
+}
+
+TEST_F(ReservationPriceTest, TnrpWithoutPartnersEqualsRp) {
+  context_.throughput = &table_;
+  const TnrpCalculator calculator(context_, {});
+  EXPECT_DOUBLE_EQ(calculator.TaskTnrp(Task(1), {}), 12.0);
+}
+
+TEST_F(ReservationPriceTest, TnrpScalesByEstimatedThroughput) {
+  // §4.3's example: tau1 at 0.8 and tau2 at 0.9 gives 12*0.8 + 3*0.9 = 12.3.
+  table_.Record(Task(1).workload, {Task(2).workload}, 0.8);
+  table_.Record(Task(2).workload, {Task(1).workload}, 0.9);
+  context_.throughput = &table_;
+  const TnrpCalculator calculator(context_, {});
+  EXPECT_NEAR(calculator.SetTnrp({&Task(1), &Task(2)}), 12.3, 1e-9);
+}
+
+TEST_F(ReservationPriceTest, SevereInterferenceBreaksCostEfficiency) {
+  // §4.3: at 0.7/0.8 the pair is worth $10.8 < $12.
+  table_.Record(Task(1).workload, {Task(2).workload}, 0.7);
+  table_.Record(Task(2).workload, {Task(1).workload}, 0.8);
+  context_.throughput = &table_;
+  const TnrpCalculator calculator(context_, {});
+  EXPECT_NEAR(calculator.SetTnrp({&Task(1), &Task(2)}), 10.8, 1e-9);
+}
+
+TEST_F(ReservationPriceTest, InterferenceObliviousIgnoresTable) {
+  table_.Record(Task(1).workload, {Task(2).workload}, 0.5);
+  context_.throughput = &table_;
+  const TnrpCalculator calculator(context_, {.interference_aware = false});
+  EXPECT_DOUBLE_EQ(calculator.SetTnrp({&Task(1), &Task(2)}), 15.0);
+}
+
+TEST_F(ReservationPriceTest, NullEstimatorActsLikeNoInterference) {
+  context_.throughput = nullptr;
+  const TnrpCalculator calculator(context_, {});
+  EXPECT_DOUBLE_EQ(calculator.SetTnrp({&Task(1), &Task(2)}), 15.0);
+}
+
+TEST_F(ReservationPriceTest, DefaultEstimateAppliesToUnseenPairs) {
+  context_.throughput = &table_;
+  const TnrpCalculator calculator(context_, {});
+  EXPECT_NEAR(calculator.SetTnrp({&Task(1), &Task(2)}), 0.95 * 12.0 + 0.95 * 3.0, 1e-9);
+}
+
+TEST_F(ReservationPriceTest, UnplaceableTaskHasZeroRp) {
+  TaskInfo monster;
+  monster.id = 99;
+  monster.job = 99;
+  monster.workload = 0;
+  monster.demand_p3 = {64, 1, 1};
+  monster.demand_cpu = {64, 1, 1};
+  context_.tasks.push_back(monster);
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {});
+  EXPECT_DOUBLE_EQ(calculator.ReservationPrice(*context_.FindTask(99)), 0.0);
+}
+
+// Multi-task TNRP (§4.4).
+class MultiTaskTnrpTest : public testing::Test {
+ protected:
+  MultiTaskTnrpTest() : catalog_(InstanceCatalog::PaperExample()) {
+    context_.catalog = &catalog_;
+    // One data-parallel job with 4 identical tasks (demand of tau2).
+    for (int i = 0; i < 4; ++i) {
+      TaskInfo task;
+      task.id = i;
+      task.job = 7;
+      task.workload = 0;
+      task.demand_p3 = {1, 4, 10};
+      task.demand_cpu = {1, 4, 10};
+      context_.tasks.push_back(task);
+    }
+    // A single-task job it can co-locate with.
+    TaskInfo other;
+    other.id = 10;
+    other.job = 8;
+    other.workload = 3;
+    other.demand_p3 = {0, 4, 12};
+    other.demand_cpu = {0, 4, 12};
+    context_.tasks.push_back(other);
+    context_.Finalize();
+    context_.throughput = &table_;
+  }
+
+  InstanceCatalog catalog_;
+  SchedulingContext context_;
+  ThroughputTable table_{0.95};
+};
+
+TEST_F(MultiTaskTnrpTest, StragglerPenaltyChargedToPlacement) {
+  // RP of each job-7 task is $3 (it2). Co-locating one of them at tput 0.9
+  // costs the *whole 4-task job* 0.1 of its value:
+  // TNRP = 3 - 4 * (1 - 0.9) * 3 = 1.8.
+  table_.Record(0, {3}, 0.9);
+  const TnrpCalculator calculator(context_, {});
+  const TaskInfo& task = *context_.FindTask(0);
+  const TaskInfo& other = *context_.FindTask(10);
+  EXPECT_NEAR(calculator.TaskTnrp(task, {&other}), 1.8, 1e-9);
+}
+
+TEST_F(MultiTaskTnrpTest, CanGoNegativeUnderSevereInterference) {
+  table_.Record(0, {3}, 0.5);
+  const TnrpCalculator calculator(context_, {});
+  const TaskInfo& task = *context_.FindTask(0);
+  const TaskInfo& other = *context_.FindTask(10);
+  // 3 - 4 * 0.5 * 3 = -3.
+  EXPECT_NEAR(calculator.TaskTnrp(task, {&other}), -3.0, 1e-9);
+}
+
+TEST_F(MultiTaskTnrpTest, SingleAwareModeTreatsTasksIndependently) {
+  table_.Record(0, {3}, 0.9);
+  const TnrpCalculator calculator(context_, {.multi_task_aware = false});
+  const TaskInfo& task = *context_.FindTask(0);
+  const TaskInfo& other = *context_.FindTask(10);
+  EXPECT_NEAR(calculator.TaskTnrp(task, {&other}), 2.7, 1e-9);  // 0.9 * 3.
+}
+
+TEST_F(MultiTaskTnrpTest, SingleTaskJobUnaffectedByJobScaling) {
+  table_.Record(3, {0}, 0.9);
+  const TnrpCalculator calculator(context_, {});
+  const TaskInfo& other = *context_.FindTask(10);
+  const TaskInfo& task = *context_.FindTask(0);
+  // Job 8 has one task: plain tput * RP. RP(other) = $0.4 (it4).
+  EXPECT_NEAR(calculator.TaskTnrp(other, {&task}), 0.36, 1e-9);
+}
+
+}  // namespace
+}  // namespace eva

@@ -1,0 +1,83 @@
+#include "src/sched/throughput_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+TEST(ThroughputTableTest, EmptyPartnersIsOne) {
+  const ThroughputTable table(0.95);
+  EXPECT_DOUBLE_EQ(table.Estimate(0, {}), 1.0);
+}
+
+TEST(ThroughputTableTest, UnknownPairUsesDefault) {
+  const ThroughputTable table(0.95);
+  EXPECT_DOUBLE_EQ(table.Estimate(0, {1}), 0.95);
+  EXPECT_NEAR(table.Estimate(0, {1, 2}), 0.95 * 0.95, 1e-12);
+}
+
+TEST(ThroughputTableTest, ConfigurableDefault) {
+  const ThroughputTable table(0.8);
+  EXPECT_DOUBLE_EQ(table.Estimate(3, {4}), 0.8);
+}
+
+TEST(ThroughputTableTest, ExactEntryWins) {
+  ThroughputTable table(0.95);
+  table.Record(0, {1, 2}, 0.7);
+  EXPECT_DOUBLE_EQ(table.Estimate(0, {1, 2}), 0.7);
+  // Order of partners must not matter.
+  EXPECT_DOUBLE_EQ(table.Estimate(0, {2, 1}), 0.7);
+}
+
+TEST(ThroughputTableTest, PairwiseProductFallback) {
+  ThroughputTable table(0.95);
+  table.Record(0, {1}, 0.9);
+  table.Record(0, {2}, 0.8);
+  // No exact entry for {1,2}: product of recorded pairwise values.
+  EXPECT_NEAR(table.Estimate(0, {1, 2}), 0.72, 1e-12);
+  // Mixed: one recorded, one default.
+  EXPECT_NEAR(table.Estimate(0, {1, 3}), 0.9 * 0.95, 1e-12);
+}
+
+TEST(ThroughputTableTest, MultiplicityMatters) {
+  ThroughputTable table(0.95);
+  table.Record(0, {1}, 0.9);
+  EXPECT_NEAR(table.Estimate(0, {1, 1}), 0.81, 1e-12);
+}
+
+TEST(ThroughputTableTest, RecordOverwrites) {
+  ThroughputTable table(0.95);
+  table.Record(0, {1}, 0.9);
+  table.Record(0, {1}, 0.6);
+  EXPECT_DOUBLE_EQ(table.Estimate(0, {1}), 0.6);
+  EXPECT_EQ(table.NumEntries(), 1u);
+}
+
+TEST(ThroughputTableTest, LookupExactOnly) {
+  ThroughputTable table(0.95);
+  table.Record(0, {1}, 0.9);
+  EXPECT_TRUE(table.Lookup(0, {1}).has_value());
+  EXPECT_FALSE(table.Lookup(0, {1, 2}).has_value());
+  EXPECT_FALSE(table.Lookup(1, {0}).has_value());
+}
+
+TEST(ThroughputTableTest, DirectionalEntries) {
+  ThroughputTable table(0.95);
+  table.Record(0, {1}, 0.9);
+  // The entry records the throughput *of workload 0*; workload 1's view is
+  // independent.
+  EXPECT_DOUBLE_EQ(table.Estimate(1, {0}), 0.95);
+}
+
+TEST(OracleThroughputTest, MatchesInterferenceModel) {
+  const InterferenceModel model = InterferenceModel::Measured();
+  const OracleThroughput oracle(&model);
+  const WorkloadId gcn = WorkloadRegistry::IdOf("GCN");
+  const WorkloadId a3c = WorkloadRegistry::IdOf("A3C");
+  EXPECT_DOUBLE_EQ(oracle.Estimate(gcn, {a3c}), 0.65);
+  EXPECT_DOUBLE_EQ(oracle.Estimate(gcn, {}), 1.0);
+  EXPECT_NEAR(oracle.Estimate(gcn, {a3c, a3c}), 0.65 * 0.65, 1e-12);
+}
+
+}  // namespace
+}  // namespace eva

@@ -1,0 +1,102 @@
+#include "src/sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/workload/trace_gen.h"
+
+namespace eva {
+namespace {
+
+TEST(MakeSchedulerTest, ProducesAllKinds) {
+  const InterferenceModel interference = InterferenceModel::Measured();
+  const SchedulerKind kinds[] = {
+      SchedulerKind::kNoPacking,   SchedulerKind::kStratus,    SchedulerKind::kSynergy,
+      SchedulerKind::kOwl,         SchedulerKind::kEva,        SchedulerKind::kEvaRp,
+      SchedulerKind::kEvaSingle,   SchedulerKind::kEvaFullOnly,
+      SchedulerKind::kEvaPartialOnly};
+  for (SchedulerKind kind : kinds) {
+    const SchedulerBundle bundle = MakeScheduler(kind, interference);
+    ASSERT_NE(bundle.scheduler, nullptr) << SchedulerKindName(kind);
+  }
+}
+
+TEST(MakeSchedulerTest, EvaVariantsExposeStats) {
+  const InterferenceModel interference = InterferenceModel::Measured();
+  const SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference);
+  EXPECT_NE(bundle.eva, nullptr);
+  const SchedulerBundle baseline = MakeScheduler(SchedulerKind::kStratus, interference);
+  EXPECT_EQ(baseline.eva, nullptr);
+}
+
+TEST(MakeSchedulerTest, OwlCarriesItsOracle) {
+  const InterferenceModel interference = InterferenceModel::Measured();
+  const SchedulerBundle bundle = MakeScheduler(SchedulerKind::kOwl, interference);
+  EXPECT_NE(bundle.oracle, nullptr);
+  EXPECT_EQ(bundle.scheduler->name(), "Owl");
+}
+
+TEST(SchedulerKindNameTest, AllNamed) {
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kNoPacking), "No-Packing");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kEvaPartialOnly), "Eva (w/o Full)");
+}
+
+TEST(RunComparisonTest, NormalizesAgainstNoPacking) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 8;
+  trace_options.seed = 21;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  ExperimentOptions options;
+  const std::vector<ExperimentResult> results = RunComparison(
+      trace, {SchedulerKind::kNoPacking, SchedulerKind::kEva}, options);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].normalized_cost, 1.0);
+  EXPECT_GT(results[1].metrics.total_cost, 0.0);
+  EXPECT_NEAR(results[1].normalized_cost,
+              results[1].metrics.total_cost / results[0].metrics.total_cost, 1e-12);
+}
+
+TEST(RunComparisonTest, AllJobsCompleteUnderEveryScheduler) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 8;
+  trace_options.seed = 22;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  ExperimentOptions options;
+  const std::vector<ExperimentResult> results = RunComparison(
+      trace,
+      {SchedulerKind::kNoPacking, SchedulerKind::kStratus, SchedulerKind::kSynergy,
+       SchedulerKind::kOwl, SchedulerKind::kEva},
+      options);
+  for (const ExperimentResult& result : results) {
+    EXPECT_EQ(result.metrics.jobs_completed, result.metrics.jobs_submitted)
+        << SchedulerKindName(result.kind);
+  }
+}
+
+TEST(RunComparisonTest, FullAdoptionFractionOnlyForEva) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 6;
+  trace_options.seed = 23;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  ExperimentOptions options;
+  const std::vector<ExperimentResult> results = RunComparison(
+      trace, {SchedulerKind::kNoPacking, SchedulerKind::kEvaFullOnly}, options);
+  EXPECT_DOUBLE_EQ(results[0].full_adoption_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(results[1].full_adoption_fraction, 1.0);
+}
+
+TEST(ScaledJobCountTest, DefaultsAndEnvOverride) {
+  unsetenv("EVA_BENCH_SCALE");
+  EXPECT_EQ(ScaledJobCount(1000), 1000);
+  EXPECT_EQ(ScaledJobCount(1000, 20), 200);
+  EXPECT_EQ(ScaledJobCount(3, 10), 1);  // Never below one.
+  setenv("EVA_BENCH_SCALE", "50", 1);
+  EXPECT_EQ(ScaledJobCount(1000, 20), 500);
+  setenv("EVA_BENCH_SCALE", "garbage", 1);
+  EXPECT_EQ(ScaledJobCount(1000, 20), 200);  // Bad input falls back.
+  unsetenv("EVA_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace eva

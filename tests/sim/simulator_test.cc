@@ -1,0 +1,229 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/no_packing.h"
+#include "src/core/eva_scheduler.h"
+#include "src/workload/trace_gen.h"
+
+namespace eva {
+namespace {
+
+Trace OneJob(const char* workload, SimTime duration_s, SimTime arrival_s = 0.0,
+             int num_tasks = 0) {
+  Trace trace;
+  trace.name = "unit";
+  trace.jobs.push_back(JobSpec::FromWorkload(0, arrival_s, WorkloadRegistry::IdOf(workload),
+                                             duration_s, num_tasks));
+  return trace;
+}
+
+SimulatorOptions Deterministic() {
+  SimulatorOptions options;
+  options.physical_mode = false;
+  return options;
+}
+
+class SimulatorSingleJobTest : public testing::Test {
+ protected:
+  InstanceCatalog catalog_ = InstanceCatalog::AwsDefault();
+  InterferenceModel interference_ = InterferenceModel::Measured();
+};
+
+TEST_F(SimulatorSingleJobTest, JobCompletesWithExpectedTimeline) {
+  // A3C, 1800s of work, No-Packing. Timeline: round at t=0 places the task;
+  // instance ready at 209s (Table 1 means); launch 10s (Table 7); runs
+  // standalone at rate 1.0 for 1800s -> completes at 2019s.
+  const Trace trace = OneJob("A3C", 1800.0);
+  NoPackingScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog_, interference_, Deterministic());
+  EXPECT_EQ(metrics.jobs_completed, 1);
+  ASSERT_EQ(metrics.jct_hours.size(), 1u);
+  EXPECT_NEAR(metrics.jct_hours[0], 2019.0 / 3600.0, 1e-6);
+  // Idle time = provisioning + launch = 219s.
+  EXPECT_NEAR(metrics.avg_job_idle_hours, 219.0 / 3600.0, 1e-6);
+  EXPECT_DOUBLE_EQ(metrics.avg_norm_job_throughput, 1.0);
+}
+
+TEST_F(SimulatorSingleJobTest, CostMatchesUptimeTimesRate) {
+  const Trace trace = OneJob("A3C", 1800.0);
+  NoPackingScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog_, interference_, Deterministic());
+  // One c7i.2xlarge ($0.357/hr) from t=0 to the cleanup round at t=2100.
+  ASSERT_EQ(metrics.instance_uptime_hours.size(), 1u);
+  EXPECT_NEAR(metrics.instance_uptime_hours[0], 2100.0 / 3600.0, 1e-6);
+  EXPECT_NEAR(metrics.total_cost, 0.357 * 2100.0 / 3600.0, 1e-6);
+  EXPECT_EQ(metrics.instances_launched, 1);
+  EXPECT_EQ(metrics.task_migrations, 0);
+}
+
+TEST_F(SimulatorSingleJobTest, ArrivalTimeShiftsEverything) {
+  const Trace trace = OneJob("A3C", 1800.0, 1000.0);
+  NoPackingScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog_, interference_, Deterministic());
+  EXPECT_EQ(metrics.jobs_completed, 1);
+  // First round after arrival is t=1200 (period 300): JCT = 200 + 219 + 1800.
+  EXPECT_NEAR(metrics.jct_hours[0], (200.0 + 219.0 + 1800.0) / 3600.0, 1e-6);
+}
+
+TEST_F(SimulatorSingleJobTest, MultiTaskJobRunsInLockstep) {
+  const Trace trace = OneJob("ResNet18-2task", 3600.0);
+  NoPackingScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog_, interference_, Deterministic());
+  EXPECT_EQ(metrics.jobs_completed, 1);
+  EXPECT_EQ(metrics.tasks_total, 2);
+  EXPECT_EQ(metrics.instances_launched, 2);  // No-Packing: one each.
+  // ResNet18 launch delay is 80s; both tasks in parallel: 209 + 80 + 3600.
+  EXPECT_NEAR(metrics.jct_hours[0], (209.0 + 80.0 + 3600.0) / 3600.0, 1e-6);
+}
+
+TEST_F(SimulatorSingleJobTest, UnplaceableJobIsDropped) {
+  Trace trace;
+  trace.name = "unplaceable";
+  JobSpec job = JobSpec::FromWorkload(0, 0.0, 0, 3600.0);
+  job.demand_p3 = {16, 4, 4};  // No instance has 16 GPUs.
+  job.demand_cpu = {16, 4, 4};
+  trace.jobs.push_back(job);
+  NoPackingScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog_, interference_, Deterministic());
+  EXPECT_EQ(metrics.jobs_submitted, 0);
+  EXPECT_EQ(metrics.jobs_completed, 0);
+  EXPECT_DOUBLE_EQ(metrics.total_cost, 0.0);
+}
+
+TEST_F(SimulatorSingleJobTest, PhysicalModeJittersButCompletes) {
+  const Trace trace = OneJob("A3C", 1800.0);
+  SimulatorOptions options;
+  options.physical_mode = true;
+  options.seed = 5;
+  NoPackingScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog_, interference_, options);
+  EXPECT_EQ(metrics.jobs_completed, 1);
+  // Provisioning is 146..334s in physical mode; JCT must be in range.
+  EXPECT_GT(metrics.jct_hours[0], (1800.0 + 146.0 + 10.0) / 3600.0 - 1e-9);
+  EXPECT_LT(metrics.jct_hours[0], (1800.0 + 334.0 + 10.0) / 3600.0 + 1e-9);
+}
+
+TEST_F(SimulatorSingleJobTest, DeterministicRunsAreReproducible) {
+  const Trace trace = OneJob("GPT2", 5000.0);
+  NoPackingScheduler s1;
+  NoPackingScheduler s2;
+  const SimulationMetrics a =
+      RunSimulation(trace, &s1, catalog_, interference_, Deterministic());
+  const SimulationMetrics b =
+      RunSimulation(trace, &s2, catalog_, interference_, Deterministic());
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  EXPECT_DOUBLE_EQ(a.jct_hours[0], b.jct_hours[0]);
+}
+
+class SimulatorColocationTest : public testing::Test {
+ protected:
+  InstanceCatalog catalog_ = InstanceCatalog::AwsDefault();
+};
+
+TEST_F(SimulatorColocationTest, InterferenceSlowsCoLocatedJobs) {
+  // Two ViT jobs arriving together; Eva packs them onto one p3.8xlarge.
+  // Ground truth: uniform pairwise 0.8 -> both run at 0.8 and take
+  // duration / 0.8 to finish.
+  const InterferenceModel interference = InterferenceModel::Uniform(0.8);
+  Trace trace;
+  trace.name = "pair";
+  trace.jobs.push_back(JobSpec::FromWorkload(0, 0.0, WorkloadRegistry::IdOf("ViT"), 3600.0));
+  trace.jobs.push_back(JobSpec::FromWorkload(1, 0.0, WorkloadRegistry::IdOf("ViT"), 3600.0));
+  EvaScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog_, interference, Deterministic());
+  EXPECT_EQ(metrics.jobs_completed, 2);
+  EXPECT_EQ(metrics.instances_launched, 1);
+  // 209s provisioning + 143s ViT launch + 3600/0.8 executing.
+  EXPECT_NEAR(metrics.jct_hours[0], (209.0 + 143.0 + 4500.0) / 3600.0, 1e-6);
+  EXPECT_NEAR(metrics.avg_norm_job_throughput, 0.8, 1e-9);
+}
+
+TEST_F(SimulatorColocationTest, ThroughputRecoversWhenNeighborFinishes) {
+  // Same setup but the second job is short: once it completes, the first
+  // speeds back up to 1.0.
+  const InterferenceModel interference = InterferenceModel::Uniform(0.5);
+  Trace trace;
+  trace.name = "recover";
+  trace.jobs.push_back(JobSpec::FromWorkload(0, 0.0, WorkloadRegistry::IdOf("ViT"), 3600.0));
+  trace.jobs.push_back(JobSpec::FromWorkload(1, 0.0, WorkloadRegistry::IdOf("ViT"), 360.0));
+  EvaScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog_, interference, Deterministic());
+  EXPECT_EQ(metrics.jobs_completed, 2);
+  // jct_hours is in completion order: [0] is the short job, [1] the long
+  // one. The long job runs 360/0.5 = 720s co-located, then 3240s alone:
+  // total executing 3960s rather than 7200s.
+  ASSERT_EQ(metrics.jct_hours.size(), 2u);
+  EXPECT_NEAR(metrics.jct_hours[0], (209.0 + 143.0 + 360.0 / 0.5) / 3600.0, 1e-6);
+  EXPECT_NEAR(metrics.jct_hours[1], (209.0 + 143.0 + 3960.0) / 3600.0, 1e-6);
+}
+
+TEST_F(SimulatorColocationTest, ObservationsReachTheScheduler) {
+  const InterferenceModel interference = InterferenceModel::Uniform(0.8);
+  Trace trace;
+  trace.name = "observe";
+  trace.jobs.push_back(
+      JobSpec::FromWorkload(0, 0.0, WorkloadRegistry::IdOf("ViT"), HoursToSeconds(2.0)));
+  trace.jobs.push_back(
+      JobSpec::FromWorkload(1, 0.0, WorkloadRegistry::IdOf("ViT"), HoursToSeconds(2.0)));
+  EvaScheduler scheduler;
+  RunSimulation(trace, &scheduler, catalog_, interference, Deterministic());
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const auto learned = scheduler.throughput_table().Lookup(vit, {vit});
+  ASSERT_TRUE(learned.has_value());
+  EXPECT_NEAR(*learned, 0.8, 1e-9);
+}
+
+TEST_F(SimulatorColocationTest, FragmentationAfterCompletionsTriggersMigration) {
+  // Four ViTs arrive together: Eva packs all four onto one p3.16xlarge
+  // (4 * 0.95^3 * $12.24 = $41.98 >= $24.48). When the two short jobs
+  // finish, the two survivors are worth only ~2 * 0.95 * $12.24 = $23.26 on
+  // the $24.48 box: Partial Reconfiguration releases them and re-packs both
+  // onto a fresh p3.8xlarge — two real migrations.
+  const InterferenceModel interference = InterferenceModel::Measured();
+  Trace trace;
+  trace.name = "fragment";
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  trace.jobs.push_back(JobSpec::FromWorkload(0, 0.0, vit, HoursToSeconds(3.0)));
+  trace.jobs.push_back(JobSpec::FromWorkload(1, 0.0, vit, HoursToSeconds(3.0)));
+  trace.jobs.push_back(JobSpec::FromWorkload(2, 0.0, vit, HoursToSeconds(0.5)));
+  trace.jobs.push_back(JobSpec::FromWorkload(3, 0.0, vit, HoursToSeconds(0.5)));
+  EvaScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog_, interference, Deterministic());
+  EXPECT_EQ(metrics.jobs_completed, 4);
+  EXPECT_GE(metrics.task_migrations, 2);
+  EXPECT_GT(metrics.migrations_per_task, 0.0);
+  EXPECT_GE(metrics.instances_launched, 2);
+}
+
+TEST_F(SimulatorColocationTest, AllocationMetricsBounded) {
+  const InterferenceModel interference = InterferenceModel::Measured();
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 10;
+  trace_options.seed = 3;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  EvaScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog_, interference, Deterministic());
+  EXPECT_EQ(metrics.jobs_completed, 10);
+  EXPECT_GE(metrics.avg_alloc_gpu, 0.0);
+  EXPECT_LE(metrics.avg_alloc_gpu, 1.0);
+  EXPECT_GE(metrics.avg_alloc_cpu, 0.0);
+  EXPECT_LE(metrics.avg_alloc_cpu, 1.0);
+  EXPECT_GE(metrics.avg_alloc_ram, 0.0);
+  EXPECT_LE(metrics.avg_alloc_ram, 1.0);
+  EXPECT_GT(metrics.avg_tasks_per_instance, 0.0);
+  EXPECT_GT(metrics.makespan_s, 0.0);
+}
+
+}  // namespace
+}  // namespace eva

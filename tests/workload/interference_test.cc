@@ -1,0 +1,88 @@
+#include "src/workload/interference.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+TEST(InterferenceModelTest, MeasuredMatrixSpotChecks) {
+  const InterferenceModel model = InterferenceModel::Measured();
+  // Figure 1 cells: throughput of row workload under column neighbor.
+  EXPECT_DOUBLE_EQ(
+      model.Pairwise(InterferenceProfile::kResNet18, InterferenceProfile::kResNet18), 0.93);
+  EXPECT_DOUBLE_EQ(model.Pairwise(InterferenceProfile::kGpt2, InterferenceProfile::kResNet18),
+                   0.79);
+  EXPECT_DOUBLE_EQ(model.Pairwise(InterferenceProfile::kGcn, InterferenceProfile::kA3c), 0.65);
+  EXPECT_DOUBLE_EQ(
+      model.Pairwise(InterferenceProfile::kCycleGan, InterferenceProfile::kGraphSage), 1.00);
+}
+
+TEST(InterferenceModelTest, MatrixIsAsymmetric) {
+  const InterferenceModel model = InterferenceModel::Measured();
+  // ResNet18 under GCN (0.83) differs from GCN under ResNet18 (0.92).
+  EXPECT_DOUBLE_EQ(model.Pairwise(InterferenceProfile::kResNet18, InterferenceProfile::kGcn),
+                   0.83);
+  EXPECT_DOUBLE_EQ(model.Pairwise(InterferenceProfile::kGcn, InterferenceProfile::kResNet18),
+                   0.92);
+}
+
+TEST(InterferenceModelTest, AllValuesInUnitInterval) {
+  const InterferenceModel model = InterferenceModel::Measured();
+  for (int a = 0; a < kNumInterferenceProfiles; ++a) {
+    for (int b = 0; b < kNumInterferenceProfiles; ++b) {
+      const double v = model.Pairwise(static_cast<InterferenceProfile>(a),
+                                      static_cast<InterferenceProfile>(b));
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(InterferenceModelTest, ThroughputOfEmptySetIsOne) {
+  const InterferenceModel model = InterferenceModel::Measured();
+  EXPECT_DOUBLE_EQ(model.Throughput(InterferenceProfile::kGpt2, {}), 1.0);
+}
+
+TEST(InterferenceModelTest, ThroughputIsPairwiseProduct) {
+  const InterferenceModel model = InterferenceModel::Measured();
+  const double direct = model.Throughput(
+      InterferenceProfile::kResNet18,
+      {InterferenceProfile::kGcn, InterferenceProfile::kA3c});
+  EXPECT_DOUBLE_EQ(direct, 0.83 * 0.83);
+}
+
+TEST(InterferenceModelTest, UniformModel) {
+  const InterferenceModel model = InterferenceModel::Uniform(0.9);
+  for (int a = 0; a < kNumInterferenceProfiles; ++a) {
+    for (int b = 0; b < kNumInterferenceProfiles; ++b) {
+      EXPECT_DOUBLE_EQ(model.Pairwise(static_cast<InterferenceProfile>(a),
+                                      static_cast<InterferenceProfile>(b)),
+                       0.9);
+    }
+  }
+  EXPECT_NEAR(model.Throughput(InterferenceProfile::kGcn,
+                               {InterferenceProfile::kGcn, InterferenceProfile::kGcn}),
+              0.81, 1e-12);
+}
+
+TEST(InterferenceModelTest, WorkloadIdOverloadsUseProfiles) {
+  const InterferenceModel model = InterferenceModel::Measured();
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const WorkloadId resnet = WorkloadRegistry::IdOf("ResNet18-2task");
+  // ViT shares ResNet18's profile, so the pairwise values must match.
+  for (int other = 0; other < WorkloadRegistry::NumWorkloads(); ++other) {
+    EXPECT_DOUBLE_EQ(model.Pairwise(vit, other), model.Pairwise(resnet, other));
+  }
+}
+
+TEST(InterferenceModelTest, MultiWayThroughputDecreases) {
+  const InterferenceModel model = InterferenceModel::Measured();
+  const WorkloadId gcn = WorkloadRegistry::IdOf("GCN");
+  const WorkloadId a3c = WorkloadRegistry::IdOf("A3C");
+  const double one = model.Throughput(gcn, {a3c});
+  const double two = model.Throughput(gcn, {a3c, a3c});
+  EXPECT_LT(two, one);
+}
+
+}  // namespace
+}  // namespace eva

@@ -1,0 +1,86 @@
+#include "src/workload/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+TEST(WorkloadRegistryTest, HasTenWorkloads) {
+  EXPECT_EQ(WorkloadRegistry::NumWorkloads(), 10);
+}
+
+TEST(WorkloadRegistryTest, Table7Demands) {
+  // Spot-check entries against Table 7.
+  const WorkloadSpec& resnet = WorkloadRegistry::Get(WorkloadRegistry::IdOf("ResNet18-2task"));
+  EXPECT_EQ(resnet.demand_p3, ResourceVector(1, 4, 24));
+  EXPECT_EQ(resnet.default_num_tasks, 2);
+  EXPECT_DOUBLE_EQ(resnet.checkpoint_delay_s, 2.0);
+  EXPECT_DOUBLE_EQ(resnet.launch_delay_s, 80.0);
+
+  const WorkloadSpec& gpt2 = WorkloadRegistry::Get(WorkloadRegistry::IdOf("GPT2"));
+  EXPECT_EQ(gpt2.demand_p3, ResourceVector(4, 4, 10));
+  EXPECT_DOUBLE_EQ(gpt2.checkpoint_delay_s, 30.0);
+
+  const WorkloadSpec& diamond = WorkloadRegistry::Get(WorkloadRegistry::IdOf("Diamond"));
+  EXPECT_EQ(diamond.demand_p3, ResourceVector(0, 14, 16));
+  EXPECT_EQ(diamond.demand_cpu, ResourceVector(0, 8, 16));
+}
+
+TEST(WorkloadRegistryTest, CpuWorkloadsNeedFewerCpusOnC7i) {
+  for (WorkloadId id : WorkloadRegistry::CpuWorkloads()) {
+    const WorkloadSpec& spec = WorkloadRegistry::Get(id);
+    EXPECT_LE(spec.demand_cpu.cpus(), spec.demand_p3.cpus()) << spec.name;
+    EXPECT_DOUBLE_EQ(spec.demand_cpu.ram_gb(), spec.demand_p3.ram_gb()) << spec.name;
+  }
+}
+
+TEST(WorkloadRegistryTest, DemandForSelectsFamily) {
+  const WorkloadSpec& gcn = WorkloadRegistry::Get(WorkloadRegistry::IdOf("GCN"));
+  EXPECT_DOUBLE_EQ(gcn.DemandFor(InstanceFamily::kP3).cpus(), 12.0);
+  EXPECT_DOUBLE_EQ(gcn.DemandFor(InstanceFamily::kC7i).cpus(), 6.0);
+  EXPECT_DOUBLE_EQ(gcn.DemandFor(InstanceFamily::kR7i).cpus(), 6.0);
+}
+
+TEST(WorkloadRegistryTest, IdOfUnknownIsInvalid) {
+  EXPECT_EQ(WorkloadRegistry::IdOf("BERT"), kInvalidWorkloadId);
+}
+
+TEST(WorkloadRegistryTest, GpuCpuPartition) {
+  const auto gpu = WorkloadRegistry::GpuWorkloads();
+  const auto cpu = WorkloadRegistry::CpuWorkloads();
+  EXPECT_EQ(gpu.size() + cpu.size(), static_cast<std::size_t>(WorkloadRegistry::NumWorkloads()));
+  // Table 7: 6 GPU workloads (two ResNet18 entries, ViT, CycleGAN, GPT2,
+  // GraphSAGE), 4 CPU workloads (GCN, A3C, Diamond, OpenFOAM).
+  EXPECT_EQ(gpu.size(), 6u);
+  EXPECT_EQ(cpu.size(), 4u);
+  for (WorkloadId id : gpu) {
+    EXPECT_TRUE(WorkloadRegistry::Get(id).IsGpuWorkload());
+  }
+  for (WorkloadId id : cpu) {
+    EXPECT_FALSE(WorkloadRegistry::Get(id).IsGpuWorkload());
+  }
+}
+
+TEST(WorkloadRegistryTest, OnlyResNetIsMultiTaskByDefault) {
+  for (int i = 0; i < WorkloadRegistry::NumWorkloads(); ++i) {
+    const WorkloadSpec& spec = WorkloadRegistry::Get(i);
+    if (spec.name == "ResNet18-2task") {
+      EXPECT_EQ(spec.default_num_tasks, 2);
+    } else if (spec.name == "ResNet18-4task") {
+      EXPECT_EQ(spec.default_num_tasks, 4);
+    } else {
+      EXPECT_EQ(spec.default_num_tasks, 1) << spec.name;
+    }
+  }
+}
+
+TEST(WorkloadRegistryTest, ProfilesCoverFigure1Applications) {
+  // ViT maps onto the ResNet18 interference profile (same app class).
+  EXPECT_EQ(WorkloadRegistry::Get(WorkloadRegistry::IdOf("ViT")).profile,
+            InterferenceProfile::kResNet18);
+  EXPECT_EQ(WorkloadRegistry::Get(WorkloadRegistry::IdOf("OpenFOAM")).profile,
+            InterferenceProfile::kOpenFoam);
+}
+
+}  // namespace
+}  // namespace eva
