@@ -1,0 +1,90 @@
+# Shared helper functions for the Eva build.
+#
+# Conventions this module encodes:
+#   * Test suites are one binary per tests/ subdirectory, registered with
+#     CTest via gtest_discover_tests and tagged with a label so that
+#     `ctest -L unit` gives a fast inner loop.
+#   * Dependencies prefer the system package (find_package) and fall back to
+#     FetchContent so a network-connected machine without dev packages still
+#     builds; FetchContent is never attempted when the package is found.
+
+include_guard(GLOBAL)
+
+# Resolves GoogleTest into GTest::gtest / GTest::gtest_main targets.
+macro(eva_find_gtest)
+  if(NOT TARGET GTest::gtest_main)
+    find_package(GTest QUIET)
+    if(NOT GTest_FOUND)
+      message(STATUS "System GTest not found; fetching googletest v1.14.0")
+      include(FetchContent)
+      FetchContent_Declare(googletest
+        URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+        URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+      set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+      set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+      FetchContent_MakeAvailable(googletest)
+    endif()
+  endif()
+  include(GoogleTest)
+endmacro()
+
+# Resolves Google Benchmark into the benchmark::benchmark_main target.
+macro(eva_find_benchmark)
+  if(NOT TARGET benchmark::benchmark_main)
+    find_package(benchmark QUIET)
+    if(NOT benchmark_FOUND)
+      message(STATUS "System Google Benchmark not found; fetching v1.8.3")
+      include(FetchContent)
+      FetchContent_Declare(googlebenchmark
+        URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+        URL_HASH SHA256=6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce)
+      set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+      set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+      FetchContent_MakeAvailable(googlebenchmark)
+    endif()
+  endif()
+endmacro()
+
+# eva_add_test_suite(<name> LABEL <unit|integration|property> SOURCES <files...>)
+#
+# One gtest binary covering a tests/ subdirectory. Discovered tests inherit
+# LABEL so `ctest -L <label>` selects them.
+function(eva_add_test_suite name)
+  cmake_parse_arguments(ARG "" "LABEL" "SOURCES" ${ARGN})
+  if(NOT ARG_LABEL)
+    set(ARG_LABEL unit)
+  endif()
+  add_executable(${name} ${ARG_SOURCES})
+  target_link_libraries(${name} PRIVATE eva_core eva_warnings GTest::gtest_main)
+  gtest_discover_tests(${name}
+    PROPERTIES LABELS "${ARG_LABEL}"
+    DISCOVERY_TIMEOUT 120)
+endfunction()
+
+# eva_add_driver(<name> SOURCES <files...> [LIBS <targets...>])
+#
+# A standalone binary (example or table/figure harness) linking eva_core.
+function(eva_add_driver name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;LIBS" ${ARGN})
+  add_executable(${name} ${ARG_SOURCES})
+  target_link_libraries(${name} PRIVATE eva_core eva_warnings ${ARG_LIBS})
+endfunction()
+
+# eva_add_header_checks(<target> HEADERS <repo-relative headers...>)
+#
+# Generates a one-line TU per header and compiles them all into an OBJECT
+# library, so a header that stops being self-contained breaks the build
+# rather than lurking until someone reorders includes.
+function(eva_add_header_checks target)
+  cmake_parse_arguments(ARG "" "" "HEADERS" ${ARGN})
+  set(check_sources)
+  foreach(header IN LISTS ARG_HEADERS)
+    string(MAKE_C_IDENTIFIER "${header}" stem)
+    set(check_src "${CMAKE_CURRENT_BINARY_DIR}/header_checks/${stem}.cc")
+    file(CONFIGURE OUTPUT "${check_src}" CONTENT "#include \"${header}\"\n")
+    list(APPEND check_sources "${check_src}")
+  endforeach()
+  add_library(${target} OBJECT ${check_sources})
+  target_include_directories(${target} PRIVATE "${PROJECT_SOURCE_DIR}")
+  target_link_libraries(${target} PRIVATE eva_warnings)
+endfunction()

@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <cmath>
-#include <numbers>
 
 namespace eva {
 namespace {
@@ -62,13 +61,15 @@ double Rng::Exponential(double rate) {
 }
 
 double Rng::Normal(double mean, double stddev) {
+  // C++17 has no std::numbers::pi; keep the constant local.
+  constexpr double kPi = 3.14159265358979323846;
   double u1 = NextDouble();
   if (u1 <= 0.0) {
     u1 = 0x1.0p-53;
   }
   const double u2 = NextDouble();
   const double radius = std::sqrt(-2.0 * std::log(u1));
-  return mean + stddev * radius * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * radius * std::cos(2.0 * kPi * u2);
 }
 
 double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }

@@ -101,6 +101,25 @@ TEST(RngTest, NormalMoments) {
   EXPECT_NEAR(var, 4.0, 0.15);
 }
 
+// Regression test for the Box-Muller circle constant (rng.cc once relied on
+// C++20's std::numbers::pi): a wrong constant skews the angle term and pushes
+// the standard-normal moments outside these tolerances.
+TEST(RngTest, StandardNormalHasZeroMeanUnitStddev) {
+  Rng rng(43);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(0.0, 1.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(stddev, 1.0, 0.01);
+}
+
 TEST(RngTest, LogNormalMedian) {
   Rng rng(19);
   std::vector<double> xs;

@@ -65,7 +65,7 @@ TEST_F(HeterogeneityTest, TnrpScalesWithHostFamilySpeed) {
 }
 
 TEST_F(HeterogeneityTest, PackerPlacesTaskOnFastestPerDollarFamily) {
-  const TaskId id = AddCpuTask(1.0, 3.0);
+  AddCpuTask(1.0, 3.0);
   context_.Finalize();
   const TnrpCalculator calculator(context_, {});
   const ClusterConfig config = FullReconfiguration(context_, calculator);
