@@ -1,8 +1,14 @@
-// google-benchmark micro-benchmarks of the scheduler internals: reservation
+// google-benchmark micro-benchmarks of the scheduler internals (reservation
 // price computation, Algorithm 1 packing, the config differ, the throughput
-// table, and the B&B solver on small instances.
+// table, the B&B solver on small instances), plus a large-trace engine
+// throughput case reporting events/sec. With EVA_BENCH_JSON=<path> the
+// engine case is written as machine-readable JSON (the committed
+// BENCH_scheduler_perf.json tracks it across commits). Scale the engine
+// case with EVA_BENCH_SCALE (percent of 2,000 jobs).
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "bench/bench_util.h"
 #include "src/core/full_reconfig.h"
@@ -122,4 +128,53 @@ void BM_EndToEndSmallTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSmallTrace)->Unit(benchmark::kMillisecond);
 
+// The large-trace engine throughput case: a 2,000-job Alibaba-like trace
+// through the full event-driven engine, reported as events/sec. This is the
+// number the incremental-recomputation work is measured by. Returns false
+// if a requested JSON artifact could not be written.
+bool RunEngineThroughputCases() {
+  PrintBenchHeader("Simulation engine throughput, 2000-job Alibaba trace",
+                   "engine perf tracking; not a paper table");
+  AlibabaTraceOptions trace_options;
+  trace_options.num_jobs = ScaledJobCount(2000);
+  trace_options.seed = 17;
+  trace_options.max_duration_hours = 48.0;
+  const Trace trace = GenerateAlibabaTrace(trace_options);
+  const InterferenceModel interference = InterferenceModel::Measured();
+
+  BenchJsonWriter json;
+  std::printf("%-22s %10s %12s %14s\n", "Case", "Wall(s)", "Events", "Events/sec");
+  for (const SchedulerKind kind : {SchedulerKind::kNoPacking, SchedulerKind::kEva}) {
+    SchedulerBundle bundle = MakeScheduler(kind, interference);
+    const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+    const auto start = std::chrono::steady_clock::now();
+    const SimulationMetrics metrics = RunSimulation(trace, bundle.scheduler.get(), catalog,
+                                                    interference, SimulatorOptions{});
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const double events_per_sec =
+        wall > 0.0 ? static_cast<double>(metrics.events_processed) / wall : 0.0;
+    const std::string name =
+        std::string("alibaba2000_") + SchedulerKindName(kind);
+    std::printf("%-22s %10.3f %12lld %14.0f\n", name.c_str(), wall,
+                static_cast<long long>(metrics.events_processed), events_per_sec);
+    json.AddCase(name, trace_options.num_jobs, wall, metrics.events_processed,
+                 events_per_sec);
+  }
+  if (const char* path = BenchJsonWriter::OutputPath()) {
+    return json.WriteTo(path, "scheduler_perf");
+  }
+  return true;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return RunEngineThroughputCases() ? 0 : 1;
+}

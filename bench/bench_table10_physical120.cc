@@ -31,7 +31,7 @@ int main() {
 
   const std::vector<SchedulerKind> kinds = {SchedulerKind::kNoPacking, SchedulerKind::kStratus,
                                             SchedulerKind::kEva};
-  const std::vector<ExperimentResult> results = RunComparison(trace, kinds, options);
+  const std::vector<ExperimentResult> results = ParallelRunComparison(trace, kinds, options);
 
   std::printf("Table 10 columns:\n");
   std::printf("%-12s %10s %7s %10s %9s %6s %6s %6s\n", "Scheduler", "Cost($)", "Norm",

@@ -25,7 +25,7 @@ int main() {
   const std::vector<SchedulerKind> kinds = {SchedulerKind::kNoPacking, SchedulerKind::kStratus,
                                             SchedulerKind::kSynergy, SchedulerKind::kOwl,
                                             SchedulerKind::kEva};
-  PrintComparisonTable(RunComparison(trace, kinds, options));
+  PrintComparisonTable(ParallelRunComparison(trace, kinds, options));
   std::printf("\nPaper: No-Packing 100%%, Stratus 88.9%%, Synergy 89.0%%, Owl 87.7%%, Eva 75.1%%.\n");
   return 0;
 }

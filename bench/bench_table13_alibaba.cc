@@ -27,7 +27,7 @@ int main() {
   const std::vector<SchedulerKind> kinds = {SchedulerKind::kNoPacking, SchedulerKind::kStratus,
                                             SchedulerKind::kSynergy, SchedulerKind::kOwl,
                                             SchedulerKind::kEva};
-  PrintComparisonTable(RunComparison(trace, kinds, options));
+  PrintComparisonTable(ParallelRunComparison(trace, kinds, options));
   std::printf("\nPaper: No-Packing 100%%, Stratus 72%%, Synergy 77%%, Owl 78%%, Eva 60%%;\n");
   std::printf("tasks/instance 0.99/1.60/1.72/1.81/2.05; JCT 9.18->10.55h for Eva.\n");
   return 0;

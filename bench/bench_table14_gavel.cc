@@ -26,7 +26,7 @@ int main() {
   const std::vector<SchedulerKind> kinds = {SchedulerKind::kNoPacking, SchedulerKind::kStratus,
                                             SchedulerKind::kSynergy, SchedulerKind::kOwl,
                                             SchedulerKind::kEva};
-  PrintComparisonTable(RunComparison(trace, kinds, options));
+  PrintComparisonTable(ParallelRunComparison(trace, kinds, options));
   std::printf("\nPaper: No-Packing 100%%, Stratus 67%%, Synergy 67%%, Owl 75%%, Eva 58%%;\n");
   std::printf("tasks/instance up to 2.59 for Eva; JCT 16.81->19.42h.\n");
   return 0;

@@ -5,6 +5,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/sched/types.h"
@@ -41,6 +44,47 @@ inline void PrintBenchHeader(const char* title, const char* paper_ref) {
   std::printf("%s\n(reproduces %s)\n", title, paper_ref);
   std::printf("================================================================\n");
 }
+
+// Machine-readable results, opted into with EVA_BENCH_JSON=<path>: each
+// harness that supports it writes {"bench": ..., "cases": [...]} with
+// wall-time and throughput per case, so the repo's perf trajectory can be
+// recorded across commits (see BENCH_scheduler_perf.json).
+class BenchJsonWriter {
+ public:
+  // The EVA_BENCH_JSON destination, or nullptr when JSON output is off.
+  static const char* OutputPath() { return std::getenv("EVA_BENCH_JSON"); }
+
+  void AddCase(const std::string& name, int jobs, double wall_seconds,
+               std::int64_t events, double events_per_sec) {
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"jobs\": %d, \"wall_seconds\": %.6f, "
+                  "\"events\": %lld, \"events_per_sec\": %.1f}",
+                  name.c_str(), jobs, wall_seconds, static_cast<long long>(events),
+                  events_per_sec);
+    cases_.emplace_back(buffer);
+  }
+
+  // Writes the collected cases; returns false (with a message) on I/O error.
+  bool WriteTo(const char* path, const char* bench_name) const {
+    FILE* file = std::fopen(path, "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "EVA_BENCH_JSON: cannot write %s\n", path);
+      return false;
+    }
+    std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"cases\": [\n", bench_name);
+    for (std::size_t i = 0; i < cases_.size(); ++i) {
+      std::fprintf(file, "%s%s\n", cases_[i].c_str(), i + 1 < cases_.size() ? "," : "");
+    }
+    std::fprintf(file, "  ]\n}\n");
+    std::fclose(file);
+    std::printf("wrote %s\n", path);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> cases_;
+};
 
 }  // namespace eva
 

@@ -55,6 +55,8 @@ int main(int argc, char** argv) {
   const std::vector<SchedulerKind> kinds = {SchedulerKind::kNoPacking, SchedulerKind::kStratus,
                                             SchedulerKind::kSynergy, SchedulerKind::kOwl,
                                             SchedulerKind::kEva};
-  PrintComparisonTable(RunComparison(*loaded, kinds, options));
+  // One simulator per scheduler, all cores: identical output to the serial
+  // RunComparison, just faster.
+  PrintComparisonTable(ParallelRunComparison(*loaded, kinds, options));
   return 0;
 }

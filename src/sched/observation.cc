@@ -1,0 +1,32 @@
+#include "src/sched/observation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/rng.h"
+
+namespace eva {
+
+double PerturbObservedThroughput(double normalized_throughput, Rng& rng, double stddev) {
+  const double noisy = normalized_throughput * (1.0 + rng.Normal(0.0, stddev));
+  return std::clamp(noisy, 0.01, 1.0);
+}
+
+JobThroughputObservation& ObservationBatch::BeginJob(JobId job, double normalized_throughput) {
+  JobThroughputObservation observation;
+  observation.job = job;
+  observation.normalized_throughput = normalized_throughput;
+  observations_.push_back(std::move(observation));
+  return observations_.back();
+}
+
+TaskPlacementObservation& ObservationBatch::AddTask(TaskId task, WorkloadId workload) {
+  assert(!observations_.empty());
+  TaskPlacementObservation placement;
+  placement.task = task;
+  placement.workload = workload;
+  observations_.back().tasks.push_back(std::move(placement));
+  return observations_.back().tasks.back();
+}
+
+}  // namespace eva

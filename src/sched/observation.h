@@ -1,0 +1,46 @@
+// Helpers for assembling the per-round JobThroughputObservation batches a
+// scheduler receives (Scheduler::ObserveThroughput).
+//
+// In simulation the execution model fills these from ground truth; in the
+// real system the workers' EvaIterator reports fill them. Both producers
+// share this builder so the observation wire format — including the
+// physical-measurement noise model — is defined once, on the scheduler's
+// side of the boundary.
+
+#ifndef SRC_SCHED_OBSERVATION_H_
+#define SRC_SCHED_OBSERVATION_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/sched/scheduler.h"
+
+namespace eva {
+
+class Rng;
+
+// A throughput measurement as a physical deployment would report it:
+// multiplicative Gaussian timer noise, clamped to (0, 1].
+double PerturbObservedThroughput(double normalized_throughput, Rng& rng, double stddev);
+
+// Accumulates one round's observations. Usage per job:
+//   batch.BeginJob(job, tput);
+//   auto& placement = batch.AddTask(task, workload);
+//   placement.colocated.push_back(...);
+class ObservationBatch {
+ public:
+  JobThroughputObservation& BeginJob(JobId job, double normalized_throughput);
+
+  // Appends a placement record to the most recent BeginJob. Requires a
+  // preceding BeginJob call.
+  TaskPlacementObservation& AddTask(TaskId task, WorkloadId workload);
+
+  std::vector<JobThroughputObservation> Take() { return std::move(observations_); }
+
+ private:
+  std::vector<JobThroughputObservation> observations_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_SCHED_OBSERVATION_H_

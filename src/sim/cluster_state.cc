@@ -1,0 +1,259 @@
+#include "src/sim/cluster_state.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/stats.h"
+
+namespace eva {
+
+JobRec* ClusterState::FindJob(JobId id) {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+const JobRec* ClusterState::FindJob(JobId id) const {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+TaskRec* ClusterState::FindTask(TaskId id) {
+  const auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+InstRec* ClusterState::FindInstance(InstanceId id) {
+  const auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+const InstRec* ClusterState::FindInstance(InstanceId id) const {
+  const auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+JobRec& ClusterState::AddJob(const JobSpec& spec) {
+  JobRec job;
+  job.spec = spec;
+  job.active = true;
+  job.remaining_work_s = spec.duration_s;
+  for (int i = 0; i < spec.num_tasks; ++i) {
+    TaskRec task;
+    task.id = next_task_id_++;
+    task.job = spec.id;
+    task.workload = spec.workload;
+    tasks_[task.id] = task;
+    job.tasks.push_back(task.id);
+  }
+  active_.insert(spec.id);
+  return jobs_[spec.id] = std::move(job);
+}
+
+void ClusterState::DeactivateJob(JobRec& job, SimTime now) {
+  job.active = false;
+  job.completion_time = now;
+  job.current_rate = 0.0;
+  active_.erase(job.spec.id);
+}
+
+InstRec& ClusterState::CreateInstance(int type_index, SimTime launch_time, SimTime ready_time) {
+  InstRec instance;
+  instance.id = next_instance_id_++;
+  instance.type_index = type_index;
+  instance.launch_time = launch_time;
+  instance.ready_time = ready_time;
+  ++instances_launched_;
+  composition_dirty_ = true;
+  return instances_[instance.id] = std::move(instance);
+}
+
+void ClusterState::Condemn(InstanceId id) {
+  if (InstRec* instance = FindInstance(id)) {
+    instance->condemned = true;
+  }
+}
+
+bool ClusterState::MaybeTerminate(InstanceId id, SimTime now) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    return false;
+  }
+  InstRec& instance = it->second;
+  if (!instance.condemned || !instance.assigned.empty() || !instance.present.empty()) {
+    return false;
+  }
+  const SimTime uptime = std::max(now - instance.launch_time, 0.0);
+  total_cost_ += CostForUptime(catalog_.Get(instance.type_index).cost_per_hour, uptime);
+  uptime_hours_.push_back(SecondsToHours(uptime));
+  instances_.erase(it);
+  composition_dirty_ = true;
+  return true;
+}
+
+void ClusterState::TerminateAllLive(SimTime now) {
+  for (auto& [id, instance] : instances_) {
+    (void)id;
+    const SimTime uptime = std::max(now - instance.launch_time, 0.0);
+    total_cost_ += CostForUptime(catalog_.Get(instance.type_index).cost_per_hour, uptime);
+    uptime_hours_.push_back(SecondsToHours(uptime));
+  }
+  instances_.clear();
+  composition_dirty_ = true;
+}
+
+void ClusterState::SetTarget(TaskRec& task, InstanceId dest) {
+  if (task.target != kInvalidInstanceId) {
+    if (InstRec* old_target = FindInstance(task.target)) {
+      old_target->assigned.erase(task.id);
+    }
+  }
+  task.target = dest;
+  instances_.at(dest).assigned.insert(task.id);
+  composition_dirty_ = true;
+}
+
+void ClusterState::PlaceContainer(TaskRec& task) {
+  task.source = task.target;
+  instances_.at(task.source).present.insert(task.id);
+}
+
+InstanceId ClusterState::RemoveContainer(TaskRec& task) {
+  const InstanceId source_id = task.source;
+  if (source_id != kInvalidInstanceId) {
+    if (InstRec* source = FindInstance(source_id)) {
+      source->present.erase(task.id);
+    }
+    task.source = kInvalidInstanceId;
+  }
+  return source_id;
+}
+
+ClusterState::DetachResult ClusterState::MarkTaskDone(TaskRec& task) {
+  ++task.version;
+  if (task.source != kInvalidInstanceId) {
+    if (InstRec* source = FindInstance(task.source)) {
+      source->present.erase(task.id);
+    }
+  }
+  if (task.target != kInvalidInstanceId) {
+    if (InstRec* target = FindInstance(task.target)) {
+      target->assigned.erase(task.id);
+    }
+    composition_dirty_ = true;
+  }
+  const DetachResult detached{task.source, task.target};
+  task.source = kInvalidInstanceId;
+  task.target = kInvalidInstanceId;
+  task.state = TaskState::kDone;
+  return detached;
+}
+
+void ClusterState::RefreshCompositionSums() {
+  for (int r = 0; r < kNumResources; ++r) {
+    cached_cap_[r] = 0.0;
+    cached_alloc_[r] = 0.0;
+  }
+  cached_assigned_tasks_ = 0.0;
+  for (const auto& [inst_id, instance] : instances_) {
+    (void)inst_id;
+    const InstanceType& type = catalog_.Get(instance.type_index);
+    for (int r = 0; r < kNumResources; ++r) {
+      cached_cap_[r] += type.capacity.Get(static_cast<Resource>(r));
+    }
+    cached_assigned_tasks_ += static_cast<double>(instance.assigned.size());
+    for (TaskId task_id : instance.assigned) {
+      const auto task = tasks_.find(task_id);
+      if (task == tasks_.end()) {
+        continue;
+      }
+      const auto job = jobs_.find(task->second.job);
+      if (job == jobs_.end()) {
+        continue;
+      }
+      const ResourceVector& demand = job->second.spec.DemandFor(type.family);
+      for (int r = 0; r < kNumResources; ++r) {
+        cached_alloc_[r] += demand.Get(static_cast<Resource>(r));
+      }
+    }
+  }
+  composition_dirty_ = false;
+}
+
+void ClusterState::IntegrateTo(SimTime dt) {
+  if (composition_dirty_) {
+    RefreshCompositionSums();
+  }
+  for (int r = 0; r < kNumResources; ++r) {
+    cap_seconds_[r] += cached_cap_[r] * dt;
+    alloc_seconds_[r] += cached_alloc_[r] * dt;
+  }
+  instance_seconds_ += static_cast<double>(instances_.size()) * dt;
+  task_instance_seconds_ += cached_assigned_tasks_ * dt;
+}
+
+SchedulingContext ClusterState::BuildContext(SimTime now, bool grant_runtime_estimates) const {
+  SchedulingContext context;
+  context.now_s = now;
+  context.catalog = &catalog_;
+  for (JobId job_id : active_) {
+    const JobRec& job = jobs_.at(job_id);
+    for (TaskId task_id : job.tasks) {
+      const TaskRec& task = tasks_.at(task_id);
+      TaskInfo info;
+      info.id = task.id;
+      info.job = task.job;
+      info.workload = task.workload;
+      info.demand_p3 = job.spec.demand_p3;
+      info.demand_cpu = job.spec.demand_cpu;
+      info.family_speedup = job.spec.family_speedup;
+      info.current_instance = task.target;
+      info.remaining_work_s = grant_runtime_estimates ? job.remaining_work_s : -1.0;
+      context.tasks.push_back(std::move(info));
+    }
+  }
+  for (const auto& [inst_id, instance] : instances_) {
+    (void)inst_id;
+    if (instance.condemned) {
+      continue;
+    }
+    InstanceInfo info;
+    info.id = instance.id;
+    info.type_index = instance.type_index;
+    info.tasks.assign(instance.assigned.begin(), instance.assigned.end());
+    context.instances.push_back(std::move(info));
+  }
+  context.Finalize();
+  return context;
+}
+
+void ClusterState::FinalizeMetrics(SimulationMetrics& metrics) const {
+  metrics.total_cost = total_cost_;
+  metrics.instances_launched = instances_launched_;
+  metrics.instance_uptime_hours = uptime_hours_;
+  metrics.avg_tasks_per_instance =
+      instance_seconds_ > 0.0 ? task_instance_seconds_ / instance_seconds_ : 0.0;
+  metrics.avg_alloc_gpu = cap_seconds_[0] > 0.0 ? alloc_seconds_[0] / cap_seconds_[0] : 0.0;
+  metrics.avg_alloc_cpu = cap_seconds_[1] > 0.0 ? alloc_seconds_[1] / cap_seconds_[1] : 0.0;
+  metrics.avg_alloc_ram = cap_seconds_[2] > 0.0 ? alloc_seconds_[2] / cap_seconds_[2] : 0.0;
+
+  RunningStats jct;
+  RunningStats tput;
+  RunningStats idle;
+  for (const auto& [job_id, job] : jobs_) {
+    (void)job_id;
+    if (job.active) {
+      continue;  // Aborted runs can leave unfinished jobs; skip them.
+    }
+    jct.Add(SecondsToHours(job.completion_time - job.spec.arrival_time_s));
+    if (job.running_seconds > 0.0) {
+      tput.Add(job.spec.duration_s / job.running_seconds);
+    }
+    idle.Add(SecondsToHours((job.completion_time - job.spec.arrival_time_s) -
+                            job.running_seconds));
+  }
+  metrics.avg_jct_hours = jct.mean();
+  metrics.avg_norm_job_throughput = tput.mean();
+  metrics.avg_job_idle_hours = idle.mean();
+}
+
+}  // namespace eva

@@ -1,0 +1,177 @@
+// Mutable cluster state for the simulator: jobs, tasks and instances, plus
+// the time-weighted capacity/allocation integrals the paper's tables report.
+//
+// All mutations go through the methods below, which maintain two invariants
+// the rest of the engine relies on:
+//   * an instance's `present` set contains exactly the tasks whose container
+//     lives on it (states kRunning / kCheckpointing) — terminal transitions
+//     prune it, so colocation lookups can never see a stale entry;
+//   * the capacity / allocation / tasks-per-instance sums used by
+//     IntegrateTo() are cached and recomputed only when the instance set or
+//     a task assignment actually changes, instead of rescanning the cluster
+//     on every event. The recomputation walks the same containers in the
+//     same order as a full rescan, so the integrals are bit-identical to the
+//     pre-incremental engine's.
+
+#ifndef SRC_SIM_CLUSTER_STATE_H_
+#define SRC_SIM_CLUSTER_STATE_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/cloud/instance_type.h"
+#include "src/common/resources.h"
+#include "src/common/units.h"
+#include "src/sched/types.h"
+#include "src/sim/metrics.h"
+#include "src/workload/job.h"
+
+namespace eva {
+
+enum class TaskState {
+  kPending,        // Arrived, never placed.
+  kWaiting,        // Assigned, waiting for the target instance to be ready.
+  kLaunching,      // Container starting on the target instance.
+  kRunning,        // Executing.
+  kCheckpointing,  // Stopping on the source instance before a migration.
+  kDone,
+};
+
+struct TaskRec {
+  TaskId id = kInvalidTaskId;
+  JobId job = kInvalidJobId;
+  WorkloadId workload = kInvalidWorkloadId;
+  TaskState state = TaskState::kPending;
+  InstanceId target = kInvalidInstanceId;  // Assigned destination.
+  InstanceId source = kInvalidInstanceId;  // Where the container lives now.
+  int version = 0;                         // Guards in-flight events.
+};
+
+struct JobRec {
+  JobSpec spec;
+  std::vector<TaskId> tasks;
+  bool active = false;
+  SimTime remaining_work_s = 0.0;
+  SimTime running_seconds = 0.0;
+  SimTime completion_time = 0.0;
+  double current_rate = 0.0;  // Normalized throughput while fully running.
+};
+
+struct InstRec {
+  InstanceId id = kInvalidInstanceId;
+  int type_index = -1;
+  bool ready = false;
+  bool condemned = false;
+  SimTime launch_time = 0.0;
+  SimTime ready_time = 0.0;
+  std::set<TaskId> assigned;  // Tasks targeted at this instance.
+  std::set<TaskId> present;   // Containers physically on this instance.
+};
+
+class ClusterState {
+ public:
+  explicit ClusterState(const InstanceCatalog& catalog) : catalog_(catalog) {}
+
+  // --- Lookup -----------------------------------------------------------
+  const std::map<JobId, JobRec>& jobs() const { return jobs_; }
+  const std::map<TaskId, TaskRec>& tasks() const { return tasks_; }
+  const std::map<InstanceId, InstRec>& instances() const { return instances_; }
+  const std::set<JobId>& active_jobs() const { return active_; }
+  int num_active() const { return static_cast<int>(active_.size()); }
+  bool HasLiveInstances() const { return !instances_.empty(); }
+
+  JobRec* FindJob(JobId id);
+  const JobRec* FindJob(JobId id) const;
+  TaskRec* FindTask(TaskId id);
+  InstRec* FindInstance(InstanceId id);
+  const InstRec* FindInstance(InstanceId id) const;
+
+  // --- Jobs and tasks ---------------------------------------------------
+  // Creates the job record plus one TaskRec per task; the job starts active
+  // with its full standalone duration as remaining work.
+  JobRec& AddJob(const JobSpec& spec);
+
+  // active -> false; records the completion time, zeroes the rate.
+  void DeactivateJob(JobRec& job, SimTime now);
+
+  // --- Instance lifecycle -----------------------------------------------
+  InstRec& CreateInstance(int type_index, SimTime launch_time, SimTime ready_time);
+  void Condemn(InstanceId id);
+
+  // Terminates the instance iff it is condemned with no assigned or present
+  // tasks: accumulates its cost + uptime and erases it. Returns true if the
+  // instance was terminated.
+  bool MaybeTerminate(InstanceId id, SimTime now);
+
+  // End-of-run cleanup: pay for everything still alive.
+  void TerminateAllLive(SimTime now);
+
+  // --- Assignment and container presence --------------------------------
+  // Points `task` at `dest`: removes it from the previous target's assigned
+  // set (if any) and inserts it into dest's. Does not change task state.
+  void SetTarget(TaskRec& task, InstanceId dest);
+
+  // The container lands on the task's target: source = target, present +=.
+  void PlaceContainer(TaskRec& task);
+
+  // The container leaves its source instance (checkpoint finished):
+  // present -=, source cleared. Returns the former source id.
+  InstanceId RemoveContainer(TaskRec& task);
+
+  // Terminal transition: bumps the version (cancelling in-flight events),
+  // prunes the task from both the present and assigned sets, clears
+  // source/target and marks the task kDone. Returns {source, target} as they
+  // were, for the caller's instance-termination sweep.
+  struct DetachResult {
+    InstanceId source = kInvalidInstanceId;
+    InstanceId target = kInvalidInstanceId;
+  };
+  DetachResult MarkTaskDone(TaskRec& task);
+
+  // --- Time integration --------------------------------------------------
+  // Accumulates capacity/allocation/instance-count integrals over dt using
+  // the cached composition sums (recomputed lazily after a mutation).
+  void IntegrateTo(SimTime dt);
+
+  // --- Outputs ------------------------------------------------------------
+  // Snapshot handed to Scheduler::Schedule (active jobs' tasks + live,
+  // non-condemned instances), in deterministic id order.
+  SchedulingContext BuildContext(SimTime now, bool grant_runtime_estimates) const;
+
+  // Fills cost, uptime distribution, instance counters, the time-weighted
+  // table metrics and the completed-job JCT/throughput/idle averages.
+  void FinalizeMetrics(SimulationMetrics& metrics) const;
+
+ private:
+  void RefreshCompositionSums();
+
+  const InstanceCatalog& catalog_;
+
+  std::map<JobId, JobRec> jobs_;
+  std::map<TaskId, TaskRec> tasks_;
+  std::map<InstanceId, InstRec> instances_;  // Live (provisioning/ready).
+  std::set<JobId> active_;
+  TaskId next_task_id_ = 0;
+  InstanceId next_instance_id_ = 0;
+
+  // Cached composition sums for IntegrateTo; `composition_dirty_` is set by
+  // every mutation that changes what the sums range over.
+  bool composition_dirty_ = true;
+  double cached_cap_[kNumResources] = {0, 0, 0};
+  double cached_alloc_[kNumResources] = {0, 0, 0};
+  double cached_assigned_tasks_ = 0.0;
+
+  // Metric accumulators.
+  int instances_launched_ = 0;
+  Money total_cost_ = 0.0;
+  std::vector<double> uptime_hours_;
+  double instance_seconds_ = 0.0;       // integral of #live instances dt
+  double task_instance_seconds_ = 0.0;  // integral of sum(assigned) dt
+  double cap_seconds_[kNumResources] = {0, 0, 0};
+  double alloc_seconds_[kNumResources] = {0, 0, 0};
+};
+
+}  // namespace eva
+
+#endif  // SRC_SIM_CLUSTER_STATE_H_

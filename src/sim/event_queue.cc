@@ -1,0 +1,15 @@
+#include "src/sim/event_queue.h"
+
+namespace eva {
+
+void EventQueue::Push(SimTime time, SimEventType type, std::int64_t a, int version) {
+  heap_.push(SimEvent{time, next_seq_++, type, a, version});
+}
+
+SimEvent EventQueue::Pop() {
+  SimEvent event = heap_.top();
+  heap_.pop();
+  return event;
+}
+
+}  // namespace eva

@@ -1,0 +1,67 @@
+// Versioned event heap for the discrete-event simulator.
+//
+// Events carry a payload id (`a`: job index / task id / instance id) and a
+// version. Versions implement cancellation without heap surgery: state
+// transitions bump the owning record's version, so a handler popping an
+// event whose version no longer matches simply drops it. Ties at equal
+// timestamps break FIFO via a monotonically increasing sequence number,
+// which makes the event order — and therefore every simulation — fully
+// deterministic.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace eva {
+
+enum class SimEventType {
+  kArrival,
+  kRound,
+  kInstanceReady,
+  kCheckpointDone,
+  kLaunchDone,
+  kCompletionCheck,
+};
+
+struct SimEvent {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;  // FIFO tie-break.
+  SimEventType type = SimEventType::kArrival;
+  std::int64_t a = 0;  // job index / task id / instance id
+  int version = 0;
+
+  bool operator>(const SimEvent& other) const {
+    if (time != other.time) {
+      return time > other.time;
+    }
+    return seq > other.seq;
+  }
+};
+
+class EventQueue {
+ public:
+  void Push(SimTime time, SimEventType type, std::int64_t a = 0, int version = 0);
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+
+  // Earliest event (FIFO among ties). Requires !Empty().
+  const SimEvent& Top() const { return heap_.top(); }
+  SimEvent Pop();
+
+  // Total number of events ever pushed.
+  std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<SimEvent>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace eva
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

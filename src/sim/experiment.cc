@@ -1,6 +1,7 @@
 #include "src/sim/experiment.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,6 +9,7 @@
 #include "src/baselines/owl.h"
 #include "src/baselines/stratus.h"
 #include "src/baselines/synergy.h"
+#include "src/common/thread_pool.h"
 
 namespace eva {
 
@@ -81,23 +83,25 @@ SchedulerBundle MakeScheduler(SchedulerKind kind, const InterferenceModel& inter
   return bundle;
 }
 
-std::vector<ExperimentResult> RunComparison(const Trace& trace,
-                                            const std::vector<SchedulerKind>& kinds,
-                                            const ExperimentOptions& options) {
-  std::vector<ExperimentResult> results;
-  for (SchedulerKind kind : kinds) {
-    SchedulerBundle bundle = MakeScheduler(kind, options.interference, options.eva);
-    ExperimentResult result;
-    result.kind = kind;
-    result.metrics = RunSimulation(trace, bundle.scheduler.get(), options.catalog,
-                                   options.interference, options.simulator);
-    if (bundle.eva != nullptr && bundle.eva->stats().rounds > 0) {
-      result.full_adoption_fraction =
-          static_cast<double>(bundle.eva->stats().full_adopted) / bundle.eva->stats().rounds;
-    }
-    results.push_back(std::move(result));
+namespace {
+
+// One scheduler's end-to-end run: fresh bundle, fresh simulator.
+ExperimentResult RunOne(const Trace& trace, SchedulerKind kind,
+                        const ExperimentOptions& options) {
+  SchedulerBundle bundle = MakeScheduler(kind, options.interference, options.eva);
+  ExperimentResult result;
+  result.kind = kind;
+  result.metrics = RunSimulation(trace, bundle.scheduler.get(), options.catalog,
+                                 options.interference, options.simulator);
+  if (bundle.eva != nullptr && bundle.eva->stats().rounds > 0) {
+    result.full_adoption_fraction =
+        static_cast<double>(bundle.eva->stats().full_adopted) / bundle.eva->stats().rounds;
   }
-  // Normalize against No-Packing when present.
+  return result;
+}
+
+// Normalizes costs against No-Packing when present, else the first entry.
+void NormalizeCosts(std::vector<ExperimentResult>& results) {
   Money baseline = 0.0;
   for (const ExperimentResult& result : results) {
     if (result.kind == SchedulerKind::kNoPacking) {
@@ -112,6 +116,39 @@ std::vector<ExperimentResult> RunComparison(const Trace& trace,
     result.normalized_cost =
         baseline > 0.0 ? result.metrics.total_cost / baseline : 1.0;
   }
+}
+
+}  // namespace
+
+std::vector<ExperimentResult> RunComparison(const Trace& trace,
+                                            const std::vector<SchedulerKind>& kinds,
+                                            const ExperimentOptions& options) {
+  std::vector<ExperimentResult> results;
+  results.reserve(kinds.size());
+  for (SchedulerKind kind : kinds) {
+    results.push_back(RunOne(trace, kind, options));
+  }
+  NormalizeCosts(results);
+  return results;
+}
+
+std::vector<ExperimentResult> ParallelRunComparison(const Trace& trace,
+                                                    const std::vector<SchedulerKind>& kinds,
+                                                    const ExperimentOptions& options,
+                                                    int num_threads) {
+  // Each run writes its own pre-sized slot; trace/options are shared
+  // read-only. Per-run RNGs are seeded inside RunSimulation from
+  // options.simulator.seed, so ordering cannot leak between runs.
+  std::vector<ExperimentResult> results(kinds.size());
+  const int resolved = num_threads > 0 ? num_threads : ThreadPool::DefaultThreads();
+  ThreadPool pool(std::min<int>(resolved, static_cast<int>(kinds.size())));
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    pool.Submit([&trace, &options, &results, &kinds, i] {
+      results[i] = RunOne(trace, kinds[i], options);
+    });
+  }
+  pool.Wait();
+  NormalizeCosts(results);
   return results;
 }
 

@@ -61,6 +61,16 @@ std::vector<ExperimentResult> RunComparison(const Trace& trace,
                                             const std::vector<SchedulerKind>& kinds,
                                             const ExperimentOptions& options);
 
+// RunComparison with one simulator+scheduler bundle per worker thread.
+// Every run constructs its own Rng from options.simulator.seed (exactly as
+// the serial path does), so results are deterministic and bit-identical to
+// RunComparison regardless of thread count or completion order.
+// num_threads <= 0 uses all hardware threads.
+std::vector<ExperimentResult> ParallelRunComparison(const Trace& trace,
+                                                    const std::vector<SchedulerKind>& kinds,
+                                                    const ExperimentOptions& options,
+                                                    int num_threads = 0);
+
 // Renders rows in the style of Tables 10/11/13/14.
 void PrintComparisonTable(const std::vector<ExperimentResult>& results);
 

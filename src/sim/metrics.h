@@ -3,6 +3,7 @@
 #ifndef SRC_SIM_METRICS_H_
 #define SRC_SIM_METRICS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,10 @@ struct SimulationMetrics {
 
   SimTime makespan_s = 0.0;
   int scheduling_rounds = 0;
+
+  // Discrete events processed by the engine; with wall time this gives the
+  // events/sec figure the perf benchmarks track.
+  std::int64_t events_processed = 0;
 
   // Raw distributions for CDFs / percentile reporting (Figure 3).
   std::vector<double> instance_uptime_hours;

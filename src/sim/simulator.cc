@@ -1,89 +1,22 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
-#include <map>
-#include <queue>
-#include <set>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/common/rng.h"
-#include "src/common/stats.h"
 #include "src/sched/config_diff.h"
+#include "src/sim/cluster_state.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/execution_model.h"
+#include "src/sim/task_lifecycle.h"
 
 namespace eva {
-namespace {
 
-constexpr double kWorkEpsilonS = 1e-6;
-
-enum class TaskState {
-  kPending,        // Arrived, never placed.
-  kWaiting,        // Assigned, waiting for the target instance to be ready.
-  kLaunching,      // Container starting on the target instance.
-  kRunning,        // Executing.
-  kCheckpointing,  // Stopping on the source instance before a migration.
-  kDone,
-};
-
-enum class EventType {
-  kArrival,
-  kRound,
-  kInstanceReady,
-  kCheckpointDone,
-  kLaunchDone,
-  kCompletionCheck,
-};
-
-struct Event {
-  SimTime time;
-  std::uint64_t seq;  // FIFO tie-break.
-  EventType type;
-  std::int64_t a = 0;  // job index / task id / instance id / version
-  int version = 0;
-
-  bool operator>(const Event& other) const {
-    if (time != other.time) {
-      return time > other.time;
-    }
-    return seq > other.seq;
-  }
-};
-
-struct TaskRec {
-  TaskId id = kInvalidTaskId;
-  JobId job = kInvalidJobId;
-  WorkloadId workload = kInvalidWorkloadId;
-  TaskState state = TaskState::kPending;
-  InstanceId target = kInvalidInstanceId;  // Assigned destination.
-  InstanceId source = kInvalidInstanceId;  // Where the container lives now.
-  int version = 0;                         // Guards in-flight events.
-};
-
-struct JobRec {
-  JobSpec spec;
-  std::vector<TaskId> tasks;
-  bool active = false;
-  SimTime remaining_work_s = 0.0;
-  SimTime running_seconds = 0.0;
-  SimTime completion_time = 0.0;
-  double current_rate = 0.0;  // Normalized throughput while fully running.
-};
-
-struct InstRec {
-  InstanceId id = kInvalidInstanceId;
-  int type_index = -1;
-  bool ready = false;
-  bool condemned = false;
-  SimTime launch_time = 0.0;
-  SimTime ready_time = 0.0;
-  std::set<TaskId> assigned;  // Tasks targeted at this instance.
-  std::set<TaskId> present;   // Containers physically on this instance.
-};
-
-}  // namespace
-
+// Orchestrator: wires the event queue, cluster state, execution model and
+// task lifecycle to the Scheduler interface. All domain logic lives in those
+// modules; the handlers below only sequence events into state transitions.
 class Simulator::Impl {
  public:
   Impl(const Trace& trace, Scheduler* scheduler, const InstanceCatalog& catalog,
@@ -91,130 +24,47 @@ class Simulator::Impl {
       : trace_(trace),
         scheduler_(scheduler),
         catalog_(catalog),
-        interference_(interference),
         options_(options),
-        rng_(options.seed) {}
+        rng_(options.seed),
+        state_(catalog),
+        exec_(&state_, &catalog, &interference),
+        lifecycle_(&state_, &exec_, &queue_, options.migration_delay_multiplier) {}
 
   SimulationMetrics Run();
 
  private:
-  // --- Event plumbing -------------------------------------------------
-  void Push(SimTime time, EventType type, std::int64_t a = 0, int version = 0) {
-    queue_.push(Event{time, next_seq_++, type, a, version});
-  }
-
-  // --- Progress integration -------------------------------------------
   void Advance(SimTime to);
-  void RecomputeRatesAndCompletion();
-  // Co-location interference factor only (what the EvaIterator channel
-  // reports); 0 when the task is not running.
-  double TaskColocationFactor(const TaskRec& task) const;
-  // Full progress rate: co-location factor x hosting family's speedup.
-  double TaskThroughput(const TaskRec& task) const;
+  // Recomputes dirty job rates and (re)arms the completion check; runs after
+  // every event, standing in for the old full-cluster rescan.
+  void RecomputeAndArm();
 
-  // --- Handlers --------------------------------------------------------
   void HandleArrival(std::int64_t job_index);
   void HandleRound();
   void HandleInstanceReady(InstanceId id);
-  void HandleCheckpointDone(TaskId id, int version);
-  void HandleLaunchDone(TaskId id, int version);
-  void HandleCompletionCheck(int version);
-
-  // --- Actions ----------------------------------------------------------
+  void HandleCompletionCheck();
   void ApplyConfig(const SchedulingContext& context, const ClusterConfig& config);
-  void Retarget(TaskRec& task, InstanceId dest);
-  void TryLaunch(TaskRec& task);
-  void CompleteJob(JobRec& job);
-  void MaybeTerminate(InstanceId id);
-  void TerminateInstance(InstRec& instance);
 
-  SchedulingContext BuildContext() const;
-  std::vector<JobThroughputObservation> CollectObservations();
-
-  SimTime CheckpointDelay(const TaskRec& task) const {
-    return WorkloadRegistry::Get(task.workload).checkpoint_delay_s *
-           options_.migration_delay_multiplier;
-  }
-  SimTime LaunchDelay(const TaskRec& task) const {
-    return WorkloadRegistry::Get(task.workload).launch_delay_s *
-           options_.migration_delay_multiplier;
-  }
-
-  bool HasLiveInstances() const { return !instances_.empty(); }
-  bool HasActiveJobs() const { return active_jobs_ > 0; }
+  bool HasActiveJobs() const { return state_.num_active() > 0; }
   bool HasPendingArrivals() const { return next_arrival_ < trace_.jobs.size(); }
 
-  // --- Inputs ------------------------------------------------------------
   const Trace& trace_;
   Scheduler* scheduler_;
   const InstanceCatalog& catalog_;
-  const InterferenceModel& interference_;
   SimulatorOptions options_;
   Rng rng_;
 
-  // --- State ---------------------------------------------------------------
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
-  std::uint64_t next_seq_ = 0;
+  ClusterState state_;
+  ExecutionModel exec_;
+  EventQueue queue_;
+  TaskLifecycle lifecycle_;
 
-  std::map<JobId, JobRec> jobs_;
-  std::map<TaskId, TaskRec> tasks_;
-  std::map<InstanceId, InstRec> instances_;  // Live (provisioning/ready).
-  TaskId next_task_id_ = 0;
-  InstanceId next_instance_id_ = 0;
   std::size_t next_arrival_ = 0;
-  int active_jobs_ = 0;
   SimTime pending_completion_check_ = std::numeric_limits<SimTime>::infinity();
   SimTime now_ = 0.0;
   bool round_scheduled_ = false;
 
-  // --- Metrics accumulators -------------------------------------------------
   SimulationMetrics metrics_;
-  double instance_seconds_ = 0.0;        // integral of #live instances dt
-  double task_instance_seconds_ = 0.0;   // integral of sum(assigned) dt
-  double cap_seconds_[kNumResources] = {0, 0, 0};
-  double alloc_seconds_[kNumResources] = {0, 0, 0};
 };
-
-double Simulator::Impl::TaskColocationFactor(const TaskRec& task) const {
-  if (task.state != TaskState::kRunning) {
-    return 0.0;
-  }
-  const auto inst = instances_.find(task.source);
-  if (inst == instances_.end()) {
-    return 0.0;
-  }
-  const InterferenceProfile mine = WorkloadRegistry::Get(task.workload).profile;
-  double factor = 1.0;
-  for (TaskId other_id : inst->second.present) {
-    if (other_id == task.id) {
-      continue;
-    }
-    const auto other = tasks_.find(other_id);
-    if (other == tasks_.end() || other->second.state != TaskState::kRunning) {
-      continue;
-    }
-    factor *=
-        interference_.Pairwise(mine, WorkloadRegistry::Get(other->second.workload).profile);
-  }
-  return factor;
-}
-
-double Simulator::Impl::TaskThroughput(const TaskRec& task) const {
-  const double factor = TaskColocationFactor(task);
-  if (factor <= 0.0) {
-    return 0.0;
-  }
-  // Heterogeneous families (§4.2): the hosting family's relative speed
-  // scales the task's progress; 1.0 in the homogeneous setting.
-  const auto inst = instances_.find(task.source);
-  const auto job = jobs_.find(task.job);
-  double speedup = 1.0;
-  if (inst != instances_.end() && job != jobs_.end()) {
-    speedup = job->second.spec.family_speedup[static_cast<std::size_t>(
-        catalog_.Get(inst->second.type_index).family)];
-  }
-  return factor * speedup;
-}
 
 void Simulator::Impl::Advance(SimTime to) {
   const double dt = to - now_;
@@ -222,79 +72,19 @@ void Simulator::Impl::Advance(SimTime to) {
     now_ = std::max(now_, to);
     return;
   }
-  for (auto& [job_id, job] : jobs_) {
-    (void)job_id;
-    if (job.active && job.current_rate > 0.0) {
-      job.remaining_work_s -= job.current_rate * dt;
-      job.running_seconds += dt;
-    }
-  }
-  // Cluster-state integrals for the table metrics.
-  double cap[kNumResources] = {0, 0, 0};
-  double alloc[kNumResources] = {0, 0, 0};
-  double assigned_tasks = 0.0;
-  for (const auto& [inst_id, instance] : instances_) {
-    (void)inst_id;
-    const InstanceType& type = catalog_.Get(instance.type_index);
-    for (int r = 0; r < kNumResources; ++r) {
-      cap[r] += type.capacity.Get(static_cast<Resource>(r));
-    }
-    assigned_tasks += static_cast<double>(instance.assigned.size());
-    for (TaskId task_id : instance.assigned) {
-      const auto task = tasks_.find(task_id);
-      if (task == tasks_.end()) {
-        continue;
-      }
-      const auto job = jobs_.find(task->second.job);
-      if (job == jobs_.end()) {
-        continue;
-      }
-      const ResourceVector& demand = job->second.spec.DemandFor(type.family);
-      for (int r = 0; r < kNumResources; ++r) {
-        alloc[r] += demand.Get(static_cast<Resource>(r));
-      }
-    }
-  }
-  for (int r = 0; r < kNumResources; ++r) {
-    cap_seconds_[r] += cap[r] * dt;
-    alloc_seconds_[r] += alloc[r] * dt;
-  }
-  instance_seconds_ += static_cast<double>(instances_.size()) * dt;
-  task_instance_seconds_ += assigned_tasks * dt;
+  exec_.IntegrateWork(dt);
+  state_.IntegrateTo(dt);
   now_ = to;
 }
 
-void Simulator::Impl::RecomputeRatesAndCompletion() {
-  SimTime earliest = -1.0;
-  for (auto& [job_id, job] : jobs_) {
-    (void)job_id;
-    if (!job.active) {
-      continue;
-    }
-    double rate = -1.0;
-    bool all_running = true;
-    for (TaskId task_id : job.tasks) {
-      const TaskRec& task = tasks_.at(task_id);
-      if (task.state != TaskState::kRunning) {
-        all_running = false;
-        break;
-      }
-      const double tput = TaskThroughput(task);
-      rate = rate < 0.0 ? tput : std::min(rate, tput);
-    }
-    job.current_rate = all_running && rate > 0.0 ? rate : 0.0;
-    if (job.current_rate > 0.0) {
-      const SimTime eta = now_ + std::max(job.remaining_work_s, 0.0) / job.current_rate;
-      earliest = earliest < 0.0 ? eta : std::min(earliest, eta);
-    }
-  }
-  // Arm a completion check at the earliest projected completion. Checks are
-  // idempotent (a check that fires early is a no-op and re-arms), so we only
-  // push when the new projection is earlier than what is already armed —
-  // this bounds queue growth without missing a completion.
+void Simulator::Impl::RecomputeAndArm() {
+  const SimTime earliest = exec_.RecomputeDirtyRates(now_);
+  // Checks are idempotent (a check that fires early is a no-op and re-arms),
+  // so we only push when the new projection is earlier than what is already
+  // armed — this bounds queue growth without missing a completion.
   if (earliest >= 0.0 && earliest < pending_completion_check_ - 1e-9) {
     pending_completion_check_ = earliest;
-    Push(earliest, EventType::kCompletionCheck);
+    queue_.Push(earliest, SimEventType::kCompletionCheck);
   }
 }
 
@@ -309,116 +99,22 @@ void Simulator::Impl::HandleArrival(std::int64_t job_index) {
                     static_cast<long long>(spec.id), spec.demand_p3.ToString().c_str());
     return;
   }
-  JobRec job;
-  job.spec = spec;
-  job.active = true;
-  job.remaining_work_s = spec.duration_s;
-  for (int i = 0; i < spec.num_tasks; ++i) {
-    TaskRec task;
-    task.id = next_task_id_++;
-    task.job = spec.id;
-    task.workload = spec.workload;
-    tasks_[task.id] = task;
-    job.tasks.push_back(task.id);
-    ++metrics_.tasks_total;
-  }
-  jobs_[spec.id] = std::move(job);
-  ++active_jobs_;
+  const JobRec& job = state_.AddJob(spec);
+  exec_.OnJobAdded(job);
+  metrics_.tasks_total += spec.num_tasks;
   ++metrics_.jobs_submitted;
-}
-
-SchedulingContext Simulator::Impl::BuildContext() const {
-  SchedulingContext context;
-  context.now_s = now_;
-  context.catalog = &catalog_;
-  for (const auto& [job_id, job] : jobs_) {
-    (void)job_id;
-    if (!job.active) {
-      continue;
-    }
-    for (TaskId task_id : job.tasks) {
-      const TaskRec& task = tasks_.at(task_id);
-      TaskInfo info;
-      info.id = task.id;
-      info.job = task.job;
-      info.workload = task.workload;
-      info.demand_p3 = job.spec.demand_p3;
-      info.demand_cpu = job.spec.demand_cpu;
-      info.family_speedup = job.spec.family_speedup;
-      info.current_instance = task.target;
-      info.remaining_work_s =
-          options_.grant_runtime_estimates ? job.remaining_work_s : -1.0;
-      context.tasks.push_back(std::move(info));
-    }
-  }
-  for (const auto& [inst_id, instance] : instances_) {
-    (void)inst_id;
-    if (instance.condemned) {
-      continue;
-    }
-    InstanceInfo info;
-    info.id = instance.id;
-    info.type_index = instance.type_index;
-    info.tasks.assign(instance.assigned.begin(), instance.assigned.end());
-    context.instances.push_back(std::move(info));
-  }
-  context.Finalize();
-  return context;
-}
-
-std::vector<JobThroughputObservation> Simulator::Impl::CollectObservations() {
-  std::vector<JobThroughputObservation> observations;
-  for (const auto& [job_id, job] : jobs_) {
-    if (!job.active || job.current_rate <= 0.0) {
-      continue;
-    }
-    JobThroughputObservation observation;
-    observation.job = job_id;
-    // Report the co-location-only degradation (min over tasks), matching
-    // what a per-iteration timer normalized by the family's standalone
-    // speed would measure.
-    double tput = 1.0;
-    for (TaskId task_id : job.tasks) {
-      tput = std::min(tput, TaskColocationFactor(tasks_.at(task_id)));
-    }
-    if (options_.physical_mode) {
-      tput *= 1.0 + rng_.Normal(0.0, options_.observation_noise_stddev);
-      tput = std::clamp(tput, 0.01, 1.0);
-    }
-    observation.normalized_throughput = tput;
-    for (TaskId task_id : job.tasks) {
-      const TaskRec& task = tasks_.at(task_id);
-      TaskPlacementObservation placement;
-      placement.task = task.id;
-      placement.workload = task.workload;
-      const auto inst = instances_.find(task.source);
-      if (inst != instances_.end()) {
-        for (TaskId other_id : inst->second.present) {
-          if (other_id == task.id) {
-            continue;
-          }
-          const auto other = tasks_.find(other_id);
-          if (other != tasks_.end() && other->second.state == TaskState::kRunning) {
-            placement.colocated.push_back(other->second.workload);
-          }
-        }
-      }
-      observation.tasks.push_back(std::move(placement));
-    }
-    observations.push_back(std::move(observation));
-  }
-  return observations;
 }
 
 void Simulator::Impl::HandleRound() {
   round_scheduled_ = false;
   ++metrics_.scheduling_rounds;
 
-  // 1. Report the last window's throughput (the EvaIterator channel).
-  scheduler_->ObserveThroughput(CollectObservations());
-
-  // 2. Ask for the desired configuration.
-  const SchedulingContext context = BuildContext();
+  // Report the last window's throughput (the EvaIterator channel), then ask
+  // for the desired configuration.
+  scheduler_->ObserveThroughput(exec_.CollectObservations(
+      options_.physical_mode, options_.observation_noise_stddev, &rng_));
+  const SchedulingContext context =
+      state_.BuildContext(now_, options_.grant_runtime_estimates);
   const ClusterConfig config = scheduler_->Schedule(context);
 
   if (options_.validate_configs) {
@@ -432,10 +128,10 @@ void Simulator::Impl::HandleRound() {
     ApplyConfig(context, config);
   }
 
-  // 3. Keep the cadence while there is anything left to manage.
-  if (HasActiveJobs() || HasPendingArrivals() || HasLiveInstances()) {
+  // Keep the cadence while there is anything left to manage.
+  if (HasActiveJobs() || HasPendingArrivals() || state_.HasLiveInstances()) {
     round_scheduled_ = true;
-    Push(now_ + options_.scheduling_period_s, EventType::kRound);
+    queue_.Push(now_ + options_.scheduling_period_s, SimEventType::kRound);
   }
 }
 
@@ -451,223 +147,67 @@ void Simulator::Impl::ApplyConfig(const SchedulingContext& context,
       binding_instance[i] = binding.existing_id;
       continue;
     }
-    InstRec instance;
-    instance.id = next_instance_id_++;
-    instance.type_index = binding.type_index;
-    instance.launch_time = now_;
     const SimTime delay = options_.cloud_delays.ProvisioningDelay(
         options_.physical_mode ? &rng_ : nullptr);
-    instance.ready_time = now_ + delay;
+    const InstRec& instance =
+        state_.CreateInstance(binding.type_index, now_, now_ + delay);
     binding_instance[i] = instance.id;
-    Push(instance.ready_time, EventType::kInstanceReady, instance.id);
-    instances_[instance.id] = std::move(instance);
-    ++metrics_.instances_launched;
+    queue_.Push(instance.ready_time, SimEventType::kInstanceReady, instance.id);
   }
 
   // Condemn instances leaving the configuration.
   for (InstanceId id : diff.terminate) {
-    const auto it = instances_.find(id);
-    if (it != instances_.end()) {
-      it->second.condemned = true;
-    }
+    state_.Condemn(id);
   }
 
   // Execute task moves.
   for (const ConfigDiff::Move& move : diff.moves) {
-    const auto task = tasks_.find(move.task);
-    if (task == tasks_.end() || task->second.state == TaskState::kDone) {
+    TaskRec* task = state_.FindTask(move.task);
+    if (task == nullptr || task->state == TaskState::kDone) {
       continue;
     }
     if (move.from_instance != kInvalidInstanceId) {
       ++metrics_.task_migrations;
     }
-    Retarget(task->second, binding_instance[static_cast<std::size_t>(move.to_binding)]);
+    lifecycle_.Retarget(*task, binding_instance[static_cast<std::size_t>(move.to_binding)],
+                        now_);
   }
 
   // Condemned instances with nothing left terminate immediately.
   std::vector<InstanceId> condemned;
-  for (const auto& [id, instance] : instances_) {
+  for (const auto& [id, instance] : state_.instances()) {
     if (instance.condemned) {
       condemned.push_back(id);
     }
   }
   for (InstanceId id : condemned) {
-    MaybeTerminate(id);
+    state_.MaybeTerminate(id, now_);
   }
-}
-
-void Simulator::Impl::Retarget(TaskRec& task, InstanceId dest) {
-  if (task.target == dest) {
-    return;
-  }
-  if (task.target != kInvalidInstanceId) {
-    const auto old_target = instances_.find(task.target);
-    if (old_target != instances_.end()) {
-      old_target->second.assigned.erase(task.id);
-    }
-  }
-  task.target = dest;
-  instances_.at(dest).assigned.insert(task.id);
-
-  switch (task.state) {
-    case TaskState::kRunning:
-      ++task.version;
-      task.state = TaskState::kCheckpointing;
-      Push(now_ + CheckpointDelay(task), EventType::kCheckpointDone, task.id, task.version);
-      break;
-    case TaskState::kCheckpointing:
-      // The in-flight checkpoint completes and routes to the new target.
-      break;
-    case TaskState::kLaunching:
-      ++task.version;  // Cancels the pending launch event.
-      task.state = TaskState::kWaiting;
-      TryLaunch(task);
-      break;
-    case TaskState::kPending:
-    case TaskState::kWaiting:
-      task.state = TaskState::kWaiting;
-      TryLaunch(task);
-      break;
-    case TaskState::kDone:
-      break;
-  }
-}
-
-void Simulator::Impl::TryLaunch(TaskRec& task) {
-  if (task.state != TaskState::kWaiting) {
-    return;
-  }
-  const auto inst = instances_.find(task.target);
-  if (inst == instances_.end() || !inst->second.ready) {
-    return;
-  }
-  ++task.version;
-  task.state = TaskState::kLaunching;
-  Push(now_ + LaunchDelay(task), EventType::kLaunchDone, task.id, task.version);
 }
 
 void Simulator::Impl::HandleInstanceReady(InstanceId id) {
-  const auto inst = instances_.find(id);
-  if (inst == instances_.end()) {
+  InstRec* inst = state_.FindInstance(id);
+  if (inst == nullptr) {
     return;
   }
-  inst->second.ready = true;
+  inst->ready = true;
   // Launch everything parked on this instance. Copy the set: TryLaunch does
   // not mutate `assigned`, but keep the iteration robust anyway.
-  const std::vector<TaskId> parked(inst->second.assigned.begin(), inst->second.assigned.end());
+  const std::vector<TaskId> parked(inst->assigned.begin(), inst->assigned.end());
   for (TaskId task_id : parked) {
-    const auto task = tasks_.find(task_id);
-    if (task != tasks_.end()) {
-      TryLaunch(task->second);
+    if (TaskRec* task = state_.FindTask(task_id)) {
+      lifecycle_.TryLaunch(*task, now_);
     }
   }
 }
 
-void Simulator::Impl::HandleCheckpointDone(TaskId id, int version) {
-  const auto it = tasks_.find(id);
-  if (it == tasks_.end()) {
-    return;
-  }
-  TaskRec& task = it->second;
-  if (task.version != version || task.state != TaskState::kCheckpointing) {
-    return;
-  }
-  if (task.source != kInvalidInstanceId) {
-    const auto source = instances_.find(task.source);
-    if (source != instances_.end()) {
-      source->second.present.erase(task.id);
-    }
-    const InstanceId source_id = task.source;
-    task.source = kInvalidInstanceId;
-    MaybeTerminate(source_id);
-  }
-  task.state = TaskState::kWaiting;
-  TryLaunch(task);
-}
-
-void Simulator::Impl::HandleLaunchDone(TaskId id, int version) {
-  const auto it = tasks_.find(id);
-  if (it == tasks_.end()) {
-    return;
-  }
-  TaskRec& task = it->second;
-  if (task.version != version || task.state != TaskState::kLaunching) {
-    return;
-  }
-  task.state = TaskState::kRunning;
-  task.source = task.target;
-  instances_.at(task.source).present.insert(task.id);
-}
-
-void Simulator::Impl::HandleCompletionCheck(int version) {
-  (void)version;
+void Simulator::Impl::HandleCompletionCheck() {
   pending_completion_check_ = std::numeric_limits<SimTime>::infinity();
-  std::vector<JobId> finished;
-  for (auto& [job_id, job] : jobs_) {
-    if (job.active && job.remaining_work_s <= kWorkEpsilonS) {
-      finished.push_back(job_id);
-    }
-  }
+  const std::vector<JobId> finished(exec_.completion_candidates().begin(),
+                                    exec_.completion_candidates().end());
   for (JobId job_id : finished) {
-    CompleteJob(jobs_.at(job_id));
+    lifecycle_.CompleteJob(*state_.FindJob(job_id), now_, metrics_);
   }
-}
-
-void Simulator::Impl::CompleteJob(JobRec& job) {
-  job.active = false;
-  job.completion_time = now_;
-  job.current_rate = 0.0;
-  --active_jobs_;
-  ++metrics_.jobs_completed;
-
-  const double jct_h = SecondsToHours(now_ - job.spec.arrival_time_s);
-  metrics_.jct_hours.push_back(jct_h);
-
-  for (TaskId task_id : job.tasks) {
-    TaskRec& task = tasks_.at(task_id);
-    ++task.version;
-    if (task.source != kInvalidInstanceId) {
-      const auto source = instances_.find(task.source);
-      if (source != instances_.end()) {
-        source->second.present.erase(task.id);
-      }
-    }
-    if (task.target != kInvalidInstanceId) {
-      const auto target = instances_.find(task.target);
-      if (target != instances_.end()) {
-        target->second.assigned.erase(task.id);
-      }
-    }
-    const InstanceId source_id = task.source;
-    const InstanceId target_id = task.target;
-    task.source = kInvalidInstanceId;
-    task.target = kInvalidInstanceId;
-    task.state = TaskState::kDone;
-    if (source_id != kInvalidInstanceId) {
-      MaybeTerminate(source_id);
-    }
-    if (target_id != kInvalidInstanceId && target_id != source_id) {
-      MaybeTerminate(target_id);
-    }
-  }
-}
-
-void Simulator::Impl::MaybeTerminate(InstanceId id) {
-  const auto it = instances_.find(id);
-  if (it == instances_.end()) {
-    return;
-  }
-  InstRec& instance = it->second;
-  if (instance.condemned && instance.assigned.empty() && instance.present.empty()) {
-    TerminateInstance(instance);
-    instances_.erase(it);
-  }
-}
-
-void Simulator::Impl::TerminateInstance(InstRec& instance) {
-  const SimTime uptime = std::max(now_ - instance.launch_time, 0.0);
-  metrics_.total_cost += CostForUptime(catalog_.Get(instance.type_index).cost_per_hour, uptime);
-  metrics_.instance_uptime_hours.push_back(SecondsToHours(uptime));
 }
 
 SimulationMetrics Simulator::Impl::Run() {
@@ -676,89 +216,71 @@ SimulationMetrics Simulator::Impl::Run() {
   metrics_.trace_name = trace_.name;
 
   for (std::size_t i = 0; i < trace_.jobs.size(); ++i) {
-    Push(trace_.jobs[i].arrival_time_s, EventType::kArrival, static_cast<std::int64_t>(i));
+    queue_.Push(trace_.jobs[i].arrival_time_s, SimEventType::kArrival,
+                static_cast<std::int64_t>(i));
   }
-  next_arrival_ = 0;
-  Push(0.0, EventType::kRound);
+  queue_.Push(0.0, SimEventType::kRound);
   round_scheduled_ = true;
 
-  while (!queue_.empty()) {
-    const Event event = queue_.top();
-    queue_.pop();
+  while (!queue_.Empty()) {
+    const SimEvent event = queue_.Pop();
     if (event.time > options_.max_sim_time_s) {
-      EVA_LOG_ERROR("simulation exceeded max time; aborting with %d active jobs", active_jobs_);
+      EVA_LOG_ERROR("simulation exceeded max time; aborting with %d active jobs",
+                    state_.num_active());
       break;
     }
     Advance(event.time);
+    ++metrics_.events_processed;
     EVA_LOG_DEBUG("event t=%.3f type=%d a=%lld v=%d active=%d live=%zu queue=%zu", event.time,
                   static_cast<int>(event.type), static_cast<long long>(event.a), event.version,
-                  active_jobs_, instances_.size(), queue_.size());
+                  state_.num_active(), state_.instances().size(), queue_.Size());
     switch (event.type) {
-      case EventType::kArrival:
+      case SimEventType::kArrival:
         HandleArrival(event.a);
         ++next_arrival_;
         if (!round_scheduled_) {
           // The cluster drained; resume scheduling rounds.
           round_scheduled_ = true;
-          Push(now_, EventType::kRound);
+          queue_.Push(now_, SimEventType::kRound);
         }
         break;
-      case EventType::kRound:
+      case SimEventType::kRound:
         HandleRound();
         break;
-      case EventType::kInstanceReady:
+      case SimEventType::kInstanceReady:
         HandleInstanceReady(event.a);
         break;
-      case EventType::kCheckpointDone:
-        HandleCheckpointDone(event.a, event.version);
+      case SimEventType::kCheckpointDone:
+        if (TaskRec* task = state_.FindTask(event.a)) {
+          if (task->version == event.version && task->state == TaskState::kCheckpointing) {
+            lifecycle_.OnCheckpointDone(*task, now_);
+          }
+        }
         break;
-      case EventType::kLaunchDone:
-        HandleLaunchDone(event.a, event.version);
+      case SimEventType::kLaunchDone:
+        if (TaskRec* task = state_.FindTask(event.a)) {
+          if (task->version == event.version && task->state == TaskState::kLaunching) {
+            lifecycle_.OnLaunchDone(*task);
+          }
+        }
         break;
-      case EventType::kCompletionCheck:
-        HandleCompletionCheck(event.version);
+      case SimEventType::kCompletionCheck:
+        HandleCompletionCheck();
         break;
     }
-    RecomputeRatesAndCompletion();
+    RecomputeAndArm();
   }
 
   // Safety: pay for any instance still alive (a well-behaved run terminates
   // everything via the final cleanup round).
-  for (auto& [id, instance] : instances_) {
-    (void)id;
-    TerminateInstance(instance);
-  }
-  instances_.clear();
+  state_.TerminateAllLive(now_);
 
   metrics_.makespan_s = now_;
   metrics_.migrations_per_task =
       metrics_.tasks_total > 0
           ? static_cast<double>(metrics_.task_migrations) / metrics_.tasks_total
           : 0.0;
-  metrics_.avg_tasks_per_instance =
-      instance_seconds_ > 0.0 ? task_instance_seconds_ / instance_seconds_ : 0.0;
-  metrics_.avg_alloc_gpu = cap_seconds_[0] > 0.0 ? alloc_seconds_[0] / cap_seconds_[0] : 0.0;
-  metrics_.avg_alloc_cpu = cap_seconds_[1] > 0.0 ? alloc_seconds_[1] / cap_seconds_[1] : 0.0;
-  metrics_.avg_alloc_ram = cap_seconds_[2] > 0.0 ? alloc_seconds_[2] / cap_seconds_[2] : 0.0;
-
-  RunningStats jct;
-  RunningStats tput;
-  RunningStats idle;
-  for (const auto& [job_id, job] : jobs_) {
-    (void)job_id;
-    if (job.active) {
-      continue;  // Aborted runs can leave unfinished jobs; skip them.
-    }
-    jct.Add(SecondsToHours(job.completion_time - job.spec.arrival_time_s));
-    if (job.running_seconds > 0.0) {
-      tput.Add(job.spec.duration_s / job.running_seconds);
-    }
-    idle.Add(SecondsToHours((job.completion_time - job.spec.arrival_time_s) -
-                            job.running_seconds));
-  }
-  metrics_.avg_jct_hours = jct.mean();
-  metrics_.avg_norm_job_throughput = tput.mean();
-  metrics_.avg_job_idle_hours = idle.mean();
+  state_.FinalizeMetrics(metrics_);
   return metrics_;
 }
 

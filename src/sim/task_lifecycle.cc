@@ -1,0 +1,93 @@
+#include "src/sim/task_lifecycle.h"
+
+namespace eva {
+
+void TaskLifecycle::Retarget(TaskRec& task, InstanceId dest, SimTime now) {
+  if (task.target == dest) {
+    return;
+  }
+  state_->SetTarget(task, dest);
+
+  switch (task.state) {
+    case TaskState::kRunning:
+      ++task.version;
+      task.state = TaskState::kCheckpointing;
+      // The task stops executing and its neighbors speed up.
+      exec_->MarkInstanceDirty(*state_->FindInstance(task.source));
+      queue_->Push(now + CheckpointDelay(task), SimEventType::kCheckpointDone, task.id,
+                   task.version);
+      break;
+    case TaskState::kCheckpointing:
+      // The in-flight checkpoint completes and routes to the new target.
+      break;
+    case TaskState::kLaunching:
+      ++task.version;  // Cancels the pending launch event.
+      task.state = TaskState::kWaiting;
+      TryLaunch(task, now);
+      break;
+    case TaskState::kPending:
+    case TaskState::kWaiting:
+      task.state = TaskState::kWaiting;
+      TryLaunch(task, now);
+      break;
+    case TaskState::kDone:
+      break;
+  }
+}
+
+void TaskLifecycle::TryLaunch(TaskRec& task, SimTime now) {
+  if (task.state != TaskState::kWaiting) {
+    return;
+  }
+  const InstRec* inst = state_->FindInstance(task.target);
+  if (inst == nullptr || !inst->ready) {
+    return;
+  }
+  ++task.version;
+  task.state = TaskState::kLaunching;
+  queue_->Push(now + LaunchDelay(task), SimEventType::kLaunchDone, task.id, task.version);
+}
+
+void TaskLifecycle::OnCheckpointDone(TaskRec& task, SimTime now) {
+  if (task.source != kInvalidInstanceId) {
+    // Neighbors lose a (non-running) co-resident; recomputing them is a
+    // cheap no-op, and over-marking keeps the dirty rule simple: any
+    // present-set change dirties the instance.
+    exec_->MarkInstanceDirty(*state_->FindInstance(task.source));
+    const InstanceId source_id = state_->RemoveContainer(task);
+    state_->MaybeTerminate(source_id, now);
+  }
+  task.state = TaskState::kWaiting;
+  TryLaunch(task, now);
+}
+
+void TaskLifecycle::OnLaunchDone(TaskRec& task) {
+  task.state = TaskState::kRunning;
+  state_->PlaceContainer(task);
+  // This task starts interfering with its new neighbors (and vice versa).
+  exec_->MarkInstanceDirty(*state_->FindInstance(task.source));
+}
+
+void TaskLifecycle::CompleteJob(JobRec& job, SimTime now, SimulationMetrics& metrics) {
+  state_->DeactivateJob(job, now);
+  exec_->OnJobDeactivated(job.spec.id);
+  ++metrics.jobs_completed;
+  metrics.jct_hours.push_back(SecondsToHours(now - job.spec.arrival_time_s));
+
+  for (TaskId task_id : job.tasks) {
+    TaskRec& task = *state_->FindTask(task_id);
+    if (task.source != kInvalidInstanceId) {
+      // Surviving neighbors speed up once the container is gone.
+      exec_->MarkInstanceDirty(*state_->FindInstance(task.source));
+    }
+    const ClusterState::DetachResult detached = state_->MarkTaskDone(task);
+    if (detached.source != kInvalidInstanceId) {
+      state_->MaybeTerminate(detached.source, now);
+    }
+    if (detached.target != kInvalidInstanceId && detached.target != detached.source) {
+      state_->MaybeTerminate(detached.target, now);
+    }
+  }
+}
+
+}  // namespace eva

@@ -1,0 +1,66 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.Push(30.0, SimEventType::kRound);
+  queue.Push(10.0, SimEventType::kArrival, 7);
+  queue.Push(20.0, SimEventType::kInstanceReady, 3);
+
+  ASSERT_EQ(queue.Size(), 3u);
+  SimEvent event = queue.Pop();
+  EXPECT_EQ(event.time, 10.0);
+  EXPECT_EQ(event.type, SimEventType::kArrival);
+  EXPECT_EQ(event.a, 7);
+  event = queue.Pop();
+  EXPECT_EQ(event.time, 20.0);
+  EXPECT_EQ(event.type, SimEventType::kInstanceReady);
+  event = queue.Pop();
+  EXPECT_EQ(event.time, 30.0);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, EqualTimesBreakTiesFifo) {
+  EventQueue queue;
+  queue.Push(5.0, SimEventType::kLaunchDone, 1);
+  queue.Push(5.0, SimEventType::kCheckpointDone, 2);
+  queue.Push(5.0, SimEventType::kCompletionCheck, 3);
+
+  EXPECT_EQ(queue.Pop().a, 1);
+  EXPECT_EQ(queue.Pop().a, 2);
+  EXPECT_EQ(queue.Pop().a, 3);
+}
+
+TEST(EventQueueTest, CarriesVersionPayload) {
+  EventQueue queue;
+  queue.Push(1.0, SimEventType::kLaunchDone, 42, 9);
+  const SimEvent event = queue.Pop();
+  EXPECT_EQ(event.a, 42);
+  EXPECT_EQ(event.version, 9);
+}
+
+TEST(EventQueueTest, CountsEverPushed) {
+  EventQueue queue;
+  EXPECT_EQ(queue.pushed(), 0u);
+  queue.Push(1.0, SimEventType::kRound);
+  queue.Push(2.0, SimEventType::kRound);
+  queue.Pop();
+  EXPECT_EQ(queue.pushed(), 2u);  // Pops do not decrement.
+}
+
+TEST(EventQueueTest, InterleavedPushPopKeepsOrder) {
+  EventQueue queue;
+  queue.Push(10.0, SimEventType::kArrival, 1);
+  queue.Push(30.0, SimEventType::kArrival, 3);
+  EXPECT_EQ(queue.Pop().a, 1);
+  queue.Push(20.0, SimEventType::kArrival, 2);
+  EXPECT_EQ(queue.Pop().a, 2);
+  EXPECT_EQ(queue.Pop().a, 3);
+}
+
+}  // namespace
+}  // namespace eva

@@ -86,6 +86,49 @@ TEST(RunComparisonTest, FullAdoptionFractionOnlyForEva) {
   EXPECT_DOUBLE_EQ(results[1].full_adoption_fraction, 1.0);
 }
 
+TEST(ParallelRunComparisonTest, MatchesSerialBitForBit) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 10;
+  trace_options.seed = 24;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  ExperimentOptions options;
+  const std::vector<SchedulerKind> kinds = {SchedulerKind::kNoPacking, SchedulerKind::kStratus,
+                                            SchedulerKind::kSynergy, SchedulerKind::kOwl,
+                                            SchedulerKind::kEva};
+  const std::vector<ExperimentResult> serial = RunComparison(trace, kinds, options);
+  const std::vector<ExperimentResult> parallel =
+      ParallelRunComparison(trace, kinds, options, /*num_threads=*/4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].kind, serial[i].kind);
+    EXPECT_EQ(parallel[i].metrics.total_cost, serial[i].metrics.total_cost);
+    EXPECT_EQ(parallel[i].metrics.jobs_completed, serial[i].metrics.jobs_completed);
+    EXPECT_EQ(parallel[i].metrics.avg_jct_hours, serial[i].metrics.avg_jct_hours);
+    EXPECT_EQ(parallel[i].metrics.makespan_s, serial[i].metrics.makespan_s);
+    EXPECT_EQ(parallel[i].metrics.task_migrations, serial[i].metrics.task_migrations);
+    EXPECT_EQ(parallel[i].normalized_cost, serial[i].normalized_cost);
+    EXPECT_EQ(parallel[i].full_adoption_fraction, serial[i].full_adoption_fraction);
+  }
+}
+
+TEST(ParallelRunComparisonTest, PhysicalModeIsDeterministicAcrossThreadCounts) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 6;
+  trace_options.seed = 25;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  ExperimentOptions options;
+  options.simulator.physical_mode = true;
+  options.simulator.seed = 9;
+  const std::vector<SchedulerKind> kinds = {SchedulerKind::kNoPacking, SchedulerKind::kEva};
+  const std::vector<ExperimentResult> one = ParallelRunComparison(trace, kinds, options, 1);
+  const std::vector<ExperimentResult> many = ParallelRunComparison(trace, kinds, options, 8);
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].metrics.total_cost, many[i].metrics.total_cost);
+    EXPECT_EQ(one[i].metrics.avg_jct_hours, many[i].metrics.avg_jct_hours);
+  }
+}
+
 TEST(ScaledJobCountTest, DefaultsAndEnvOverride) {
   unsetenv("EVA_BENCH_SCALE");
   EXPECT_EQ(ScaledJobCount(1000), 1000);

@@ -1,0 +1,225 @@
+// Golden-equivalence tests for the incremental event-driven engine.
+//
+// The expected values below were recorded from the pre-refactor engine
+// (commit 801f02c, the last full-rescan Simulator::Impl) on three fixed
+// traces. The incremental engine must reproduce them bit-for-bit in
+// simulated mode: every optimization — dirty-set rate recomputation, cached
+// capacity/allocation sums, candidate-set completion checks — is designed to
+// perform the exact same floating-point operations as a full rescan, only
+// less often. Physical mode is additionally exercised with a (tight)
+// tolerance, per the stochastic-delay contract.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/experiment.h"
+#include "src/workload/trace_gen.h"
+
+namespace eva {
+namespace {
+
+struct GoldenValues {
+  double total_cost;
+  int jobs_submitted;
+  int jobs_completed;
+  int tasks_total;
+  int instances_launched;
+  int task_migrations;
+  double migrations_per_task;
+  double avg_tasks_per_instance;
+  double avg_alloc_gpu;
+  double avg_alloc_cpu;
+  double avg_alloc_ram;
+  double avg_norm_job_throughput;
+  double avg_jct_hours;
+  double avg_job_idle_hours;
+  double makespan_s;
+  int scheduling_rounds;
+  std::size_t jct_size;
+  double jct_sum;
+  std::size_t uptime_size;
+  double uptime_sum;
+};
+
+double Sum(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum;
+}
+
+// Bit-exact comparison (simulated mode): EXPECT_EQ on doubles, not
+// EXPECT_DOUBLE_EQ, which tolerates 4 ULPs.
+void ExpectBitExact(const SimulationMetrics& m, const GoldenValues& g) {
+  EXPECT_EQ(m.total_cost, g.total_cost);
+  EXPECT_EQ(m.jobs_submitted, g.jobs_submitted);
+  EXPECT_EQ(m.jobs_completed, g.jobs_completed);
+  EXPECT_EQ(m.tasks_total, g.tasks_total);
+  EXPECT_EQ(m.instances_launched, g.instances_launched);
+  EXPECT_EQ(m.task_migrations, g.task_migrations);
+  EXPECT_EQ(m.migrations_per_task, g.migrations_per_task);
+  EXPECT_EQ(m.avg_tasks_per_instance, g.avg_tasks_per_instance);
+  EXPECT_EQ(m.avg_alloc_gpu, g.avg_alloc_gpu);
+  EXPECT_EQ(m.avg_alloc_cpu, g.avg_alloc_cpu);
+  EXPECT_EQ(m.avg_alloc_ram, g.avg_alloc_ram);
+  EXPECT_EQ(m.avg_norm_job_throughput, g.avg_norm_job_throughput);
+  EXPECT_EQ(m.avg_jct_hours, g.avg_jct_hours);
+  EXPECT_EQ(m.avg_job_idle_hours, g.avg_job_idle_hours);
+  EXPECT_EQ(m.makespan_s, g.makespan_s);
+  EXPECT_EQ(m.scheduling_rounds, g.scheduling_rounds);
+  ASSERT_EQ(m.jct_hours.size(), g.jct_size);
+  EXPECT_EQ(Sum(m.jct_hours), g.jct_sum);
+  ASSERT_EQ(m.instance_uptime_hours.size(), g.uptime_size);
+  EXPECT_EQ(Sum(m.instance_uptime_hours), g.uptime_sum);
+}
+
+// Physical mode: same recorded-run comparison, but allow a relative drift
+// per the stochastic-delay contract (the engine happens to reproduce the
+// seed's RNG draw order exactly, so this passes far inside the tolerance).
+void ExpectWithinTolerance(const SimulationMetrics& m, const GoldenValues& g, double rel) {
+  EXPECT_EQ(m.jobs_submitted, g.jobs_submitted);
+  EXPECT_EQ(m.jobs_completed, g.jobs_completed);
+  EXPECT_EQ(m.instances_launched, g.instances_launched);
+  EXPECT_EQ(m.task_migrations, g.task_migrations);
+  EXPECT_NEAR(m.total_cost, g.total_cost, rel * g.total_cost);
+  EXPECT_NEAR(m.avg_tasks_per_instance, g.avg_tasks_per_instance,
+              rel * g.avg_tasks_per_instance);
+  EXPECT_NEAR(m.avg_alloc_gpu, g.avg_alloc_gpu, rel * g.avg_alloc_gpu);
+  EXPECT_NEAR(m.avg_alloc_cpu, g.avg_alloc_cpu, rel * g.avg_alloc_cpu);
+  EXPECT_NEAR(m.avg_alloc_ram, g.avg_alloc_ram, rel * g.avg_alloc_ram);
+  EXPECT_NEAR(m.avg_norm_job_throughput, g.avg_norm_job_throughput,
+              rel * g.avg_norm_job_throughput);
+  EXPECT_NEAR(m.avg_jct_hours, g.avg_jct_hours, rel * g.avg_jct_hours);
+  EXPECT_NEAR(m.avg_job_idle_hours, g.avg_job_idle_hours, rel * g.avg_job_idle_hours);
+  EXPECT_NEAR(m.makespan_s, g.makespan_s, rel * g.makespan_s);
+  ASSERT_EQ(m.jct_hours.size(), g.jct_size);
+  EXPECT_NEAR(Sum(m.jct_hours), g.jct_sum, rel * g.jct_sum);
+  ASSERT_EQ(m.instance_uptime_hours.size(), g.uptime_size);
+  EXPECT_NEAR(Sum(m.instance_uptime_hours), g.uptime_sum, rel * g.uptime_sum);
+}
+
+TEST(SimulatorGoldenTest, SyntheticEvaSimulatedModeIsBitExact) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 24;
+  trace_options.seed = 7;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const InterferenceModel interference = InterferenceModel::Measured();
+  SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference);
+  const SimulationMetrics metrics = RunSimulation(trace, bundle.scheduler.get(), catalog,
+                                                  interference, SimulatorOptions{});
+  const GoldenValues golden = {
+      /*total_cost=*/339.0530999999998,
+      /*jobs_submitted=*/24,
+      /*jobs_completed=*/24,
+      /*tasks_total=*/30,
+      /*instances_launched=*/32,
+      /*task_migrations=*/28,
+      /*migrations_per_task=*/0.93333333333333335,
+      /*avg_tasks_per_instance=*/1.2593967249384008,
+      /*avg_alloc_gpu=*/0.85715382440712673,
+      /*avg_alloc_cpu=*/0.7036256561355515,
+      /*avg_alloc_ram=*/0.2465781251919138,
+      /*avg_norm_job_throughput=*/0.96055535186915142,
+      /*avg_jct_hours=*/2.2236969065579584,
+      /*avg_job_idle_hours=*/0.14937785750626437,
+      /*makespan_s=*/48900.0,
+      /*scheduling_rounds=*/164,
+      /*jct_size=*/24,
+      /*jct_sum=*/53.368725757391005,
+      /*uptime_size=*/32,
+      /*uptime_sum=*/52.936666666666675,
+  };
+  ExpectBitExact(metrics, golden);
+}
+
+TEST(SimulatorGoldenTest, MultiTaskSynergySimulatedModeIsBitExact) {
+  MultiTaskMicroOptions trace_options;
+  trace_options.num_jobs = 12;
+  trace_options.seed = 13;
+  const Trace trace = GenerateMultiTaskMicroTrace(trace_options);
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const InterferenceModel interference = InterferenceModel::Measured();
+  SchedulerBundle bundle = MakeScheduler(SchedulerKind::kSynergy, interference);
+  const SimulationMetrics metrics = RunSimulation(trace, bundle.scheduler.get(), catalog,
+                                                  interference, SimulatorOptions{});
+  const GoldenValues golden = {
+      /*total_cost=*/2266.8744000000006,
+      /*jobs_submitted=*/12,
+      /*jobs_completed=*/12,
+      /*tasks_total=*/48,
+      /*instances_launched=*/40,
+      /*task_migrations=*/0,
+      /*migrations_per_task=*/0.0,
+      /*avg_tasks_per_instance=*/1.1817061467961234,
+      /*avg_alloc_gpu=*/0.93716935640499255,
+      /*avg_alloc_cpu=*/0.77062208050636638,
+      /*avg_alloc_ram=*/0.3037750435009216,
+      /*avg_norm_job_throughput=*/0.97333333333333327,
+      /*avg_jct_hours=*/10.234524252981945,
+      /*avg_job_idle_hours=*/0.13950835927458405,
+      /*makespan_s=*/65100.0,
+      /*scheduling_rounds=*/218,
+      /*jct_size=*/12,
+      /*jct_sum=*/122.81429103578331,
+      /*uptime_size=*/40,
+      /*uptime_sum=*/413.33333333333326,
+  };
+  ExpectBitExact(metrics, golden);
+}
+
+TEST(SimulatorGoldenTest, SyntheticEvaPhysicalModeMatchesWithinTolerance) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 16;
+  trace_options.seed = 3;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const InterferenceModel interference = InterferenceModel::Measured();
+  SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference);
+  SimulatorOptions options;
+  options.physical_mode = true;
+  options.seed = 5;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, bundle.scheduler.get(), catalog, interference, options);
+  const GoldenValues golden = {
+      /*total_cost=*/126.93916133333335,
+      /*jobs_submitted=*/16,
+      /*jobs_completed=*/16,
+      /*tasks_total=*/25,
+      /*instances_launched=*/26,
+      /*task_migrations=*/7,
+      /*migrations_per_task=*/0.28000000000000003,
+      /*avg_tasks_per_instance=*/1.0730911162156465,
+      /*avg_alloc_gpu=*/0.90233295120708468,
+      /*avg_alloc_cpu=*/0.92400581951788396,
+      /*avg_alloc_ram=*/0.37603597690299895,
+      /*avg_norm_job_throughput=*/0.9838849151083624,
+      /*avg_jct_hours=*/1.8986940268620125,
+      /*avg_job_idle_hours=*/0.12673786649565671,
+      /*makespan_s=*/24000.0,
+      /*scheduling_rounds=*/81,
+      /*jct_size=*/16,
+      /*jct_sum=*/30.379104429792203,
+      /*uptime_size=*/26,
+      /*uptime_sum=*/43.589166666666664,
+  };
+  ExpectWithinTolerance(metrics, golden, 1e-9);
+}
+
+TEST(SimulatorGoldenTest, EngineCountsEvents) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 8;
+  trace_options.seed = 1;
+  const Trace trace = GenerateSyntheticTrace(trace_options);
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const InterferenceModel interference = InterferenceModel::Measured();
+  SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference);
+  const SimulationMetrics metrics = RunSimulation(trace, bundle.scheduler.get(), catalog,
+                                                  interference, SimulatorOptions{});
+  // At minimum one arrival per job plus one round per scheduling period.
+  EXPECT_GE(metrics.events_processed,
+            static_cast<std::int64_t>(metrics.jobs_submitted + metrics.scheduling_rounds));
+}
+
+}  // namespace
+}  // namespace eva
