@@ -2,7 +2,8 @@
 // price computation, Algorithm 1 packing, the config differ, the throughput
 // table, the B&B solver on small instances), plus a large-trace engine
 // throughput case reporting events/sec. With EVA_BENCH_JSON=<path> the
-// engine case is written as machine-readable JSON (the committed
+// engine case (best wall time of three deterministic runs) is written as
+// machine-readable JSON (the committed
 // BENCH_scheduler_perf.json tracks it across commits). Scale the engine
 // case with EVA_BENCH_SCALE (percent of 2,000 jobs).
 
@@ -116,6 +117,20 @@ void BM_SolverSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_SolverSmall)->Arg(8)->Arg(12);
 
+// The work-stealing subtree search; returns the same incumbent as the
+// serial path (see bnb_solver.h) so this measures pure speedup.
+void BM_SolverSmallParallel(benchmark::State& state) {
+  const SchedulingContext context =
+      MakeRandomTaskContext(static_cast<int>(state.range(0)), 5, Catalog());
+  for (auto _ : state) {
+    SolverOptions options;
+    options.time_limit_seconds = 2.0;
+    options.num_threads = 4;
+    benchmark::DoNotOptimize(SolveOptimalPacking(context, options));
+  }
+}
+BENCHMARK(BM_SolverSmallParallel)->Arg(8)->Arg(12);
+
 void BM_EndToEndSmallTrace(benchmark::State& state) {
   SyntheticTraceOptions trace_options;
   trace_options.num_jobs = 16;
@@ -143,23 +158,54 @@ bool RunEngineThroughputCases() {
   const InterferenceModel interference = InterferenceModel::Measured();
 
   BenchJsonWriter json;
-  std::printf("%-22s %10s %12s %14s\n", "Case", "Wall(s)", "Events", "Events/sec");
+  std::printf("%-22s %10s %12s %14s %8s %10s %12s\n", "Case", "Wall(s)", "Events",
+              "Events/sec", "Rounds", "Sched(s)", "us/round");
   for (const SchedulerKind kind : {SchedulerKind::kNoPacking, SchedulerKind::kEva}) {
-    SchedulerBundle bundle = MakeScheduler(kind, interference);
-    const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
-    const auto start = std::chrono::steady_clock::now();
-    const SimulationMetrics metrics = RunSimulation(trace, bundle.scheduler.get(), catalog,
-                                                    interference, SimulatorOptions{});
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    // Best of three runs: the tracked number should reflect the engine, not
+    // the host's scheduling noise (every run is deterministic and produces
+    // identical metrics; only the wall clock varies).
+    constexpr int kRuns = 3;
+    SimulationMetrics metrics;
+    double wall = 0.0;
+    double sched_wall = 0.0;
+    int reused = 0;
+    int miss_table = 0;
+    int miss_context = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      SchedulerBundle bundle = MakeScheduler(kind, interference);
+      const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+      const auto start = std::chrono::steady_clock::now();
+      const SimulationMetrics run_metrics = RunSimulation(
+          trace, bundle.scheduler.get(), catalog, interference, SimulatorOptions{});
+      const double run_wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      if (run == 0 || run_wall < wall) {
+        metrics = run_metrics;
+        wall = run_wall;
+        sched_wall = run_metrics.scheduler_wall_seconds;
+        if (bundle.eva != nullptr) {
+          reused = bundle.eva->stats().rounds_reused;
+          miss_table = bundle.eva->stats().reuse_miss_table;
+          miss_context = bundle.eva->stats().reuse_miss_context;
+        }
+      }
+    }
     const double events_per_sec =
         wall > 0.0 ? static_cast<double>(metrics.events_processed) / wall : 0.0;
+    const double sched_us_per_round =
+        metrics.scheduling_rounds > 0 ? sched_wall * 1e6 / metrics.scheduling_rounds : 0.0;
     const std::string name =
         std::string("alibaba2000_") + SchedulerKindName(kind);
-    std::printf("%-22s %10.3f %12lld %14.0f\n", name.c_str(), wall,
-                static_cast<long long>(metrics.events_processed), events_per_sec);
-    json.AddCase(name, trace_options.num_jobs, wall, metrics.events_processed,
-                 events_per_sec);
+    std::printf("%-22s %10.3f %12lld %14.0f %8d %10.3f %12.2f\n", name.c_str(), wall,
+                static_cast<long long>(metrics.events_processed), events_per_sec,
+                metrics.scheduling_rounds, sched_wall, sched_us_per_round);
+    json.AddCaseWithScheduler(name, trace_options.num_jobs, wall, metrics.events_processed,
+                              events_per_sec, metrics.scheduling_rounds, sched_wall,
+                              sched_us_per_round);
+    if (kind == SchedulerKind::kEva) {
+      std::printf("  (rounds reused: %d/%d, table misses: %d, context misses: %d)\n",
+                  reused, metrics.scheduling_rounds, miss_table, miss_context);
+    }
   }
   if (const char* path = BenchJsonWriter::OutputPath()) {
     return json.WriteTo(path, "scheduler_perf");

@@ -65,6 +65,21 @@ class BenchJsonWriter {
     cases_.emplace_back(buffer);
   }
 
+  // Engine case plus the scheduler decision-path breakdown: rounds, total
+  // wall time inside the scheduler, and the per-round decision latency.
+  void AddCaseWithScheduler(const std::string& name, int jobs, double wall_seconds,
+                            std::int64_t events, double events_per_sec, int rounds,
+                            double sched_wall_seconds, double sched_us_per_round) {
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"jobs\": %d, \"wall_seconds\": %.6f, "
+                  "\"events\": %lld, \"events_per_sec\": %.1f, \"rounds\": %d, "
+                  "\"sched_wall_seconds\": %.6f, \"sched_us_per_round\": %.2f}",
+                  name.c_str(), jobs, wall_seconds, static_cast<long long>(events),
+                  events_per_sec, rounds, sched_wall_seconds, sched_us_per_round);
+    cases_.emplace_back(buffer);
+  }
+
   // Writes the collected cases; returns false (with a message) on I/O error.
   bool WriteTo(const char* path, const char* bench_name) const {
     FILE* file = std::fopen(path, "w");

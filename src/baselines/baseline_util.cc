@@ -29,15 +29,10 @@ std::vector<const TaskInfo*> UnassignedTasksByRp(const SchedulingContext& contex
       unassigned.push_back(&task);
     }
   }
-  std::sort(unassigned.begin(), unassigned.end(),
-            [&calculator](const TaskInfo* a, const TaskInfo* b) {
-              const Money rp_a = calculator.ReservationPrice(*a);
-              const Money rp_b = calculator.ReservationPrice(*b);
-              if (rp_a != rp_b) {
-                return rp_a > rp_b;
-              }
-              return a->id < b->id;
-            });
+  // Every baseline that orders its waiting queue goes through here, so they
+  // all get the precompute-once treatment (RPs priced once into a keyed
+  // vector, not on every comparison).
+  SortTasksByRpDesc(calculator, unassigned);
   return unassigned;
 }
 

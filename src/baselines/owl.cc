@@ -15,9 +15,8 @@ OwlScheduler::OwlScheduler(const ThroughputEstimator* profile, Options options)
     : profile_(profile), options_(options) {}
 
 ClusterConfig OwlScheduler::Schedule(const SchedulingContext& context) {
-  SchedulingContext local = context;
-  local.throughput = profile_;
-  const TnrpCalculator calculator(local, {});
+  // The calculator reads the granted profile directly; no context copy.
+  const TnrpCalculator calculator(context, {}, profile_);
 
   ClusterConfig config;
   // Keep instances that already host two or more tasks; their pairing is
@@ -25,14 +24,14 @@ ClusterConfig OwlScheduler::Schedule(const SchedulingContext& context) {
   // (consolidating two running singletons costs one migration, which Owl
   // accepts when the profile certifies the pair).
   std::vector<const TaskInfo*> pool;
-  for (const ConfigInstance& kept : KeepNonEmptyInstances(local)) {
+  for (const ConfigInstance& kept : KeepNonEmptyInstances(context)) {
     if (kept.tasks.size() >= 2) {
       config.instances.push_back(kept);
     } else {
-      pool.push_back(local.FindTask(kept.tasks.front()));
+      pool.push_back(context.FindTask(kept.tasks.front()));
     }
   }
-  for (const TaskInfo* task : UnassignedTasksByRp(local)) {
+  for (const TaskInfo* task : UnassignedTasksByRp(context)) {
     pool.push_back(task);
   }
 
@@ -54,13 +53,13 @@ ClusterConfig OwlScheduler::Schedule(const SchedulingContext& context) {
         continue;
       }
       const std::optional<int> type_index =
-          local.catalog->CheapestFitting([&a, &b](InstanceFamily family) {
+          context.catalog->CheapestFitting([&a, &b](InstanceFamily family) {
             return a.DemandFor(family) + b.DemandFor(family);
           });
       if (!type_index.has_value()) {
         continue;
       }
-      const Money cost = local.catalog->Get(*type_index).cost_per_hour;
+      const Money cost = context.catalog->Get(*type_index).cost_per_hour;
       const Money tnrp = calculator.SetTnrp({&a, &b});
       if (cost <= 0.0) {
         continue;
@@ -105,7 +104,7 @@ ClusterConfig OwlScheduler::Schedule(const SchedulingContext& context) {
       continue;
     }
     const TaskInfo& task = *pool[i];
-    const std::optional<int> type_index = local.catalog->CheapestFitting(
+    const std::optional<int> type_index = context.catalog->CheapestFitting(
         [&task](InstanceFamily family) { return task.DemandFor(family); });
     if (!type_index.has_value()) {
       EVA_LOG_WARNING("no instance type fits task %lld", static_cast<long long>(task.id));
@@ -113,7 +112,7 @@ ClusterConfig OwlScheduler::Schedule(const SchedulingContext& context) {
     }
     ConfigInstance instance;
     if (task.current_instance != kInvalidInstanceId) {
-      const InstanceInfo* existing = local.FindInstance(task.current_instance);
+      const InstanceInfo* existing = context.FindInstance(task.current_instance);
       if (existing != nullptr && existing->type_index == *type_index) {
         instance.type_index = existing->type_index;
         instance.reuse_instance = existing->id;

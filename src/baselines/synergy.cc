@@ -17,15 +17,14 @@ void SynergyScheduler::ObserveThroughput(
 }
 
 ClusterConfig SynergyScheduler::Schedule(const SchedulingContext& context) {
-  SchedulingContext local = context;
-  local.throughput = &monitor_.table();
-  const TnrpCalculator calculator(local, {});
+  // The calculator reads the learned table directly; no context copy.
+  const TnrpCalculator calculator(context, {}, &monitor_.table());
 
   ClusterConfig config;
-  config.instances = KeepNonEmptyInstances(local);
+  config.instances = KeepNonEmptyInstances(context);
 
-  for (const TaskInfo* task_ptr : UnassignedTasksByRp(local)) {
-    const TaskInfo& task = *local.FindTask(task_ptr->id);
+  for (const TaskInfo* task_ptr : UnassignedTasksByRp(context)) {
+    const TaskInfo& task = *context.FindTask(task_ptr->id);
 
     // Best fit across existing instances: minimize the normalized leftover
     // capacity after placement (fragmentation), among placements that do
@@ -34,13 +33,13 @@ ClusterConfig SynergyScheduler::Schedule(const SchedulingContext& context) {
     double best_score = 0.0;
     for (std::size_t k = 0; k < config.instances.size(); ++k) {
       const ConfigInstance& candidate = config.instances[k];
-      const InstanceType& type = local.catalog->Get(candidate.type_index);
-      const ResourceVector remaining = RemainingCapacity(local, candidate);
+      const InstanceType& type = context.catalog->Get(candidate.type_index);
+      const ResourceVector remaining = RemainingCapacity(context, candidate);
       const ResourceVector& demand = task.DemandFor(type.family);
       if (!demand.FitsWithin(remaining)) {
         continue;
       }
-      std::vector<const TaskInfo*> members = MembersOf(local, candidate);
+      std::vector<const TaskInfo*> members = MembersOf(context, candidate);
       const Money before = calculator.SetTnrp(members);
       members.push_back(&task);
       const Money after = calculator.SetTnrp(members);
@@ -75,7 +74,7 @@ ClusterConfig SynergyScheduler::Schedule(const SchedulingContext& context) {
       continue;
     }
 
-    const std::optional<int> type_index = local.catalog->CheapestFitting(
+    const std::optional<int> type_index = context.catalog->CheapestFitting(
         [&task](InstanceFamily family) { return task.DemandFor(family); });
     if (!type_index.has_value()) {
       EVA_LOG_WARNING("no instance type fits task %lld", static_cast<long long>(task.id));

@@ -1,0 +1,18 @@
+// Shared hash-mixing helper for the hand-rolled hash-map keys.
+
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstddef>
+
+namespace eva {
+
+// Boost-style mix; good enough for the small key spaces of the scheduler's
+// memoization caches and throughput-table keys.
+inline std::size_t HashCombine(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace eva
+
+#endif  // SRC_COMMON_HASH_H_

@@ -4,9 +4,11 @@
 #include <cstdio>
 
 namespace eva {
-namespace {
-
+namespace internal {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+}  // namespace internal
+using internal::g_log_level;
+namespace {
 
 const char* LevelName(LogLevel level) {
   switch (level) {

@@ -7,6 +7,7 @@
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdarg>
 #include <string>
 
@@ -20,9 +21,21 @@ enum class LogLevel : int {
   kNone = 4,
 };
 
+namespace internal {
+// Exposed so the log macros can skip suppressed messages with one inline
+// relaxed load — the hot event loop logs at kDebug per event, and a varargs
+// call per suppressed message showed up in profiles.
+extern std::atomic<int> g_log_level;
+}  // namespace internal
+
 // Process-wide log threshold. Messages below the threshold are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         internal::g_log_level.load(std::memory_order_relaxed);
+}
 
 // Core sink; adds "[LEVEL] " prefix and a newline, writes to stderr.
 void LogMessage(LogLevel level, const char* format, ...)
@@ -33,9 +46,15 @@ void LogMessage(LogLevel level, const char* format, ...)
 
 }  // namespace eva
 
-#define EVA_LOG_DEBUG(...) ::eva::LogMessage(::eva::LogLevel::kDebug, __VA_ARGS__)
-#define EVA_LOG_INFO(...) ::eva::LogMessage(::eva::LogLevel::kInfo, __VA_ARGS__)
-#define EVA_LOG_WARNING(...) ::eva::LogMessage(::eva::LogLevel::kWarning, __VA_ARGS__)
-#define EVA_LOG_ERROR(...) ::eva::LogMessage(::eva::LogLevel::kError, __VA_ARGS__)
+#define EVA_LOG_AT(level, ...)                 \
+  do {                                         \
+    if (::eva::LogEnabled(level)) {            \
+      ::eva::LogMessage(level, __VA_ARGS__);   \
+    }                                          \
+  } while (0)
+#define EVA_LOG_DEBUG(...) EVA_LOG_AT(::eva::LogLevel::kDebug, __VA_ARGS__)
+#define EVA_LOG_INFO(...) EVA_LOG_AT(::eva::LogLevel::kInfo, __VA_ARGS__)
+#define EVA_LOG_WARNING(...) EVA_LOG_AT(::eva::LogLevel::kWarning, __VA_ARGS__)
+#define EVA_LOG_ERROR(...) EVA_LOG_AT(::eva::LogLevel::kError, __VA_ARGS__)
 
 #endif  // SRC_COMMON_LOGGING_H_

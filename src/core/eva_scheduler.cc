@@ -1,7 +1,10 @@
 #include "src/core/eva_scheduler.h"
 
+#include <utility>
+
 #include "src/common/logging.h"
 #include "src/core/full_reconfig.h"
+#include "src/core/incremental_reconfig.h"
 #include "src/core/partial_reconfig.h"
 #include "src/sched/config_diff.h"
 
@@ -26,6 +29,19 @@ Money ProvisioningSaving(const SchedulingContext& context, const TnrpCalculator&
     saving += calculator.SetTnrp(members, type.family) - type.cost_per_hour;
   }
   return saving;
+}
+
+// Equality on the TaskInfo fields the candidate configurations read.
+// remaining_work_s changes every round but never reaches the packing, so it
+// must not defeat the round memo.
+bool SamePackingTask(const TaskInfo& a, const TaskInfo& b) {
+  return a.id == b.id && a.job == b.job && a.workload == b.workload &&
+         a.current_instance == b.current_instance && a.demand_p3 == b.demand_p3 &&
+         a.demand_cpu == b.demand_cpu && a.family_speedup == b.family_speedup;
+}
+
+bool SameInstance(const InstanceInfo& a, const InstanceInfo& b) {
+  return a.id == b.id && a.type_index == b.type_index && a.tasks == b.tasks;
 }
 
 }  // namespace
@@ -60,6 +76,34 @@ std::string EvaScheduler::name() const {
 }
 
 int EvaScheduler::CountJobEvents(const SchedulingContext& context) {
+  if (context.delta.complete) {
+    // Same accounting as the set diff below, O(delta): a job that both
+    // arrived and completed inside the window was never visible to a round
+    // on either side, so it contributes no event. Both vectors arrive
+    // sorted and job ids are never reused, making the symmetric difference
+    // exact. last_jobs_ is maintained alongside so a later round without a
+    // delta (a hand-built context) can still fall back to the set diff.
+    int events = 0;
+    const std::vector<JobId>& arrived = context.delta.jobs_arrived;
+    const std::vector<JobId>& completed = context.delta.jobs_completed;
+    std::size_t a = 0;
+    std::size_t c = 0;
+    while (a < arrived.size() || c < completed.size()) {
+      if (c == completed.size() || (a < arrived.size() && arrived[a] < completed[c])) {
+        ++events;  // Arrival still active at this round.
+        last_jobs_.insert(arrived[a]);
+        ++a;
+      } else if (a == arrived.size() || completed[c] < arrived[a]) {
+        ++events;  // Completion of a job a previous round saw.
+        last_jobs_.erase(completed[c]);
+        ++c;
+      } else {
+        ++a;  // Arrived and completed within the window: invisible.
+        ++c;
+      }
+    }
+    return events;
+  }
   std::set<JobId> current;
   for (const TaskInfo& task : context.tasks) {
     current.insert(task.job);
@@ -79,16 +123,115 @@ int EvaScheduler::CountJobEvents(const SchedulingContext& context) {
   return events;
 }
 
+bool EvaScheduler::SameDecisionInputs(const SchedulingContext& context) const {
+  if (context.tasks.size() != memo_.tasks.size() ||
+      context.instances.size() != memo_.instances.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < context.tasks.size(); ++i) {
+    if (!SamePackingTask(context.tasks[i], memo_.tasks[i])) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < context.instances.size(); ++i) {
+    if (!SameInstance(context.instances[i], memo_.instances[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EvaScheduler::ComputeCandidates(const SchedulingContext& context) {
+  PackingOptions packing;
+  packing.pool = pool_.get();
+
+  const bool want_full = options_.policy != EvaOptions::Policy::kPartialOnly;
+  const bool want_partial = options_.policy != EvaOptions::Policy::kFullOnly;
+
+  ClusterConfig full;
+  ClusterConfig partial;
+  const auto compute_full = [&] {
+    if (options_.incremental_packing && memo_.valid) {
+      IncrementalOptions incremental;
+      incremental.packing = packing;
+      incremental.full_repack_fraction = options_.incremental_full_repack_fraction;
+      IncrementalResult result =
+          IncrementalReconfiguration(context, *calculator_, memo_.full, incremental);
+      full = std::move(result.config);
+      ++(result.full_repack ? stats_.full_packs : stats_.incremental_packs);
+    } else {
+      full = FullReconfiguration(context, *calculator_, packing);
+      ++stats_.full_packs;
+    }
+  };
+  const auto compute_partial = [&] {
+    partial = PartialReconfiguration(context, *calculator_, packing);
+  };
+
+  if (want_full && want_partial && pool_ != nullptr) {
+    // The two candidates are independent; the calculator's caches are
+    // concurrency-safe and value-deterministic, so this fan-out cannot
+    // change the result.
+    ThreadPool::TaskGroup group(*pool_);
+    group.Submit(compute_full);
+    compute_partial();
+    group.Wait();
+  } else {
+    if (want_full) {
+      compute_full();
+    }
+    if (want_partial) {
+      compute_partial();
+    }
+  }
+
+  memo_.valid = true;
+  memo_.table_version = monitor_.table().Version();
+  memo_.tasks = context.tasks;
+  memo_.instances = context.instances;
+  memo_.full = std::move(full);
+  memo_.partial = std::move(partial);
+  memo_.savings_valid = false;
+}
+
 ClusterConfig EvaScheduler::Schedule(const SchedulingContext& context) {
-  // Re-bind the context's throughput estimates to the learned table — Eva
-  // never reads ground truth.
-  SchedulingContext local = context;
-  local.throughput = &monitor_.table();
+  if (!pool_resolved_) {
+    pool_resolved_ = true;
+    const int threads = options_.max_parallelism == 0 ? ThreadPool::DefaultThreads()
+                                                      : options_.max_parallelism;
+    if (threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
+  }
 
-  const TnrpCalculator calculator(local, options_.tnrp);
+  bool unchanged = false;
+  if (options_.reuse_unchanged_rounds && memo_.valid) {
+    if (memo_.table_version != monitor_.table().Version()) {
+      ++stats_.reuse_miss_table;
+    } else if (!SameDecisionInputs(context)) {
+      ++stats_.reuse_miss_context;
+    } else {
+      unchanged = true;
+    }
+  }
 
-  ClusterConfig full = FullReconfiguration(local, calculator);
-  ClusterConfig partial = PartialReconfiguration(local, calculator);
+  // Bind the persistent calculator to this round's context, with the
+  // learned table as estimator — Eva never reads the context's ground
+  // truth, and the context itself is never copied.
+  if (calculator_ == nullptr) {
+    calculator_ = std::make_unique<TnrpCalculator>(context, options_.tnrp, &monitor_.table());
+    // Without a pool every pricing call runs on this thread; shed the
+    // cache-shard mutexes.
+    calculator_->set_concurrent(pool_ != nullptr);
+  } else {
+    calculator_->Rebind(context, &monitor_.table());
+  }
+
+  if (unchanged) {
+    ++stats_.rounds_reused;
+  } else {
+    ComputeCandidates(context);
+  }
 
   bool adopt_full = false;
   switch (options_.policy) {
@@ -99,37 +242,41 @@ ClusterConfig EvaScheduler::Schedule(const SchedulingContext& context) {
       adopt_full = false;
       break;
     case EvaOptions::Policy::kEnsemble: {
-      const Money saving_full = ProvisioningSaving(local, calculator, full);
-      const Money saving_partial = ProvisioningSaving(local, calculator, partial);
-      const Money migration_full =
-          EstimateMigrationCost(local, DiffConfig(local, full), options_.cloud_delays,
-                                options_.migration_delay_multiplier);
-      const Money migration_partial =
-          EstimateMigrationCost(local, DiffConfig(local, partial), options_.cloud_delays,
-                                options_.migration_delay_multiplier);
+      if (!memo_.savings_valid) {
+        memo_.saving_full = ProvisioningSaving(context, *calculator_, memo_.full);
+        memo_.saving_partial = ProvisioningSaving(context, *calculator_, memo_.partial);
+        memo_.migration_full =
+            EstimateMigrationCost(context, DiffConfig(context, memo_.full),
+                                  options_.cloud_delays, options_.migration_delay_multiplier);
+        memo_.migration_partial =
+            EstimateMigrationCost(context, DiffConfig(context, memo_.partial),
+                                  options_.cloud_delays, options_.migration_delay_multiplier);
+        memo_.savings_valid = true;
+      }
       const double d_hat = estimator_.ExpectedConfigurationDurationHours();
-      adopt_full = ShouldAdoptFull(saving_full, saving_partial, migration_full,
-                                   migration_partial, d_hat);
+      adopt_full = ShouldAdoptFull(memo_.saving_full, memo_.saving_partial,
+                                   memo_.migration_full, memo_.migration_partial, d_hat);
       EVA_LOG_DEBUG(
-          "round t=%.0f: S_F=%.3f S_P=%.3f M_F=%.3f M_P=%.3f D=%.2fh -> %s", local.now_s,
-          saving_full, saving_partial, migration_full, migration_partial, d_hat,
-          adopt_full ? "full" : "partial");
+          "round t=%.0f: S_F=%.3f S_P=%.3f M_F=%.3f M_P=%.3f D=%.2fh -> %s", context.now_s,
+          memo_.saving_full, memo_.saving_partial, memo_.migration_full,
+          memo_.migration_partial, d_hat, adopt_full ? "full" : "partial");
       break;
     }
   }
 
-  const int events = CountJobEvents(local);
+  // An unchanged round has, by definition, the same active job set.
+  const int events = unchanged ? 0 : CountJobEvents(context);
   const SimTime elapsed =
-      last_round_time_ >= 0.0 ? local.now_s - last_round_time_ : 0.0;
+      last_round_time_ >= 0.0 ? context.now_s - last_round_time_ : 0.0;
   estimator_.RecordRound(events, elapsed, adopt_full);
-  last_round_time_ = local.now_s;
+  last_round_time_ = context.now_s;
 
   ++stats_.rounds;
   stats_.events_seen += events;
   if (adopt_full) {
     ++stats_.full_adopted;
   }
-  return adopt_full ? full : partial;
+  return adopt_full ? memo_.full : memo_.partial;
 }
 
 void EvaScheduler::ObserveThroughput(

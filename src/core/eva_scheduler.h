@@ -8,14 +8,30 @@
 // Reconfiguration only when Equation 1 favors it. Configurable ablations
 // reproduce the paper's variants: Eva-RP (interference-oblivious),
 // Eva-Single (multi-task-oblivious), Eva w/o Full Reconfig, and Full-only.
+//
+// The decision path is delta-incremental across rounds, bit-identically:
+//   * one persistent TnrpCalculator memoizes RP and TNRP across rounds,
+//     invalidated per workload row by new throughput observations;
+//   * a round memo replays the previous round's candidate configurations
+//     (and, in ensemble mode, their savings/migration prices) verbatim when
+//     nothing decision-relevant changed — the common quiescent round;
+//   * Full and Partial Reconfiguration run concurrently on a thread pool,
+//     which also fans out the packing's inner argmax and downsizing scans.
+// An opt-in approximate mode (incremental_packing) additionally replaces
+// Full Reconfiguration with delta-touched repacking via
+// IncrementalReconfiguration when the RoundDelta is small.
 
 #ifndef SRC_CORE_EVA_SCHEDULER_H_
 #define SRC_CORE_EVA_SCHEDULER_H_
 
+#include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/cloud/delays.h"
+#include "src/common/thread_pool.h"
 #include "src/core/reconfig_decision.h"
 #include "src/core/throughput_monitor.h"
 #include "src/sched/reservation_price.h"
@@ -43,6 +59,23 @@ struct EvaOptions {
 
   EventRateEstimator::Options estimator;
 
+  // --- Decision-path performance knobs (bit-identical results) ----------
+  // Replay the previous round's candidates when the decision inputs (task
+  // set, placements, instances, throughput table) are unchanged.
+  bool reuse_unchanged_rounds = true;
+
+  // Worker threads for the decision path: 0 = hardware concurrency,
+  // 1 = serial, n > 1 = exactly n. A pool is spun up only when > 1.
+  int max_parallelism = 0;
+
+  // --- Approximate incremental packing (changes configurations) --------
+  // Replace Full Reconfiguration with delta-touched repacking seeded from
+  // the previous round's configuration (see incremental_reconfig.h). Off
+  // by default: the golden-pinned evaluation requires the exact Algorithm 1
+  // output every round.
+  bool incremental_packing = false;
+  double incremental_full_repack_fraction = 0.25;
+
   // Custom display name; empty derives one from the options.
   std::string name;
 };
@@ -53,6 +86,14 @@ class EvaScheduler : public Scheduler {
     int rounds = 0;
     int full_adopted = 0;
     int events_seen = 0;
+
+    // Decision-path accounting: rounds replayed from the memo, why the
+    // others were not, and how their Full candidate was produced.
+    int rounds_reused = 0;
+    int reuse_miss_table = 0;    // Throughput table changed.
+    int reuse_miss_context = 0;  // Task set / placements / instances changed.
+    int full_packs = 0;
+    int incremental_packs = 0;
   };
 
   explicit EvaScheduler(EvaOptions options = {});
@@ -64,9 +105,24 @@ class EvaScheduler : public Scheduler {
   const Stats& stats() const { return stats_; }
   const ThroughputTable& throughput_table() const { return monitor_.table(); }
   const EventRateEstimator& event_estimator() const { return estimator_; }
+  const TnrpCalculator::CacheStats* tnrp_cache_stats() const {
+    return calculator_ != nullptr ? &calculator_->cache_stats() : nullptr;
+  }
 
  private:
+  // Arrivals + completions since the previous round: straight off the
+  // RoundDelta when the producer tracks one, otherwise by diffing the
+  // active-job set against the previous round's.
   int CountJobEvents(const SchedulingContext& context);
+
+  // True when `context` matches the memoized round on every field the
+  // candidate configurations depend on (now_s and remaining-runtime
+  // estimates deliberately excluded — the packing never reads them).
+  bool SameDecisionInputs(const SchedulingContext& context) const;
+
+  // Computes the candidate configurations for `context` into memo_,
+  // fanning out on pool_ when available.
+  void ComputeCandidates(const SchedulingContext& context);
 
   EvaOptions options_;
   ThroughputMonitor monitor_;
@@ -75,6 +131,30 @@ class EvaScheduler : public Scheduler {
 
   std::set<JobId> last_jobs_;
   SimTime last_round_time_ = -1.0;
+
+  // Persistent calculator; bound to the caller's context for the duration
+  // of each Schedule call (rebound at entry, never dereferenced between
+  // calls) and permanently to the monitor's table as estimator — which is
+  // why Schedule does not copy the context.
+  std::unique_ptr<TnrpCalculator> calculator_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool pool_resolved_ = false;
+
+  // Previous round's decision-relevant inputs and outputs.
+  struct RoundMemo {
+    bool valid = false;
+    std::uint64_t table_version = 0;
+    std::vector<TaskInfo> tasks;
+    std::vector<InstanceInfo> instances;
+    ClusterConfig full;
+    ClusterConfig partial;
+    bool savings_valid = false;
+    Money saving_full = 0.0;
+    Money saving_partial = 0.0;
+    Money migration_full = 0.0;
+    Money migration_partial = 0.0;
+  };
+  RoundMemo memo_;
 };
 
 }  // namespace eva

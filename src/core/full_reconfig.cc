@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 
 namespace eva {
 namespace {
@@ -10,6 +11,37 @@ namespace {
 // True if `task` fits in the remaining capacity of an instance of `type`.
 bool Fits(const TaskInfo& task, const InstanceType& type, const ResourceVector& used) {
   return (used + task.DemandFor(type.family)).FitsWithin(type.capacity);
+}
+
+// Result of scanning a candidate range for the TNRP argmax.
+struct ArgmaxResult {
+  int candidate = -1;
+  Money tnrp = 0.0;
+};
+
+// Serial argmax over pool[begin, end): the unassigned, fitting task whose
+// addition maximizes TNRP(members + {task}); earliest index wins exact ties
+// (the `>` below), which is the determinism contract the parallel reduction
+// preserves.
+ArgmaxResult ScanCandidates(std::size_t begin, std::size_t end,
+                            const std::vector<const TaskInfo*>& pool,
+                            const std::vector<bool>& assigned,
+                            const std::vector<bool>& in_tentative_set,
+                            const std::vector<const TaskInfo*>& members,
+                            const InstanceType& type, const ResourceVector& used,
+                            const TnrpCalculator& calculator) {
+  ArgmaxResult best;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (assigned[i] || in_tentative_set[i] || !Fits(*pool[i], type, used)) {
+      continue;
+    }
+    const Money tnrp = calculator.SetTnrpPlusOne(members, *pool[i], type.family);
+    if (best.candidate < 0 || tnrp > best.tnrp) {
+      best.candidate = static_cast<int>(i);
+      best.tnrp = tnrp;
+    }
+  }
+  return best;
 }
 
 }  // namespace
@@ -23,15 +55,9 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
   // Deterministic candidate order: descending RP, then ascending id. The
   // argmax below breaks ties by this order, matching the VSBPP heuristic's
   // "largest ball first" intuition.
-  std::sort(pool.begin(), pool.end(), [&calculator](const TaskInfo* a, const TaskInfo* b) {
-    const Money rp_a = calculator.ReservationPrice(*a);
-    const Money rp_b = calculator.ReservationPrice(*b);
-    if (rp_a != rp_b) {
-      return rp_a > rp_b;
-    }
-    return a->id < b->id;
-  });
+  SortTasksByRpDesc(calculator, pool);
 
+  const bool parallel = options.pool != nullptr && options.pool->num_threads() > 1;
   std::vector<bool> assigned(pool.size(), false);
   std::size_t num_assigned = 0;
 
@@ -53,20 +79,41 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
 
       while (true) {
         // Pick the unassigned, fitting task that maximizes TNRP(T + {tau}).
-        int best_candidate = -1;
-        Money best_candidate_tnrp = 0.0;
-        for (std::size_t i = 0; i < pool.size(); ++i) {
-          if (assigned[i] || in_tentative_set[i] || !Fits(*pool[i], type, used)) {
-            continue;
+        ArgmaxResult best;
+        if (parallel && pool.size() - num_assigned >= options.parallel_min_candidates) {
+          // Chunked fan-out; combining in chunk order with strict `>` picks
+          // the earliest-index maximum, exactly like the serial scan.
+          const std::size_t chunks =
+              static_cast<std::size_t>(options.pool->num_threads()) + 1;
+          const std::size_t chunk_size = (pool.size() + chunks - 1) / chunks;
+          std::vector<ArgmaxResult> partial(chunks);
+          ThreadPool::TaskGroup group(*options.pool);
+          for (std::size_t c = 0; c < chunks; ++c) {
+            const std::size_t begin = c * chunk_size;
+            const std::size_t end = std::min(pool.size(), begin + chunk_size);
+            if (begin >= end) {
+              break;
+            }
+            group.Submit([&, c, begin, end] {
+              partial[c] = ScanCandidates(begin, end, pool, assigned, in_tentative_set,
+                                          members, type, used, calculator);
+            });
           }
-          std::vector<const TaskInfo*> tentative = members;
-          tentative.push_back(pool[i]);
-          const Money tnrp = calculator.SetTnrp(tentative, type.family);
-          if (best_candidate < 0 || tnrp > best_candidate_tnrp) {
-            best_candidate = static_cast<int>(i);
-            best_candidate_tnrp = tnrp;
+          group.Wait();
+          for (const ArgmaxResult& chunk : partial) {
+            if (chunk.candidate < 0) {
+              continue;
+            }
+            if (best.candidate < 0 || chunk.tnrp > best.tnrp) {
+              best = chunk;
+            }
           }
+        } else {
+          best = ScanCandidates(0, pool.size(), pool, assigned, in_tentative_set, members,
+                                type, used, calculator);
         }
+        const int best_candidate = best.candidate;
+        const Money best_candidate_tnrp = best.tnrp;
         if (best_candidate < 0) {
           break;  // Nothing fits anymore.
         }
@@ -104,9 +151,13 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
   // type but fits a cheaper one moves there (e.g. two 2-GPU tasks packed
   // while iterating the 8-GPU type fit the 4-GPU type at half the price).
   if (options.shrink_to_cheapest_type) {
-    std::vector<const TaskInfo*> members;
-    for (ConfigInstance& instance : result.instances) {
-      members.clear();
+    // Each instance's best type is independent of the others — the natural
+    // "independent instance-type candidates" fan-out. Writes are disjoint
+    // and the per-instance scan is deterministic, so serial and parallel
+    // results are identical.
+    const auto shrink_one = [&](std::size_t index) {
+      ConfigInstance& instance = result.instances[index];
+      std::vector<const TaskInfo*> members;
       for (TaskId id : instance.tasks) {
         if (const TaskInfo* task = context.FindTask(id)) {
           members.push_back(task);
@@ -136,6 +187,13 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
         }
       }
       instance.type_index = best_type;
+    };
+    if (parallel && result.instances.size() >= 8) {
+      options.pool->ParallelFor(result.instances.size(), shrink_one);
+    } else {
+      for (std::size_t i = 0; i < result.instances.size(); ++i) {
+        shrink_one(i);
+      }
     }
   }
 

@@ -12,12 +12,15 @@
 #ifndef SRC_CORE_FULL_RECONFIG_H_
 #define SRC_CORE_FULL_RECONFIG_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "src/sched/reservation_price.h"
 #include "src/sched/types.h"
 
 namespace eva {
+
+class ThreadPool;
 
 struct PackingResult {
   std::vector<ConfigInstance> instances;
@@ -41,6 +44,16 @@ struct PackingOptions {
   // an instance type, switch to the cheapest type that still fits the set.
   // Never increases cost, so cost-efficiency is preserved.
   bool shrink_to_cheapest_type = true;
+
+  // When set (and the pool has >1 worker), the candidate argmax and the
+  // downsizing step fan out onto this pool. The parallel reductions pick
+  // the same element as the serial scans (earliest index among exact-tie
+  // maxima), so the returned configuration is bit-identical either way.
+  ThreadPool* pool = nullptr;
+
+  // Candidate-count floor below which the argmax stays serial (fan-out
+  // overhead would dominate).
+  std::size_t parallel_min_candidates = 48;
 };
 
 // Runs Algorithm 1 over `pool` (tasks to place). Instances in the result

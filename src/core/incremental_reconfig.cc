@@ -1,0 +1,90 @@
+#include "src/core/incremental_reconfig.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace eva {
+
+IncrementalResult IncrementalReconfiguration(const SchedulingContext& context,
+                                             const TnrpCalculator& calculator,
+                                             const ClusterConfig& previous,
+                                             const IncrementalOptions& options) {
+  IncrementalResult result;
+  const RoundDelta& delta = context.delta;
+  const std::size_t pool_size = std::max<std::size_t>(1, context.tasks.size());
+  if (!delta.complete || previous.instances.empty() ||
+      static_cast<double>(delta.TouchedCount()) >
+          options.full_repack_fraction * static_cast<double>(pool_size)) {
+    result.full_repack = true;
+    result.config = FullReconfiguration(context, calculator, options.packing);
+    return result;
+  }
+
+  const std::unordered_set<TaskId> retargeted(delta.tasks_retargeted.begin(),
+                                              delta.tasks_retargeted.end());
+
+  // Keep previous instances whose membership survived the delta untouched
+  // and whose task set still covers its cost under the current estimates.
+  std::unordered_set<TaskId> kept_tasks;
+  std::vector<const TaskInfo*> members;
+  for (const ConfigInstance& instance : previous.instances) {
+    members.clear();
+    bool touched = false;
+    for (TaskId id : instance.tasks) {
+      const TaskInfo* task = context.FindTask(id);
+      if (task == nullptr || retargeted.count(id) > 0) {
+        touched = true;  // Completed or migrated since last round.
+        break;
+      }
+      members.push_back(task);
+    }
+    if (touched || members.empty()) {
+      continue;  // Members (if any) fall through to the repack pool.
+    }
+    const InstanceType& type = context.catalog->Get(instance.type_index);
+    const Money cost = type.cost_per_hour;
+    if (calculator.SetTnrp(members, type.family) +
+            options.packing.cost_epsilon * cost <
+        cost) {
+      continue;  // No longer cost-efficient; release and repack.
+    }
+    ConfigInstance kept;
+    kept.type_index = instance.type_index;
+    kept.reuse_instance = instance.reuse_instance;
+    kept.tasks = instance.tasks;
+    // Pin the kept set to the instance actually hosting it, so the differ
+    // cannot shuffle task sets between same-typed instances.
+    const InstanceId common = members.front()->current_instance;
+    if (common != kInvalidInstanceId) {
+      bool all_same = true;
+      for (const TaskInfo* member : members) {
+        all_same = all_same && member->current_instance == common;
+      }
+      const InstanceInfo* host = all_same ? context.FindInstance(common) : nullptr;
+      if (host != nullptr && host->type_index == instance.type_index) {
+        kept.reuse_instance = common;
+      }
+    }
+    for (TaskId id : kept.tasks) {
+      kept_tasks.insert(id);
+    }
+    result.config.instances.push_back(std::move(kept));
+  }
+
+  // Everything not kept — arrivals, evictees of touched or inefficient
+  // instances — goes through Algorithm 1's greedy.
+  std::vector<const TaskInfo*> repack;
+  for (const TaskInfo& task : context.tasks) {
+    if (kept_tasks.count(task.id) == 0) {
+      repack.push_back(&task);
+    }
+  }
+  PackingResult packed =
+      PackByReservationPrice(context, calculator, std::move(repack), options.packing);
+  for (ConfigInstance& instance : packed.instances) {
+    result.config.instances.push_back(std::move(instance));
+  }
+  return result;
+}
+
+}  // namespace eva

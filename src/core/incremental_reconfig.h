@@ -1,0 +1,55 @@
+// Delta-aware reconfiguration — the incremental counterpart of Algorithm 1.
+//
+// Reuses the previous round's configuration as the starting incumbent:
+// instances none of whose members were touched by the RoundDelta keep their
+// task sets (subject to a cost-efficiency recheck against the *current*
+// TNRP estimates), while tasks of touched instances plus newly arrived
+// tasks are repacked with Algorithm 1's TNRP-greedy. When the delta is
+// unknown (complete == false) or touches more than `full_repack_fraction`
+// of the task pool, a plain FullReconfiguration runs instead — past that
+// point the greedy's global cascade makes instance-local reuse a poor
+// approximation.
+//
+// The output is an approximation of FullReconfiguration: identical when the
+// delta is empty, inside the greedy's quality envelope otherwise (kept
+// instances are re-verified cost-efficient; repacked tasks go through the
+// same greedy). EvaScheduler keeps it opt-in
+// (EvaOptions::incremental_packing) because the golden-pinned evaluation
+// path requires bit-identical configurations; the exact fast path there is
+// the unchanged-round memo plus the memoized TNRP caches.
+
+#ifndef SRC_CORE_INCREMENTAL_RECONFIG_H_
+#define SRC_CORE_INCREMENTAL_RECONFIG_H_
+
+#include "src/core/full_reconfig.h"
+#include "src/sched/reservation_price.h"
+#include "src/sched/types.h"
+
+namespace eva {
+
+struct IncrementalOptions {
+  PackingOptions packing;
+
+  // Fraction of the task pool the delta may touch before the incremental
+  // path falls back to a full repack.
+  double full_repack_fraction = 0.25;
+};
+
+struct IncrementalResult {
+  ClusterConfig config;
+
+  // True when the call fell back to FullReconfiguration (unknown or
+  // oversized delta, or no previous configuration to start from).
+  bool full_repack = false;
+};
+
+// `previous` is the configuration the same scheduler produced last round
+// (its task ids may reference completed tasks; those are dropped).
+IncrementalResult IncrementalReconfiguration(const SchedulingContext& context,
+                                             const TnrpCalculator& calculator,
+                                             const ClusterConfig& previous,
+                                             const IncrementalOptions& options = {});
+
+}  // namespace eva
+
+#endif  // SRC_CORE_INCREMENTAL_RECONFIG_H_

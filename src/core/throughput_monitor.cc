@@ -6,13 +6,15 @@ namespace eva {
 
 ThroughputMonitor::ThroughputMonitor(double default_pairwise) : table_(default_pairwise) {}
 
-void ThroughputMonitor::Observe(const std::vector<JobThroughputObservation>& observations) {
+int ThroughputMonitor::Observe(const std::vector<JobThroughputObservation>& observations) {
+  int changed = 0;
   for (const JobThroughputObservation& observation : observations) {
-    ObserveJob(observation);
+    changed += ObserveJob(observation) ? 1 : 0;
   }
+  return changed;
 }
 
-void ThroughputMonitor::ObserveJob(const JobThroughputObservation& observation) {
+bool ThroughputMonitor::ObserveJob(const JobThroughputObservation& observation) {
   // Only co-located tasks can be blamed for interference.
   std::vector<const TaskPlacementObservation*> colocated_tasks;
   for (const TaskPlacementObservation& task : observation.tasks) {
@@ -21,8 +23,8 @@ void ThroughputMonitor::ObserveJob(const JobThroughputObservation& observation) 
     }
   }
   if (colocated_tasks.empty()) {
-    return;  // Nothing to attribute; any degradation is noise or stragglers
-             // outside co-location (not modeled).
+    return false;  // Nothing to attribute; any degradation is noise or
+                   // stragglers outside co-location (not modeled).
   }
 
   const double observed = observation.normalized_throughput;
@@ -31,8 +33,7 @@ void ThroughputMonitor::ObserveJob(const JobThroughputObservation& observation) 
     // Unambiguous: the single co-located task is the only possible source
     // of the degradation (single-task jobs always take this path).
     const TaskPlacementObservation* task = colocated_tasks.front();
-    table_.Record(task->workload, task->colocated, observed);
-    return;
+    return table_.Record(task->workload, task->colocated, observed);
   }
 
   // Multi-task attribution. Gather the recorded state of each candidate.
@@ -61,8 +62,7 @@ void ThroughputMonitor::ObserveJob(const JobThroughputObservation& observation) 
         pick = &c;
       }
     }
-    table_.Record(pick->task->workload, pick->task->colocated, observed);
-    return;
+    return table_.Record(pick->task->workload, pick->task->colocated, observed);
   }
 
   // Rule 2: some recorded entry is lower than the observation — the
@@ -75,8 +75,8 @@ void ThroughputMonitor::ObserveJob(const JobThroughputObservation& observation) 
     }
   }
   if (lowest_recorded != nullptr && *lowest_recorded->recorded < observed) {
-    table_.Record(lowest_recorded->task->workload, lowest_recorded->task->colocated, observed);
-    return;
+    return table_.Record(lowest_recorded->task->workload, lowest_recorded->task->colocated,
+                         observed);
   }
 
   // Rule 3: all recorded entries exceed the observation — a task whose
@@ -89,14 +89,14 @@ void ThroughputMonitor::ObserveJob(const JobThroughputObservation& observation) 
     }
   }
   if (pick != nullptr) {
-    table_.Record(pick->task->workload, pick->task->colocated, observed);
-    return;
+    return table_.Record(pick->task->workload, pick->task->colocated, observed);
   }
 
   // Every entry is recorded and all are >= observed: under noise-free
   // observations this cannot happen (recorded values are lower bounds);
   // with noise, lower the minimum entry so the table stays a lower bound.
-  table_.Record(lowest_recorded->task->workload, lowest_recorded->task->colocated, observed);
+  return table_.Record(lowest_recorded->task->workload, lowest_recorded->task->colocated,
+                       observed);
 }
 
 }  // namespace eva

@@ -30,14 +30,17 @@ class ThroughputMonitor {
  public:
   explicit ThroughputMonitor(double default_pairwise = 0.95);
 
-  // Processes one scheduling window's worth of observations.
-  void Observe(const std::vector<JobThroughputObservation>& observations);
+  // Processes one scheduling window's worth of observations. Returns the
+  // number of table entries whose value actually changed — 0 means every
+  // estimate (and thus every memoized TNRP) is still valid, the common
+  // steady-state case that keeps quiescent scheduling rounds cheap.
+  int Observe(const std::vector<JobThroughputObservation>& observations);
 
   const ThroughputTable& table() const { return table_; }
   ThroughputTable& mutable_table() { return table_; }
 
  private:
-  void ObserveJob(const JobThroughputObservation& observation);
+  bool ObserveJob(const JobThroughputObservation& observation);
 
   ThroughputTable table_;
 };

@@ -1,21 +1,64 @@
 #include "src/sched/reservation_price.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "src/common/hash.h"
+
 namespace eva {
 
-TnrpCalculator::TnrpCalculator(const SchedulingContext& context, Options options)
-    : context_(context), options_(options) {}
-
-Money TnrpCalculator::ReservationPrice(const TaskInfo& task) const {
-  const auto cached = rp_cache_.find(task.id);
-  if (cached != rp_cache_.end()) {
-    return cached->second;
+std::size_t TnrpCalculator::TnrpKeyHash::operator()(const TnrpKey& key) const {
+  std::size_t seed = HashCombine(static_cast<std::size_t>(key.task),
+                                 static_cast<std::size_t>(key.family) + 0x7f);
+  for (WorkloadId w : key.partners) {
+    seed = HashCombine(seed, static_cast<std::size_t>(w));
   }
+  return seed;
+}
+
+std::size_t TnrpCalculator::SetKeyHash::operator()(const SetKey& key) const {
+  std::size_t seed = HashCombine(0x5e74c0de, static_cast<std::size_t>(key.family) + 0x7f);
+  for (TaskId id : key.members) {
+    seed = HashCombine(seed, static_cast<std::size_t>(id));
+  }
+  return seed;
+}
+
+TnrpCalculator::TnrpCalculator(const SchedulingContext& context, Options options,
+                               const ThroughputEstimator* estimator)
+    : context_(&context), options_(options), estimator_(estimator) {}
+
+void TnrpCalculator::Rebind(const SchedulingContext& context,
+                            const ThroughputEstimator* estimator) {
+  const bool catalog_changed = context.catalog != context_->catalog;
+  const ThroughputEstimator* previous = this->estimator();
+  context_ = &context;
+  estimator_ = estimator;
+  const bool estimator_changed = this->estimator() != previous;
+  if (catalog_changed) {
+    for (RpShard& shard : rp_shards_) {
+      shard.cache.clear();
+    }
+  }
+  if (catalog_changed || estimator_changed) {
+    // TNRP values embed both RPs (catalog-derived) and throughput estimates;
+    // version stamps only track mutations of the *same* estimator object.
+    for (TnrpShard& shard : tnrp_shards_) {
+      shard.cache.clear();
+    }
+    for (SetShard& shard : set_shards_) {
+      shard.cache.clear();
+    }
+  }
+}
+
+Money TnrpCalculator::ComputeReservationPrice(const TaskInfo& task) const {
   // Minimum cost of executing the task's work: cost per hour divided by the
   // task's relative speed on the hosting family. With homogeneous speedups
   // (all 1.0) this reduces to the paper's original definition.
   Money best = 0.0;
   bool found = false;
-  for (const InstanceType& type : context_.catalog->types()) {
+  for (const InstanceType& type : context_->catalog->types()) {
     if (!task.DemandFor(type.family).FitsWithin(type.capacity)) {
       continue;
     }
@@ -29,28 +72,38 @@ Money TnrpCalculator::ReservationPrice(const TaskInfo& task) const {
       found = true;
     }
   }
-  rp_cache_[task.id] = best;
   return best;
 }
 
-Money TnrpCalculator::TaskTnrp(const TaskInfo& task,
-                               const std::vector<const TaskInfo*>& partners,
-                               std::optional<InstanceFamily> family) const {
-  const double speedup = family.has_value() ? task.SpeedupOn(*family) : 1.0;
-  const Money rp = ReservationPrice(task) * speedup;
-  if (!options_.interference_aware || partners.empty()) {
-    return rp;
+TnrpCalculator::RpEntry TnrpCalculator::RpEntryFor(const TaskInfo& task) const {
+  RpShard& shard = rp_shards_[static_cast<std::size_t>(task.id) % kNumShards];
+  {
+    MaybeLock lock(shard.mutex, concurrent_);
+    const auto cached = shard.cache.find(task.id);
+    if (cached != shard.cache.end()) {
+      cache_stats_.rp_hits.fetch_add(1, std::memory_order_relaxed);
+      return cached->second;
+    }
   }
-  std::vector<WorkloadId> partner_workloads;
-  partner_workloads.reserve(partners.size());
-  for (const TaskInfo* partner : partners) {
-    partner_workloads.push_back(partner->workload);
-  }
+  RpEntry entry;
+  entry.rp = ComputeReservationPrice(task);
+  entry.job_size = context_->JobSize(task.job);
+  MaybeLock lock(shard.mutex, concurrent_);
+  cache_stats_.rp_misses.fetch_add(1, std::memory_order_relaxed);
+  shard.cache[task.id] = entry;
+  return entry;
+}
+
+Money TnrpCalculator::ReservationPrice(const TaskInfo& task) const {
+  return RpEntryFor(task).rp;
+}
+
+Money TnrpCalculator::ComputeTnrp(const TaskInfo& task,
+                                  const std::vector<WorkloadId>& partner_workloads,
+                                  Money rp, int job_size) const {
+  const ThroughputEstimator* throughput = estimator();
   const double tput =
-      context_.throughput != nullptr ? context_.throughput->Estimate(task.workload,
-                                                                     partner_workloads)
-                                     : 1.0;
-  const int job_size = context_.JobSize(task.job);
+      throughput != nullptr ? throughput->Estimate(task.workload, partner_workloads) : 1.0;
   if (!options_.multi_task_aware || job_size <= 1) {
     return tput * rp;
   }
@@ -60,10 +113,57 @@ Money TnrpCalculator::TaskTnrp(const TaskInfo& task,
   return rp - static_cast<double>(job_size) * (1.0 - tput) * rp;
 }
 
-Money TnrpCalculator::SetTnrp(const std::vector<const TaskInfo*>& tasks,
-                              std::optional<InstanceFamily> family) const {
+Money TnrpCalculator::TaskTnrp(const TaskInfo& task,
+                               const std::vector<const TaskInfo*>& partners,
+                               std::optional<InstanceFamily> family) const {
+  const double speedup = family.has_value() ? task.SpeedupOn(*family) : 1.0;
+  const RpEntry entry = RpEntryFor(task);
+  const Money rp = entry.rp * speedup;
+  if (!options_.interference_aware || partners.empty()) {
+    return rp;
+  }
+  // Memoized path: the value is a pure function of (task, partner workload
+  // sequence, family) given the estimator's current estimates for the
+  // task's workload, which the row version captures.
+  // The key preserves the caller's partner ORDER: floating-point folds over
+  // partners (the pairwise product in ThroughputTable::Estimate) are not
+  // exactly commutative, and the cached value must be bit-identical to what
+  // an uncached evaluation of this exact call would produce. Recurring call
+  // sites present partners in stable orders, so ordered keys still hit.
+  // The key doubles as the partner-workload list for the compute path and
+  // lives in thread-local scratch: nothing allocates on a cache hit.
+  thread_local TnrpKey key;
+  key.task = task.id;
+  key.family = family.has_value() ? static_cast<int>(*family) : -1;
+  key.partners.clear();
+  key.partners.reserve(partners.size());
+  for (const TaskInfo* partner : partners) {
+    key.partners.push_back(partner->workload);
+  }
+  const ThroughputEstimator* throughput = estimator();
+  const std::uint64_t row_version =
+      throughput != nullptr ? throughput->RowVersion(task.workload) : 0;
+
+  TnrpShard& shard = tnrp_shards_[TnrpKeyHash()(key) % kNumShards];
+  {
+    MaybeLock lock(shard.mutex, concurrent_);
+    const auto cached = shard.cache.find(key);
+    if (cached != shard.cache.end() && cached->second.row_version == row_version) {
+      cache_stats_.tnrp_hits.fetch_add(1, std::memory_order_relaxed);
+      return cached->second.value;
+    }
+  }
+  const Money value = ComputeTnrp(task, key.partners, rp, entry.job_size);
+  MaybeLock lock(shard.mutex, concurrent_);
+  cache_stats_.tnrp_misses.fetch_add(1, std::memory_order_relaxed);
+  shard.cache[key] = {value, row_version};
+  return value;
+}
+
+Money TnrpCalculator::ComputeSetTnrp(const std::vector<const TaskInfo*>& tasks,
+                                     std::optional<InstanceFamily> family) const {
   Money total = 0.0;
-  std::vector<const TaskInfo*> partners;
+  std::vector<const TaskInfo*> partners;  // Local: TaskTnrp re-enters scratch.
   partners.reserve(tasks.size());
   for (const TaskInfo* task : tasks) {
     partners.clear();
@@ -77,12 +177,105 @@ Money TnrpCalculator::SetTnrp(const std::vector<const TaskInfo*>& tasks,
   return total;
 }
 
+template <typename ComputeFn>
+Money TnrpCalculator::CachedSetTnrp(const SetKey& key, std::uint64_t row_sum,
+                                    const ComputeFn& compute) const {
+  // `key` is typically a thread-local scratch: it is only copied into the
+  // cache on a miss, so the hit path allocates nothing.
+  SetShard& shard = set_shards_[SetKeyHash()(key) % kNumShards];
+  {
+    MaybeLock lock(shard.mutex, concurrent_);
+    const auto cached = shard.cache.find(key);
+    if (cached != shard.cache.end() && cached->second.row_sum == row_sum) {
+      cache_stats_.set_hits.fetch_add(1, std::memory_order_relaxed);
+      return cached->second.value;
+    }
+  }
+  const Money value = compute();
+  MaybeLock lock(shard.mutex, concurrent_);
+  cache_stats_.set_misses.fetch_add(1, std::memory_order_relaxed);
+  shard.cache[key] = {value, row_sum};
+  return value;
+}
+
+Money TnrpCalculator::SetTnrp(const std::vector<const TaskInfo*>& tasks,
+                              std::optional<InstanceFamily> family) const {
+  if (tasks.size() <= 1) {
+    // Singleton and empty sets short-circuit to the (cached) RP path.
+    return tasks.empty() ? 0.0 : TaskTnrp(*tasks.front(), {}, family);
+  }
+  // Ordered key, for the same bit-exactness reason as TaskTnrp's: the sum
+  // over members is folded in presentation order.
+  const ThroughputEstimator* throughput = estimator();
+  thread_local SetKey key;
+  key.family = family.has_value() ? static_cast<int>(*family) : -1;
+  key.members.clear();
+  key.members.reserve(tasks.size());
+  std::uint64_t row_sum = 0;
+  for (const TaskInfo* task : tasks) {
+    key.members.push_back(task->id);
+    if (throughput != nullptr) {
+      row_sum += throughput->RowVersion(task->workload);
+    }
+  }
+  return CachedSetTnrp(key, row_sum, [&] { return ComputeSetTnrp(tasks, family); });
+}
+
+Money TnrpCalculator::SetTnrpPlusOne(const std::vector<const TaskInfo*>& members,
+                                     const TaskInfo& candidate,
+                                     std::optional<InstanceFamily> family) const {
+  if (members.empty()) {
+    return TaskTnrp(candidate, {}, family);
+  }
+  const ThroughputEstimator* throughput = estimator();
+  thread_local SetKey key;
+  key.family = family.has_value() ? static_cast<int>(*family) : -1;
+  key.members.clear();
+  key.members.reserve(members.size() + 1);
+  std::uint64_t row_sum = 0;
+  for (const TaskInfo* member : members) {
+    key.members.push_back(member->id);
+    if (throughput != nullptr) {
+      row_sum += throughput->RowVersion(member->workload);
+    }
+  }
+  key.members.push_back(candidate.id);
+  if (throughput != nullptr) {
+    row_sum += throughput->RowVersion(candidate.workload);
+  }
+  return CachedSetTnrp(key, row_sum, [&] {
+    std::vector<const TaskInfo*> joined = members;
+    joined.push_back(&candidate);
+    return ComputeSetTnrp(joined, family);
+  });
+}
+
 Money TnrpCalculator::SetRp(const std::vector<const TaskInfo*>& tasks) const {
   Money total = 0.0;
   for (const TaskInfo* task : tasks) {
     total += ReservationPrice(*task);
   }
   return total;
+}
+
+void SortTasksByRpDesc(const TnrpCalculator& calculator,
+                       std::vector<const TaskInfo*>& tasks) {
+  std::vector<std::pair<Money, const TaskInfo*>> keyed;
+  keyed.reserve(tasks.size());
+  for (const TaskInfo* task : tasks) {
+    keyed.emplace_back(calculator.ReservationPrice(*task), task);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const std::pair<Money, const TaskInfo*>& a,
+               const std::pair<Money, const TaskInfo*>& b) {
+              if (a.first != b.first) {
+                return a.first > b.first;
+              }
+              return a.second->id < b.second->id;
+            });
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    tasks[i] = keyed[i].second;
+  }
 }
 
 }  // namespace eva

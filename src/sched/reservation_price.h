@@ -9,10 +9,26 @@
 // jobs, the degradation a placement inflicts on the whole data-parallel job
 // is charged to that placement:
 //   TNRP(tau, T) = RP(tau) - sum_{tau' in job(tau)} (1 - tput_{tau,T}) * RP(tau').
+//
+// The calculator memoizes aggressively so the scheduling decision path can
+// be delta-incremental across rounds:
+//   * RP is cached per task (demands and speedups are immutable per id);
+//   * per-task TNRP is cached per (task, co-location workload multiset,
+//     family), stamped with the throughput estimator's row version at
+//     compute time — entries invalidate themselves exactly when new
+//     observations change the estimates they were derived from.
+// Both caches are sharded + mutex-guarded, so lookups may run concurrently
+// (the parallel packing paths); values are pure functions of their keys, so
+// concurrent recomputation is race-benign. Rebind() points a long-lived
+// calculator at the next round's context while keeping the caches.
 
 #ifndef SRC_SCHED_RESERVATION_PRICE_H_
 #define SRC_SCHED_RESERVATION_PRICE_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -33,7 +49,32 @@ class TnrpCalculator {
     bool multi_task_aware = true;
   };
 
-  TnrpCalculator(const SchedulingContext& context, Options options);
+  // Atomic (relaxed) so concurrent shards can bump counters without a data
+  // race; reads are monotonic snapshots, not a consistent cut.
+  struct CacheStats {
+    std::atomic<std::uint64_t> rp_hits{0};
+    std::atomic<std::uint64_t> rp_misses{0};
+    std::atomic<std::uint64_t> tnrp_hits{0};
+    std::atomic<std::uint64_t> tnrp_misses{0};
+    std::atomic<std::uint64_t> set_hits{0};
+    std::atomic<std::uint64_t> set_misses{0};
+  };
+
+  // `estimator` overrides context.throughput when given — long-lived
+  // schedulers pass their own table here so each round's context does not
+  // have to be copied just to re-bind its throughput pointer.
+  TnrpCalculator(const SchedulingContext& context, Options options,
+                 const ThroughputEstimator* estimator = nullptr);
+
+  // Points the calculator at a new context while keeping the memoized
+  // caches — the cross-round fast path. Contract: task and job ids must be
+  // stable identities (the same id always denotes the same demands,
+  // workload, speedups, and job size). The caches are dropped automatically
+  // when the bound catalog or throughput estimator is a different object.
+  // Not thread-safe against concurrent pricing calls; rebind between
+  // rounds, not during one.
+  void Rebind(const SchedulingContext& context,
+              const ThroughputEstimator* estimator = nullptr);
 
   // RP(tau): hourly cost of the cheapest fitting type. With heterogeneous
   // per-family speedups (§4.2's extension) this becomes the minimum cost of
@@ -50,21 +91,158 @@ class TnrpCalculator {
                  std::optional<InstanceFamily> family = std::nullopt) const;
 
   // TNRP of a set of tasks placed together: sum of per-task TNRP where each
-  // task's partners are the other members of the set.
+  // task's partners are the other members of the set. Memoized at set
+  // granularity (keyed on the ordered id sequence + family, stamped with
+  // the estimator's global version) on top of the per-task caches, so the
+  // packing's repeated evaluations of recurring sets cost one hash lookup.
   Money SetTnrp(const std::vector<const TaskInfo*>& tasks,
                 std::optional<InstanceFamily> family = std::nullopt) const;
+
+  // SetTnrp(members + {candidate}) without materializing the joined set on
+  // the cache-hit path — the packing argmax's inner-loop shape.
+  Money SetTnrpPlusOne(const std::vector<const TaskInfo*>& members,
+                       const TaskInfo& candidate,
+                       std::optional<InstanceFamily> family = std::nullopt) const;
 
   // Plain reservation-price sum of a set (used by Eva-RP and the
   // cost-efficiency walk-through of §4.2).
   Money SetRp(const std::vector<const TaskInfo*>& tasks) const;
 
   const Options& options() const { return options_; }
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
+  // Cache-shard locking toggle. Defaults to true (safe under the parallel
+  // packing paths); a caller that prices strictly from one thread may turn
+  // it off to shed the per-lookup mutex cost. Values are unaffected.
+  void set_concurrent(bool concurrent) { concurrent_ = concurrent; }
 
  private:
-  const SchedulingContext& context_;
+  // Shard count balances mutex contention (parallel packing) against
+  // per-lookup overhead; maps stay small enough per shard either way.
+  static constexpr std::size_t kNumShards = 16;
+
+  struct TnrpKey {
+    TaskId task = kInvalidTaskId;
+    int family = -1;  // -1 encodes "no family given".
+    // In caller order, NOT canonicalized: floating-point folds over the
+    // partners are order-sensitive, and cached values must reproduce an
+    // uncached evaluation of the same call bit-for-bit.
+    std::vector<WorkloadId> partners;
+
+    bool operator==(const TnrpKey& other) const {
+      return task == other.task && family == other.family && partners == other.partners;
+    }
+  };
+
+  struct TnrpKeyHash {
+    std::size_t operator()(const TnrpKey& key) const;
+  };
+
+  struct TnrpEntry {
+    Money value = 0.0;
+    std::uint64_t row_version = 0;  // Estimator row version at compute time.
+  };
+
+  // RP and job size are both immutable per task id, so they share a cache
+  // entry (job size feeds the §4.4 multi-task term without re-touching the
+  // context's job index on every TNRP miss).
+  struct RpEntry {
+    Money rp = 0.0;
+    int job_size = 1;
+  };
+
+  struct RpShard {
+    mutable std::mutex mutex;
+    std::unordered_map<TaskId, RpEntry> cache;
+  };
+
+  struct TnrpShard {
+    mutable std::mutex mutex;
+    std::unordered_map<TnrpKey, TnrpEntry, TnrpKeyHash> cache;
+  };
+
+  struct SetKey {
+    int family = -1;
+    std::vector<TaskId> members;  // Caller order (see TnrpKey), candidate last.
+
+    bool operator==(const SetKey& other) const {
+      return family == other.family && members == other.members;
+    }
+  };
+
+  struct SetKeyHash {
+    std::size_t operator()(const SetKey& key) const;
+  };
+
+  struct SetEntry {
+    Money value = 0.0;
+    // Sum of the members' estimator row versions at compute time. Row
+    // versions are monotonic, so the sum changes exactly when an estimate
+    // any member's TNRP depends on could have — per-set invalidation
+    // instead of flushing everything on every table write.
+    std::uint64_t row_sum = 0;
+  };
+
+  struct SetShard {
+    mutable std::mutex mutex;
+    std::unordered_map<SetKey, SetEntry, SetKeyHash> cache;
+  };
+
+  const ThroughputEstimator* estimator() const {
+    return estimator_ != nullptr ? estimator_ : context_->throughput;
+  }
+
+  RpEntry RpEntryFor(const TaskInfo& task) const;
+  Money ComputeReservationPrice(const TaskInfo& task) const;
+  Money ComputeTnrp(const TaskInfo& task, const std::vector<WorkloadId>& partner_workloads,
+                    Money rp, int job_size) const;
+  Money ComputeSetTnrp(const std::vector<const TaskInfo*>& tasks,
+                       std::optional<InstanceFamily> family) const;
+  // Shared slow/fast-path body of SetTnrp / SetTnrpPlusOne: looks up the
+  // prepared key (a caller-owned scratch, copied only on miss), computing
+  // via `compute` on miss. `row_sum` is the members' current row-version
+  // sum (see SetEntry).
+  template <typename ComputeFn>
+  Money CachedSetTnrp(const SetKey& key, std::uint64_t row_sum,
+                      const ComputeFn& compute) const;
+
+  // Locks a shard mutex only when concurrent pricing is enabled.
+  class MaybeLock {
+   public:
+    MaybeLock(std::mutex& mutex, bool enabled) : mutex_(enabled ? &mutex : nullptr) {
+      if (mutex_ != nullptr) {
+        mutex_->lock();
+      }
+    }
+    ~MaybeLock() {
+      if (mutex_ != nullptr) {
+        mutex_->unlock();
+      }
+    }
+    MaybeLock(const MaybeLock&) = delete;
+    MaybeLock& operator=(const MaybeLock&) = delete;
+
+   private:
+    std::mutex* mutex_;
+  };
+
+  const SchedulingContext* context_;
   Options options_;
-  mutable std::unordered_map<TaskId, Money> rp_cache_;
+  const ThroughputEstimator* estimator_;
+  bool concurrent_ = true;
+  mutable std::array<RpShard, kNumShards> rp_shards_;
+  mutable std::array<TnrpShard, kNumShards> tnrp_shards_;
+  mutable std::array<SetShard, kNumShards> set_shards_;
+  mutable CacheStats cache_stats_;  // Approximate under concurrency.
 };
+
+// Sorts tasks by descending reservation price with deterministic ascending-id
+// tie-break — the candidate order of Algorithm 1 and the incremental
+// baselines. Computes each RP exactly once into a keyed vector before
+// sorting (the previous comparator-driven sorts re-priced tasks on every
+// comparison, O(n log n) calculator calls).
+void SortTasksByRpDesc(const TnrpCalculator& calculator,
+                       std::vector<const TaskInfo*>& tasks);
 
 }  // namespace eva
 

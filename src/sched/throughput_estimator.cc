@@ -1,46 +1,100 @@
 #include "src/sched/throughput_estimator.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "src/common/hash.h"
 
 namespace eva {
+
+std::size_t ThroughputTable::MultisetKeyHash::operator()(const MultisetKey& key) const {
+  std::size_t seed = HashCombine(0x7ab1e5, static_cast<std::size_t>(static_cast<std::uint32_t>(key.w)));
+  for (WorkloadId partner : key.partners) {
+    seed = HashCombine(seed, static_cast<std::size_t>(static_cast<std::uint32_t>(partner)));
+  }
+  return seed;
+}
 
 ThroughputTable::ThroughputTable(double default_pairwise)
     : default_pairwise_(default_pairwise) {}
 
-ThroughputTable::Key ThroughputTable::MakeKey(WorkloadId w, std::vector<WorkloadId> partners) {
-  std::sort(partners.begin(), partners.end());
-  return {w, std::move(partners)};
+const double* ThroughputTable::FindPair(WorkloadId w, WorkloadId partner) const {
+  const auto it = pair_entries_.find(PairKey(w, partner));
+  return it == pair_entries_.end() ? nullptr : &it->second;
 }
 
 double ThroughputTable::Estimate(WorkloadId w, const std::vector<WorkloadId>& partners) const {
   if (partners.empty()) {
     return 1.0;
   }
-  const auto exact = entries_.find(MakeKey(w, partners));
-  if (exact != entries_.end()) {
+  if (partners.size() == 1) {
+    const double* pair = FindPair(w, partners.front());
+    return pair != nullptr ? *pair : default_pairwise_;
+  }
+  MultisetKey key;
+  key.w = w;
+  key.partners = partners;
+  std::sort(key.partners.begin(), key.partners.end());
+  const auto exact = exact_entries_.find(key);
+  if (exact != exact_entries_.end()) {
     return exact->second;
   }
   // §4.3: estimate as the product of pairwise co-location throughputs,
-  // initializing unobserved pairs with the default t.
+  // initializing unobserved pairs with the default t. The product folds in
+  // the caller's partner order (multiplication is not exactly associative).
   double product = 1.0;
   for (WorkloadId partner : partners) {
-    const auto pair = entries_.find(MakeKey(w, {partner}));
-    product *= pair != entries_.end() ? pair->second : default_pairwise_;
+    const double* pair = FindPair(w, partner);
+    product *= pair != nullptr ? *pair : default_pairwise_;
   }
   return product;
 }
 
 std::optional<double> ThroughputTable::Lookup(WorkloadId w,
-                                              std::vector<WorkloadId> partners) const {
-  const auto it = entries_.find(MakeKey(w, std::move(partners)));
-  if (it == entries_.end()) {
+                                              const std::vector<WorkloadId>& partners) const {
+  if (partners.size() == 1) {
+    const double* pair = FindPair(w, partners.front());
+    return pair != nullptr ? std::optional<double>(*pair) : std::nullopt;
+  }
+  MultisetKey key;
+  key.w = w;
+  key.partners = partners;
+  std::sort(key.partners.begin(), key.partners.end());
+  const auto it = exact_entries_.find(key);
+  if (it == exact_entries_.end()) {
     return std::nullopt;
   }
   return it->second;
 }
 
-void ThroughputTable::Record(WorkloadId w, std::vector<WorkloadId> partners, double throughput) {
-  entries_[MakeKey(w, std::move(partners))] = throughput;
+bool ThroughputTable::Record(WorkloadId w, std::vector<WorkloadId> partners,
+                             double throughput) {
+  bool changed;
+  if (partners.size() == 1) {
+    auto [it, inserted] = pair_entries_.try_emplace(PairKey(w, partners.front()), throughput);
+    changed = inserted || it->second != throughput;
+    it->second = throughput;
+  } else {
+    MultisetKey key;
+    key.w = w;
+    key.partners = std::move(partners);
+    std::sort(key.partners.begin(), key.partners.end());
+    auto [it, inserted] = exact_entries_.try_emplace(std::move(key), throughput);
+    changed = inserted || it->second != throughput;
+    it->second = throughput;
+  }
+  if (!changed) {
+    return false;  // Identical re-observation: estimates unchanged.
+  }
+  ++version_;
+  if (w >= 0) {
+    const auto index = static_cast<std::size_t>(w);
+    if (index >= row_versions_.size()) {
+      row_versions_.resize(index + 1, 0);
+    }
+    ++row_versions_[index];
+  }
+  return true;
 }
 
 double OracleThroughput::Estimate(WorkloadId w, const std::vector<WorkloadId>& partners) const {

@@ -11,8 +11,10 @@
 #ifndef SRC_SCHED_THROUGHPUT_ESTIMATOR_H_
 #define SRC_SCHED_THROUGHPUT_ESTIMATOR_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/workload/interference.h"
@@ -28,6 +30,17 @@ class ThroughputEstimator {
   // co-located with tasks of workloads `partners` (order irrelevant,
   // multiplicity matters). Must return 1.0 when partners is empty.
   virtual double Estimate(WorkloadId w, const std::vector<WorkloadId>& partners) const = 0;
+
+  // Version counters memoizing consumers (TnrpCalculator's TNRP caches) key
+  // their entries on. Version() must change whenever any estimate could
+  // change; RowVersion(w) whenever an Estimate(w, ...) could change.
+  // Immutable estimators (the oracle, a frozen profile) keep both at 0,
+  // which marks cached values as valid forever.
+  virtual std::uint64_t Version() const { return 0; }
+  virtual std::uint64_t RowVersion(WorkloadId w) const {
+    (void)w;
+    return 0;
+  }
 };
 
 // Eva's co-location throughput table (§4.3). Entries record the observed
@@ -41,19 +54,52 @@ class ThroughputTable : public ThroughputEstimator {
 
   double Estimate(WorkloadId w, const std::vector<WorkloadId>& partners) const override;
 
-  // Exact-entry access (partners are canonicalized internally).
-  std::optional<double> Lookup(WorkloadId w, std::vector<WorkloadId> partners) const;
-  void Record(WorkloadId w, std::vector<WorkloadId> partners, double throughput);
+  // Exact-entry access (partners are canonicalized internally). Record
+  // returns true when the stored value actually changed — re-recording an
+  // identical observation leaves the versions (and thus downstream TNRP
+  // caches) untouched, which is what makes steady-state rounds cheap.
+  std::optional<double> Lookup(WorkloadId w, const std::vector<WorkloadId>& partners) const;
+  bool Record(WorkloadId w, std::vector<WorkloadId> partners, double throughput);
+
+  std::uint64_t Version() const override { return version_; }
+  std::uint64_t RowVersion(WorkloadId w) const override {
+    // Flat array: memoizing consumers validate cache entries with one
+    // RowVersion read per set member, so this must be O(1).
+    const auto index = static_cast<std::size_t>(w);
+    return w >= 0 && index < row_versions_.size() ? row_versions_[index] : 0;
+  }
 
   double default_pairwise() const { return default_pairwise_; }
-  std::size_t NumEntries() const { return entries_.size(); }
+  std::size_t NumEntries() const { return pair_entries_.size() + exact_entries_.size(); }
 
  private:
-  using Key = std::pair<WorkloadId, std::vector<WorkloadId>>;
-  static Key MakeKey(WorkloadId w, std::vector<WorkloadId> partners);
+  // Pairwise entries — the hot path of Estimate's product loop — live in a
+  // flat hash map under a packed (w, partner) key; larger multisets (and
+  // the degenerate empty one) under a hashed (w, sorted partners) key.
+  struct MultisetKey {
+    WorkloadId w = kInvalidWorkloadId;
+    std::vector<WorkloadId> partners;  // Sorted.
+
+    bool operator==(const MultisetKey& other) const {
+      return w == other.w && partners == other.partners;
+    }
+  };
+  struct MultisetKeyHash {
+    std::size_t operator()(const MultisetKey& key) const;
+  };
+
+  static std::uint64_t PairKey(WorkloadId w, WorkloadId partner) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(w)) << 32) |
+           static_cast<std::uint32_t>(partner);
+  }
+
+  const double* FindPair(WorkloadId w, WorkloadId partner) const;
 
   double default_pairwise_;
-  std::map<Key, double> entries_;
+  std::unordered_map<std::uint64_t, double> pair_entries_;
+  std::unordered_map<MultisetKey, double, MultisetKeyHash> exact_entries_;
+  std::uint64_t version_ = 0;
+  std::vector<std::uint64_t> row_versions_;  // Indexed by workload id.
 };
 
 // Ground-truth estimator backed by the interference model (product of true

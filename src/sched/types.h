@@ -63,11 +63,53 @@ struct InstanceInfo {
   std::vector<TaskId> tasks;
 };
 
+// What changed in the cluster since the previous scheduling round. Produced
+// by the simulator (ClusterState accumulates it as mutations happen, O(1)
+// per event) and, in a real deployment, by the master from the runtime's
+// arrival/completion/placement notifications. Schedulers use it to scope
+// incremental work: memoized-TNRP invalidation, delta-touched repacking,
+// and skipping recomputation entirely on quiescent rounds. `complete` is
+// false when the producer cannot enumerate the changes (e.g. a context
+// assembled by hand); consumers must then assume everything changed.
+struct RoundDelta {
+  bool complete = false;
+  std::vector<JobId> jobs_arrived;
+  std::vector<JobId> jobs_completed;
+  std::vector<TaskId> tasks_retargeted;  // Target instance changed.
+  std::vector<InstanceId> instances_launched;
+  std::vector<InstanceId> instances_terminated;
+
+  bool Empty() const {
+    return jobs_arrived.empty() && jobs_completed.empty() && tasks_retargeted.empty() &&
+           instances_launched.empty() && instances_terminated.empty();
+  }
+
+  // Number of changed entities — the magnitude incremental consumers
+  // compare against their full-recompute thresholds.
+  std::size_t TouchedCount() const {
+    return jobs_arrived.size() + jobs_completed.size() + tasks_retargeted.size() +
+           instances_launched.size() + instances_terminated.size();
+  }
+
+  void Clear() {
+    complete = false;
+    jobs_arrived.clear();
+    jobs_completed.clear();
+    tasks_retargeted.clear();
+    instances_launched.clear();
+    instances_terminated.clear();
+  }
+};
+
 // Snapshot handed to Scheduler::Schedule each period.
 class SchedulingContext {
  public:
   SimTime now_s = 0.0;
   const InstanceCatalog* catalog = nullptr;
+
+  // Changes since the previous round (see RoundDelta). Default-constructed
+  // (complete == false) when the producer does not track deltas.
+  RoundDelta delta;
 
   // Throughput estimates the scheduler is entitled to. For Eva this is the
   // learned co-location table; for Owl it is the offline profile (the paper

@@ -6,6 +6,17 @@
 #include "src/common/stats.h"
 
 namespace eva {
+namespace {
+
+void SortUnique(std::vector<std::int64_t>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+
+ClusterState::ClusterState(const InstanceCatalog& catalog)
+    : catalog_(catalog), shards_(static_cast<std::size_t>(catalog.NumTypes())) {}
 
 JobRec* ClusterState::FindJob(JobId id) {
   const auto it = jobs_.find(id);
@@ -46,6 +57,7 @@ JobRec& ClusterState::AddJob(const JobSpec& spec) {
     job.tasks.push_back(task.id);
   }
   active_.insert(spec.id);
+  round_delta_.jobs_arrived.push_back(spec.id);
   return jobs_[spec.id] = std::move(job);
 }
 
@@ -54,6 +66,7 @@ void ClusterState::DeactivateJob(JobRec& job, SimTime now) {
   job.completion_time = now;
   job.current_rate = 0.0;
   active_.erase(job.spec.id);
+  round_delta_.jobs_completed.push_back(job.spec.id);
 }
 
 InstRec& ClusterState::CreateInstance(int type_index, SimTime launch_time, SimTime ready_time) {
@@ -63,7 +76,11 @@ InstRec& ClusterState::CreateInstance(int type_index, SimTime launch_time, SimTi
   instance.launch_time = launch_time;
   instance.ready_time = ready_time;
   ++instances_launched_;
-  composition_dirty_ = true;
+  Shard& shard = ShardOf(type_index);
+  shard.members.insert(instance.id);
+  shard.dirty = true;
+  composition_dirty_ = true;  // Capacity changed; allocation did not (empty).
+  round_delta_.instances_launched.push_back(instance.id);
   return instances_[instance.id] = std::move(instance);
 }
 
@@ -85,20 +102,38 @@ bool ClusterState::MaybeTerminate(InstanceId id, SimTime now) {
   const SimTime uptime = std::max(now - instance.launch_time, 0.0);
   total_cost_ += CostForUptime(catalog_.Get(instance.type_index).cost_per_hour, uptime);
   uptime_hours_.push_back(SecondsToHours(uptime));
+  Shard& shard = ShardOf(instance.type_index);
+  shard.members.erase(id);
+  shard.dirty = true;
+  composition_dirty_ = true;  // An empty instance: allocation unchanged.
+  round_delta_.instances_terminated.push_back(id);
   instances_.erase(it);
-  composition_dirty_ = true;
   return true;
 }
 
 void ClusterState::TerminateAllLive(SimTime now) {
   for (auto& [id, instance] : instances_) {
-    (void)id;
     const SimTime uptime = std::max(now - instance.launch_time, 0.0);
     total_cost_ += CostForUptime(catalog_.Get(instance.type_index).cost_per_hour, uptime);
     uptime_hours_.push_back(SecondsToHours(uptime));
+    round_delta_.instances_terminated.push_back(id);
   }
   instances_.clear();
+  for (Shard& shard : shards_) {
+    shard.members.clear();
+    shard.dirty = true;
+  }
   composition_dirty_ = true;
+  alloc_dirty_ = true;  // Aborted runs can terminate occupied instances.
+}
+
+void ClusterState::MarkAssignmentChanged(InstanceId instance_id) {
+  if (InstRec* instance = FindInstance(instance_id)) {
+    instance->demands_dirty = true;
+    ShardOf(instance->type_index).dirty = true;
+  }
+  composition_dirty_ = true;
+  alloc_dirty_ = true;
 }
 
 void ClusterState::SetTarget(TaskRec& task, InstanceId dest) {
@@ -106,10 +141,12 @@ void ClusterState::SetTarget(TaskRec& task, InstanceId dest) {
     if (InstRec* old_target = FindInstance(task.target)) {
       old_target->assigned.erase(task.id);
     }
+    MarkAssignmentChanged(task.target);
   }
   task.target = dest;
   instances_.at(dest).assigned.insert(task.id);
-  composition_dirty_ = true;
+  MarkAssignmentChanged(dest);
+  round_delta_.tasks_retargeted.push_back(task.id);
 }
 
 void ClusterState::PlaceContainer(TaskRec& task) {
@@ -139,7 +176,7 @@ ClusterState::DetachResult ClusterState::MarkTaskDone(TaskRec& task) {
     if (InstRec* target = FindInstance(task.target)) {
       target->assigned.erase(task.id);
     }
-    composition_dirty_ = true;
+    MarkAssignmentChanged(task.target);
   }
   const DetachResult detached{task.source, task.target};
   task.source = kInvalidInstanceId;
@@ -149,32 +186,71 @@ ClusterState::DetachResult ClusterState::MarkTaskDone(TaskRec& task) {
 }
 
 void ClusterState::RefreshCompositionSums() {
+  // Dirty shards first: capacity and assigned-task counts are integral, so
+  // re-summing one shard and re-combining across shards is exact — the
+  // totals match the old global id-order rescan bit-for-bit.
+  for (Shard& shard : shards_) {
+    if (!shard.dirty) {
+      continue;
+    }
+    for (int r = 0; r < kNumResources; ++r) {
+      shard.cap[r] = 0.0;
+    }
+    shard.assigned_tasks = 0.0;
+    for (InstanceId id : shard.members) {
+      const InstRec& instance = instances_.at(id);
+      const InstanceType& type = catalog_.Get(instance.type_index);
+      for (int r = 0; r < kNumResources; ++r) {
+        shard.cap[r] += type.capacity.Get(static_cast<Resource>(r));
+      }
+      shard.assigned_tasks += static_cast<double>(instance.assigned.size());
+    }
+    shard.dirty = false;
+  }
   for (int r = 0; r < kNumResources; ++r) {
     cached_cap_[r] = 0.0;
-    cached_alloc_[r] = 0.0;
   }
   cached_assigned_tasks_ = 0.0;
-  for (const auto& [inst_id, instance] : instances_) {
-    (void)inst_id;
-    const InstanceType& type = catalog_.Get(instance.type_index);
+  for (const Shard& shard : shards_) {
     for (int r = 0; r < kNumResources; ++r) {
-      cached_cap_[r] += type.capacity.Get(static_cast<Resource>(r));
+      cached_cap_[r] += shard.cap[r];
     }
-    cached_assigned_tasks_ += static_cast<double>(instance.assigned.size());
-    for (TaskId task_id : instance.assigned) {
-      const auto task = tasks_.find(task_id);
-      if (task == tasks_.end()) {
-        continue;
+    cached_assigned_tasks_ += shard.assigned_tasks;
+  }
+
+  // Allocation sums can be fractional, so the fold must replicate the
+  // original global order (instances ascending by id, members ascending by
+  // task id) to stay bit-identical — only the per-task demand lookups are
+  // cached away, rebuilt just for instances whose assignment changed.
+  if (alloc_dirty_) {
+    for (int r = 0; r < kNumResources; ++r) {
+      cached_alloc_[r] = 0.0;
+    }
+    for (auto& [inst_id, instance] : instances_) {
+      (void)inst_id;
+      if (instance.demands_dirty) {
+        instance.member_demands.clear();
+        const InstanceType& type = catalog_.Get(instance.type_index);
+        for (TaskId task_id : instance.assigned) {
+          const auto task = tasks_.find(task_id);
+          if (task == tasks_.end()) {
+            continue;
+          }
+          const auto job = jobs_.find(task->second.job);
+          if (job == jobs_.end()) {
+            continue;
+          }
+          instance.member_demands.push_back(job->second.spec.DemandFor(type.family));
+        }
+        instance.demands_dirty = false;
       }
-      const auto job = jobs_.find(task->second.job);
-      if (job == jobs_.end()) {
-        continue;
-      }
-      const ResourceVector& demand = job->second.spec.DemandFor(type.family);
-      for (int r = 0; r < kNumResources; ++r) {
-        cached_alloc_[r] += demand.Get(static_cast<Resource>(r));
+      for (const ResourceVector& demand : instance.member_demands) {
+        for (int r = 0; r < kNumResources; ++r) {
+          cached_alloc_[r] += demand.Get(static_cast<Resource>(r));
+        }
       }
     }
+    alloc_dirty_ = false;
   }
   composition_dirty_ = false;
 }
@@ -224,6 +300,18 @@ SchedulingContext ClusterState::BuildContext(SimTime now, bool grant_runtime_est
   }
   context.Finalize();
   return context;
+}
+
+RoundDelta ClusterState::TakeRoundDelta() {
+  RoundDelta delta = std::move(round_delta_);
+  round_delta_.Clear();
+  SortUnique(delta.jobs_arrived);
+  SortUnique(delta.jobs_completed);
+  SortUnique(delta.tasks_retargeted);
+  SortUnique(delta.instances_launched);
+  SortUnique(delta.instances_terminated);
+  delta.complete = true;
+  return delta;
 }
 
 void ClusterState::FinalizeMetrics(SimulationMetrics& metrics) const {

@@ -1,17 +1,26 @@
 // Mutable cluster state for the simulator: jobs, tasks and instances, plus
 // the time-weighted capacity/allocation integrals the paper's tables report.
 //
-// All mutations go through the methods below, which maintain two invariants
+// All mutations go through the methods below, which maintain the invariants
 // the rest of the engine relies on:
 //   * an instance's `present` set contains exactly the tasks whose container
 //     lives on it (states kRunning / kCheckpointing) — terminal transitions
 //     prune it, so colocation lookups can never see a stale entry;
-//   * the capacity / allocation / tasks-per-instance sums used by
-//     IntegrateTo() are cached and recomputed only when the instance set or
-//     a task assignment actually changes, instead of rescanning the cluster
-//     on every event. The recomputation walks the same containers in the
-//     same order as a full rescan, so the integrals are bit-identical to the
-//     pre-incremental engine's.
+//   * the state is sharded by instance group (one shard per catalog type):
+//     each shard tracks its member instances and caches its capacity and
+//     assigned-task-count sums, so a mutation only dirties — and the next
+//     IntegrateTo() only recomputes — the touched shard. Capacities and
+//     counts are integral, so summing shard caches is exact and the totals
+//     stay bit-identical to the pre-shard engine's id-order rescan;
+//   * the allocation sums may involve fractional demands, whose floating-
+//     point folds are order-sensitive — they are therefore recomputed with
+//     the exact same global instance-id-order fold as always, but over
+//     per-instance cached demand vectors (rebuilt only for instances whose
+//     assignment changed), eliminating the per-task map lookups of a full
+//     rescan while reproducing its results bit-for-bit;
+//   * every mutation is also accumulated into a RoundDelta (O(1) per
+//     event), which the simulator hands to the scheduler each round so the
+//     decision layer can be delta-incremental too.
 
 #ifndef SRC_SIM_CLUSTER_STATE_H_
 #define SRC_SIM_CLUSTER_STATE_H_
@@ -67,11 +76,26 @@ struct InstRec {
   SimTime ready_time = 0.0;
   std::set<TaskId> assigned;  // Tasks targeted at this instance.
   std::set<TaskId> present;   // Containers physically on this instance.
+
+  // Demand vectors of `assigned`, in set (id) order, on this instance's
+  // family — the allocation integral's operands, cached so the global fold
+  // needs no map lookups. Rebuilt lazily when `demands_dirty`.
+  std::vector<ResourceVector> member_demands;
+  bool demands_dirty = true;
 };
 
 class ClusterState {
  public:
-  explicit ClusterState(const InstanceCatalog& catalog) : catalog_(catalog) {}
+  // One instance group (catalog type): its member instances plus the
+  // exact (integral) composition sums IntegrateTo() combines.
+  struct Shard {
+    std::set<InstanceId> members;
+    bool dirty = false;
+    double cap[kNumResources] = {0, 0, 0};
+    double assigned_tasks = 0.0;
+  };
+
+  explicit ClusterState(const InstanceCatalog& catalog);
 
   // --- Lookup -----------------------------------------------------------
   const std::map<JobId, JobRec>& jobs() const { return jobs_; }
@@ -80,6 +104,7 @@ class ClusterState {
   const std::set<JobId>& active_jobs() const { return active_; }
   int num_active() const { return static_cast<int>(active_.size()); }
   bool HasLiveInstances() const { return !instances_.empty(); }
+  const std::vector<Shard>& shards() const { return shards_; }
 
   JobRec* FindJob(JobId id);
   const JobRec* FindJob(JobId id) const;
@@ -139,11 +164,18 @@ class ClusterState {
   // non-condemned instances), in deterministic id order.
   SchedulingContext BuildContext(SimTime now, bool grant_runtime_estimates) const;
 
+  // Drains the changes accumulated since the previous call (O(delta)):
+  // entries are deduplicated and sorted, complete is set. The simulator
+  // attaches the result to the round's SchedulingContext.
+  RoundDelta TakeRoundDelta();
+
   // Fills cost, uptime distribution, instance counters, the time-weighted
   // table metrics and the completed-job JCT/throughput/idle averages.
   void FinalizeMetrics(SimulationMetrics& metrics) const;
 
  private:
+  Shard& ShardOf(int type_index) { return shards_[static_cast<std::size_t>(type_index)]; }
+  void MarkAssignmentChanged(InstanceId instance_id);
   void RefreshCompositionSums();
 
   const InstanceCatalog& catalog_;
@@ -155,12 +187,18 @@ class ClusterState {
   TaskId next_task_id_ = 0;
   InstanceId next_instance_id_ = 0;
 
-  // Cached composition sums for IntegrateTo; `composition_dirty_` is set by
-  // every mutation that changes what the sums range over.
+  // Per-group shards plus the combined sums IntegrateTo consumes.
+  // `composition_dirty_` is any-shard-or-alloc dirty; `alloc_dirty_` forces
+  // the global allocation refold (set only when an assignment changes, not
+  // when an empty instance launches or terminates).
+  std::vector<Shard> shards_;
   bool composition_dirty_ = true;
+  bool alloc_dirty_ = true;
   double cached_cap_[kNumResources] = {0, 0, 0};
   double cached_alloc_[kNumResources] = {0, 0, 0};
   double cached_assigned_tasks_ = 0.0;
+
+  RoundDelta round_delta_;
 
   // Metric accumulators.
   int instances_launched_ = 0;

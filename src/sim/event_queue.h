@@ -35,9 +35,20 @@ struct SimEvent {
   std::int64_t a = 0;  // job index / task id / instance id
   int version = 0;
 
+  // Equal-time ties: arrivals first, then FIFO. The simulator injects
+  // arrivals lazily (each pushes its successor) so the heap holds only live
+  // events; the explicit arrival priority reproduces the order the old
+  // eager push produced implicitly, where every arrival carried a lower
+  // sequence number than any dynamically scheduled event — e.g. a job
+  // arriving exactly on a round boundary is admitted before that round.
   bool operator>(const SimEvent& other) const {
     if (time != other.time) {
       return time > other.time;
+    }
+    const int rank = type == SimEventType::kArrival ? 0 : 1;
+    const int other_rank = other.type == SimEventType::kArrival ? 0 : 1;
+    if (rank != other_rank) {
+      return rank > other_rank;
     }
     return seq > other.seq;
   }

@@ -55,9 +55,18 @@ void ExecutionModel::MarkInstanceDirty(const InstRec& instance) {
   }
 }
 
+void ExecutionModel::RefreshProgressingFlat() {
+  if (!progressing_flat_stale_) {
+    return;
+  }
+  progressing_flat_.assign(progressing_.begin(), progressing_.end());
+  progressing_flat_stale_ = false;
+}
+
 void ExecutionModel::IntegrateWork(SimTime dt) {
-  for (JobId job_id : progressing_) {
-    JobRec& job = *state_->FindJob(job_id);
+  RefreshProgressingFlat();
+  for (const auto& [job_id, job_ptr] : progressing_flat_) {
+    JobRec& job = *job_ptr;
     job.remaining_work_s -= job.current_rate * dt;
     job.running_seconds += dt;
     if (job.remaining_work_s <= kWorkEpsilonS) {
@@ -85,9 +94,9 @@ SimTime ExecutionModel::RecomputeDirtyRates(SimTime now) {
     }
     job->current_rate = all_running && rate > 0.0 ? rate : 0.0;
     if (job->current_rate > 0.0) {
-      progressing_.insert(job_id);
+      progressing_flat_stale_ |= progressing_.emplace(job_id, job).second;
     } else {
-      progressing_.erase(job_id);
+      progressing_flat_stale_ |= progressing_.erase(job_id) > 0;
     }
   }
   dirty_.clear();
@@ -95,9 +104,11 @@ SimTime ExecutionModel::RecomputeDirtyRates(SimTime now) {
   // Project the earliest completion over everything still progressing. The
   // projection is refreshed every event (remaining work drifts as it is
   // integrated stepwise), matching a full rescan's arming decisions.
+  RefreshProgressingFlat();
   SimTime earliest = -1.0;
-  for (JobId job_id : progressing_) {
-    const JobRec& job = *state_->FindJob(job_id);
+  for (const auto& [job_id, job_ptr] : progressing_flat_) {
+    (void)job_id;
+    const JobRec& job = *job_ptr;
     const SimTime eta = now + std::max(job.remaining_work_s, 0.0) / job.current_rate;
     earliest = earliest < 0.0 ? eta : std::min(earliest, eta);
   }
@@ -105,7 +116,7 @@ SimTime ExecutionModel::RecomputeDirtyRates(SimTime now) {
 }
 
 void ExecutionModel::OnJobDeactivated(JobId job) {
-  progressing_.erase(job);
+  progressing_flat_stale_ |= progressing_.erase(job) > 0;
   dirty_.erase(job);
   candidates_.erase(job);
 }
@@ -119,8 +130,8 @@ void ExecutionModel::OnJobAdded(const JobRec& job) {
 std::vector<JobThroughputObservation> ExecutionModel::CollectObservations(
     bool physical_mode, double noise_stddev, Rng* rng) const {
   ObservationBatch batch;
-  for (JobId job_id : progressing_) {
-    const JobRec& job = *state_->FindJob(job_id);
+  for (const auto& [job_id, job_ptr] : progressing_) {
+    const JobRec& job = *job_ptr;
     // Report the co-location-only degradation (min over tasks), matching
     // what a per-iteration timer normalized by the family's standalone
     // speed would measure.

@@ -17,6 +17,7 @@
 #ifndef SRC_SIM_EXECUTION_MODEL_H_
 #define SRC_SIM_EXECUTION_MODEL_H_
 
+#include <map>
 #include <set>
 #include <vector>
 
@@ -73,7 +74,10 @@ class ExecutionModel {
   // Registers a just-added job (zero-duration jobs complete immediately).
   void OnJobAdded(const JobRec& job);
 
-  const std::set<JobId>& progressing() const { return progressing_; }
+  // Progressing jobs with their (node-stable) records: the per-event
+  // integration and projection loops read these without re-resolving ids
+  // through the cluster state's job map.
+  const std::map<JobId, JobRec*>& progressing() const { return progressing_; }
 
   // One round's throughput observations over the progressing jobs, in job-id
   // order. In physical mode the reported throughput is perturbed with
@@ -83,11 +87,18 @@ class ExecutionModel {
                                                             Rng* rng) const;
 
  private:
+  void RefreshProgressingFlat();
+
   ClusterState* state_;
   const InstanceCatalog* catalog_;
   const InterferenceModel* interference_;
 
-  std::set<JobId> progressing_;
+  // The map is the source of truth (and the stable-API accessor); the flat
+  // mirror (same id-ascending order) is what the per-event integration and
+  // projection loops iterate — contiguous instead of pointer-chasing.
+  std::map<JobId, JobRec*> progressing_;
+  std::vector<std::pair<JobId, JobRec*>> progressing_flat_;
+  bool progressing_flat_stale_ = false;
   std::set<JobId> dirty_;
   std::set<JobId> candidates_;
 };

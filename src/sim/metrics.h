@@ -48,6 +48,12 @@ struct SimulationMetrics {
   // events/sec figure the perf benchmarks track.
   std::int64_t events_processed = 0;
 
+  // Wall time spent inside the scheduler per run (ObserveThroughput +
+  // Schedule, summed over rounds) — divided by scheduling_rounds this is
+  // the per-round decision latency the perf benchmarks report. Measurement
+  // only; never feeds back into the simulation.
+  double scheduler_wall_seconds = 0.0;
+
   // Raw distributions for CDFs / percentile reporting (Figure 3).
   std::vector<double> instance_uptime_hours;
   std::vector<double> jct_hours;

@@ -1,6 +1,7 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <vector>
 
@@ -110,12 +111,18 @@ void Simulator::Impl::HandleRound() {
   ++metrics_.scheduling_rounds;
 
   // Report the last window's throughput (the EvaIterator channel), then ask
-  // for the desired configuration.
-  scheduler_->ObserveThroughput(exec_.CollectObservations(
-      options_.physical_mode, options_.observation_noise_stddev, &rng_));
-  const SchedulingContext context =
-      state_.BuildContext(now_, options_.grant_runtime_estimates);
+  // for the desired configuration. The context carries the RoundDelta the
+  // cluster state accumulated since the previous round, and the scheduler
+  // calls are timed so the benches can report per-round decision latency.
+  const std::vector<JobThroughputObservation> observations = exec_.CollectObservations(
+      options_.physical_mode, options_.observation_noise_stddev, &rng_);
+  SchedulingContext context = state_.BuildContext(now_, options_.grant_runtime_estimates);
+  context.delta = state_.TakeRoundDelta();
+  const auto sched_start = std::chrono::steady_clock::now();
+  scheduler_->ObserveThroughput(observations);
   const ClusterConfig config = scheduler_->Schedule(context);
+  metrics_.scheduler_wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sched_start).count();
 
   if (options_.validate_configs) {
     if (const auto error = config.Validate(context)) {
@@ -215,9 +222,13 @@ SimulationMetrics Simulator::Impl::Run() {
   metrics_.scheduler_name = scheduler_->name();
   metrics_.trace_name = trace_.name;
 
-  for (std::size_t i = 0; i < trace_.jobs.size(); ++i) {
-    queue_.Push(trace_.jobs[i].arrival_time_s, SimEventType::kArrival,
-                static_cast<std::int64_t>(i));
+  // Arrivals are injected lazily — each arrival pushes its successor — so
+  // the heap holds only live events instead of the whole future trace
+  // (popping from a 2,000-deep heap dominated the event loop). The event
+  // queue's arrival-first tie-break keeps the pop order identical to the
+  // old eager push (see SimEvent::operator>).
+  if (!trace_.jobs.empty()) {
+    queue_.Push(trace_.jobs[0].arrival_time_s, SimEventType::kArrival, 0);
   }
   queue_.Push(0.0, SimEventType::kRound);
   round_scheduled_ = true;
@@ -238,6 +249,10 @@ SimulationMetrics Simulator::Impl::Run() {
       case SimEventType::kArrival:
         HandleArrival(event.a);
         ++next_arrival_;
+        if (HasPendingArrivals()) {
+          queue_.Push(trace_.jobs[next_arrival_].arrival_time_s, SimEventType::kArrival,
+                      static_cast<std::int64_t>(next_arrival_));
+        }
         if (!round_scheduled_) {
           // The cluster drained; resume scheduling rounds.
           round_scheduled_ = true;

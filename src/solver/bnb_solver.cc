@@ -1,9 +1,12 @@
 #include "src/solver/bnb_solver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
+#include "src/common/thread_pool.h"
 #include "src/core/full_reconfig.h"
 #include "src/sched/reservation_price.h"
 
@@ -11,6 +14,8 @@ namespace eva {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr Money kCostEps = 1e-12;
 
 // Cheapest per-unit price of each resource across the catalog, using the
 // capacity on the family where it is largest relative to cost.
@@ -44,91 +49,234 @@ struct OpenInstance {
   int type_index;
   ResourceVector used;
   std::vector<TaskId> tasks;
+
+  bool operator==(const OpenInstance& other) const {
+    return type_index == other.type_index && used == other.used && tasks == other.tasks;
+  }
 };
 
-class Search {
- public:
-  Search(const SchedulingContext& context, const SolverOptions& options)
-      : context_(context),
-        options_(options),
-        unit_prices_(UnitPrices(*context.catalog)),
-        start_(Clock::now()) {
+// Immutable per-solve data shared by the serial search, the frontier
+// expansion and every worker: branch order, suffix bounds, limits.
+struct Problem {
+  Problem(const SchedulingContext& context, const SolverOptions& options)
+      : context(context), options(options), unit_prices(UnitPrices(*context.catalog)) {
     for (const TaskInfo& task : context.tasks) {
-      tasks_.push_back(&task);
+      tasks.push_back(&task);
     }
     // Branch on the "hardest" tasks first: descending reservation price.
     const TnrpCalculator calculator(context, {.interference_aware = false});
-    std::sort(tasks_.begin(), tasks_.end(),
-              [&calculator](const TaskInfo* a, const TaskInfo* b) {
-                const Money rp_a = calculator.ReservationPrice(*a);
-                const Money rp_b = calculator.ReservationPrice(*b);
-                if (rp_a != rp_b) {
-                  return rp_a > rp_b;
-                }
-                return a->id < b->id;
-              });
-    // Suffix lower bounds: bound on cost of tasks_[i..).
-    suffix_bound_.assign(tasks_.size() + 1, 0.0);
+    SortTasksByRpDesc(calculator, tasks);
+    // Per-resource suffix volumes of tasks[i..). The node-level bound
+    // (SuffixBound below) first credits the slack already paid for in open
+    // instances against these volumes: a plain volume-times-unit-price
+    // suffix bound is NOT sound as an additive bound on the *remaining*
+    // cost, because remaining tasks may ride along in open instances for
+    // free — the original collapsed bound pruned genuinely optimal
+    // branches (and reported "proven optimal" for non-optimal incumbents).
+    suffix_volume.assign(tasks.size() + 1, {});
     std::array<double, kNumResources> volume{};
-    for (std::size_t i = tasks_.size(); i-- > 0;) {
-      const ResourceVector demand = MinDemand(*tasks_[i]);
+    for (std::size_t i = tasks.size(); i-- > 0;) {
+      const ResourceVector demand = MinDemand(*tasks[i]);
       for (int r = 0; r < kNumResources; ++r) {
         volume[static_cast<std::size_t>(r)] += demand.Get(static_cast<Resource>(r));
       }
-      double bound = 0.0;
-      for (int r = 0; r < kNumResources; ++r) {
-        bound = std::max(bound, volume[static_cast<std::size_t>(r)] *
-                                    unit_prices_[static_cast<std::size_t>(r)]);
-      }
-      suffix_bound_[i] = bound;
+      suffix_volume[i] = volume;
     }
   }
 
-  void SetIncumbent(const ClusterConfig& config) {
-    incumbent_ = config;
-    incumbent_cost_ = config.HourlyCost(*context_.catalog);
+  // Sound lower bound on the cost of hosting tasks[next_task..) given the
+  // instances already open (their unused capacity is free).
+  Money SuffixBound(std::size_t next_task, const std::vector<OpenInstance>& open) const {
+    std::array<double, kNumResources> residual = suffix_volume[next_task];
+    for (const OpenInstance& instance : open) {
+      const ResourceVector& capacity = context.catalog->Get(instance.type_index).capacity;
+      for (int r = 0; r < kNumResources; ++r) {
+        residual[static_cast<std::size_t>(r)] -=
+            capacity.Get(static_cast<Resource>(r)) -
+            instance.used.Get(static_cast<Resource>(r));
+      }
+    }
+    Money bound = 0.0;
+    for (int r = 0; r < kNumResources; ++r) {
+      if (residual[static_cast<std::size_t>(r)] > 0.0) {
+        bound = std::max(bound, residual[static_cast<std::size_t>(r)] *
+                                    unit_prices[static_cast<std::size_t>(r)]);
+      }
+    }
+    return bound;
   }
 
-  SolverResult Run() {
-    std::vector<OpenInstance> open;
-    Branch(0, 0.0, open);
-    SolverResult result;
-    result.config = incumbent_;
-    result.hourly_cost = incumbent_cost_;
-    result.proven_optimal = !aborted_;
-    result.nodes_explored = nodes_;
-    result.wall_seconds =
-        std::chrono::duration<double>(Clock::now() - start_).count();
-    return result;
+  const SchedulingContext& context;
+  const SolverOptions& options;
+  std::array<double, kNumResources> unit_prices;
+  std::vector<const TaskInfo*> tasks;
+  std::vector<std::array<double, kNumResources>> suffix_volume;
+};
+
+// State shared between parallel workers. `best_cost` is a bound only — the
+// configurations stay worker-local so subtree order can resolve ties.
+struct SharedState {
+  explicit SharedState(Money seed_cost) : best_cost(seed_cost) {}
+
+  std::atomic<Money> best_cost;
+  std::atomic<std::uint64_t> nodes{0};
+  std::atomic<bool> aborted{false};
+};
+
+void LowerSharedBound(SharedState& shared, Money cost) {
+  Money current = shared.best_cost.load(std::memory_order_relaxed);
+  while (cost < current &&
+         !shared.best_cost.compare_exchange_weak(current, cost, std::memory_order_relaxed)) {
   }
+}
+
+// One branching choice for a task: place it into open[open_index]
+// (fresh == false) or open a new instance of type_index (fresh == true,
+// adding cost_delta).
+struct Choice {
+  bool fresh = false;
+  std::size_t open_index = 0;
+  int type_index = -1;
+  Money cost_delta = 0.0;
+};
+
+// Enumerates a node's children in serial DFS order: existing open instances
+// first (skipping symmetric (type, used) duplicates), then fresh instances
+// of each fitting type cheapest-first, cut where `cost_bound` proves a
+// fresh open cannot improve. Both the depth-first search and the parallel
+// frontier expansion branch through this, so their orders cannot drift
+// apart. Callers may re-check fresh choices against a live (tighter) bound.
+void EnumerateChoices(const Problem& problem, const TaskInfo& task,
+                      const std::vector<OpenInstance>& open, Money cost_so_far,
+                      Money cost_bound, std::vector<Choice>& out) {
+  out.clear();
+  for (std::size_t i = 0; i < open.size(); ++i) {
+    bool duplicate = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (open[j].type_index == open[i].type_index && open[j].used == open[i].used) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      continue;
+    }
+    const InstanceType& type = problem.context.catalog->Get(open[i].type_index);
+    if (!(open[i].used + task.DemandFor(type.family)).FitsWithin(type.capacity)) {
+      continue;
+    }
+    Choice choice;
+    choice.open_index = i;
+    out.push_back(choice);
+  }
+  std::vector<int> fitting;
+  for (int k = 0; k < problem.context.catalog->NumTypes(); ++k) {
+    const InstanceType& type = problem.context.catalog->Get(k);
+    if (task.DemandFor(type.family).FitsWithin(type.capacity)) {
+      fitting.push_back(k);
+    }
+  }
+  std::sort(fitting.begin(), fitting.end(), [&problem](int a, int b) {
+    return problem.context.catalog->Get(a).cost_per_hour <
+           problem.context.catalog->Get(b).cost_per_hour;
+  });
+  for (int type_index : fitting) {
+    const InstanceType& type = problem.context.catalog->Get(type_index);
+    if (cost_so_far + type.cost_per_hour >= cost_bound - kCostEps) {
+      break;  // Sorted ascending; all later types cost at least as much.
+    }
+    Choice choice;
+    choice.fresh = true;
+    choice.type_index = type_index;
+    choice.cost_delta = type.cost_per_hour;
+    out.push_back(choice);
+  }
+}
+
+// One depth-first search over a subtree, replicating the original serial
+// search exactly when `shared` is null (the incumbent then carries the seed
+// configuration and the prune bound is the local incumbent alone).
+class Search {
+ public:
+  Search(const Problem& problem, Clock::time_point start, SharedState* shared)
+      : problem_(problem), start_(start), shared_(shared) {}
+
+  void SetIncumbent(const ClusterConfig& config, Money cost) {
+    incumbent_ = config;
+    incumbent_cost_ = cost;
+  }
+
+  void SetIncumbentBound(Money cost) { incumbent_cost_ = cost; }
+
+  void Run(std::size_t next_task, Money cost_so_far, std::vector<OpenInstance>& open) {
+    Branch(next_task, cost_so_far, open);
+    if (shared_ != nullptr) {
+      shared_->nodes.fetch_add(nodes_since_flush_, std::memory_order_relaxed);
+      nodes_since_flush_ = 0;
+      if (aborted_) {
+        shared_->aborted.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  const ClusterConfig& incumbent() const { return incumbent_; }
+  Money incumbent_cost() const { return incumbent_cost_; }
+  bool improved() const { return improved_; }
+  bool aborted() const { return aborted_; }
+  std::uint64_t nodes() const { return nodes_; }
 
  private:
   bool TimeExceeded() {
     if (aborted_) {
       return true;
     }
-    if (nodes_ > options_.max_nodes) {
+    if (shared_ != nullptr) {
+      // Flush the local node count into the shared budget in batches, so
+      // the global max_nodes limit is enforced within one batch's slack.
+      if (nodes_since_flush_ >= 1024) {
+        shared_->nodes.fetch_add(nodes_since_flush_, std::memory_order_relaxed);
+        nodes_since_flush_ = 0;
+      }
+      if (shared_->aborted.load(std::memory_order_relaxed) ||
+          shared_->nodes.load(std::memory_order_relaxed) > problem_.options.max_nodes) {
+        aborted_ = true;
+        return true;
+      }
+    } else if (nodes_ > problem_.options.max_nodes) {
       aborted_ = true;
       return true;
     }
     // Check the wall clock every 4096 nodes to keep overhead negligible.
     if ((nodes_ & 0xFFF) == 0 &&
         std::chrono::duration<double>(Clock::now() - start_).count() >
-            options_.time_limit_seconds) {
+            problem_.options.time_limit_seconds) {
       aborted_ = true;
       return true;
     }
     return false;
   }
 
+  bool PruneBound(Money optimistic) const {
+    if (optimistic >= incumbent_cost_ - kCostEps) {
+      return true;  // Cannot strictly improve the local incumbent.
+    }
+    // Foreign bound: strict-only pruning (`>` + eps) so a subtree still
+    // reaches its own solutions that exactly tie the global optimum —
+    // the fold then resolves the tie by subtree order, like serial DFS.
+    return shared_ != nullptr &&
+           optimistic > shared_->best_cost.load(std::memory_order_relaxed) + kCostEps;
+  }
+
   void Branch(std::size_t next_task, Money cost_so_far, std::vector<OpenInstance>& open) {
     ++nodes_;
+    ++nodes_since_flush_;
     if (TimeExceeded()) {
       return;
     }
-    if (next_task == tasks_.size()) {
-      if (cost_so_far < incumbent_cost_ - 1e-12) {
+    if (next_task == problem_.tasks.size()) {
+      if (cost_so_far < incumbent_cost_ - kCostEps) {
         incumbent_cost_ = cost_so_far;
+        improved_ = true;
         incumbent_.instances.clear();
         for (const OpenInstance& instance : open) {
           ConfigInstance entry;
@@ -136,85 +284,145 @@ class Search {
           entry.tasks = instance.tasks;
           incumbent_.instances.push_back(std::move(entry));
         }
+        if (shared_ != nullptr) {
+          LowerSharedBound(*shared_, cost_so_far);
+        }
       }
       return;
     }
-    if (cost_so_far + suffix_bound_[next_task] >= incumbent_cost_ - 1e-12) {
+    if (PruneBound(cost_so_far + problem_.SuffixBound(next_task, open))) {
       return;  // Prune: even a fractional relaxation cannot beat incumbent.
     }
-    const TaskInfo& task = *tasks_[next_task];
+    const TaskInfo& task = *problem_.tasks[next_task];
 
-    // Option A: place into an existing open instance. Skip duplicates of
-    // (type, used) states to break symmetry among identical instances.
-    for (std::size_t i = 0; i < open.size(); ++i) {
-      bool duplicate = false;
-      for (std::size_t j = 0; j < i; ++j) {
-        if (open[j].type_index == open[i].type_index && open[j].used == open[i].used) {
-          duplicate = true;
-          break;
+    std::vector<Choice> choices;
+    EnumerateChoices(problem_, task, open, cost_so_far, incumbent_cost_, choices);
+    for (const Choice& choice : choices) {
+      if (choice.fresh) {
+        // Re-check against the live incumbent: deeper subtrees of this very
+        // node may have tightened it past the bound EnumerateChoices used.
+        if (cost_so_far + choice.cost_delta >= incumbent_cost_ - kCostEps) {
+          break;  // Fresh choices are cheapest-first; the rest cost more.
         }
+        const InstanceType& type = problem_.context.catalog->Get(choice.type_index);
+        OpenInstance fresh;
+        fresh.type_index = choice.type_index;
+        fresh.used = task.DemandFor(type.family);
+        fresh.tasks.push_back(task.id);
+        open.push_back(std::move(fresh));
+        Branch(next_task + 1, cost_so_far + choice.cost_delta, open);
+        open.pop_back();
+      } else {
+        OpenInstance& host = open[choice.open_index];
+        const InstanceType& type = problem_.context.catalog->Get(host.type_index);
+        const ResourceVector& demand = task.DemandFor(type.family);
+        host.used += demand;
+        host.tasks.push_back(task.id);
+        Branch(next_task + 1, cost_so_far, open);
+        host.tasks.pop_back();
+        host.used -= demand;
       }
-      if (duplicate) {
-        continue;
-      }
-      const InstanceType& type = context_.catalog->Get(open[i].type_index);
-      const ResourceVector& demand = task.DemandFor(type.family);
-      if (!(open[i].used + demand).FitsWithin(type.capacity)) {
-        continue;
-      }
-      open[i].used += demand;
-      open[i].tasks.push_back(task.id);
-      Branch(next_task + 1, cost_so_far, open);
-      open[i].tasks.pop_back();
-      open[i].used -= demand;
-      if (aborted_) {
-        return;
-      }
-    }
-
-    // Option B: open a fresh instance of each type that fits, cheapest
-    // first so good incumbents appear early.
-    std::vector<int> fitting;
-    for (int k = 0; k < context_.catalog->NumTypes(); ++k) {
-      const InstanceType& type = context_.catalog->Get(k);
-      if (task.DemandFor(type.family).FitsWithin(type.capacity)) {
-        fitting.push_back(k);
-      }
-    }
-    std::sort(fitting.begin(), fitting.end(), [this](int a, int b) {
-      return context_.catalog->Get(a).cost_per_hour < context_.catalog->Get(b).cost_per_hour;
-    });
-    for (int type_index : fitting) {
-      const InstanceType& type = context_.catalog->Get(type_index);
-      if (cost_so_far + type.cost_per_hour >= incumbent_cost_ - 1e-12) {
-        break;  // Sorted ascending; all later types cost at least as much.
-      }
-      OpenInstance fresh;
-      fresh.type_index = type_index;
-      fresh.used = task.DemandFor(type.family);
-      fresh.tasks.push_back(task.id);
-      open.push_back(std::move(fresh));
-      Branch(next_task + 1, cost_so_far + type.cost_per_hour, open);
-      open.pop_back();
       if (aborted_) {
         return;
       }
     }
   }
 
-  const SchedulingContext& context_;
-  SolverOptions options_;
-  std::array<double, kNumResources> unit_prices_;
+  const Problem& problem_;
   Clock::time_point start_;
-
-  std::vector<const TaskInfo*> tasks_;
-  std::vector<double> suffix_bound_;
+  SharedState* shared_;
 
   ClusterConfig incumbent_;
   Money incumbent_cost_ = std::numeric_limits<double>::infinity();
+  bool improved_ = false;
   std::uint64_t nodes_ = 0;
+  std::uint64_t nodes_since_flush_ = 0;
   bool aborted_ = false;
 };
+
+// A branch point handed to a worker: the search state after fixing the
+// placements of tasks[0..next_task). Ordered by serial DFS preorder.
+struct FrontierNode {
+  std::size_t next_task = 0;
+  Money cost = 0.0;
+  std::vector<OpenInstance> open;
+};
+
+// Expands the first branching levels in serial DFS order until at least
+// `target` subtrees exist (or the tree is exhausted). Children are pruned
+// only against the *seed* incumbent — a superset of what serial DFS keeps,
+// since its evolving bound can only tighten.
+std::vector<FrontierNode> ExpandFrontier(const Problem& problem, Money seed_cost,
+                                         std::size_t target, std::uint64_t& nodes_expanded) {
+  std::vector<FrontierNode> frontier(1);
+  while (frontier.size() < target) {
+    std::vector<FrontierNode> next;
+    bool any_expanded = false;
+    for (FrontierNode& node : frontier) {
+      if (node.next_task == problem.tasks.size()) {
+        next.push_back(std::move(node));  // Complete: carry as a leaf.
+        continue;
+      }
+      if (node.cost + problem.SuffixBound(node.next_task, node.open) >=
+          seed_cost - kCostEps) {
+        ++nodes_expanded;
+        continue;  // Serial DFS prunes this node under any incumbent.
+      }
+      any_expanded = true;
+      ++nodes_expanded;
+      const TaskInfo& task = *problem.tasks[node.next_task];
+      std::vector<Choice> choices;
+      EnumerateChoices(problem, task, node.open, node.cost, seed_cost, choices);
+      for (const Choice& choice : choices) {
+        FrontierNode child;
+        child.next_task = node.next_task + 1;
+        child.cost = node.cost + choice.cost_delta;
+        child.open = node.open;
+        if (choice.fresh) {
+          const InstanceType& type = problem.context.catalog->Get(choice.type_index);
+          OpenInstance fresh;
+          fresh.type_index = choice.type_index;
+          fresh.used = task.DemandFor(type.family);
+          fresh.tasks.push_back(task.id);
+          child.open.push_back(std::move(fresh));
+        } else {
+          OpenInstance& host = child.open[choice.open_index];
+          const InstanceType& type = problem.context.catalog->Get(host.type_index);
+          host.used += task.DemandFor(type.family);
+          host.tasks.push_back(task.id);
+        }
+        next.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next);
+    if (!any_expanded || frontier.empty()) {
+      break;
+    }
+  }
+  return frontier;
+}
+
+// Picks the starting incumbent: the heuristic seed and/or a warm start.
+// Returns {config, cost}; cost is +inf when neither is available.
+std::pair<ClusterConfig, Money> SeedIncumbent(const SchedulingContext& context,
+                                              const SolverOptions& options) {
+  ClusterConfig config;
+  Money cost = std::numeric_limits<double>::infinity();
+  if (options.seed_with_heuristic) {
+    const TnrpCalculator calculator(context, {.interference_aware = false});
+    config = FullReconfiguration(context, calculator);
+    cost = config.HourlyCost(*context.catalog);
+  }
+  if (options.warm_start != nullptr &&
+      !options.warm_start->Validate(context).has_value()) {
+    const Money warm_cost = options.warm_start->HourlyCost(*context.catalog);
+    if (warm_cost < cost - kCostEps) {
+      config = *options.warm_start;
+      cost = warm_cost;
+    }
+  }
+  return {std::move(config), cost};
+}
 
 }  // namespace
 
@@ -238,12 +446,85 @@ Money PackingLowerBound(const SchedulingContext& context,
 
 SolverResult SolveOptimalPacking(const SchedulingContext& context,
                                  const SolverOptions& options) {
-  Search search(context, options);
-  if (options.seed_with_heuristic) {
-    const TnrpCalculator calculator(context, {.interference_aware = false});
-    search.SetIncumbent(FullReconfiguration(context, calculator));
+  const Clock::time_point start = Clock::now();
+  const Problem problem(context, options);
+  auto [seed_config, seed_cost] = SeedIncumbent(context, options);
+
+  const int threads =
+      options.num_threads > 0 ? options.num_threads : ThreadPool::DefaultThreads();
+
+  SolverResult result;
+  if (threads <= 1) {
+    Search search(problem, start, nullptr);
+    search.SetIncumbent(seed_config, seed_cost);
+    std::vector<OpenInstance> open;
+    search.Run(0, 0.0, open);
+    result.config = search.incumbent();
+    result.hourly_cost = search.incumbent_cost();
+    result.proven_optimal = !search.aborted();
+    result.nodes_explored = search.nodes();
+    result.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    return result;
   }
-  return search.Run();
+
+  std::uint64_t nodes_expanded = 0;
+  const std::vector<FrontierNode> frontier = ExpandFrontier(
+      problem, seed_cost, static_cast<std::size_t>(threads) * 8, nodes_expanded);
+
+  struct SubtreeResult {
+    bool found = false;
+    Money cost = std::numeric_limits<double>::infinity();
+    ClusterConfig config;
+    bool aborted = false;
+  };
+  std::vector<SubtreeResult> results(frontier.size());
+  SharedState shared(seed_cost);
+  shared.nodes.store(nodes_expanded, std::memory_order_relaxed);
+  std::atomic<std::size_t> cursor{0};
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= frontier.size()) {
+        return;
+      }
+      Search search(problem, start, &shared);
+      search.SetIncumbentBound(seed_cost);
+      std::vector<OpenInstance> open = frontier[index].open;
+      search.Run(frontier[index].next_task, frontier[index].cost, open);
+      SubtreeResult& slot = results[index];
+      slot.found = search.improved();
+      slot.cost = search.incumbent_cost();
+      slot.config = search.incumbent();
+      slot.aborted = search.aborted();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads) - 1);
+  for (int t = 1; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  worker();
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+
+  // Fold per-subtree incumbents in frontier (= serial DFS) order with the
+  // serial strict-improvement rule, restoring serial tie-breaking.
+  result.config = std::move(seed_config);
+  result.hourly_cost = seed_cost;
+  bool aborted = false;
+  for (const SubtreeResult& subtree : results) {
+    aborted = aborted || subtree.aborted;
+    if (subtree.found && subtree.cost < result.hourly_cost - kCostEps) {
+      result.hourly_cost = subtree.cost;
+      result.config = subtree.config;
+    }
+  }
+  result.proven_optimal = !aborted;
+  result.nodes_explored = shared.nodes.load(std::memory_order_relaxed);
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
 }
 
 }  // namespace eva

@@ -155,6 +155,100 @@ TEST_F(EvaSchedulerTest, NamesReflectConfiguration) {
   EXPECT_EQ(EvaScheduler(named).name(), "Custom");
 }
 
+TEST_F(EvaSchedulerTest, UnchangedRoundsReplayTheMemoBitForBit) {
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  AddTask(vit, 1);
+  AddTask(vit, 2);
+  AddTask(WorkloadRegistry::IdOf("GCN"), 3);
+  context_.Finalize();
+
+  EvaOptions memo_on;
+  EvaOptions memo_off;
+  memo_off.reuse_unchanged_rounds = false;
+  EvaScheduler with_memo(memo_on);
+  EvaScheduler without_memo(memo_off);
+
+  const auto same_config = [](const ClusterConfig& a, const ClusterConfig& b) {
+    ASSERT_EQ(a.instances.size(), b.instances.size());
+    for (std::size_t i = 0; i < a.instances.size(); ++i) {
+      EXPECT_EQ(a.instances[i].type_index, b.instances[i].type_index);
+      EXPECT_EQ(a.instances[i].reuse_instance, b.instances[i].reuse_instance);
+      EXPECT_EQ(a.instances[i].tasks, b.instances[i].tasks);
+    }
+  };
+
+  // Several rounds over the same context (only now_s and the runtime
+  // estimates change, which the memo must ignore): both schedulers return
+  // identical configurations, and the memoized one recomputes only once.
+  for (int round = 0; round < 4; ++round) {
+    context_.now_s = 300.0 * round;
+    for (TaskInfo& task : context_.tasks) {
+      task.remaining_work_s = 10'000.0 - 100.0 * round;
+    }
+    same_config(with_memo.Schedule(context_), without_memo.Schedule(context_));
+  }
+  EXPECT_EQ(with_memo.stats().rounds_reused, 3);
+  EXPECT_EQ(without_memo.stats().rounds_reused, 0);
+
+  // A context change (arrival) invalidates the memo.
+  AddTask(vit, 4);
+  context_.Finalize();
+  context_.now_s = 1500.0;
+  same_config(with_memo.Schedule(context_), without_memo.Schedule(context_));
+  EXPECT_EQ(with_memo.stats().rounds_reused, 3);
+  EXPECT_EQ(with_memo.stats().reuse_miss_context, 1);
+
+  // A throughput observation that changes the table also invalidates it.
+  JobThroughputObservation observation;
+  observation.job = 1;
+  observation.normalized_throughput = 0.8;
+  TaskPlacementObservation placement;
+  placement.task = 0;
+  placement.workload = vit;
+  placement.colocated = {vit};
+  observation.tasks.push_back(placement);
+  with_memo.ObserveThroughput({observation});
+  without_memo.ObserveThroughput({observation});
+  context_.now_s = 1800.0;
+  same_config(with_memo.Schedule(context_), without_memo.Schedule(context_));
+  EXPECT_EQ(with_memo.stats().reuse_miss_table, 1);
+}
+
+TEST_F(EvaSchedulerTest, IncrementalPackingCoversAllTasksAndValidates) {
+  EvaOptions options;
+  options.incremental_packing = true;
+  EvaScheduler scheduler(options);
+
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const WorkloadId gcn = WorkloadRegistry::IdOf("GCN");
+  for (JobId job = 1; job <= 5; ++job) {
+    AddTask(job % 2 == 0 ? gcn : vit, job);
+  }
+  context_.Finalize();
+  context_.delta.complete = true;
+  context_.delta.jobs_arrived = {1, 2, 3, 4, 5};
+  ClusterConfig config = scheduler.Schedule(context_);
+  EXPECT_FALSE(config.Validate(context_).has_value());
+
+  // A small delta round: one arrival on top of an unchanged population
+  // (below the full-repack threshold, so the previous configuration is the
+  // starting incumbent and only the new task is packed).
+  AddTask(gcn, 6);
+  context_.Finalize();
+  context_.delta.Clear();
+  context_.delta.complete = true;
+  context_.delta.jobs_arrived = {6};
+  context_.now_s = 300.0;
+  config = scheduler.Schedule(context_);
+  EXPECT_FALSE(config.Validate(context_).has_value());
+  std::set<TaskId> seen;
+  for (const ConfigInstance& instance : config.instances) {
+    seen.insert(instance.tasks.begin(), instance.tasks.end());
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_GE(scheduler.stats().incremental_packs, 1);
+}
+
 TEST_F(EvaSchedulerTest, EnsembleConsolidatesWhenSavingsAreLarge) {
   // Two ViTs running on separate p3.8xlarge instances (one task each is not
   // cost-efficient use: RP 12.24 = cost, so instances are *barely*

@@ -1,0 +1,120 @@
+#include "src/core/incremental_reconfig.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace eva {
+namespace {
+
+// A small population over the AWS catalog with a complete delta attached.
+class IncrementalReconfigTest : public testing::Test {
+ protected:
+  IncrementalReconfigTest() : catalog_(InstanceCatalog::AwsDefault()) {
+    context_.catalog = &catalog_;
+  }
+
+  TaskId AddTask(const char* workload, JobId job, InstanceId on = kInvalidInstanceId) {
+    const WorkloadId id = WorkloadRegistry::IdOf(workload);
+    const WorkloadSpec& spec = WorkloadRegistry::Get(id);
+    TaskInfo task;
+    task.id = next_task_id_++;
+    task.job = job;
+    task.workload = id;
+    task.demand_p3 = spec.demand_p3;
+    task.demand_cpu = spec.demand_cpu;
+    task.current_instance = on;
+    context_.tasks.push_back(task);
+    return task.id;
+  }
+
+  std::set<TaskId> AssignedTasks(const ClusterConfig& config) {
+    std::set<TaskId> seen;
+    for (const ConfigInstance& instance : config.instances) {
+      seen.insert(instance.tasks.begin(), instance.tasks.end());
+    }
+    return seen;
+  }
+
+  InstanceCatalog catalog_;
+  SchedulingContext context_;
+  TaskId next_task_id_ = 0;
+};
+
+TEST_F(IncrementalReconfigTest, EmptyDeltaReproducesThePreviousConfig) {
+  for (JobId job = 1; job <= 4; ++job) {
+    AddTask(job % 2 == 0 ? "GCN" : "ViT", job);
+  }
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {});
+  const ClusterConfig previous = FullReconfiguration(context_, calculator);
+
+  context_.delta.complete = true;  // Nothing changed.
+  const IncrementalResult result =
+      IncrementalReconfiguration(context_, calculator, previous);
+  EXPECT_FALSE(result.full_repack);
+  ASSERT_EQ(result.config.instances.size(), previous.instances.size());
+  for (std::size_t i = 0; i < previous.instances.size(); ++i) {
+    EXPECT_EQ(result.config.instances[i].type_index, previous.instances[i].type_index);
+    EXPECT_EQ(result.config.instances[i].tasks, previous.instances[i].tasks);
+  }
+}
+
+TEST_F(IncrementalReconfigTest, IncompleteDeltaFallsBackToFullRepack) {
+  AddTask("ViT", 1);
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {});
+  const ClusterConfig previous = FullReconfiguration(context_, calculator);
+  // delta.complete defaults to false.
+  const IncrementalResult result =
+      IncrementalReconfiguration(context_, calculator, previous);
+  EXPECT_TRUE(result.full_repack);
+  EXPECT_EQ(AssignedTasks(result.config).size(), 1u);
+}
+
+TEST_F(IncrementalReconfigTest, OversizedDeltaFallsBackToFullRepack) {
+  for (JobId job = 1; job <= 4; ++job) {
+    AddTask("GCN", job);
+  }
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {});
+  const ClusterConfig previous = FullReconfiguration(context_, calculator);
+  context_.delta.complete = true;
+  context_.delta.jobs_arrived = {1, 2, 3};  // 3 of 4 tasks touched.
+  const IncrementalResult result =
+      IncrementalReconfiguration(context_, calculator, previous);
+  EXPECT_TRUE(result.full_repack);
+}
+
+TEST_F(IncrementalReconfigTest, SmallDeltaKeepsUntouchedInstancesAndPacksTheRest) {
+  // Six tasks previously packed; one job completes and one arrives.
+  for (JobId job = 1; job <= 6; ++job) {
+    AddTask(job % 2 == 0 ? "GCN" : "A3C", job);
+  }
+  context_.Finalize();
+  const TnrpCalculator calculator(context_, {});
+  const ClusterConfig previous = FullReconfiguration(context_, calculator);
+
+  // Job 6's task completes (drop it from the context); job 7 arrives.
+  const TaskId completed = 5;
+  context_.tasks.erase(context_.tasks.begin() + completed);
+  const TaskId arrived = AddTask("OpenFOAM", 7);
+  context_.Finalize();
+  context_.delta.complete = true;
+  context_.delta.jobs_completed = {6};
+  context_.delta.jobs_arrived = {7};
+
+  IncrementalOptions options;
+  options.full_repack_fraction = 0.5;  // 2 of 6 touched stays incremental.
+  const IncrementalResult result =
+      IncrementalReconfiguration(context_, calculator, previous, options);
+  EXPECT_FALSE(result.full_repack);
+  EXPECT_FALSE(result.config.Validate(context_).has_value());
+  const std::set<TaskId> seen = AssignedTasks(result.config);
+  EXPECT_EQ(seen.size(), context_.tasks.size());
+  EXPECT_EQ(seen.count(completed), 0u);
+  EXPECT_EQ(seen.count(arrived), 1u);
+}
+
+}  // namespace
+}  // namespace eva

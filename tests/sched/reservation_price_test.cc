@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+
 namespace eva {
 namespace {
 
@@ -167,6 +173,124 @@ TEST_F(MultiTaskTnrpTest, SingleTaskJobUnaffectedByJobScaling) {
   const TaskInfo& task = *context_.FindTask(0);
   // Job 8 has one task: plain tput * RP. RP(other) = $0.4 (it4).
   EXPECT_NEAR(calculator.TaskTnrp(other, {&task}), 0.36, 1e-9);
+}
+
+TEST(ThroughputTableVersionTest, RecordBumpsOnlyOnValueChange) {
+  ThroughputTable table(0.95);
+  EXPECT_EQ(table.Version(), 0u);
+  EXPECT_TRUE(table.Record(2, {5}, 0.8));
+  const std::uint64_t v1 = table.Version();
+  EXPECT_GT(v1, 0u);
+  EXPECT_GT(table.RowVersion(2), 0u);
+  EXPECT_EQ(table.RowVersion(5), 0u);  // Only workload 2's row changed.
+  // Re-recording the identical value must not invalidate anything.
+  EXPECT_FALSE(table.Record(2, {5}, 0.8));
+  EXPECT_EQ(table.Version(), v1);
+  // A different value must.
+  EXPECT_TRUE(table.Record(2, {5}, 0.7));
+  EXPECT_GT(table.Version(), v1);
+}
+
+// Satellite: memoized TNRP equals a freshly constructed calculator after
+// arbitrary sequences of job arrival / completion / observation deltas. The
+// persistent calculator Rebind()s across rounds and must invalidate exactly
+// the entries the deltas touched.
+TEST(TnrpMemoizationPropertyTest, MatchesFreshCalculatorUnderDeltaSequences) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  Rng rng(1234);
+
+  ThroughputTable table(0.95);
+  std::vector<TaskInfo> live;  // Current task population.
+  TaskId next_task_id = 0;
+  JobId next_job_id = 0;
+
+  // Context rebuilt each "round" from the live population, like the
+  // simulator does. Storage outlives the round for the persistent binding.
+  SchedulingContext context;
+  const auto rebuild_context = [&] {
+    context = SchedulingContext();
+    context.catalog = &catalog;
+    context.throughput = &table;
+    context.tasks = live;
+    context.Finalize();
+  };
+  rebuild_context();
+  TnrpCalculator memoized(context, {});
+
+  for (int round = 0; round < 60; ++round) {
+    // Random delta: arrivals (possibly multi-task), completions, and new
+    // throughput observations.
+    const int arrivals = static_cast<int>(rng.UniformInt(0, 2));
+    for (int a = 0; a < arrivals; ++a) {
+      const WorkloadId workload =
+          static_cast<WorkloadId>(rng.UniformInt(0, WorkloadRegistry::NumWorkloads() - 1));
+      const WorkloadSpec& spec = WorkloadRegistry::Get(workload);
+      const int num_tasks = rng.Bernoulli(0.3) ? 2 : 1;
+      const JobId job = next_job_id++;
+      for (int t = 0; t < num_tasks; ++t) {
+        TaskInfo task;
+        task.id = next_task_id++;
+        task.job = job;
+        task.workload = workload;
+        task.demand_p3 = spec.demand_p3;
+        task.demand_cpu = spec.demand_cpu;
+        live.push_back(task);
+      }
+    }
+    while (!live.empty() && rng.Bernoulli(0.2)) {
+      // Complete a random job (all of its tasks leave together).
+      const JobId job = live[static_cast<std::size_t>(
+                                 rng.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1))]
+                            .job;
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [job](const TaskInfo& task) { return task.job == job; }),
+                 live.end());
+    }
+    const int observations = static_cast<int>(rng.UniformInt(0, 3));
+    for (int o = 0; o < observations; ++o) {
+      const WorkloadId w =
+          static_cast<WorkloadId>(rng.UniformInt(0, WorkloadRegistry::NumWorkloads() - 1));
+      const WorkloadId p =
+          static_cast<WorkloadId>(rng.UniformInt(0, WorkloadRegistry::NumWorkloads() - 1));
+      table.Record(w, {p}, rng.Uniform(0.5, 1.0));
+    }
+
+    rebuild_context();
+    memoized.Rebind(context);
+    const TnrpCalculator fresh(context, {});
+
+    if (context.tasks.empty()) {
+      continue;
+    }
+    // Compare on random sets and co-locations, with and without a family.
+    for (int probe = 0; probe < 8; ++probe) {
+      std::vector<const TaskInfo*> set;
+      const int size = static_cast<int>(
+          rng.UniformInt(1, std::min<std::int64_t>(4, static_cast<std::int64_t>(
+                                                          context.tasks.size()))));
+      for (int s = 0; s < size; ++s) {
+        set.push_back(&context.tasks[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(context.tasks.size()) - 1))]);
+      }
+      const std::optional<InstanceFamily> family =
+          rng.Bernoulli(0.5) ? std::optional<InstanceFamily>(InstanceFamily::kC7i)
+                             : std::nullopt;
+      ASSERT_EQ(memoized.ReservationPrice(*set.front()),
+                fresh.ReservationPrice(*set.front()));
+      ASSERT_EQ(memoized.SetTnrp(set, family), fresh.SetTnrp(set, family))
+          << "round " << round << " probe " << probe;
+      std::vector<const TaskInfo*> partners(set.begin() + 1, set.end());
+      ASSERT_EQ(memoized.TaskTnrp(*set.front(), partners, family),
+                fresh.TaskTnrp(*set.front(), partners, family));
+      if (set.size() >= 2) {
+        std::vector<const TaskInfo*> members(set.begin(), set.end() - 1);
+        ASSERT_EQ(memoized.SetTnrpPlusOne(members, *set.back(), family),
+                  fresh.SetTnrp(set, family));
+      }
+    }
+  }
+  // The memoized calculator must actually be memoizing.
+  EXPECT_GT(memoized.cache_stats().tnrp_hits + memoized.cache_stats().set_hits, 0u);
 }
 
 }  // namespace

@@ -130,5 +130,24 @@ TEST(ClusterConfigTest, ValidateUsesFamilySpecificDemand) {
   EXPECT_TRUE(bad.Validate(context).has_value());
 }
 
+
+TEST(RoundDeltaTest, EmptyTouchedCountAndClear) {
+  RoundDelta delta;
+  EXPECT_FALSE(delta.complete);
+  EXPECT_TRUE(delta.Empty());
+  EXPECT_EQ(delta.TouchedCount(), 0u);
+  delta.complete = true;
+  delta.jobs_arrived = {1, 2};
+  delta.jobs_completed = {3};
+  delta.tasks_retargeted = {4, 5, 6};
+  delta.instances_launched = {7};
+  delta.instances_terminated = {8};
+  EXPECT_FALSE(delta.Empty());
+  EXPECT_EQ(delta.TouchedCount(), 8u);
+  delta.Clear();
+  EXPECT_FALSE(delta.complete);
+  EXPECT_TRUE(delta.Empty());
+}
+
 }  // namespace
 }  // namespace eva

@@ -186,5 +186,80 @@ TEST(ClusterStateTest, BuildContextListsActiveJobsAndLiveInstances) {
   ASSERT_EQ(context.instances[0].tasks.size(), 1u);
 }
 
+
+TEST(ClusterStateShardTest, ShardsTrackPerGroupComposition) {
+  const InstanceCatalog catalog = TestCatalog();
+  ClusterState state(catalog);
+  ASSERT_EQ(state.shards().size(), 2u);
+
+  JobRec& job = state.AddJob(TestJob(0, 1, 2, 4, /*num_tasks=*/2));
+  InstRec& small = state.CreateInstance(/*type_index=*/0, 0.0, 0.0);
+  InstRec& large = state.CreateInstance(/*type_index=*/1, 0.0, 0.0);
+  state.SetTarget(*state.FindTask(job.tasks[0]), small.id);
+  state.SetTarget(*state.FindTask(job.tasks[1]), large.id);
+
+  // IntegrateTo refreshes the dirty shards lazily.
+  state.IntegrateTo(1.0);
+  const ClusterState::Shard& shard0 = state.shards()[0];
+  const ClusterState::Shard& shard1 = state.shards()[1];
+  EXPECT_EQ(shard0.members.count(small.id), 1u);
+  EXPECT_EQ(shard1.members.count(large.id), 1u);
+  EXPECT_FALSE(shard0.dirty);
+  EXPECT_FALSE(shard1.dirty);
+  EXPECT_DOUBLE_EQ(shard0.cap[0], 4.0);
+  EXPECT_DOUBLE_EQ(shard1.cap[0], 8.0);
+  EXPECT_DOUBLE_EQ(shard0.assigned_tasks, 1.0);
+  EXPECT_DOUBLE_EQ(shard1.assigned_tasks, 1.0);
+
+  // Retargeting the large-box task touches both shards; after the next
+  // integration the sums reflect the move.
+  state.SetTarget(*state.FindTask(job.tasks[1]), small.id);
+  state.IntegrateTo(1.0);
+  EXPECT_DOUBLE_EQ(state.shards()[0].assigned_tasks, 2.0);
+  EXPECT_DOUBLE_EQ(state.shards()[1].assigned_tasks, 0.0);
+
+  // Termination removes the instance from its shard.
+  state.Condemn(large.id);
+  EXPECT_TRUE(state.MaybeTerminate(large.id, 2.0));
+  state.IntegrateTo(1.0);
+  EXPECT_TRUE(state.shards()[1].members.empty());
+  EXPECT_DOUBLE_EQ(state.shards()[1].cap[0], 0.0);
+}
+
+TEST(ClusterStateDeltaTest, AccumulatesAndDrainsRoundDeltas) {
+  const InstanceCatalog catalog = TestCatalog();
+  ClusterState state(catalog);
+
+  JobRec& job = state.AddJob(TestJob(7));
+  const InstanceId inst_id = state.CreateInstance(0, 0.0, 0.0).id;
+  TaskRec& task = *state.FindTask(job.tasks[0]);
+  state.SetTarget(task, inst_id);
+
+  RoundDelta delta = state.TakeRoundDelta();
+  EXPECT_TRUE(delta.complete);
+  EXPECT_EQ(delta.jobs_arrived, std::vector<JobId>{7});
+  EXPECT_EQ(delta.tasks_retargeted, std::vector<TaskId>{task.id});
+  EXPECT_EQ(delta.instances_launched, std::vector<InstanceId>{inst_id});
+  EXPECT_TRUE(delta.jobs_completed.empty());
+  EXPECT_TRUE(delta.instances_terminated.empty());
+  EXPECT_EQ(delta.TouchedCount(), 3u);
+
+  // Draining resets the accumulator: a quiescent window yields an empty
+  // (but complete) delta.
+  delta = state.TakeRoundDelta();
+  EXPECT_TRUE(delta.complete);
+  EXPECT_TRUE(delta.Empty());
+
+  // Completion + termination land in the next delta, deduplicated.
+  state.MarkTaskDone(task);
+  state.DeactivateJob(*state.FindJob(7), 100.0);
+  state.Condemn(inst_id);
+  EXPECT_TRUE(state.MaybeTerminate(inst_id, 100.0));
+  delta = state.TakeRoundDelta();
+  EXPECT_EQ(delta.jobs_completed, std::vector<JobId>{7});
+  EXPECT_EQ(delta.instances_terminated, std::vector<InstanceId>{inst_id});
+  EXPECT_TRUE(delta.jobs_arrived.empty());
+}
+
 }  // namespace
 }  // namespace eva

@@ -122,6 +122,42 @@ TEST_F(SimulatorSingleJobTest, DeterministicRunsAreReproducible) {
   EXPECT_DOUBLE_EQ(a.jct_hours[0], b.jct_hours[0]);
 }
 
+
+// The simulator attaches a complete RoundDelta to every context: arrivals,
+// placements and completions show up in the window they happened in.
+struct DeltaRecordingScheduler : Scheduler {
+  NoPackingScheduler inner;
+  std::vector<RoundDelta> deltas;
+  std::string name() const override { return "delta-recorder"; }
+  ClusterConfig Schedule(const SchedulingContext& context) override {
+    deltas.push_back(context.delta);
+    return inner.Schedule(context);
+  }
+};
+
+TEST_F(SimulatorSingleJobTest, ContextsCarryCompleteRoundDeltas) {
+  const Trace trace = OneJob("GCN", 1800.0);
+  DeltaRecordingScheduler scheduler;
+  const SimulationMetrics metrics =
+      RunSimulation(trace, &scheduler, catalog_, interference_, Deterministic());
+  EXPECT_EQ(metrics.jobs_completed, 1);
+  ASSERT_FALSE(scheduler.deltas.empty());
+  std::vector<JobId> arrived;
+  std::vector<JobId> completed;
+  std::vector<TaskId> retargeted;
+  for (const RoundDelta& delta : scheduler.deltas) {
+    EXPECT_TRUE(delta.complete);
+    arrived.insert(arrived.end(), delta.jobs_arrived.begin(), delta.jobs_arrived.end());
+    completed.insert(completed.end(), delta.jobs_completed.begin(),
+                     delta.jobs_completed.end());
+    retargeted.insert(retargeted.end(), delta.tasks_retargeted.begin(),
+                      delta.tasks_retargeted.end());
+  }
+  EXPECT_EQ(arrived, std::vector<JobId>{0});
+  EXPECT_EQ(completed, std::vector<JobId>{0});
+  EXPECT_EQ(retargeted, std::vector<TaskId>{0});
+}
+
 class SimulatorColocationTest : public testing::Test {
  protected:
   InstanceCatalog catalog_ = InstanceCatalog::AwsDefault();
