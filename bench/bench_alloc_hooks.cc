@@ -1,0 +1,51 @@
+// Counting global operator new/delete for the bench harnesses.
+//
+// Replacement functions must not be inline, and a program must contain at
+// most one definition of each — so they live in this dedicated translation
+// unit, linked exactly once into every bench binary (see bench/CMakeLists.txt)
+// and never into the library or tests. AllocationCount() (declared in
+// bench_util.h) reads the counter.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Relaxed: the count is a profile statistic, not a synchronization point.
+std::atomic<std::uint64_t> alloc_count{0};
+
+}  // namespace
+
+namespace eva {
+
+std::uint64_t AllocationCount() { return alloc_count.load(std::memory_order_relaxed); }
+
+}  // namespace eva
+
+// noinline keeps gcc from inlining the malloc/free bodies into callers,
+// where its new/delete-pairing heuristic misfires (the pair is consistent:
+// both sides are replaced).
+#if defined(__GNUC__)
+#define EVA_BENCH_NOINLINE __attribute__((noinline))
+#else
+#define EVA_BENCH_NOINLINE
+#endif
+
+EVA_BENCH_NOINLINE void* operator new(std::size_t size) {
+  alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size ? size : 1)) {
+    return ptr;
+  }
+  throw std::bad_alloc();
+}
+
+EVA_BENCH_NOINLINE void* operator new[](std::size_t size) { return ::operator new(size); }
+
+EVA_BENCH_NOINLINE void operator delete(void* ptr) noexcept { std::free(ptr); }
+EVA_BENCH_NOINLINE void operator delete[](void* ptr) noexcept { std::free(ptr); }
+EVA_BENCH_NOINLINE void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+EVA_BENCH_NOINLINE void operator delete[](void* ptr, std::size_t) noexcept {
+  std::free(ptr);
+}

@@ -1,15 +1,21 @@
 // google-benchmark micro-benchmarks of the scheduler internals (reservation
 // price computation, Algorithm 1 packing, the config differ, the throughput
-// table, the B&B solver on small instances), plus a large-trace engine
-// throughput case reporting events/sec. With EVA_BENCH_JSON=<path> the
-// engine case (best wall time of three deterministic runs) is written as
-// machine-readable JSON (the committed
-// BENCH_scheduler_perf.json tracks it across commits). Scale the engine
-// case with EVA_BENCH_SCALE (percent of 2,000 jobs).
+// table, the B&B solver on small instances), plus an engine-throughput
+// scale sweep: the 2,000-job Alibaba-like trace (No-Packing + Eva) and
+// 10k/50k-job superposition-scaled traces (Eva), reporting events/sec,
+// rounds invoked vs. coalesced, per-round decision latency, peak RSS and
+// allocation counts. With EVA_BENCH_JSON=<path> the sweep (best wall time
+// of the deterministic repetitions per case) is written as machine-readable
+// JSON (the committed BENCH_scheduler_perf.json tracks it across commits).
+// EVA_BENCH_SCALE (a percentage) scales every case's job count; setting it
+// to 100 or more additionally enables the 100k-job point.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/full_reconfig.h"
@@ -143,70 +149,112 @@ void BM_EndToEndSmallTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSmallTrace)->Unit(benchmark::kMillisecond);
 
-// The large-trace engine throughput case: a 2,000-job Alibaba-like trace
-// through the full event-driven engine, reported as events/sec. This is the
-// number the incremental-recomputation work is measured by. Returns false
-// if a requested JSON artifact could not be written.
+// One engine-throughput case: `trace` through the full event-driven engine
+// under `kind`, best wall time of `runs` deterministic repetitions.
+void RunEngineCase(BenchJsonWriter& json, const std::string& name, const Trace& trace,
+                   SchedulerKind kind, const InterferenceModel& interference, int runs) {
+  const std::uint64_t allocs_before = AllocationCount();
+  SimulationMetrics metrics;
+  double wall = 0.0;
+  int reused = 0;
+  int miss_table = 0;
+  int miss_context = 0;
+  for (int run = 0; run < runs; ++run) {
+    SchedulerBundle bundle = MakeScheduler(kind, interference);
+    const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+    const auto start = std::chrono::steady_clock::now();
+    const SimulationMetrics run_metrics = RunSimulation(
+        trace, bundle.scheduler.get(), catalog, interference, SimulatorOptions{});
+    const double run_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (run == 0 || run_wall < wall) {
+      metrics = run_metrics;
+      wall = run_wall;
+      if (bundle.eva != nullptr) {
+        reused = bundle.eva->stats().rounds_reused;
+        miss_table = bundle.eva->stats().reuse_miss_table;
+        miss_context = bundle.eva->stats().reuse_miss_context;
+      }
+    }
+  }
+  const double sched_wall = metrics.scheduler_wall_seconds;
+  const double events_per_sec =
+      wall > 0.0 ? static_cast<double>(metrics.events_processed) / wall : 0.0;
+  const double sched_us_per_round =
+      metrics.scheduling_rounds > 0 ? sched_wall * 1e6 / metrics.scheduling_rounds : 0.0;
+  const double peak_rss_mb = PeakRssMb();
+  const std::uint64_t allocs = (AllocationCount() - allocs_before) /
+                               static_cast<std::uint64_t>(runs > 0 ? runs : 1);
+  std::printf("%-24s %9.3f %11lld %13.0f %8d %9d %9.3f %9.2f %9.1f\n", name.c_str(), wall,
+              static_cast<long long>(metrics.events_processed), events_per_sec,
+              metrics.scheduling_rounds, metrics.rounds_coalesced, sched_wall,
+              sched_us_per_round, peak_rss_mb);
+  json.AddCaseWithScheduler(name, metrics.jobs_submitted, wall, metrics.events_processed,
+                            events_per_sec, metrics.scheduling_rounds,
+                            metrics.rounds_coalesced, sched_wall, sched_us_per_round,
+                            peak_rss_mb, allocs);
+  if (kind == SchedulerKind::kEva) {
+    std::printf(
+        "  (rounds reused: %d/%d, coalesced: %d, table misses: %d, context misses: %d)\n",
+        reused, metrics.scheduling_rounds, metrics.rounds_coalesced, miss_table,
+        miss_context);
+  }
+}
+
+// Engine throughput scale sweep: the 2,000-job Alibaba-like trace (both
+// No-Packing and Eva, the tracked headline numbers), plus 10k- and 50k-job
+// traces produced by the deterministic superposition scaler (Eva only; the
+// points the O(active) engine work is measured by). The 100k point runs
+// when EVA_BENCH_SCALE is set to 100 or more — it is minutes of runtime.
+// All job counts scale with EVA_BENCH_SCALE so CI smoke stays fast.
+// Returns false if a requested JSON artifact could not be written.
 bool RunEngineThroughputCases() {
-  PrintBenchHeader("Simulation engine throughput, 2000-job Alibaba trace",
+  PrintBenchHeader("Simulation engine throughput, Alibaba trace scale sweep",
                    "engine perf tracking; not a paper table");
   AlibabaTraceOptions trace_options;
   trace_options.num_jobs = ScaledJobCount(2000);
   trace_options.seed = 17;
   trace_options.max_duration_hours = 48.0;
-  const Trace trace = GenerateAlibabaTrace(trace_options);
+  const Trace base = GenerateAlibabaTrace(trace_options);
   const InterferenceModel interference = InterferenceModel::Measured();
 
   BenchJsonWriter json;
-  std::printf("%-22s %10s %12s %14s %8s %10s %12s\n", "Case", "Wall(s)", "Events",
-              "Events/sec", "Rounds", "Sched(s)", "us/round");
-  for (const SchedulerKind kind : {SchedulerKind::kNoPacking, SchedulerKind::kEva}) {
-    // Best of three runs: the tracked number should reflect the engine, not
-    // the host's scheduling noise (every run is deterministic and produces
-    // identical metrics; only the wall clock varies).
-    constexpr int kRuns = 3;
-    SimulationMetrics metrics;
-    double wall = 0.0;
-    double sched_wall = 0.0;
-    int reused = 0;
-    int miss_table = 0;
-    int miss_context = 0;
-    for (int run = 0; run < kRuns; ++run) {
-      SchedulerBundle bundle = MakeScheduler(kind, interference);
-      const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
-      const auto start = std::chrono::steady_clock::now();
-      const SimulationMetrics run_metrics = RunSimulation(
-          trace, bundle.scheduler.get(), catalog, interference, SimulatorOptions{});
-      const double run_wall =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-      if (run == 0 || run_wall < wall) {
-        metrics = run_metrics;
-        wall = run_wall;
-        sched_wall = run_metrics.scheduler_wall_seconds;
-        if (bundle.eva != nullptr) {
-          reused = bundle.eva->stats().rounds_reused;
-          miss_table = bundle.eva->stats().reuse_miss_table;
-          miss_context = bundle.eva->stats().reuse_miss_context;
-        }
-      }
-    }
-    const double events_per_sec =
-        wall > 0.0 ? static_cast<double>(metrics.events_processed) / wall : 0.0;
-    const double sched_us_per_round =
-        metrics.scheduling_rounds > 0 ? sched_wall * 1e6 / metrics.scheduling_rounds : 0.0;
-    const std::string name =
-        std::string("alibaba2000_") + SchedulerKindName(kind);
-    std::printf("%-22s %10.3f %12lld %14.0f %8d %10.3f %12.2f\n", name.c_str(), wall,
-                static_cast<long long>(metrics.events_processed), events_per_sec,
-                metrics.scheduling_rounds, sched_wall, sched_us_per_round);
-    json.AddCaseWithScheduler(name, trace_options.num_jobs, wall, metrics.events_processed,
-                              events_per_sec, metrics.scheduling_rounds, sched_wall,
-                              sched_us_per_round);
-    if (kind == SchedulerKind::kEva) {
-      std::printf("  (rounds reused: %d/%d, table misses: %d, context misses: %d)\n",
-                  reused, metrics.scheduling_rounds, miss_table, miss_context);
-    }
+  std::printf("%-24s %9s %11s %13s %8s %9s %9s %9s %9s\n", "Case", "Wall(s)", "Events",
+              "Events/sec", "Rounds", "Coal", "Sched(s)", "us/round", "RSS(MB)");
+  RunEngineCase(json, std::string("alibaba2000_") + SchedulerKindName(SchedulerKind::kNoPacking),
+                base, SchedulerKind::kNoPacking, interference, /*runs=*/3);
+  RunEngineCase(json, std::string("alibaba2000_") + SchedulerKindName(SchedulerKind::kEva),
+                base, SchedulerKind::kEva, interference, /*runs=*/3);
+
+  // Scaled points: proportional-rate superposition of the 2,000-job mix —
+  // heavier traffic over the same simulated span, so the active-job
+  // population (and the decision problem) grows with the job count.
+  struct ScalePoint {
+    int jobs;
+    int runs;
+  };
+  std::vector<ScalePoint> points = {{10000, 2}, {50000, 1}};
+  const char* scale_env = std::getenv("EVA_BENCH_SCALE");
+  if (scale_env != nullptr && std::atoi(scale_env) >= 100) {
+    points.push_back({100000, 1});
   }
+  // EVA_BENCH_SWEEP_MAX caps the sweep's largest point (CI's regression
+  // gate runs the 10k point at full scale without paying for 50k).
+  const char* max_env = std::getenv("EVA_BENCH_SWEEP_MAX");
+  const int max_jobs = max_env != nullptr ? std::atoi(max_env) : 0;
+  for (const ScalePoint& point : points) {
+    if (max_jobs > 0 && point.jobs > max_jobs) {
+      continue;
+    }
+    TraceScaleOptions scale;
+    scale.target_jobs = ScaledJobCount(point.jobs);
+    scale.seed = 23;
+    const Trace scaled = ScaleTrace(base, scale);
+    const std::string name = "alibaba" + std::to_string(scale.target_jobs) + "_" +
+                             SchedulerKindName(SchedulerKind::kEva);
+    RunEngineCase(json, name, scaled, SchedulerKind::kEva, interference, point.runs);
+  }
+
   if (const char* path = BenchJsonWriter::OutputPath()) {
     return json.WriteTo(path, "scheduler_perf");
   }

@@ -9,11 +9,41 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "src/common/rng.h"
 #include "src/sched/types.h"
 #include "src/workload/workload.h"
 
 namespace eva {
+
+// --- Process resource accounting for the perf harnesses -----------------
+
+// Peak resident set size of this process so far, in MiB (0 when the
+// platform offers no getrusage).
+inline double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0.0;
+  }
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // Bytes.
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB.
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+// Number of operator-new allocations since process start. Defined in
+// bench_alloc_hooks.cc — the counting replacement operator new/delete —
+// which bench/CMakeLists.txt links into every bench binary (and nothing
+// else links, so library/test builds stay on the stock allocator).
+std::uint64_t AllocationCount();
 
 // A static packing problem: `num_tasks` single-task jobs sampled uniformly
 // from the Table 7 workloads (the Table 4/5 micro-benchmark setup).
@@ -65,18 +95,26 @@ class BenchJsonWriter {
     cases_.emplace_back(buffer);
   }
 
-  // Engine case plus the scheduler decision-path breakdown: rounds, total
-  // wall time inside the scheduler, and the per-round decision latency.
+  // Engine case plus the scheduler decision-path breakdown: rounds (split
+  // into invoked vs. coalesced), total wall time inside the scheduler, the
+  // per-round decision latency, and process peak RSS / allocation count at
+  // the end of the case (the scale sweep's memory-behavior tracking).
   void AddCaseWithScheduler(const std::string& name, int jobs, double wall_seconds,
                             std::int64_t events, double events_per_sec, int rounds,
-                            double sched_wall_seconds, double sched_us_per_round) {
-    char buffer[512];
+                            int rounds_coalesced, double sched_wall_seconds,
+                            double sched_us_per_round, double peak_rss_mb,
+                            std::uint64_t allocs) {
+    char buffer[640];
     std::snprintf(buffer, sizeof(buffer),
                   "    {\"name\": \"%s\", \"jobs\": %d, \"wall_seconds\": %.6f, "
                   "\"events\": %lld, \"events_per_sec\": %.1f, \"rounds\": %d, "
-                  "\"sched_wall_seconds\": %.6f, \"sched_us_per_round\": %.2f}",
+                  "\"rounds_coalesced\": %d, "
+                  "\"sched_wall_seconds\": %.6f, \"sched_us_per_round\": %.2f, "
+                  "\"peak_rss_mb\": %.1f, \"allocs\": %llu}",
                   name.c_str(), jobs, wall_seconds, static_cast<long long>(events),
-                  events_per_sec, rounds, sched_wall_seconds, sched_us_per_round);
+                  events_per_sec, rounds, rounds_coalesced, sched_wall_seconds,
+                  sched_us_per_round, peak_rss_mb,
+                  static_cast<unsigned long long>(allocs));
     cases_.emplace_back(buffer);
   }
 

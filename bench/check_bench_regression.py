@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fail when a bench_scheduler_perf case regresses against the committed baseline.
+
+Usage:
+    check_bench_regression.py <baseline.json> <current.json> <case-name> [<case-name>...]
+
+Compares `events_per_sec` of each named case. Exits non-zero when the
+current value falls more than the tolerance below the baseline's
+(EVA_BENCH_TOLERANCE, default 0.20 = 20%, the margin CI grants for runner
+variance). A case missing from either file is an error: a silently dropped
+case must not read as a pass.
+"""
+
+import json
+import os
+import sys
+
+
+def load_cases(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {case["name"]: case for case in payload.get("cases", [])}
+
+
+def main(argv):
+    if len(argv) < 4:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline_path, current_path = argv[1], argv[2]
+    names = argv[3:]
+    tolerance = float(os.environ.get("EVA_BENCH_TOLERANCE", "0.20"))
+
+    baseline = load_cases(baseline_path)
+    current = load_cases(current_path)
+
+    failed = False
+    for name in names:
+        if name not in baseline:
+            print(f"FAIL: case '{name}' missing from baseline {baseline_path}")
+            failed = True
+            continue
+        if name not in current:
+            print(f"FAIL: case '{name}' missing from current run {current_path}")
+            failed = True
+            continue
+        base = baseline[name]["events_per_sec"]
+        cur = current[name]["events_per_sec"]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "OK" if ratio >= 1.0 - tolerance else "FAIL"
+        print(
+            f"{verdict}: {name}: events/sec {cur:,.0f} vs baseline {base:,.0f} "
+            f"(ratio {ratio:.3f}, floor {1.0 - tolerance:.2f})"
+        )
+        failed = failed or verdict == "FAIL"
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

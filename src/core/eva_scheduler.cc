@@ -276,12 +276,71 @@ ClusterConfig EvaScheduler::Schedule(const SchedulingContext& context) {
   if (adopt_full) {
     ++stats_.full_adopted;
   }
+  last_adopt_full_ = adopt_full;
   return adopt_full ? memo_.full : memo_.partial;
+}
+
+int EvaScheduler::CoalesceQuiescentRounds(int max_rounds, SimTime period_s) {
+  if (!options_.coalesce_quiescent_rounds || !options_.reuse_unchanged_rounds ||
+      max_rounds <= 0 || period_s <= 0.0) {
+    return 0;
+  }
+  // The memo must cover the currently applied configuration, the table must
+  // not have moved since the memo was stamped, and re-delivering the (by
+  // contract identical) observations must be a provable no-op.
+  if (!memo_.valid || last_observe_changed_ ||
+      memo_.table_version != monitor_.table().Version()) {
+    return 0;
+  }
+  if (options_.policy == EvaOptions::Policy::kEnsemble && !memo_.savings_valid) {
+    return 0;  // No priced candidates to replay (defensive; Schedule prices them).
+  }
+  int absorbed = 0;
+  while (absorbed < max_rounds) {
+    // Replay exactly what a memo-reusing Schedule call would decide. D_hat
+    // drifts as the estimator records event-free rounds, so the ensemble
+    // choice can flip mid-quiescence; that round must run live and actually
+    // reconfigure the cluster.
+    bool adopt_full = false;
+    switch (options_.policy) {
+      case EvaOptions::Policy::kFullOnly:
+        adopt_full = true;
+        break;
+      case EvaOptions::Policy::kPartialOnly:
+        adopt_full = false;
+        break;
+      case EvaOptions::Policy::kEnsemble: {
+        const double d_hat = estimator_.ExpectedConfigurationDurationHours();
+        adopt_full = ShouldAdoptFull(memo_.saving_full, memo_.saving_partial,
+                                     memo_.migration_full, memo_.migration_partial, d_hat);
+        break;
+      }
+    }
+    if (adopt_full != last_adopt_full_) {
+      break;
+    }
+    // The per-round state updates of an unchanged round, verbatim: zero job
+    // events over one period (RecordRound ignores the adoption flag when the
+    // round carried no events, but pass it for fidelity), and the round time
+    // advanced exactly as the engine's event clock would compute it.
+    estimator_.RecordRound(0, period_s, adopt_full);
+    if (last_round_time_ >= 0.0) {
+      last_round_time_ += period_s;
+    }
+    ++stats_.rounds;
+    ++stats_.rounds_reused;
+    ++stats_.rounds_coalesced;
+    if (adopt_full) {
+      ++stats_.full_adopted;
+    }
+    ++absorbed;
+  }
+  return absorbed;
 }
 
 void EvaScheduler::ObserveThroughput(
     const std::vector<JobThroughputObservation>& observations) {
-  monitor_.Observe(observations);
+  last_observe_changed_ = monitor_.Observe(observations) != 0;
 }
 
 }  // namespace eva

@@ -64,6 +64,15 @@ struct EvaOptions {
   // set, placements, instances, throughput table) are unchanged.
   bool reuse_unchanged_rounds = true;
 
+  // Absorb engine-certified quiescent rounds without being invoked at all
+  // (see Scheduler::CoalesceQuiescentRounds): the round memo is promoted
+  // from "replay cheaply" to "never wake the scheduler". Per absorbed round
+  // the estimator/statistics updates a memo-replayed Schedule call would
+  // have made are applied verbatim, so the decision trajectory — including
+  // the exact round at which drifting D_hat flips the Full-vs-Partial
+  // choice — is bit-identical. Requires reuse_unchanged_rounds.
+  bool coalesce_quiescent_rounds = true;
+
   // Worker threads for the decision path: 0 = hardware concurrency,
   // 1 = serial, n > 1 = exactly n. A pool is spun up only when > 1.
   int max_parallelism = 0;
@@ -94,6 +103,10 @@ class EvaScheduler : public Scheduler {
     int reuse_miss_context = 0;  // Task set / placements / instances changed.
     int full_packs = 0;
     int incremental_packs = 0;
+
+    // Subset of rounds_reused absorbed via CoalesceQuiescentRounds — rounds
+    // for which the scheduler was never even invoked.
+    int rounds_coalesced = 0;
   };
 
   explicit EvaScheduler(EvaOptions options = {});
@@ -101,6 +114,7 @@ class EvaScheduler : public Scheduler {
   std::string name() const override;
   ClusterConfig Schedule(const SchedulingContext& context) override;
   void ObserveThroughput(const std::vector<JobThroughputObservation>& observations) override;
+  int CoalesceQuiescentRounds(int max_rounds, SimTime period_s) override;
 
   const Stats& stats() const { return stats_; }
   const ThroughputTable& throughput_table() const { return monitor_.table(); }
@@ -131,6 +145,17 @@ class EvaScheduler : public Scheduler {
 
   std::set<JobId> last_jobs_;
   SimTime last_round_time_ = -1.0;
+
+  // Whether the last ObserveThroughput call changed any table entry. When it
+  // did not, re-delivering the identical observations is provably a no-op
+  // (Observe is a deterministic function of table state and observations),
+  // which is what licenses absorbing quiescent rounds without running it.
+  bool last_observe_changed_ = true;
+
+  // The Full-vs-Partial choice of the last invoked round — the candidate
+  // whose configuration is currently applied. A quiescent round whose
+  // replayed decision differs must run live (it would reconfigure).
+  bool last_adopt_full_ = false;
 
   // Persistent calculator; bound to the caller's context for the duration
   // of each Schedule call (rebound at entry, never dereferenced between

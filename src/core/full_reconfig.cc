@@ -1,6 +1,7 @@
 #include "src/core/full_reconfig.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
@@ -18,6 +19,43 @@ struct ArgmaxResult {
   int candidate = -1;
   Money tnrp = 0.0;
 };
+
+// Pooled per-round packing scratch. One frame per *nesting level*: the
+// thread pool's helping Wait() may start another packing on this thread
+// while an inner argmax fan-out is pending, so a plain thread_local buffer
+// would be clobbered mid-pack — each (thread, depth) pair gets its own
+// frame instead, reused across rounds.
+struct PackScratch {
+  std::vector<bool> assigned;
+  std::vector<bool> in_tentative_set;
+  std::vector<const TaskInfo*> members;
+  std::vector<std::size_t> member_indices;
+};
+
+class PackScratchLease {
+ public:
+  PackScratchLease() {
+    if (frames_.size() <= depth_) {
+      frames_.emplace_back(new PackScratch);
+    }
+    frame_ = frames_[depth_].get();
+    ++depth_;
+  }
+  ~PackScratchLease() { --depth_; }
+  PackScratchLease(const PackScratchLease&) = delete;
+  PackScratchLease& operator=(const PackScratchLease&) = delete;
+
+  PackScratch& operator*() const { return *frame_; }
+  PackScratch* operator->() const { return frame_; }
+
+ private:
+  static thread_local std::vector<std::unique_ptr<PackScratch>> frames_;
+  static thread_local std::size_t depth_;
+  PackScratch* frame_;
+};
+
+thread_local std::vector<std::unique_ptr<PackScratch>> PackScratchLease::frames_;
+thread_local std::size_t PackScratchLease::depth_ = 0;
 
 // Serial argmax over pool[begin, end): the unassigned, fitting task whose
 // addition maximizes TNRP(members + {task}); earliest index wins exact ties
@@ -58,7 +96,15 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
   SortTasksByRpDesc(calculator, pool);
 
   const bool parallel = options.pool != nullptr && options.pool->num_threads() > 1;
-  std::vector<bool> assigned(pool.size(), false);
+  // Per-round scratch, pooled per (thread, nesting level): the packing runs
+  // (at least) twice per changed round, and these grow-to-pool-size buffers
+  // dominated its allocation profile.
+  PackScratchLease scratch;
+  std::vector<bool>& assigned = scratch->assigned;
+  std::vector<bool>& in_tentative_set = scratch->in_tentative_set;
+  std::vector<const TaskInfo*>& members = scratch->members;
+  std::vector<std::size_t>& member_indices = scratch->member_indices;
+  assigned.assign(pool.size(), false);
   std::size_t num_assigned = 0;
 
   for (int type_index : context.catalog->IndicesByDescendingCost()) {
@@ -68,11 +114,11 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
     }
     // Marks pool members tentatively placed on the instance being filled,
     // so the argmax never re-selects a task already in T.
-    std::vector<bool> in_tentative_set(pool.size(), false);
+    in_tentative_set.assign(pool.size(), false);
     while (true) {
       // Open a tentative instance of this type and fill it greedily.
-      std::vector<const TaskInfo*> members;
-      std::vector<std::size_t> member_indices;
+      members.clear();
+      member_indices.clear();
       ResourceVector used;
       Money best_set_tnrp = 0.0;
       std::fill(in_tentative_set.begin(), in_tentative_set.end(), false);

@@ -13,10 +13,13 @@
 // The output is an approximation of FullReconfiguration: identical when the
 // delta is empty, inside the greedy's quality envelope otherwise (kept
 // instances are re-verified cost-efficient; repacked tasks go through the
-// same greedy). EvaScheduler keeps it opt-in
-// (EvaOptions::incremental_packing) because the golden-pinned evaluation
-// path requires bit-identical configurations; the exact fast path there is
-// the unchanged-round memo plus the memoized TNRP caches.
+// same greedy). Documented approximation bound, pinned by the end-to-end
+// integration test on the 2,000-job Alibaba trace: total provisioning cost
+// within 10% of exact Eva's (measured ~5%) and average JCT within 5%
+// (measured <1%), with every job still completing. EvaScheduler keeps it
+// opt-in (EvaOptions::incremental_packing) because the golden-pinned
+// evaluation path requires bit-identical configurations; the exact fast
+// path there is the unchanged-round memo plus the memoized TNRP caches.
 
 #ifndef SRC_CORE_INCREMENTAL_RECONFIG_H_
 #define SRC_CORE_INCREMENTAL_RECONFIG_H_

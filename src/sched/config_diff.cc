@@ -31,7 +31,10 @@ ConfigDiff DiffConfig(const SchedulingContext& context, const ClusterConfig& des
   ConfigDiff diff;
   diff.bindings.resize(desired.instances.size());
 
-  std::unordered_set<InstanceId> bound_existing;
+  // Per-call scratch, thread_local so the buckets/capacity survive across
+  // the thousands of per-round calls (clear() keeps them allocated).
+  thread_local std::unordered_set<InstanceId> bound_existing;
+  bound_existing.clear();
 
   // Pass 1: honor explicit reuse requests.
   for (std::size_t i = 0; i < desired.instances.size(); ++i) {
@@ -58,20 +61,24 @@ ConfigDiff DiffConfig(const SchedulingContext& context, const ClusterConfig& des
     std::size_t config_index;
     InstanceId existing_id;
   };
-  std::vector<Candidate> candidates;
+  thread_local std::vector<Candidate> candidates;
+  candidates.clear();
+  candidates.reserve(desired.instances.size());
+  thread_local std::vector<TaskId> wanted_tasks;  // Sorted scratch, no allocs.
   for (std::size_t i = 0; i < desired.instances.size(); ++i) {
     if (diff.bindings[i].existing_id != kInvalidInstanceId) {
       continue;
     }
     const ConfigInstance& want = desired.instances[i];
-    const std::set<TaskId> wanted_tasks(want.tasks.begin(), want.tasks.end());
+    wanted_tasks.assign(want.tasks.begin(), want.tasks.end());
+    std::sort(wanted_tasks.begin(), wanted_tasks.end());
     for (const InstanceInfo& existing : context.instances) {
       if (existing.type_index != want.type_index || bound_existing.count(existing.id)) {
         continue;
       }
       int overlap = 0;
       for (TaskId task : existing.tasks) {
-        if (wanted_tasks.count(task)) {
+        if (std::binary_search(wanted_tasks.begin(), wanted_tasks.end(), task)) {
           ++overlap;
         }
       }

@@ -29,6 +29,10 @@ double PerturbObservedThroughput(double normalized_throughput, Rng& rng, double 
 //   placement.colocated.push_back(...);
 class ObservationBatch {
  public:
+  // Pre-sizes the batch (the producer usually knows the progressing-job
+  // count), avoiding growth reallocations on the per-round hot path.
+  void Reserve(std::size_t jobs) { observations_.reserve(jobs); }
+
   JobThroughputObservation& BeginJob(JobId job, double normalized_throughput);
 
   // Appends a placement record to the most recent BeginJob. Requires a

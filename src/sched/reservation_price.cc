@@ -8,25 +8,43 @@
 namespace eva {
 
 std::size_t TnrpCalculator::TnrpKeyHash::operator()(const TnrpKey& key) const {
-  std::size_t seed = HashCombine(static_cast<std::size_t>(key.task),
-                                 static_cast<std::size_t>(key.family) + 0x7f);
-  for (WorkloadId w : key.partners) {
-    seed = HashCombine(seed, static_cast<std::size_t>(w));
-  }
-  return seed;
+  const std::size_t seed = HashCombine(static_cast<std::size_t>(key.task),
+                                       static_cast<std::size_t>(key.family) + 0x7f +
+                                           (static_cast<std::size_t>(key.count) << 8));
+  return HashCombine(seed, static_cast<std::size_t>(key.packed));
 }
 
-std::size_t TnrpCalculator::SetKeyHash::operator()(const SetKey& key) const {
-  std::size_t seed = HashCombine(0x5e74c0de, static_cast<std::size_t>(key.family) + 0x7f);
-  for (TaskId id : key.members) {
-    seed = HashCombine(seed, static_cast<std::size_t>(id));
-  }
-  return seed;
+std::size_t TnrpCalculator::SetHashSeed(int family) {
+  return HashCombine(0x5e74c0de, static_cast<std::size_t>(family) + 0x7f);
+}
+
+std::size_t TnrpCalculator::SetHashExtend(std::size_t seed, TaskId member) {
+  return HashCombine(seed, static_cast<std::size_t>(member));
 }
 
 TnrpCalculator::TnrpCalculator(const SchedulingContext& context, Options options,
                                const ThroughputEstimator* estimator)
     : context_(&context), options_(options), estimator_(estimator) {}
+// The flat RP cache is built on Rebind only: a freshly constructed
+// calculator is usually a per-round temporary (the baselines), for which
+// allocating an id-indexed array every round would cost more than the hash
+// probes it avoids. Long-lived calculators (EvaScheduler's) rebind every
+// round and get the flat path from round two on.
+
+void TnrpCalculator::GrowRpFlat() {
+  TaskId max_id = -1;
+  for (const TaskInfo& task : context_->tasks) {
+    max_id = std::max(max_id, task.id);
+  }
+  // Guard against pathological sparse ids blowing up the flat array; such
+  // contexts simply stay on the hash fallback.
+  constexpr TaskId kMaxFlat = 1 << 22;
+  if (max_id >= 0 && max_id < kMaxFlat &&
+      static_cast<std::size_t>(max_id) >= rp_flat_.size()) {
+    rp_flat_.resize(static_cast<std::size_t>(max_id) + 1);
+    rp_flat_filled_.resize(static_cast<std::size_t>(max_id) + 1, 0);
+  }
+}
 
 void TnrpCalculator::Rebind(const SchedulingContext& context,
                             const ThroughputEstimator* estimator) {
@@ -39,7 +57,9 @@ void TnrpCalculator::Rebind(const SchedulingContext& context,
     for (RpShard& shard : rp_shards_) {
       shard.cache.clear();
     }
+    std::fill(rp_flat_filled_.begin(), rp_flat_filled_.end(), 0);
   }
+  GrowRpFlat();
   if (catalog_changed || estimator_changed) {
     // TNRP values embed both RPs (catalog-derived) and throughput estimates;
     // version stamps only track mutations of the *same* estimator object.
@@ -47,6 +67,23 @@ void TnrpCalculator::Rebind(const SchedulingContext& context,
       shard.cache.clear();
     }
     for (SetShard& shard : set_shards_) {
+      shard.cache.clear();
+    }
+  }
+  // Memory aging for long traces: entries for retired tasks (and version-
+  // invalidated estimates) are never evicted individually, so on 100k-job
+  // runs the memo maps would grow with the whole trace. Dropping a shard
+  // that outgrows the bound keeps memory O(working set); caches only affect
+  // speed, never values, so results are unchanged — and the bound is
+  // deterministic, so the decision trajectory stays reproducible.
+  constexpr std::size_t kMaxCachedEntriesPerShard = std::size_t{1} << 16;
+  for (TnrpShard& shard : tnrp_shards_) {
+    if (shard.cache.size() > kMaxCachedEntriesPerShard) {
+      shard.cache.clear();
+    }
+  }
+  for (SetShard& shard : set_shards_) {
+    if (shard.cache.size() > kMaxCachedEntriesPerShard) {
       shard.cache.clear();
     }
   }
@@ -76,7 +113,26 @@ Money TnrpCalculator::ComputeReservationPrice(const TaskInfo& task) const {
 }
 
 TnrpCalculator::RpEntry TnrpCalculator::RpEntryFor(const TaskInfo& task) const {
-  RpShard& shard = rp_shards_[static_cast<std::size_t>(task.id) % kNumShards];
+  const auto index = static_cast<std::size_t>(task.id);
+  if (task.id >= 0 && index < rp_flat_.size()) {
+    RpShard& shard = rp_shards_[index % kNumShards];  // Mutex reused as slot guard.
+    {
+      MaybeLock lock(shard.mutex, concurrent_);
+      if (rp_flat_filled_[index]) {
+        cache_stats_.rp_hits.fetch_add(1, std::memory_order_relaxed);
+        return rp_flat_[index];
+      }
+    }
+    RpEntry entry;
+    entry.rp = ComputeReservationPrice(task);
+    entry.job_size = context_->JobSize(task.job);
+    MaybeLock lock(shard.mutex, concurrent_);
+    cache_stats_.rp_misses.fetch_add(1, std::memory_order_relaxed);
+    rp_flat_[index] = entry;
+    rp_flat_filled_[index] = 1;
+    return entry;
+  }
+  RpShard& shard = rp_shards_[index % kNumShards];
   {
     MaybeLock lock(shard.mutex, concurrent_);
     const auto cached = shard.cache.find(task.id);
@@ -113,6 +169,24 @@ Money TnrpCalculator::ComputeTnrp(const TaskInfo& task,
   return rp - static_cast<double>(job_size) * (1.0 - tput) * rp;
 }
 
+Money TnrpCalculator::TaskTnrpOne(const TaskInfo& task, const TaskInfo& partner,
+                                  std::optional<InstanceFamily> family) const {
+  // Mirrors TaskTnrp's operation sequence exactly; see that function.
+  const double speedup = family.has_value() ? task.SpeedupOn(*family) : 1.0;
+  const RpEntry entry = RpEntryFor(task);
+  return TaskTnrpOneImpl(task, partner, entry.rp * speedup, entry.job_size);
+}
+
+Money TnrpCalculator::TaskTnrpOneImpl(const TaskInfo& task, const TaskInfo& partner,
+                                      Money rp, int job_size) const {
+  if (!options_.interference_aware) {
+    return rp;
+  }
+  thread_local std::vector<WorkloadId> one(1);
+  one[0] = partner.workload;
+  return ComputeTnrp(task, one, rp, job_size);
+}
+
 Money TnrpCalculator::TaskTnrp(const TaskInfo& task,
                                const std::vector<const TaskInfo*>& partners,
                                std::optional<InstanceFamily> family) const {
@@ -122,29 +196,44 @@ Money TnrpCalculator::TaskTnrp(const TaskInfo& task,
   if (!options_.interference_aware || partners.empty()) {
     return rp;
   }
+  if (partners.size() == 1) {
+    // Single-partner TNRP: the pairwise-grid estimate is cheaper than the
+    // memo probe it would otherwise pay for; values are identical (the
+    // memoized entry stores exactly this computation's result). The shared
+    // impl reuses the RP entry this function already fetched.
+    return TaskTnrpOneImpl(task, *partners.front(), rp, entry.job_size);
+  }
   // Memoized path: the value is a pure function of (task, partner workload
   // sequence, family) given the estimator's current estimates for the
-  // task's workload, which the row version captures.
-  // The key preserves the caller's partner ORDER: floating-point folds over
-  // partners (the pairwise product in ThroughputTable::Estimate) are not
-  // exactly commutative, and the cached value must be bit-identical to what
-  // an uncached evaluation of this exact call would produce. Recurring call
-  // sites present partners in stable orders, so ordered keys still hit.
-  // The key doubles as the partner-workload list for the compute path and
-  // lives in thread-local scratch: nothing allocates on a cache hit.
-  thread_local TnrpKey key;
+  // task's workload, which the row version captures. The key preserves the
+  // caller's partner ORDER (see TnrpKey); recurring call sites present
+  // partners in stable orders, so ordered keys still hit. The workload
+  // scratch lives in thread-local storage: nothing allocates on a hit.
+  thread_local std::vector<WorkloadId> partner_workloads;
+  partner_workloads.clear();
+  partner_workloads.reserve(partners.size());
+  TnrpKey key;
   key.task = task.id;
   key.family = family.has_value() ? static_cast<int>(*family) : -1;
-  key.partners.clear();
-  key.partners.reserve(partners.size());
+  key.count = static_cast<std::uint32_t>(partners.size());
+  bool packable = partners.size() <= kMaxPackedPartners;
   for (const TaskInfo* partner : partners) {
-    key.partners.push_back(partner->workload);
+    partner_workloads.push_back(partner->workload);
+    packable = packable && partner->workload >= 0 && partner->workload < kMaxPackedWorkload;
+    key.packed = (key.packed << 7) | static_cast<std::uint64_t>(partner->workload & 0x7f);
+  }
+  if (!packable) {
+    // Outside the packed-key envelope: compute uncached, identical value.
+    return ComputeTnrp(task, partner_workloads, rp, entry.job_size);
   }
   const ThroughputEstimator* throughput = estimator();
   const std::uint64_t row_version =
       throughput != nullptr ? throughput->RowVersion(task.workload) : 0;
 
-  TnrpShard& shard = tnrp_shards_[TnrpKeyHash()(key) % kNumShards];
+  // Shard selection is deliberately cheaper than the map's own hash (which
+  // find() recomputes anyway): any partition works, values are unaffected.
+  TnrpShard& shard =
+      tnrp_shards_[static_cast<std::size_t>(task.id) % kNumShards];
   {
     MaybeLock lock(shard.mutex, concurrent_);
     const auto cached = shard.cache.find(key);
@@ -153,7 +242,7 @@ Money TnrpCalculator::TaskTnrp(const TaskInfo& task,
       return cached->second.value;
     }
   }
-  const Money value = ComputeTnrp(task, key.partners, rp, entry.job_size);
+  const Money value = ComputeTnrp(task, partner_workloads, rp, entry.job_size);
   MaybeLock lock(shard.mutex, concurrent_);
   cache_stats_.tnrp_misses.fetch_add(1, std::memory_order_relaxed);
   shard.cache[key] = {value, row_version};
@@ -181,8 +270,11 @@ template <typename ComputeFn>
 Money TnrpCalculator::CachedSetTnrp(const SetKey& key, std::uint64_t row_sum,
                                     const ComputeFn& compute) const {
   // `key` is typically a thread-local scratch: it is only copied into the
-  // cache on a miss, so the hit path allocates nothing.
-  SetShard& shard = set_shards_[SetKeyHash()(key) % kNumShards];
+  // cache on a miss, so the hit path allocates nothing. The shard selector
+  // is cheaper than the map hash (recomputed by find() regardless).
+  SetShard& shard = set_shards_[static_cast<std::size_t>(
+                                    key.members.front() + key.members.size()) %
+                                kNumShards];
   {
     MaybeLock lock(shard.mutex, concurrent_);
     const auto cached = shard.cache.find(key);
@@ -204,16 +296,24 @@ Money TnrpCalculator::SetTnrp(const std::vector<const TaskInfo*>& tasks,
     // Singleton and empty sets short-circuit to the (cached) RP path.
     return tasks.empty() ? 0.0 : TaskTnrp(*tasks.front(), {}, family);
   }
+  if (tasks.size() == 2) {
+    // Pair sets — the packing's bread and butter — fold directly off the
+    // pairwise grid, skipping the set cache (same member order, same sum).
+    return TaskTnrpOne(*tasks[0], *tasks[1], family) +
+           TaskTnrpOne(*tasks[1], *tasks[0], family);
+  }
   // Ordered key, for the same bit-exactness reason as TaskTnrp's: the sum
   // over members is folded in presentation order.
   const ThroughputEstimator* throughput = estimator();
   thread_local SetKey key;
   key.family = family.has_value() ? static_cast<int>(*family) : -1;
+  key.hash = SetHashSeed(key.family);
   key.members.clear();
   key.members.reserve(tasks.size());
   std::uint64_t row_sum = 0;
   for (const TaskInfo* task : tasks) {
     key.members.push_back(task->id);
+    key.hash = SetHashExtend(key.hash, task->id);
     if (throughput != nullptr) {
       row_sum += throughput->RowVersion(task->workload);
     }
@@ -227,19 +327,28 @@ Money TnrpCalculator::SetTnrpPlusOne(const std::vector<const TaskInfo*>& members
   if (members.empty()) {
     return TaskTnrp(candidate, {}, family);
   }
+  if (members.size() == 1) {
+    // {member, candidate}: same fold order as ComputeSetTnrp on the joined
+    // set, directly off the pairwise grid.
+    return TaskTnrpOne(*members[0], candidate, family) +
+           TaskTnrpOne(candidate, *members[0], family);
+  }
   const ThroughputEstimator* throughput = estimator();
   thread_local SetKey key;
   key.family = family.has_value() ? static_cast<int>(*family) : -1;
+  key.hash = SetHashSeed(key.family);
   key.members.clear();
   key.members.reserve(members.size() + 1);
   std::uint64_t row_sum = 0;
   for (const TaskInfo* member : members) {
     key.members.push_back(member->id);
+    key.hash = SetHashExtend(key.hash, member->id);
     if (throughput != nullptr) {
       row_sum += throughput->RowVersion(member->workload);
     }
   }
   key.members.push_back(candidate.id);
+  key.hash = SetHashExtend(key.hash, candidate.id);
   if (throughput != nullptr) {
     row_sum += throughput->RowVersion(candidate.workload);
   }
@@ -260,7 +369,8 @@ Money TnrpCalculator::SetRp(const std::vector<const TaskInfo*>& tasks) const {
 
 void SortTasksByRpDesc(const TnrpCalculator& calculator,
                        std::vector<const TaskInfo*>& tasks) {
-  std::vector<std::pair<Money, const TaskInfo*>> keyed;
+  thread_local std::vector<std::pair<Money, const TaskInfo*>> keyed;  // Pooled scratch.
+  keyed.clear();
   keyed.reserve(tasks.size());
   for (const TaskInfo* task : tasks) {
     keyed.emplace_back(calculator.ReservationPrice(*task), task);

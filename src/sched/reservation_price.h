@@ -121,16 +121,26 @@ class TnrpCalculator {
   // per-lookup overhead; maps stay small enough per shard either way.
   static constexpr std::size_t kNumShards = 16;
 
+  // Partner workloads are packed 7 bits each (Table 7's universe is ten
+  // ids) into one word, *in caller order* — NOT canonicalized: floating-
+  // point folds over the partners are order-sensitive, and cached values
+  // must reproduce an uncached evaluation of the same call bit-for-bit.
+  // The packing is injective for <= kMaxPackedPartners partners with ids
+  // < 128; calls outside that envelope compute uncached (identical values,
+  // no memo). POD keys keep probes at integer hash/compare cost and make
+  // stored entries allocation-free.
+  static constexpr std::size_t kMaxPackedPartners = 8;
+  static constexpr WorkloadId kMaxPackedWorkload = 128;
+
   struct TnrpKey {
     TaskId task = kInvalidTaskId;
-    int family = -1;  // -1 encodes "no family given".
-    // In caller order, NOT canonicalized: floating-point folds over the
-    // partners are order-sensitive, and cached values must reproduce an
-    // uncached evaluation of the same call bit-for-bit.
-    std::vector<WorkloadId> partners;
+    std::int32_t family = -1;  // -1 encodes "no family given".
+    std::uint32_t count = 0;
+    std::uint64_t packed = 0;
 
     bool operator==(const TnrpKey& other) const {
-      return task == other.task && family == other.family && partners == other.partners;
+      return task == other.task && family == other.family && count == other.count &&
+             packed == other.packed;
     }
   };
 
@@ -153,7 +163,7 @@ class TnrpCalculator {
 
   struct RpShard {
     mutable std::mutex mutex;
-    std::unordered_map<TaskId, RpEntry> cache;
+    std::unordered_map<TaskId, RpEntry> cache;  // Fallback for sparse ids.
   };
 
   struct TnrpShard {
@@ -162,17 +172,22 @@ class TnrpCalculator {
   };
 
   struct SetKey {
+    std::size_t hash = 0;  // Precomputed at key build; the map hash is O(1).
     int family = -1;
     std::vector<TaskId> members;  // Caller order (see TnrpKey), candidate last.
 
     bool operator==(const SetKey& other) const {
-      return family == other.family && members == other.members;
+      return hash == other.hash && family == other.family && members == other.members;
     }
   };
 
   struct SetKeyHash {
-    std::size_t operator()(const SetKey& key) const;
+    std::size_t operator()(const SetKey& key) const { return key.hash; }
   };
+
+  // Seeds/extends the incremental SetKey hash (caller-order fold).
+  static std::size_t SetHashSeed(int family);
+  static std::size_t SetHashExtend(std::size_t seed, TaskId member);
 
   struct SetEntry {
     Money value = 0.0;
@@ -194,6 +209,18 @@ class TnrpCalculator {
 
   RpEntry RpEntryFor(const TaskInfo& task) const;
   Money ComputeReservationPrice(const TaskInfo& task) const;
+
+  // TNRP of `task` co-located with exactly one partner, computed directly:
+  // with the estimator's dense pairwise grid this is cheaper than probing
+  // the TNRP memo, and bit-identical to what a memoized evaluation returns
+  // (same ComputeTnrp call a cache miss would make).
+  Money TaskTnrpOne(const TaskInfo& task, const TaskInfo& partner,
+                    std::optional<InstanceFamily> family) const;
+  // Shared body of TaskTnrpOne and TaskTnrp's single-partner branch; takes
+  // the caller's already-fetched RP and job size so neither path pays a
+  // second RpEntryFor lookup.
+  Money TaskTnrpOneImpl(const TaskInfo& task, const TaskInfo& partner, Money rp,
+                        int job_size) const;
   Money ComputeTnrp(const TaskInfo& task, const std::vector<WorkloadId>& partner_workloads,
                     Money rp, int job_size) const;
   Money ComputeSetTnrp(const std::vector<const TaskInfo*>& tasks,
@@ -226,10 +253,22 @@ class TnrpCalculator {
     std::mutex* mutex_;
   };
 
+  // Grows the flat RP cache to cover the bound context's task ids (called
+  // from Rebind, between rounds — never concurrently with pricing).
+  void GrowRpFlat();
+
   const SchedulingContext* context_;
   Options options_;
   const ThroughputEstimator* estimator_;
   bool concurrent_ = true;
+
+  // Flat RP cache for the dense task-id universe (simulator ids are
+  // sequential): the RP lookup is the innermost pricing primitive, and a
+  // vector index beats the hash probe it replaces by an order of magnitude.
+  // Shard mutexes still guard slot fill under concurrent pricing; ids beyond
+  // the flat range (hand-built contexts) fall back to the sharded maps.
+  mutable std::vector<RpEntry> rp_flat_;
+  mutable std::vector<std::uint8_t> rp_flat_filled_;
   mutable std::array<RpShard, kNumShards> rp_shards_;
   mutable std::array<TnrpShard, kNumShards> tnrp_shards_;
   mutable std::array<SetShard, kNumShards> set_shards_;

@@ -43,6 +43,27 @@ class Scheduler {
   virtual void ObserveThroughput(const std::vector<JobThroughputObservation>& observations) {
     (void)observations;
   }
+
+  // Round batching. The caller (the simulator's quiescence-aware round
+  // trigger, or a real master's round loop) guarantees that each of the next
+  // `max_rounds` scheduling rounds, spaced `period_s` apart, is *quiescent*:
+  // the context it would present is identical to the previous Schedule
+  // call's on every field except the clock and remaining-runtime estimates,
+  // and the throughput observations it would deliver are identical to the
+  // previous round's. The scheduler returns how many of those rounds
+  // (possibly 0) it commits to being no-ops — rounds for which Schedule
+  // would return exactly the configuration it returned last time — and must
+  // advance any per-round internal state (rate estimators, statistics) for
+  // the rounds it absorbs, as if Schedule had been called. Returning fewer
+  // than `max_rounds` means the later rounds must be invoked normally (e.g.
+  // an internal estimator is about to flip the decision). The default — no
+  // batching — is correct for every scheduler; only schedulers that can
+  // prove the no-op property (Eva's round memo) opt in.
+  virtual int CoalesceQuiescentRounds(int max_rounds, SimTime period_s) {
+    (void)max_rounds;
+    (void)period_s;
+    return 0;
+  }
 };
 
 }  // namespace eva

@@ -1,6 +1,8 @@
 #include "src/sched/throughput_estimator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "src/common/hash.h"
@@ -19,8 +21,40 @@ ThroughputTable::ThroughputTable(double default_pairwise)
     : default_pairwise_(default_pairwise) {}
 
 const double* ThroughputTable::FindPair(WorkloadId w, WorkloadId partner) const {
+  if (InGrid(w, partner)) {
+    const double& cell =
+        pair_grid_[static_cast<std::size_t>(w) * static_cast<std::size_t>(pair_dim_) +
+                   static_cast<std::size_t>(partner)];
+    return std::isnan(cell) ? nullptr : &cell;
+  }
+  if (w >= 0 && partner >= 0 && w < kMaxDenseId && partner < kMaxDenseId) {
+    return nullptr;  // Dense range but beyond the grown grid: never recorded.
+  }
   const auto it = pair_entries_.find(PairKey(w, partner));
   return it == pair_entries_.end() ? nullptr : &it->second;
+}
+
+double* ThroughputTable::GridCellFor(WorkloadId w, WorkloadId partner) {
+  if (w < 0 || partner < 0 || w >= kMaxDenseId || partner >= kMaxDenseId) {
+    return nullptr;
+  }
+  const WorkloadId need = std::max(w, partner) + 1;
+  if (need > pair_dim_) {
+    std::vector<double> grown(static_cast<std::size_t>(need) * static_cast<std::size_t>(need),
+                              std::numeric_limits<double>::quiet_NaN());
+    for (WorkloadId row = 0; row < pair_dim_; ++row) {
+      for (WorkloadId col = 0; col < pair_dim_; ++col) {
+        grown[static_cast<std::size_t>(row) * static_cast<std::size_t>(need) +
+              static_cast<std::size_t>(col)] =
+            pair_grid_[static_cast<std::size_t>(row) * static_cast<std::size_t>(pair_dim_) +
+                       static_cast<std::size_t>(col)];
+      }
+    }
+    pair_grid_ = std::move(grown);
+    pair_dim_ = need;
+  }
+  return &pair_grid_[static_cast<std::size_t>(w) * static_cast<std::size_t>(pair_dim_) +
+                     static_cast<std::size_t>(partner)];
 }
 
 double ThroughputTable::Estimate(WorkloadId w, const std::vector<WorkloadId>& partners) const {
@@ -31,13 +65,17 @@ double ThroughputTable::Estimate(WorkloadId w, const std::vector<WorkloadId>& pa
     const double* pair = FindPair(w, partners.front());
     return pair != nullptr ? *pair : default_pairwise_;
   }
-  MultisetKey key;
-  key.w = w;
-  key.partners = partners;
-  std::sort(key.partners.begin(), key.partners.end());
-  const auto exact = exact_entries_.find(key);
-  if (exact != exact_entries_.end()) {
-    return exact->second;
+  if (MayHaveExact(w)) {
+    // Thread-local scratch: exact-entry probes run on every multi-partner
+    // estimate, so the sorted key must not allocate per call.
+    thread_local MultisetKey key;
+    key.w = w;
+    key.partners.assign(partners.begin(), partners.end());
+    std::sort(key.partners.begin(), key.partners.end());
+    const auto exact = exact_entries_.find(key);
+    if (exact != exact_entries_.end()) {
+      return exact->second;
+    }
   }
   // §4.3: estimate as the product of pairwise co-location throughputs,
   // initializing unobserved pairs with the default t. The product folds in
@@ -56,9 +94,12 @@ std::optional<double> ThroughputTable::Lookup(WorkloadId w,
     const double* pair = FindPair(w, partners.front());
     return pair != nullptr ? std::optional<double>(*pair) : std::nullopt;
   }
-  MultisetKey key;
+  if (!MayHaveExact(w)) {
+    return std::nullopt;
+  }
+  thread_local MultisetKey key;
   key.w = w;
-  key.partners = partners;
+  key.partners.assign(partners.begin(), partners.end());
   std::sort(key.partners.begin(), key.partners.end());
   const auto it = exact_entries_.find(key);
   if (it == exact_entries_.end()) {
@@ -71,9 +112,14 @@ bool ThroughputTable::Record(WorkloadId w, std::vector<WorkloadId> partners,
                              double throughput) {
   bool changed;
   if (partners.size() == 1) {
-    auto [it, inserted] = pair_entries_.try_emplace(PairKey(w, partners.front()), throughput);
-    changed = inserted || it->second != throughput;
-    it->second = throughput;
+    if (double* cell = GridCellFor(w, partners.front())) {
+      changed = std::isnan(*cell) ? (++pair_grid_count_, true) : *cell != throughput;
+      *cell = throughput;
+    } else {
+      auto [it, inserted] = pair_entries_.try_emplace(PairKey(w, partners.front()), throughput);
+      changed = inserted || it->second != throughput;
+      it->second = throughput;
+    }
   } else {
     MultisetKey key;
     key.w = w;
@@ -82,6 +128,13 @@ bool ThroughputTable::Record(WorkloadId w, std::vector<WorkloadId> partners,
     auto [it, inserted] = exact_entries_.try_emplace(std::move(key), throughput);
     changed = inserted || it->second != throughput;
     it->second = throughput;
+    if (inserted && w >= 0) {
+      const auto index = static_cast<std::size_t>(w);
+      if (index >= exact_rows_.size()) {
+        exact_rows_.resize(index + 1, 0);
+      }
+      ++exact_rows_[index];
+    }
   }
   if (!changed) {
     return false;  // Identical re-observation: estimates unchanged.

@@ -70,12 +70,17 @@ class ThroughputTable : public ThroughputEstimator {
   }
 
   double default_pairwise() const { return default_pairwise_; }
-  std::size_t NumEntries() const { return pair_entries_.size() + exact_entries_.size(); }
+  std::size_t NumEntries() const {
+    return pair_grid_count_ + pair_entries_.size() + exact_entries_.size();
+  }
 
  private:
   // Pairwise entries — the hot path of Estimate's product loop — live in a
-  // flat hash map under a packed (w, partner) key; larger multisets (and
-  // the degenerate empty one) under a hashed (w, sorted partners) key.
+  // dense (w, partner) grid for the small workload-id universe (Table 7 has
+  // ten workloads; NaN marks "unobserved"), with a packed-key hash map as
+  // the fallback for out-of-range ids so arbitrary ids keep working. Larger
+  // multisets (and the degenerate empty one) under a hashed (w, sorted
+  // partners) key.
   struct MultisetKey {
     WorkloadId w = kInvalidWorkloadId;
     std::vector<WorkloadId> partners;  // Sorted.
@@ -88,15 +93,43 @@ class ThroughputTable : public ThroughputEstimator {
     std::size_t operator()(const MultisetKey& key) const;
   };
 
+  // Ids above this stay in the hash fallback (the grid is dim^2 doubles).
+  static constexpr int kMaxDenseId = 128;
+
   static std::uint64_t PairKey(WorkloadId w, WorkloadId partner) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(w)) << 32) |
            static_cast<std::uint32_t>(partner);
   }
 
+  bool InGrid(WorkloadId w, WorkloadId partner) const {
+    return w >= 0 && partner >= 0 && w < pair_dim_ && partner < pair_dim_;
+  }
+
   const double* FindPair(WorkloadId w, WorkloadId partner) const;
 
+  // Grows the dense grid to cover (w, partner) and returns the cell;
+  // nullptr when either id is out of dense range.
+  double* GridCellFor(WorkloadId w, WorkloadId partner);
+
   double default_pairwise_;
-  std::unordered_map<std::uint64_t, double> pair_entries_;
+  std::vector<double> pair_grid_;  // pair_dim_ x pair_dim_, NaN = absent.
+  WorkloadId pair_dim_ = 0;
+  std::size_t pair_grid_count_ = 0;  // Non-NaN cells (for NumEntries).
+
+  // Exact multiset entries per workload row: when a row has none (the
+  // common case), Estimate/Lookup skip the sort + hash probe entirely —
+  // the probe could only miss.
+  std::vector<std::uint32_t> exact_rows_;
+  bool MayHaveExact(WorkloadId w) const {
+    if (w < 0) {
+      return true;  // Unindexable id: probe conservatively.
+    }
+    const auto index = static_cast<std::size_t>(w);
+    // Recording always grows exact_rows_ to cover the row, so an index past
+    // the end proves the row has no exact entries.
+    return index < exact_rows_.size() && exact_rows_[index] != 0;
+  }
+  std::unordered_map<std::uint64_t, double> pair_entries_;  // Sparse fallback.
   std::unordered_map<MultisetKey, double, MultisetKeyHash> exact_entries_;
   std::uint64_t version_ = 0;
   std::vector<std::uint64_t> row_versions_;  // Indexed by workload id.

@@ -1,41 +1,113 @@
 #include "src/sched/types.h"
 
-#include <set>
+#include <algorithm>
 #include <string>
+#include <vector>
 
 namespace eva {
 
+namespace {
+
+// Ids past this bound (or negative) are indexed through the hash fallbacks;
+// the flat arrays stay proportional to the real id universe.
+constexpr std::int64_t kMaxFlatIndexId = std::int64_t{1} << 22;
+
+bool FlatEligible(std::int64_t id) { return id >= 0 && id < kMaxFlatIndexId; }
+
+}  // namespace
+
 void SchedulingContext::Finalize() {
+  ++index_epoch_;
+  if (index_epoch_ == 0) {
+    // Epoch wrap (one in 2^32 Finalizes): stamps from 2^32 rounds ago would
+    // read as current, so reset them all once.
+    task_flat_.assign(task_flat_.size(), FlatSlot{});
+    instance_flat_.assign(instance_flat_.size(), FlatSlot{});
+    job_size_flat_.assign(job_size_flat_.size(), FlatSlot{});
+    index_epoch_ = 1;
+  }
   task_index_.clear();
   instance_index_.clear();
-  job_tasks_.clear();
+  job_size_.clear();
+  const auto grow = [](std::vector<FlatSlot>& flat, std::int64_t id) -> FlatSlot& {
+    const auto needed = static_cast<std::size_t>(id) + 1;
+    if (needed > flat.size()) {
+      flat.resize(std::max(needed, flat.size() * 2));
+    }
+    return flat[static_cast<std::size_t>(id)];
+  };
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    task_index_[tasks[i].id] = i;
-    job_tasks_[tasks[i].job].push_back(tasks[i].id);
+    if (FlatEligible(tasks[i].id)) {
+      grow(task_flat_, tasks[i].id) = {static_cast<std::uint32_t>(i), index_epoch_};
+    } else {
+      task_index_[tasks[i].id] = i;
+    }
+    const JobId job = tasks[i].job;
+    if (FlatEligible(job)) {
+      FlatSlot& slot = grow(job_size_flat_, job);
+      if (slot.epoch == index_epoch_) {
+        ++slot.value;
+      } else {
+        slot = {1, index_epoch_};
+      }
+    } else {
+      ++job_size_[job];
+    }
   }
   for (std::size_t i = 0; i < instances.size(); ++i) {
-    instance_index_[instances[i].id] = i;
+    if (FlatEligible(instances[i].id)) {
+      grow(instance_flat_, instances[i].id) = {static_cast<std::uint32_t>(i),
+                                               index_epoch_};
+    } else {
+      instance_index_[instances[i].id] = i;
+    }
   }
 }
 
 const TaskInfo* SchedulingContext::FindTask(TaskId id) const {
+  if (FlatEligible(id)) {
+    if (static_cast<std::size_t>(id) >= task_flat_.size()) {
+      return nullptr;
+    }
+    const FlatSlot& slot = task_flat_[static_cast<std::size_t>(id)];
+    return slot.epoch == index_epoch_ ? &tasks[slot.value] : nullptr;
+  }
   const auto it = task_index_.find(id);
   return it == task_index_.end() ? nullptr : &tasks[it->second];
 }
 
 const InstanceInfo* SchedulingContext::FindInstance(InstanceId id) const {
+  if (FlatEligible(id)) {
+    if (static_cast<std::size_t>(id) >= instance_flat_.size()) {
+      return nullptr;
+    }
+    const FlatSlot& slot = instance_flat_[static_cast<std::size_t>(id)];
+    return slot.epoch == index_epoch_ ? &instances[slot.value] : nullptr;
+  }
   const auto it = instance_index_.find(id);
   return it == instance_index_.end() ? nullptr : &instances[it->second];
 }
 
-const std::vector<TaskId>& SchedulingContext::JobTasks(JobId job) const {
-  static const std::vector<TaskId> kEmpty;
-  const auto it = job_tasks_.find(job);
-  return it == job_tasks_.end() ? kEmpty : it->second;
+std::vector<TaskId> SchedulingContext::JobTasks(JobId job) const {
+  std::vector<TaskId> ids;
+  for (const TaskInfo& task : tasks) {
+    if (task.job == job) {
+      ids.push_back(task.id);
+    }
+  }
+  return ids;
 }
 
 int SchedulingContext::JobSize(JobId job) const {
-  return static_cast<int>(JobTasks(job).size());
+  if (FlatEligible(job)) {
+    if (static_cast<std::size_t>(job) >= job_size_flat_.size()) {
+      return 0;
+    }
+    const FlatSlot& slot = job_size_flat_[static_cast<std::size_t>(job)];
+    return slot.epoch == index_epoch_ ? static_cast<int>(slot.value) : 0;
+  }
+  const auto it = job_size_.find(job);
+  return it == job_size_.end() ? 0 : it->second;
 }
 
 Money ClusterConfig::HourlyCost(const InstanceCatalog& catalog) const {
@@ -47,7 +119,13 @@ Money ClusterConfig::HourlyCost(const InstanceCatalog& catalog) const {
 }
 
 std::optional<std::string> ClusterConfig::Validate(const SchedulingContext& context) const {
-  std::set<TaskId> seen;
+  // Flat scratch instead of a node-per-insert set: Validate runs every
+  // round, and the duplicate probe must not allocate on the happy path.
+  // Ids are collected during the scan and duplicate-checked with one
+  // sort + adjacent_find at the end — O(n log n) with no mid-vector
+  // insertion, which matters at the 50k/100k-job sweep scale.
+  thread_local std::vector<TaskId> seen;
+  seen.clear();
   for (const ConfigInstance& instance : instances) {
     if (instance.type_index < 0 || instance.type_index >= context.catalog->NumTypes()) {
       return "invalid instance type index " + std::to_string(instance.type_index);
@@ -55,9 +133,7 @@ std::optional<std::string> ClusterConfig::Validate(const SchedulingContext& cont
     const InstanceType& type = context.catalog->Get(instance.type_index);
     ResourceVector used;
     for (TaskId task_id : instance.tasks) {
-      if (!seen.insert(task_id).second) {
-        return "task " + std::to_string(task_id) + " assigned to multiple instances";
-      }
+      seen.push_back(task_id);
       const TaskInfo* task = context.FindTask(task_id);
       if (task == nullptr) {
         return "unknown task " + std::to_string(task_id);
@@ -68,6 +144,11 @@ std::optional<std::string> ClusterConfig::Validate(const SchedulingContext& cont
       return "capacity exceeded on " + type.name + ": " + used.ToString() + " > " +
              type.capacity.ToString();
     }
+  }
+  std::sort(seen.begin(), seen.end());
+  const auto dup = std::adjacent_find(seen.begin(), seen.end());
+  if (dup != seen.end()) {
+    return "task " + std::to_string(*dup) + " assigned to multiple instances";
   }
   return std::nullopt;
 }

@@ -11,6 +11,7 @@
 #define SRC_SCHED_TYPES_H_
 
 #include <array>
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -126,16 +127,34 @@ class SchedulingContext {
   const TaskInfo* FindTask(TaskId id) const;
   const InstanceInfo* FindInstance(InstanceId id) const;
 
-  // All tasks belonging to a job (data-parallel siblings).
-  const std::vector<TaskId>& JobTasks(JobId job) const;
+  // All tasks belonging to a job (data-parallel siblings), in context
+  // order. Cold path (linear scan): the hot consumers only need JobSize,
+  // so Finalize no longer materializes a per-job task vector every round.
+  std::vector<TaskId> JobTasks(JobId job) const;
 
   // Number of tasks in the given job.
   int JobSize(JobId job) const;
 
  private:
-  std::unordered_map<TaskId, std::size_t> task_index_;
+  // Epoch-stamped flat indices for the dense id universe the simulator
+  // produces (sequential task/job/instance ids). Finalize() bumps the epoch
+  // and stamps the slots it writes, so the previous round's entries expire
+  // in O(1) — the unordered_map rebuild this replaces allocated a node per
+  // task per live round. Ids outside the flat envelope fall back to the
+  // hash maps (hand-built contexts); the arrays grow amortized to the
+  // largest id seen and persist across Finalize calls.
+  struct FlatSlot {
+    std::uint32_t value = 0;  // Position (task/instance) or count (job size).
+    std::uint32_t epoch = 0;  // Valid only when equal to index_epoch_.
+  };
+
+  std::uint32_t index_epoch_ = 0;
+  std::vector<FlatSlot> task_flat_;
+  std::vector<FlatSlot> instance_flat_;
+  std::vector<FlatSlot> job_size_flat_;
+  std::unordered_map<TaskId, std::size_t> task_index_;  // Sparse-id fallbacks.
   std::unordered_map<InstanceId, std::size_t> instance_index_;
-  std::unordered_map<JobId, std::vector<TaskId>> job_tasks_;
+  std::unordered_map<JobId, int> job_size_;
 };
 
 // One desired instance in a configuration.

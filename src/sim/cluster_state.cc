@@ -44,7 +44,8 @@ const InstRec* ClusterState::FindInstance(InstanceId id) const {
 }
 
 JobRec& ClusterState::AddJob(const JobSpec& spec) {
-  JobRec job;
+  JobRec& job = jobs_[spec.id];
+  job = JobRec{};  // Ids are unique in practice; replace like the old insert.
   job.spec = spec;
   job.active = true;
   job.remaining_work_s = spec.duration_s;
@@ -53,12 +54,14 @@ JobRec& ClusterState::AddJob(const JobSpec& spec) {
     task.id = next_task_id_++;
     task.job = spec.id;
     task.workload = spec.workload;
+    task.job_ref = &job;  // Map nodes are pointer-stable.
     tasks_[task.id] = task;
     job.tasks.push_back(task.id);
   }
   active_.insert(spec.id);
+  active_task_count_ += spec.num_tasks;
   round_delta_.jobs_arrived.push_back(spec.id);
-  return jobs_[spec.id] = std::move(job);
+  return job;
 }
 
 void ClusterState::DeactivateJob(JobRec& job, SimTime now) {
@@ -66,7 +69,22 @@ void ClusterState::DeactivateJob(JobRec& job, SimTime now) {
   job.completion_time = now;
   job.current_rate = 0.0;
   active_.erase(job.spec.id);
+  active_task_count_ -= job.spec.num_tasks;
   round_delta_.jobs_completed.push_back(job.spec.id);
+}
+
+void ClusterState::RetireJob(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.active) {
+    return;
+  }
+  const JobRec& job = it->second;
+  completed_.push_back({id, job.spec.arrival_time_s, job.completion_time,
+                        job.running_seconds, job.spec.duration_s});
+  for (TaskId task_id : job.tasks) {
+    tasks_.erase(task_id);
+  }
+  jobs_.erase(it);
 }
 
 InstRec& ClusterState::CreateInstance(int type_index, SimTime launch_time, SimTime ready_time) {
@@ -233,14 +251,11 @@ void ClusterState::RefreshCompositionSums() {
         const InstanceType& type = catalog_.Get(instance.type_index);
         for (TaskId task_id : instance.assigned) {
           const auto task = tasks_.find(task_id);
-          if (task == tasks_.end()) {
+          if (task == tasks_.end() || task->second.job_ref == nullptr) {
             continue;
           }
-          const auto job = jobs_.find(task->second.job);
-          if (job == jobs_.end()) {
-            continue;
-          }
-          instance.member_demands.push_back(job->second.spec.DemandFor(type.family));
+          instance.member_demands.push_back(
+              task->second.job_ref->spec.DemandFor(type.family));
         }
         instance.demands_dirty = false;
       }
@@ -269,8 +284,20 @@ void ClusterState::IntegrateTo(SimTime dt) {
 
 SchedulingContext ClusterState::BuildContext(SimTime now, bool grant_runtime_estimates) const {
   SchedulingContext context;
+  FillContext(now, grant_runtime_estimates, context);
+  return context;
+}
+
+void ClusterState::FillContext(SimTime now, bool grant_runtime_estimates,
+                               SchedulingContext& context) const {
+  context.tasks.clear();
+  context.instances.clear();
+  context.delta.Clear();
+  context.throughput = nullptr;
   context.now_s = now;
   context.catalog = &catalog_;
+  context.tasks.reserve(static_cast<std::size_t>(active_task_count_));
+  context.instances.reserve(instances_.size());
   for (JobId job_id : active_) {
     const JobRec& job = jobs_.at(job_id);
     for (TaskId task_id : job.tasks) {
@@ -299,7 +326,6 @@ SchedulingContext ClusterState::BuildContext(SimTime now, bool grant_runtime_est
     context.instances.push_back(std::move(info));
   }
   context.Finalize();
-  return context;
 }
 
 RoundDelta ClusterState::TakeRoundDelta() {
@@ -324,19 +350,29 @@ void ClusterState::FinalizeMetrics(SimulationMetrics& metrics) const {
   metrics.avg_alloc_cpu = cap_seconds_[1] > 0.0 ? alloc_seconds_[1] / cap_seconds_[1] : 0.0;
   metrics.avg_alloc_ram = cap_seconds_[2] > 0.0 ? alloc_seconds_[2] / cap_seconds_[2] : 0.0;
 
-  RunningStats jct;
-  RunningStats tput;
-  RunningStats idle;
+  // Merge the retired-job archive with any completed-but-unretired jobs
+  // still in the map (callers driving ClusterState directly), then fold in
+  // ascending id order — the exact iteration order (and therefore the exact
+  // floating-point sums) of the old keep-every-job jobs_ scan.
+  std::vector<CompletedJob> completed = completed_;
   for (const auto& [job_id, job] : jobs_) {
-    (void)job_id;
     if (job.active) {
       continue;  // Aborted runs can leave unfinished jobs; skip them.
     }
-    jct.Add(SecondsToHours(job.completion_time - job.spec.arrival_time_s));
+    completed.push_back({job_id, job.spec.arrival_time_s, job.completion_time,
+                         job.running_seconds, job.spec.duration_s});
+  }
+  std::sort(completed.begin(), completed.end(),
+            [](const CompletedJob& a, const CompletedJob& b) { return a.id < b.id; });
+  RunningStats jct;
+  RunningStats tput;
+  RunningStats idle;
+  for (const CompletedJob& job : completed) {
+    jct.Add(SecondsToHours(job.completion_time - job.arrival_time_s));
     if (job.running_seconds > 0.0) {
-      tput.Add(job.spec.duration_s / job.running_seconds);
+      tput.Add(job.duration_s / job.running_seconds);
     }
-    idle.Add(SecondsToHours((job.completion_time - job.spec.arrival_time_s) -
+    idle.Add(SecondsToHours((job.completion_time - job.arrival_time_s) -
                             job.running_seconds));
   }
   metrics.avg_jct_hours = jct.mean();

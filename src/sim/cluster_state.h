@@ -27,6 +27,7 @@
 
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cloud/instance_type.h"
@@ -47,6 +48,8 @@ enum class TaskState {
   kDone,
 };
 
+struct JobRec;
+
 struct TaskRec {
   TaskId id = kInvalidTaskId;
   JobId job = kInvalidJobId;
@@ -55,6 +58,12 @@ struct TaskRec {
   InstanceId target = kInvalidInstanceId;  // Assigned destination.
   InstanceId source = kInvalidInstanceId;  // Where the container lives now.
   int version = 0;                         // Guards in-flight events.
+
+  // Owning job record (map nodes are pointer-stable). Saves the hot
+  // execution-model paths a per-event map lookup that would grow with the
+  // trace; valid for the task's whole lifetime (tasks are retired together
+  // with their job).
+  JobRec* job_ref = nullptr;
 };
 
 struct JobRec {
@@ -99,7 +108,9 @@ class ClusterState {
 
   // --- Lookup -----------------------------------------------------------
   const std::map<JobId, JobRec>& jobs() const { return jobs_; }
-  const std::map<TaskId, TaskRec>& tasks() const { return tasks_; }
+  // Hash map (O(1) hot-path lookups); iteration order is unspecified —
+  // nothing order-sensitive iterates it.
+  const std::unordered_map<TaskId, TaskRec>& tasks() const { return tasks_; }
   const std::map<InstanceId, InstRec>& instances() const { return instances_; }
   const std::set<JobId>& active_jobs() const { return active_; }
   int num_active() const { return static_cast<int>(active_.size()); }
@@ -119,6 +130,13 @@ class ClusterState {
 
   // active -> false; records the completion time, zeroes the rate.
   void DeactivateJob(JobRec& job, SimTime now);
+
+  // Retires a completed job: folds its completion statistics into the
+  // archive FinalizeMetrics consumes and erases the job and task records, so
+  // the hot-path maps stay O(active) instead of O(total trace) on large
+  // traces. Requires the job to be inactive with every task detached
+  // (kDone). Invalidates all references to the job and its tasks.
+  void RetireJob(JobId id);
 
   // --- Instance lifecycle -----------------------------------------------
   InstRec& CreateInstance(int type_index, SimTime launch_time, SimTime ready_time);
@@ -164,10 +182,21 @@ class ClusterState {
   // non-condemned instances), in deterministic id order.
   SchedulingContext BuildContext(SimTime now, bool grant_runtime_estimates) const;
 
+  // BuildContext into a caller-owned context, reusing its vectors' capacity
+  // and its index maps' buckets — the per-round fast path (a fresh context
+  // allocates a dozen containers every scheduling round).
+  void FillContext(SimTime now, bool grant_runtime_estimates,
+                   SchedulingContext& context) const;
+
   // Drains the changes accumulated since the previous call (O(delta)):
   // entries are deduplicated and sorted, complete is set. The simulator
   // attaches the result to the round's SchedulingContext.
   RoundDelta TakeRoundDelta();
+
+  // Whether anything has accumulated since the last TakeRoundDelta — the
+  // O(1) emptiness probe the quiescence-aware round trigger uses (an empty
+  // delta need not be drained: taking it would yield the same empty result).
+  bool HasPendingDelta() const { return !round_delta_.Empty(); }
 
   // Fills cost, uptime distribution, instance counters, the time-weighted
   // table metrics and the completed-job JCT/throughput/idle averages.
@@ -180,12 +209,25 @@ class ClusterState {
 
   const InstanceCatalog& catalog_;
 
-  std::map<JobId, JobRec> jobs_;
-  std::map<TaskId, TaskRec> tasks_;
+  std::map<JobId, JobRec> jobs_;                 // Live (not yet retired).
+  std::unordered_map<TaskId, TaskRec> tasks_;    // Live (not yet retired).
   std::map<InstanceId, InstRec> instances_;  // Live (provisioning/ready).
   std::set<JobId> active_;
+  int active_task_count_ = 0;  // Sum of num_tasks over active_ (context size).
   TaskId next_task_id_ = 0;
   InstanceId next_instance_id_ = 0;
+
+  // Completion statistics of retired jobs, in retirement (completion)
+  // order; FinalizeMetrics re-sorts by id so the statistics fold in the
+  // exact order the old keep-everything jobs_ iteration used.
+  struct CompletedJob {
+    JobId id = kInvalidJobId;
+    SimTime arrival_time_s = 0.0;
+    SimTime completion_time = 0.0;
+    SimTime running_seconds = 0.0;
+    SimTime duration_s = 0.0;
+  };
+  std::vector<CompletedJob> completed_;
 
   // Per-group shards plus the combined sums IntegrateTo consumes.
   // `composition_dirty_` is any-shard-or-alloc dirty; `alloc_dirty_` forces

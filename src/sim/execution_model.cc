@@ -38,12 +38,12 @@ double ExecutionModel::TaskThroughput(const TaskRec& task) const {
     return 0.0;
   }
   // Heterogeneous families (§4.2): the hosting family's relative speed
-  // scales the task's progress; 1.0 in the homogeneous setting.
+  // scales the task's progress; 1.0 in the homogeneous setting. The job
+  // back-pointer spares a map lookup that would grow with the trace.
   const InstRec* inst = state_->FindInstance(task.source);
-  const JobRec* job = state_->FindJob(task.job);
   double speedup = 1.0;
-  if (inst != nullptr && job != nullptr) {
-    speedup = job->spec.family_speedup[static_cast<std::size_t>(
+  if (inst != nullptr && task.job_ref != nullptr) {
+    speedup = task.job_ref->spec.family_speedup[static_cast<std::size_t>(
         catalog_->Get(inst->type_index).family)];
   }
   return factor * speedup;
@@ -104,13 +104,32 @@ SimTime ExecutionModel::RecomputeDirtyRates(SimTime now) {
   // Project the earliest completion over everything still progressing. The
   // projection is refreshed every event (remaining work drifts as it is
   // integrated stepwise), matching a full rescan's arming decisions.
+  //
+  // The division per job is a top per-event cost, so candidates are
+  // prefiltered by cross-multiplication: remaining_j / rate_j exceeding the
+  // incumbent's quotient implies (rounding is monotone) an ETA at or past
+  // the incumbent's, which the first-wins min would discard anyway. The
+  // margin keeps the filter conservative against multiply rounding; near-
+  // ties fall through to the exact divide, so the returned value — and
+  // every arming decision downstream — is bit-identical to the plain loop.
   RefreshProgressingFlat();
   SimTime earliest = -1.0;
+  double best_rem = 0.0;   // Incumbent's clamped remaining work.
+  double best_rate = 0.0;  // Incumbent's rate (0 marks "no incumbent").
   for (const auto& [job_id, job_ptr] : progressing_flat_) {
     (void)job_id;
     const JobRec& job = *job_ptr;
-    const SimTime eta = now + std::max(job.remaining_work_s, 0.0) / job.current_rate;
-    earliest = earliest < 0.0 ? eta : std::min(earliest, eta);
+    const double rem = std::max(job.remaining_work_s, 0.0);
+    if (best_rate > 0.0 &&
+        rem * best_rate > best_rem * job.current_rate * (1.0 + 1e-12)) {
+      continue;  // Certainly no earlier than the incumbent.
+    }
+    const SimTime eta = now + rem / job.current_rate;
+    if (earliest < 0.0 || eta < earliest) {
+      earliest = eta;
+      best_rem = rem;
+      best_rate = job.current_rate;
+    }
   }
   return earliest;
 }
@@ -130,6 +149,7 @@ void ExecutionModel::OnJobAdded(const JobRec& job) {
 std::vector<JobThroughputObservation> ExecutionModel::CollectObservations(
     bool physical_mode, double noise_stddev, Rng* rng) const {
   ObservationBatch batch;
+  batch.Reserve(progressing_.size());
   for (const auto& [job_id, job_ptr] : progressing_) {
     const JobRec& job = *job_ptr;
     // Report the co-location-only degradation (min over tasks), matching

@@ -42,7 +42,17 @@ struct SimulationMetrics {
   double avg_job_idle_hours = 0.0;  // JCT minus executing time.
 
   SimTime makespan_s = 0.0;
+
+  // Scheduling decision points, *including* coalesced ones: the quiescence-
+  // aware round trigger counts a skipped round here too, so the cadence
+  // accounting (and the golden-pinned values) are independent of batching.
   int scheduling_rounds = 0;
+
+  // Rounds absorbed by Scheduler::CoalesceQuiescentRounds — decision points
+  // at which the scheduler was never invoked because the engine certified
+  // the round quiescent. scheduling_rounds - rounds_coalesced is the number
+  // of actual Schedule calls.
+  int rounds_coalesced = 0;
 
   // Discrete events processed by the engine; with wall time this gives the
   // events/sec figure the perf benchmarks track.

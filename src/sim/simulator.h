@@ -48,6 +48,17 @@ struct SimulatorOptions {
   // invariants; invalid configurations are rejected (logged, round skipped).
   bool validate_configs = true;
 
+  // Quiescence-aware round trigger: when nothing decision-relevant changed
+  // since the previous round (empty RoundDelta, no task-rate transitions,
+  // previous configuration applied as a no-op), offer the round to
+  // Scheduler::CoalesceQuiescentRounds instead of building a context and
+  // invoking the scheduler. The event/integration trajectory is unchanged —
+  // results are bit-identical with batching on or off — only the per-round
+  // observation/context/validation/diff work disappears. Automatically
+  // disabled in physical mode (noisy observations consume RNG draws every
+  // round, so no round is ever a provable no-op).
+  bool coalesce_quiescent_rounds = true;
+
   std::uint64_t seed = 42;
 
   // Hard stop, guarding against schedulers that never drain the system.

@@ -69,8 +69,9 @@ void TaskLifecycle::OnLaunchDone(TaskRec& task) {
 }
 
 void TaskLifecycle::CompleteJob(JobRec& job, SimTime now, SimulationMetrics& metrics) {
+  const JobId job_id = job.spec.id;
   state_->DeactivateJob(job, now);
-  exec_->OnJobDeactivated(job.spec.id);
+  exec_->OnJobDeactivated(job_id);
   ++metrics.jobs_completed;
   metrics.jct_hours.push_back(SecondsToHours(now - job.spec.arrival_time_s));
 
@@ -88,6 +89,11 @@ void TaskLifecycle::CompleteJob(JobRec& job, SimTime now, SimulationMetrics& met
       state_->MaybeTerminate(detached.target, now);
     }
   }
+
+  // Fold the job into the completion archive and drop its records: the live
+  // maps stay O(active) no matter how long the trace is. `job` (and every
+  // reference into the job's tasks) is invalid past this point.
+  state_->RetireJob(job_id);
 }
 
 }  // namespace eva

@@ -313,14 +313,17 @@ class Search {
         Branch(next_task + 1, cost_so_far + choice.cost_delta, open);
         open.pop_back();
       } else {
-        OpenInstance& host = open[choice.open_index];
-        const InstanceType& type = problem_.context.catalog->Get(host.type_index);
-        const ResourceVector& demand = task.DemandFor(type.family);
-        host.used += demand;
-        host.tasks.push_back(task.id);
+        // Deliberately no retained reference into `open`: the recursive call
+        // pushes fresh instances and can reallocate the vector, so the host
+        // is re-indexed after it returns.
+        const InstanceType& type =
+            problem_.context.catalog->Get(open[choice.open_index].type_index);
+        const ResourceVector demand = task.DemandFor(type.family);
+        open[choice.open_index].used += demand;
+        open[choice.open_index].tasks.push_back(task.id);
         Branch(next_task + 1, cost_so_far, open);
-        host.tasks.pop_back();
-        host.used -= demand;
+        open[choice.open_index].tasks.pop_back();
+        open[choice.open_index].used -= demand;
       }
       if (aborted_) {
         return;

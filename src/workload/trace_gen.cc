@@ -133,6 +133,40 @@ Trace GenerateAlibabaTrace(const AlibabaTraceOptions& options) {
   return trace;
 }
 
+Trace ScaleTrace(const Trace& source, const TraceScaleOptions& options) {
+  Trace trace;
+  trace.name = source.name + "-x" + std::to_string(options.target_jobs);
+  if (source.jobs.empty() || options.target_jobs <= 0) {
+    return trace;
+  }
+  // Empirical mean inter-arrival of the source process (its jobs are
+  // arrival-sorted after Normalize); a single-job source has no spacing
+  // information, so fall back to one hour.
+  const double span = source.jobs.back().arrival_time_s - source.jobs.front().arrival_time_s;
+  const double source_mean_interarrival =
+      source.jobs.size() > 1 && span > 0.0
+          ? span / static_cast<double>(source.jobs.size() - 1)
+          : kSecondsPerHour;
+  const double rate_scale =
+      std::max(1e-9, options.rate_multiplier) *
+      (static_cast<double>(options.target_jobs) / static_cast<double>(source.jobs.size()));
+  const double mean_interarrival = source_mean_interarrival / rate_scale;
+
+  Rng rng(options.seed);
+  trace.jobs.reserve(static_cast<std::size_t>(options.target_jobs));
+  SimTime clock = 0.0;
+  for (int i = 0; i < options.target_jobs; ++i) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(source.jobs.size()) - 1));
+    JobSpec job = source.jobs[pick];
+    job.id = static_cast<JobId>(i);
+    job.arrival_time_s = PoissonArrival(rng, mean_interarrival, clock);
+    trace.jobs.push_back(job);
+  }
+  trace.Normalize();
+  return trace;
+}
+
 Trace WithMultiGpuFraction(Trace trace, double multi_gpu_fraction, std::uint64_t seed) {
   Rng rng(seed);
   // Figure 6: 2-GPU : 4-GPU : 8-GPU in ratio 5:4:1.

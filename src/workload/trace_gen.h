@@ -69,6 +69,35 @@ struct AlibabaTraceOptions {
 // Statistical Alibaba-like trace (single-task jobs, like the original).
 Trace GenerateAlibabaTrace(const AlibabaTraceOptions& options);
 
+// Deterministic scaler for large-trace runs: grows (or thins) a source
+// trace to `target_jobs` while preserving its job-mix marginals.
+//
+//   * Job mix: every scaled job is resampled uniformly (seeded) from the
+//     source trace's empirical job distribution — demands, workload,
+//     duration and task count are copied verbatim, so the per-job marginals
+//     match the source by construction.
+//   * Arrival process: the source's Poisson arrival process is scaled by
+//     superposition — the scaled trace draws exponential inter-arrivals at
+//     `rate_multiplier` x (target_jobs / source_jobs) times the source's
+//     empirical mean rate, statistically equivalent to overlaying that many
+//     thinned, independent copies of the source process. With the default
+//     rate_multiplier of 1 the simulated time span stays roughly the
+//     source's while the steady-state active-job population (and therefore
+//     cluster size) grows proportionally — the "heavier traffic, same day"
+//     scaling used by the 10k/50k/100k-job benchmark points.
+//
+// Same (source, options) always yields the same trace.
+struct TraceScaleOptions {
+  int target_jobs = 10000;
+  std::uint64_t seed = 1;
+
+  // Additional factor on the arrival-rate scale (1.0 = proportional
+  // superposition; < 1 stretches the span instead of densifying traffic).
+  double rate_multiplier = 1.0;
+};
+
+Trace ScaleTrace(const Trace& source, const TraceScaleOptions& options);
+
 // One draw from either duration model, in seconds.
 SimTime SampleDuration(DurationModel model, Rng& rng);
 

@@ -272,5 +272,97 @@ TEST_F(EvaSchedulerTest, EnsembleConsolidatesWhenSavingsAreLarge) {
   EXPECT_EQ(scheduler.stats().full_adopted, 1);
 }
 
+TEST_F(EvaSchedulerTest, CoalesceRequiresAPreviousRound) {
+  EvaScheduler scheduler;
+  // No memoized round yet: nothing can be certified a no-op.
+  EXPECT_EQ(scheduler.CoalesceQuiescentRounds(5, 300.0), 0);
+}
+
+// Absorbing N quiescent rounds must leave the scheduler in exactly the
+// state N memo-replayed Schedule calls (with identical, change-free
+// observations) would have left it in: same estimator trajectory, same
+// statistics, and an identical configuration on the next invoked round.
+TEST_F(EvaSchedulerTest, CoalesceMatchesReplayedQuiescentRounds) {
+  AddTask(WorkloadRegistry::IdOf("ViT"), 1);
+  AddTask(WorkloadRegistry::IdOf("GCN"), 2);
+  context_.Finalize();
+
+  EvaScheduler replayed;
+  EvaScheduler coalesced;
+  const std::vector<JobThroughputObservation> no_observations;
+
+  context_.now_s = 0.0;
+  replayed.ObserveThroughput(no_observations);
+  const ClusterConfig first_a = replayed.Schedule(context_);
+  coalesced.ObserveThroughput(no_observations);
+  const ClusterConfig first_b = coalesced.Schedule(context_);
+  ASSERT_EQ(first_a.instances.size(), first_b.instances.size());
+
+  constexpr int kQuiescentRounds = 7;
+  for (int i = 1; i <= kQuiescentRounds; ++i) {
+    context_.now_s = 300.0 * i;
+    replayed.ObserveThroughput(no_observations);
+    replayed.Schedule(context_);
+  }
+  EXPECT_EQ(coalesced.CoalesceQuiescentRounds(kQuiescentRounds, 300.0), kQuiescentRounds);
+
+  EXPECT_EQ(coalesced.stats().rounds, replayed.stats().rounds);
+  EXPECT_EQ(coalesced.stats().rounds_reused, replayed.stats().rounds_reused);
+  EXPECT_EQ(coalesced.stats().full_adopted, replayed.stats().full_adopted);
+  EXPECT_EQ(coalesced.stats().events_seen, replayed.stats().events_seen);
+  EXPECT_EQ(coalesced.event_estimator().events_per_hour(),
+            replayed.event_estimator().events_per_hour());
+  EXPECT_EQ(coalesced.event_estimator().full_probability(),
+            replayed.event_estimator().full_probability());
+  EXPECT_EQ(coalesced.stats().rounds_coalesced, kQuiescentRounds);
+  EXPECT_EQ(replayed.stats().rounds_coalesced, 0);
+
+  // The next real round sees identical state: identical configurations.
+  context_.now_s = 300.0 * (kQuiescentRounds + 1);
+  replayed.ObserveThroughput(no_observations);
+  coalesced.ObserveThroughput(no_observations);
+  const ClusterConfig next_a = replayed.Schedule(context_);
+  const ClusterConfig next_b = coalesced.Schedule(context_);
+  ASSERT_EQ(next_a.instances.size(), next_b.instances.size());
+  for (std::size_t i = 0; i < next_a.instances.size(); ++i) {
+    EXPECT_EQ(next_a.instances[i].type_index, next_b.instances[i].type_index);
+    EXPECT_EQ(next_a.instances[i].tasks, next_b.instances[i].tasks);
+  }
+}
+
+TEST_F(EvaSchedulerTest, CoalesceRefusesAfterTableChange) {
+  AddTask(WorkloadRegistry::IdOf("ViT"), 1);
+  AddTask(WorkloadRegistry::IdOf("ViT"), 2);
+  context_.Finalize();
+  EvaScheduler scheduler;
+  scheduler.ObserveThroughput({});
+  scheduler.Schedule(context_);
+  ASSERT_GT(scheduler.CoalesceQuiescentRounds(1, 300.0), 0);
+
+  // A change-carrying observation invalidates the no-op certificate until
+  // the next invoked round re-establishes it.
+  JobThroughputObservation observation;
+  observation.job = 1;
+  observation.normalized_throughput = 0.7;
+  TaskPlacementObservation placement;
+  placement.task = 0;
+  placement.workload = WorkloadRegistry::IdOf("ViT");
+  placement.colocated = {WorkloadRegistry::IdOf("ViT")};
+  observation.tasks.push_back(placement);
+  scheduler.ObserveThroughput({observation});
+  EXPECT_EQ(scheduler.CoalesceQuiescentRounds(1, 300.0), 0);
+}
+
+TEST_F(EvaSchedulerTest, CoalesceDisabledByOption) {
+  AddTask(WorkloadRegistry::IdOf("ViT"), 1);
+  context_.Finalize();
+  EvaOptions options;
+  options.coalesce_quiescent_rounds = false;
+  EvaScheduler scheduler(options);
+  scheduler.ObserveThroughput({});
+  scheduler.Schedule(context_);
+  EXPECT_EQ(scheduler.CoalesceQuiescentRounds(3, 300.0), 0);
+}
+
 }  // namespace
 }  // namespace eva

@@ -4,6 +4,9 @@
 
 #include <set>
 
+#include "src/sim/experiment.h"
+#include "src/workload/trace_gen.h"
+
 namespace eva {
 namespace {
 
@@ -114,6 +117,48 @@ TEST_F(IncrementalReconfigTest, SmallDeltaKeepsUntouchedInstancesAndPacksTheRest
   EXPECT_EQ(seen.size(), context_.tasks.size());
   EXPECT_EQ(seen.count(completed), 0u);
   EXPECT_EQ(seen.count(arrived), 1u);
+}
+
+// End-to-end coverage of EvaOptions::incremental_packing on the 2,000-job
+// Alibaba-like trace: both the incremental path and the threshold fallback
+// to a full repack must be exercised, every job must complete, and the
+// end-to-end metrics must stay within the approximation bound documented in
+// incremental_reconfig.h (cost within 10% of exact Eva, average JCT within
+// 5%).
+TEST(IncrementalPackingEndToEndTest, StaysWithinDocumentedBoundOnAlibaba2000) {
+  AlibabaTraceOptions trace_options;
+  trace_options.num_jobs = 2000;
+  trace_options.seed = 17;
+  trace_options.max_duration_hours = 48.0;
+  const Trace trace = GenerateAlibabaTrace(trace_options);
+  const InterferenceModel interference = InterferenceModel::Measured();
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+
+  SimulationMetrics exact;
+  {
+    SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference);
+    exact = RunSimulation(trace, bundle.scheduler.get(), catalog, interference,
+                          SimulatorOptions{});
+  }
+
+  EvaOptions options;
+  options.incremental_packing = true;
+  SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference, options);
+  const SimulationMetrics incremental = RunSimulation(
+      trace, bundle.scheduler.get(), catalog, interference, SimulatorOptions{});
+  const EvaScheduler::Stats& stats = bundle.eva->stats();
+
+  // Both the delta-touched repacking and the full-repack fallback ran.
+  EXPECT_GT(stats.incremental_packs, 100);
+  EXPECT_GT(stats.full_packs, 100);
+
+  // Nothing was lost to the approximation...
+  EXPECT_EQ(incremental.jobs_submitted, exact.jobs_submitted);
+  EXPECT_EQ(incremental.jobs_completed, exact.jobs_completed);
+
+  // ...and the economics stay inside the documented envelope.
+  EXPECT_LT(incremental.total_cost, exact.total_cost * 1.10);
+  EXPECT_NEAR(incremental.avg_jct_hours / exact.avg_jct_hours, 1.0, 0.05);
 }
 
 }  // namespace

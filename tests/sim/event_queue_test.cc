@@ -62,5 +62,46 @@ TEST(EventQueueTest, InterleavedPushPopKeepsOrder) {
   EXPECT_EQ(queue.Pop().a, 3);
 }
 
+// The front slot (the push-then-pop fast path) must stay totally ordered
+// against the heap lane, including the decreasing-time re-arm pattern,
+// displacement by an even earlier push, and equal-time FIFO ties.
+TEST(EventQueueTest, FrontSlotOrdersAgainstHeapEvents) {
+  EventQueue queue;
+  // Decreasing-time check pushes (each displacing the previous front into
+  // the heap) interleaved with heap-bound events on both sides.
+  queue.Push(25.0, SimEventType::kRound, 100);
+  queue.Push(40.0, SimEventType::kCompletionCheck, 1);
+  queue.Push(30.0, SimEventType::kCompletionCheck, 2);
+  queue.Push(10.0, SimEventType::kCompletionCheck, 3);
+  queue.Push(5.0, SimEventType::kArrival, 200);
+  // A check landing between the queued ones.
+  queue.Push(35.0, SimEventType::kCompletionCheck, 4);
+  EXPECT_EQ(queue.Size(), 6u);
+
+  EXPECT_EQ(queue.Pop().a, 200);  // t=5 arrival.
+  EXPECT_EQ(queue.Pop().a, 3);    // t=10 check.
+  EXPECT_EQ(queue.Pop().a, 100);  // t=25 round.
+  EXPECT_EQ(queue.Pop().a, 2);    // t=30 check.
+  EXPECT_EQ(queue.Pop().a, 4);    // t=35 check (pushed out of order).
+  EXPECT_EQ(queue.Pop().a, 1);    // t=40 check.
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, EqualTimeChecksPopFifoAcrossLanes) {
+  EventQueue queue;
+  queue.Push(10.0, SimEventType::kCompletionCheck, 1);
+  queue.Push(10.0, SimEventType::kLaunchDone, 2);
+  queue.Push(10.0, SimEventType::kCompletionCheck, 3);
+  // Same time, non-arrival: FIFO by sequence number, across lanes.
+  EXPECT_EQ(queue.Pop().a, 1);
+  EXPECT_EQ(queue.Pop().a, 2);
+  EXPECT_EQ(queue.Pop().a, 3);
+  // Arrivals still outrank all non-arrivals at the same timestamp.
+  queue.Push(20.0, SimEventType::kCompletionCheck, 4);
+  queue.Push(20.0, SimEventType::kArrival, 5);
+  EXPECT_EQ(queue.Pop().a, 5);
+  EXPECT_EQ(queue.Pop().a, 4);
+}
+
 }  // namespace
 }  // namespace eva

@@ -271,6 +271,115 @@ TEST(TraceCsvTest, RejectsGarbage) {
   EXPECT_FALSE(Trace::FromCsv("", "x").has_value());
 }
 
+// --- ScaleTrace property tests (the 10k/50k/100k bench scaler) ----------
+
+Trace ScalerSource() {
+  AlibabaTraceOptions options;
+  options.num_jobs = 2000;
+  options.seed = 17;
+  options.max_duration_hours = 48.0;
+  return GenerateAlibabaTrace(options);
+}
+
+TEST(ScaleTraceTest, SeededDeterminism) {
+  const Trace source = ScalerSource();
+  TraceScaleOptions options;
+  options.target_jobs = 5000;
+  options.seed = 9;
+  const Trace a = ScaleTrace(source, options);
+  const Trace b = ScaleTrace(source, options);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].id, b.jobs[i].id);
+    EXPECT_EQ(a.jobs[i].arrival_time_s, b.jobs[i].arrival_time_s);
+    EXPECT_EQ(a.jobs[i].workload, b.jobs[i].workload);
+    EXPECT_EQ(a.jobs[i].duration_s, b.jobs[i].duration_s);
+    EXPECT_EQ(a.jobs[i].demand_p3, b.jobs[i].demand_p3);
+  }
+  options.seed = 10;
+  const Trace c = ScaleTrace(source, options);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < c.jobs.size() && !any_difference; ++i) {
+    any_difference = c.jobs[i].arrival_time_s != a.jobs[i].arrival_time_s;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ScaleTraceTest, MonotoneArrivalsAndSequentialIds) {
+  const Trace source = ScalerSource();
+  TraceScaleOptions options;
+  options.target_jobs = 10000;
+  const Trace scaled = ScaleTrace(source, options);
+  ASSERT_EQ(scaled.jobs.size(), 10000u);
+  for (std::size_t i = 0; i < scaled.jobs.size(); ++i) {
+    EXPECT_EQ(scaled.jobs[i].id, static_cast<JobId>(i));
+    EXPECT_GE(scaled.jobs[i].arrival_time_s, 0.0);
+    if (i > 0) {
+      EXPECT_GE(scaled.jobs[i].arrival_time_s, scaled.jobs[i - 1].arrival_time_s);
+    }
+  }
+}
+
+TEST(ScaleTraceTest, JobMixMarginalsMatchSource) {
+  const Trace source = ScalerSource();
+  TraceScaleOptions options;
+  options.target_jobs = 20000;
+  options.seed = 3;
+  const Trace scaled = ScaleTrace(source, options);
+
+  const auto gpu_fraction = [](const Trace& trace) {
+    int gpu = 0;
+    for (const JobSpec& job : trace.jobs) {
+      gpu += job.demand_p3.gpus() > 0.0 ? 1 : 0;
+    }
+    return static_cast<double>(gpu) / static_cast<double>(trace.jobs.size());
+  };
+  const auto mean_duration_h = [](const Trace& trace) {
+    double sum = 0.0;
+    for (const JobSpec& job : trace.jobs) {
+      sum += SecondsToHours(job.duration_s);
+    }
+    return sum / static_cast<double>(trace.jobs.size());
+  };
+  const auto median_duration_h = [](const Trace& trace) {
+    std::vector<double> d;
+    d.reserve(trace.jobs.size());
+    for (const JobSpec& job : trace.jobs) {
+      d.push_back(job.duration_s);
+    }
+    std::sort(d.begin(), d.end());
+    return SecondsToHours(d[d.size() / 2]);
+  };
+
+  // Resampling with replacement: marginals converge to the source's.
+  EXPECT_NEAR(gpu_fraction(scaled), gpu_fraction(source), 0.02);
+  EXPECT_NEAR(mean_duration_h(scaled) / mean_duration_h(source), 1.0, 0.10);
+  EXPECT_NEAR(median_duration_h(scaled) / median_duration_h(source), 1.0, 0.15);
+}
+
+TEST(ScaleTraceTest, SuperpositionScalesArrivalRate) {
+  const Trace source = ScalerSource();
+  TraceScaleOptions options;
+  options.target_jobs = 20000;
+  const Trace scaled = ScaleTrace(source, options);
+  // 10x the jobs over (statistically) the same span: the empirical rate
+  // scales with the job count.
+  const double source_rate =
+      static_cast<double>(source.jobs.size()) / source.jobs.back().arrival_time_s;
+  const double scaled_rate =
+      static_cast<double>(scaled.jobs.size()) / scaled.jobs.back().arrival_time_s;
+  EXPECT_NEAR(scaled_rate / source_rate, 10.0, 1.0);
+}
+
+TEST(ScaleTraceTest, EmptySourceAndZeroTargetAreSafe) {
+  Trace empty;
+  empty.name = "empty";
+  TraceScaleOptions options;
+  EXPECT_TRUE(ScaleTrace(empty, options).jobs.empty());
+  options.target_jobs = 0;
+  EXPECT_TRUE(ScaleTrace(ScalerSource(), options).jobs.empty());
+}
+
 TEST(TraceNormalizeTest, SortsAndReassignsIds) {
   Trace trace;
   trace.jobs.push_back(JobSpec::FromWorkload(7, 500.0, 0, 100.0));
