@@ -118,6 +118,19 @@ class BenchJsonWriter {
     cases_.emplace_back(buffer);
   }
 
+  // Free-form case: `fields` is a ready-made JSON fragment appended after
+  // the name (e.g. "\"cost\": 12.5, \"denied\": 3") — the escape hatch for
+  // harnesses whose metrics do not fit the fixed schemas above
+  // (bench_federation's per-tenant and provider-level rows).
+  void AddCaseFields(const std::string& name, const std::string& fields) {
+    std::string line = "    {\"name\": \"" + name + "\"";
+    if (!fields.empty()) {
+      line += ", " + fields;
+    }
+    line += "}";
+    cases_.push_back(std::move(line));
+  }
+
   // Writes the collected cases; returns false (with a message) on I/O error.
   bool WriteTo(const char* path, const char* bench_name) const {
     FILE* file = std::fopen(path, "w");

@@ -9,11 +9,23 @@ current value falls more than the tolerance below the baseline's
 (EVA_BENCH_TOLERANCE, default 0.20 = 20%, the margin CI grants for runner
 variance). A case missing from either file is an error: a silently dropped
 case must not read as a pass.
+
+Cases listed in WARN_ONLY are compared and reported but never fail the
+check — the observation period for newly added sweep cases before they earn
+a gate.
 """
 
 import json
 import os
 import sys
+
+# Newly wired into the sweep (EvaOptions::incremental_packing); tracked but
+# not yet gated — promote out of this set once a few baselines confirm the
+# numbers are stable.
+WARN_ONLY = {
+    "alibaba10000_Eva-inc",
+    "alibaba50000_Eva-inc",
+}
 
 
 def load_cases(path):
@@ -35,18 +47,21 @@ def main(argv):
 
     failed = False
     for name in names:
+        warn_only = name in WARN_ONLY
+        missing_verdict = "WARN" if warn_only else "FAIL"
         if name not in baseline:
-            print(f"FAIL: case '{name}' missing from baseline {baseline_path}")
-            failed = True
+            print(f"{missing_verdict}: case '{name}' missing from baseline {baseline_path}")
+            failed = failed or not warn_only
             continue
         if name not in current:
-            print(f"FAIL: case '{name}' missing from current run {current_path}")
-            failed = True
+            print(f"{missing_verdict}: case '{name}' missing from current run {current_path}")
+            failed = failed or not warn_only
             continue
         base = baseline[name]["events_per_sec"]
         cur = current[name]["events_per_sec"]
         ratio = cur / base if base > 0 else float("inf")
-        verdict = "OK" if ratio >= 1.0 - tolerance else "FAIL"
+        below = ratio < 1.0 - tolerance
+        verdict = ("WARN" if warn_only else "FAIL") if below else "OK"
         print(
             f"{verdict}: {name}: events/sec {cur:,.0f} vs baseline {base:,.0f} "
             f"(ratio {ratio:.3f}, floor {1.0 - tolerance:.2f})"

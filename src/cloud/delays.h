@@ -17,6 +17,12 @@
 namespace eva {
 
 // A delay measured as a [min, max] range with an observed average.
+//
+// Determinism contract: every stochastic draw in this module flows through
+// the caller-provided Rng — the seeded generator the simulator owns — and
+// nothing here touches a global or thread-local random source. Same seed ⇒
+// same delay sequence ⇒ same physical-mode metrics, bit for bit (pinned by
+// PhysicalModeSameSeedReproducesMetrics in tests/sim/simulator_test.cc).
 struct DelayRange {
   SimTime min_s = 0.0;
   SimTime max_s = 0.0;
@@ -27,7 +33,8 @@ struct DelayRange {
 
   // One stochastic draw (physical mode). Uses a triangular-ish draw: uniform
   // within [min, max] mixed toward the average so the sample mean tracks the
-  // measured average rather than the range midpoint.
+  // measured average rather than the range midpoint. Consumes draws only
+  // from `rng`; a degenerate range (max <= min) consumes none.
   SimTime Sample(Rng& rng) const;
 };
 

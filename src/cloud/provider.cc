@@ -1,0 +1,151 @@
+#include "src/cloud/provider.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace eva {
+
+std::int64_t CloudProviderMetrics::TotalGranted() const {
+  std::int64_t total = 0;
+  for (const Family& family : families) {
+    total += family.granted;
+  }
+  return total;
+}
+
+std::int64_t CloudProviderMetrics::TotalDenied() const {
+  std::int64_t total = 0;
+  for (const Family& family : families) {
+    total += family.denied;
+  }
+  return total;
+}
+
+std::int64_t CloudProviderMetrics::TotalPreempted() const {
+  std::int64_t total = 0;
+  for (const Family& family : families) {
+    total += family.preempted;
+  }
+  return total;
+}
+
+namespace {
+
+// The one copy of the tier layout: base types verbatim, then one "-spot"
+// twin per type (same family/capacity) priced by `spot_price(index, base
+// hourly price)`. Both the stable tiered catalog and every per-round quote
+// snapshot are built through here, so their indices can never diverge.
+template <typename PriceFn>
+std::vector<InstanceType> TieredTypes(const InstanceCatalog& base,
+                                      const PriceFn& spot_price) {
+  std::vector<InstanceType> types = base.types();
+  types.reserve(types.size() * 2);
+  for (int i = 0; i < base.NumTypes(); ++i) {
+    InstanceType spot = base.Get(i);
+    spot.name += "-spot";
+    spot.cost_per_hour = spot_price(i, spot.cost_per_hour);
+    types.push_back(std::move(spot));
+  }
+  return types;
+}
+
+}  // namespace
+
+InstanceCatalog CloudProvider::MakeTiered(const InstanceCatalog& base,
+                                          const SpotMarket& market) {
+  // The stable catalog's spot price is the band midpoint — a placeholder
+  // for display only. Decision prices come from MakeQuoteCatalog and true
+  // costs from InstanceCost; neither reads this entry.
+  const double midpoint = 0.5 * (market.options().min_price_fraction +
+                                 market.options().max_price_fraction);
+  return InstanceCatalog(
+      TieredTypes(base, [midpoint](int, Money price) { return price * midpoint; }));
+}
+
+CloudProvider::CloudProvider(const InstanceCatalog& base, CloudProviderOptions options)
+    : base_(base),
+      options_(options),
+      market_(base_, options_.spot),
+      tiered_(options_.spot.enabled ? MakeTiered(base_, market_)
+                                    : InstanceCatalog({})) {}
+
+std::unique_ptr<InstanceCatalog> CloudProvider::MakeQuoteCatalog(
+    SimTime now, double risk_premium) const {
+  if (!spot_enabled()) {
+    return std::make_unique<InstanceCatalog>(base_.types());
+  }
+  return std::make_unique<InstanceCatalog>(
+      TieredTypes(base_, [this, now, risk_premium](int index, Money) {
+        return market_.Quote(index, now) * (1.0 + risk_premium);
+      }));
+}
+
+bool CloudProvider::TryAcquire(int type_index, SimTime now) {
+  (void)now;
+  const auto family = static_cast<std::size_t>(FamilyOf(type_index));
+  std::lock_guard<std::mutex> lock(mutex_);
+  FamilyState& state = families_[family];
+  const int capacity = options_.family_capacity[family];
+  if (capacity >= 0 && state.in_use >= capacity) {
+    ++state.denied;
+    return false;
+  }
+  ++state.in_use;
+  ++state.granted;
+  state.peak_in_use = std::max(state.peak_in_use, state.in_use);
+  return true;
+}
+
+void CloudProvider::Release(int type_index, SimTime acquired_at, SimTime now) {
+  const auto family = static_cast<std::size_t>(FamilyOf(type_index));
+  std::lock_guard<std::mutex> lock(mutex_);
+  FamilyState& state = families_[family];
+  --state.in_use;
+  ++state.released;
+  state.lifetimes.emplace_back(acquired_at, now);
+}
+
+void CloudProvider::RecordPreemption(int type_index) {
+  const auto family = static_cast<std::size_t>(FamilyOf(type_index));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++families_[family].preempted;
+}
+
+Money CloudProvider::InstanceCost(int type_index, SimTime t0, SimTime t1) const {
+  if (IsSpotType(type_index)) {
+    return market_.CostForInterval(BaseType(type_index), t0, t1);
+  }
+  return CostForUptime(tiered_catalog().Get(type_index).cost_per_hour,
+                       std::max(t1 - t0, 0.0));
+}
+
+CloudProviderMetrics CloudProvider::FinalizeMetrics(SimTime horizon) const {
+  CloudProviderMetrics metrics;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t f = 0; f < static_cast<std::size_t>(kNumInstanceFamilies); ++f) {
+    const FamilyState& state = families_[f];
+    CloudProviderMetrics::Family& out = metrics.families[f];
+    out.capacity = options_.family_capacity[f];
+    out.granted = state.granted;
+    out.denied = state.denied;
+    out.preempted = state.preempted;
+    out.released = state.released;
+    out.peak_in_use = state.peak_in_use;
+    // Fold lifetimes in (start, end) order: the records arrive in
+    // nondeterministic order under concurrent release, and floating-point
+    // sums are order-sensitive — sorting first makes the fold reproducible.
+    std::vector<std::pair<SimTime, SimTime>> sorted = state.lifetimes;
+    std::sort(sorted.begin(), sorted.end());
+    double instance_seconds = 0.0;
+    for (const auto& [start, end] : sorted) {
+      instance_seconds += std::max(end - start, 0.0);
+    }
+    out.instance_hours = SecondsToHours(instance_seconds);
+    if (out.capacity > 0 && horizon > 0.0) {
+      out.avg_utilization = instance_seconds / (static_cast<double>(out.capacity) * horizon);
+    }
+  }
+  return metrics;
+}
+
+}  // namespace eva

@@ -1,0 +1,169 @@
+// Cloud provider market: finite regional capacity, a spot tier, and the
+// admission/accounting surface several tenant simulators can share.
+//
+// The seed reproduction provisioned from an idealized cloud — 21 on-demand
+// types, infinite supply, fixed prices. This subsystem makes the provider a
+// first-class actor:
+//
+//   * Capacity. Each instance family has a regional pool of at most
+//     `family_capacity[f]` concurrent instances (-1 = unlimited, the
+//     default). TryAcquire admits or denies a launch; Release returns the
+//     slot. With every pool unlimited the provider is pass-through and the
+//     simulation trajectory is bit-identical to the providerless engine.
+//
+//   * Tiers. With the spot market enabled the provider exposes a *tiered
+//     catalog*: indices [0, N) are the base on-demand types verbatim and
+//     [N, 2N) are their spot twins (same family/capacity, "-spot" names).
+//     Capacities and shard layouts key off this stable object, while the
+//     per-round *decision* prices come from MakeQuoteCatalog — a fresh
+//     snapshot in the same layout whose spot entries carry the current
+//     quote times (1 + risk premium). Schedulers therefore price spot
+//     against on-demand with zero structural changes: Algorithm 1 walks the
+//     tiered catalog exactly as it walks the base one.
+//
+//   * Multi-tenancy. Several simulators may share one provider (see
+//     sim/federation.h). Grants are only ever issued from the federation's
+//     serial, tenant-ordered phase; releases and preemption records may
+//     arrive concurrently from the parallel phase and are commutative
+//     (mutex-guarded integer updates plus an unordered record list that is
+//     sorted deterministically at Finalize), so provider state and metrics
+//     are bit-reproducible across runs and thread-pool sizes.
+
+#ifndef SRC_CLOUD_PROVIDER_H_
+#define SRC_CLOUD_PROVIDER_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/cloud/instance_type.h"
+#include "src/cloud/spot_market.h"
+#include "src/common/units.h"
+
+namespace eva {
+
+struct CloudProviderOptions {
+  // Master switch. Disabled: infinite capacity, on-demand only — the
+  // simulator never consults the provider and stays bit-exact with the
+  // providerless engine.
+  bool enabled = false;
+
+  // Max concurrent instances per family across all tenants and both tiers;
+  // -1 = unlimited.
+  std::array<int, kNumInstanceFamilies> family_capacity = {-1, -1, -1};
+
+  SpotMarketOptions spot;
+};
+
+// Provider-level accounting across all tenants.
+struct CloudProviderMetrics {
+  struct Family {
+    int capacity = -1;
+    std::int64_t granted = 0;
+    std::int64_t denied = 0;
+    std::int64_t preempted = 0;  // Preemption warnings issued.
+    std::int64_t released = 0;
+    int peak_in_use = 0;
+    double instance_hours = 0.0;  // Sum of released-instance uptimes.
+    // Time-weighted pool utilization: instance-time / (capacity x horizon).
+    // 0 when the pool is unlimited or the horizon is empty.
+    double avg_utilization = 0.0;
+  };
+
+  std::array<Family, kNumInstanceFamilies> families;
+
+  std::int64_t TotalGranted() const;
+  std::int64_t TotalDenied() const;
+  std::int64_t TotalPreempted() const;
+};
+
+class CloudProvider {
+ public:
+  // `base` is copied; the provider is self-contained and may outlive it.
+  CloudProvider(const InstanceCatalog& base, CloudProviderOptions options);
+
+  const CloudProviderOptions& options() const { return options_; }
+  const InstanceCatalog& base_catalog() const { return base_; }
+
+  // The stable catalog simulations run against: the base catalog when spot
+  // is off, base + spot twins when on. Object identity is stable for the
+  // provider's lifetime (cluster-state shards key off it).
+  const InstanceCatalog& tiered_catalog() const {
+    return spot_enabled() ? tiered_ : base_;
+  }
+
+  bool spot_enabled() const { return options_.spot.enabled; }
+  int num_base_types() const { return base_.NumTypes(); }
+
+  // Tier helpers on tiered-catalog indices.
+  bool IsSpotType(int type_index) const {
+    return spot_enabled() && type_index >= num_base_types();
+  }
+  int BaseType(int type_index) const {
+    return IsSpotType(type_index) ? type_index - num_base_types() : type_index;
+  }
+
+  const SpotMarket& market() const { return market_; }
+
+  // Decision-price snapshot at time `now`: base entries verbatim, spot
+  // entries at quote x (1 + risk_premium). Fresh object per call — pricing
+  // caches key on catalog identity, so a new snapshot invalidates them.
+  std::unique_ptr<InstanceCatalog> MakeQuoteCatalog(SimTime now,
+                                                    double risk_premium) const;
+
+  // --- Admission and accounting -----------------------------------------
+  // Grants or denies one instance of `type_index` (tiered index). Grants
+  // must be serialized in tenant order by the caller (the federation's
+  // serial phase; a single-tenant simulator is trivially serial).
+  bool TryAcquire(int type_index, SimTime now);
+
+  // Returns the slot and records the uptime. Thread-safe; commutative, so
+  // concurrent releases from the federation's parallel phase are
+  // deterministic in effect.
+  void Release(int type_index, SimTime acquired_at, SimTime now);
+
+  // Counts a preemption warning. Thread-safe.
+  void RecordPreemption(int type_index);
+
+  // True cost of holding `type_index` over [t0, t1]: the spot-trace
+  // integral for spot types, flat hourly price otherwise. Pure.
+  Money InstanceCost(int type_index, SimTime t0, SimTime t1) const;
+
+  // Snapshot of the counters plus derived utilization over [0, horizon].
+  // Sorts the (unordered) release records first, so the result is
+  // independent of release arrival order.
+  CloudProviderMetrics FinalizeMetrics(SimTime horizon) const;
+
+ private:
+  InstanceFamily FamilyOf(int type_index) const {
+    return tiered_catalog().Get(type_index).family;
+  }
+
+  static InstanceCatalog MakeTiered(const InstanceCatalog& base,
+                                    const SpotMarket& market);
+
+  const InstanceCatalog base_;
+  const CloudProviderOptions options_;
+  SpotMarket market_;
+  InstanceCatalog tiered_;  // == base twins appended; unused when spot off.
+
+  mutable std::mutex mutex_;
+  struct FamilyState {
+    int in_use = 0;
+    int peak_in_use = 0;
+    std::int64_t granted = 0;
+    std::int64_t denied = 0;
+    std::int64_t preempted = 0;
+    std::int64_t released = 0;
+    // Released-instance lifetimes, in arrival order (nondeterministic under
+    // concurrency); FinalizeMetrics sorts before folding.
+    std::vector<std::pair<SimTime, SimTime>> lifetimes;
+  };
+  std::array<FamilyState, kNumInstanceFamilies> families_;
+};
+
+}  // namespace eva
+
+#endif  // SRC_CLOUD_PROVIDER_H_

@@ -124,6 +124,9 @@ int EvaScheduler::CountJobEvents(const SchedulingContext& context) {
 }
 
 bool EvaScheduler::SameDecisionInputs(const SchedulingContext& context) const {
+  if (context.catalog != memo_.catalog) {
+    return false;  // Repriced catalog (spot quotes): candidates are stale.
+  }
   if (context.tasks.size() != memo_.tasks.size() ||
       context.instances.size() != memo_.instances.size()) {
     return false;
@@ -187,6 +190,7 @@ void EvaScheduler::ComputeCandidates(const SchedulingContext& context) {
 
   memo_.valid = true;
   memo_.table_version = monitor_.table().Version();
+  memo_.catalog = context.catalog;
   memo_.tasks = context.tasks;
   memo_.instances = context.instances;
   memo_.full = std::move(full);

@@ -169,6 +169,10 @@ class EvaScheduler : public Scheduler {
   struct RoundMemo {
     bool valid = false;
     std::uint64_t table_version = 0;
+    // Catalog the candidates were priced against (identity only, never
+    // dereferenced). The spot tier delivers a fresh quote catalog every
+    // round, which must defeat the memo; stable-catalog runs always match.
+    const InstanceCatalog* catalog = nullptr;
     std::vector<TaskInfo> tasks;
     std::vector<InstanceInfo> instances;
     ClusterConfig full;

@@ -24,7 +24,10 @@ std::size_t TnrpCalculator::SetHashExtend(std::size_t seed, TaskId member) {
 
 TnrpCalculator::TnrpCalculator(const SchedulingContext& context, Options options,
                                const ThroughputEstimator* estimator)
-    : context_(&context), options_(options), estimator_(estimator) {}
+    : context_(&context),
+      options_(options),
+      estimator_(estimator),
+      bound_catalog_(context.catalog) {}
 // The flat RP cache is built on Rebind only: a freshly constructed
 // calculator is usually a per-round temporary (the baselines), for which
 // allocating an id-indexed array every round would cost more than the hash
@@ -48,10 +51,11 @@ void TnrpCalculator::GrowRpFlat() {
 
 void TnrpCalculator::Rebind(const SchedulingContext& context,
                             const ThroughputEstimator* estimator) {
-  const bool catalog_changed = context.catalog != context_->catalog;
+  const bool catalog_changed = context.catalog != bound_catalog_;
   const ThroughputEstimator* previous = this->estimator();
   context_ = &context;
   estimator_ = estimator;
+  bound_catalog_ = context.catalog;
   const bool estimator_changed = this->estimator() != previous;
   if (catalog_changed) {
     for (RpShard& shard : rp_shards_) {

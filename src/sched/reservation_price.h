@@ -262,6 +262,15 @@ class TnrpCalculator {
   const ThroughputEstimator* estimator_;
   bool concurrent_ = true;
 
+  // Catalog the caches were computed against. Rebind must compare the new
+  // context's catalog against this saved value, NOT against
+  // context_->catalog: callers (the simulator) refill one context object in
+  // place across rounds, so by Rebind time the old object already carries
+  // the new catalog pointer and the comparison would always read "same" —
+  // silently keeping RP/TNRP entries priced off a catalog that changed
+  // (the spot tier's per-round quote snapshots).
+  const InstanceCatalog* bound_catalog_ = nullptr;
+
   // Flat RP cache for the dense task-id universe (simulator ids are
   // sequential): the RP lookup is the innermost pricing primitive, and a
   // vector index beats the hash probe it replaces by an order of magnitude.

@@ -108,6 +108,21 @@ void ClusterState::Condemn(InstanceId id) {
   }
 }
 
+void ClusterState::AccrueTerminated(const InstRec& instance, SimTime now) {
+  const SimTime uptime = std::max(now - instance.launch_time, 0.0);
+  if (cost_fn_) {
+    total_cost_ += cost_fn_(instance.type_index, instance.launch_time,
+                            instance.launch_time + uptime);
+  } else {
+    total_cost_ += CostForUptime(catalog_.Get(instance.type_index).cost_per_hour, uptime);
+  }
+  uptime_hours_.push_back(SecondsToHours(uptime));
+  if (terminated_fn_) {
+    terminated_fn_(instance.type_index, instance.launch_time,
+                   instance.launch_time + uptime);
+  }
+}
+
 bool ClusterState::MaybeTerminate(InstanceId id, SimTime now) {
   const auto it = instances_.find(id);
   if (it == instances_.end()) {
@@ -117,9 +132,7 @@ bool ClusterState::MaybeTerminate(InstanceId id, SimTime now) {
   if (!instance.condemned || !instance.assigned.empty() || !instance.present.empty()) {
     return false;
   }
-  const SimTime uptime = std::max(now - instance.launch_time, 0.0);
-  total_cost_ += CostForUptime(catalog_.Get(instance.type_index).cost_per_hour, uptime);
-  uptime_hours_.push_back(SecondsToHours(uptime));
+  AccrueTerminated(instance, now);
   Shard& shard = ShardOf(instance.type_index);
   shard.members.erase(id);
   shard.dirty = true;
@@ -131,9 +144,7 @@ bool ClusterState::MaybeTerminate(InstanceId id, SimTime now) {
 
 void ClusterState::TerminateAllLive(SimTime now) {
   for (auto& [id, instance] : instances_) {
-    const SimTime uptime = std::max(now - instance.launch_time, 0.0);
-    total_cost_ += CostForUptime(catalog_.Get(instance.type_index).cost_per_hour, uptime);
-    uptime_hours_.push_back(SecondsToHours(uptime));
+    AccrueTerminated(instance, now);
     round_delta_.instances_terminated.push_back(id);
   }
   instances_.clear();
@@ -164,6 +175,18 @@ void ClusterState::SetTarget(TaskRec& task, InstanceId dest) {
   task.target = dest;
   instances_.at(dest).assigned.insert(task.id);
   MarkAssignmentChanged(dest);
+  round_delta_.tasks_retargeted.push_back(task.id);
+}
+
+void ClusterState::ClearTarget(TaskRec& task) {
+  if (task.target == kInvalidInstanceId) {
+    return;
+  }
+  if (InstRec* target = FindInstance(task.target)) {
+    target->assigned.erase(task.id);
+  }
+  MarkAssignmentChanged(task.target);
+  task.target = kInvalidInstanceId;
   round_delta_.tasks_retargeted.push_back(task.id);
 }
 

@@ -25,6 +25,7 @@
 #ifndef SRC_SIM_CLUSTER_STATE_H_
 #define SRC_SIM_CLUSTER_STATE_H_
 
+#include <functional>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -155,6 +156,11 @@ class ClusterState {
   // set (if any) and inserts it into dest's. Does not change task state.
   void SetTarget(TaskRec& task, InstanceId dest);
 
+  // Detaches `task` from its target without assigning a new one (spot
+  // eviction): removed from the target's assigned set, target cleared,
+  // recorded in the round delta. No-op for unassigned tasks.
+  void ClearTarget(TaskRec& task);
+
   // The container lands on the task's target: source = target, present +=.
   void PlaceContainer(TaskRec& task);
 
@@ -202,10 +208,30 @@ class ClusterState {
   // table metrics and the completed-job JCT/throughput/idle averages.
   void FinalizeMetrics(SimulationMetrics& metrics) const;
 
+  // --- Cloud provider hooks ----------------------------------------------
+  // Custom pricing for an instance's [launch, end] lifetime (the spot tier's
+  // time-varying trace). Unset (the default): CostForUptime(catalog hourly
+  // price, uptime) — the exact original expression, bit-for-bit.
+  using InstanceCostFn = std::function<Money(int type_index, SimTime launch, SimTime end)>;
+  void set_instance_cost_fn(InstanceCostFn fn) { cost_fn_ = std::move(fn); }
+
+  // Observer invoked whenever an instance's lifetime ends (MaybeTerminate
+  // and TerminateAllLive) — the provider's capacity-release channel.
+  using InstanceTerminatedFn =
+      std::function<void(int type_index, SimTime launch, SimTime end)>;
+  void set_instance_terminated_fn(InstanceTerminatedFn fn) {
+    terminated_fn_ = std::move(fn);
+  }
+
  private:
   Shard& ShardOf(int type_index) { return shards_[static_cast<std::size_t>(type_index)]; }
   void MarkAssignmentChanged(InstanceId instance_id);
   void RefreshCompositionSums();
+
+  // Shared tail of every termination path: accrues cost (through the cost
+  // hook when set) and the uptime sample, and notifies the termination
+  // observer.
+  void AccrueTerminated(const InstRec& instance, SimTime now);
 
   const InstanceCatalog& catalog_;
 
@@ -241,6 +267,9 @@ class ClusterState {
   double cached_assigned_tasks_ = 0.0;
 
   RoundDelta round_delta_;
+
+  InstanceCostFn cost_fn_;
+  InstanceTerminatedFn terminated_fn_;
 
   // Metric accumulators.
   int instances_launched_ = 0;

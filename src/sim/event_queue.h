@@ -25,6 +25,11 @@ enum class SimEventType {
   kCheckpointDone,
   kLaunchDone,
   kCompletionCheck,
+  // Cloud provider market (src/cloud/provider.h): a spot repricing step
+  // (scan live spot instances for preemption warnings) and the reclaim of
+  // one warned instance after the two-minute notice (`a` = instance id).
+  kSpotCheck,
+  kSpotPreempt,
 };
 
 struct SimEvent {

@@ -1,0 +1,166 @@
+#include "src/sim/federation.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <memory>
+
+#include "src/common/thread_pool.h"
+#include "src/workload/trace_gen.h"
+
+namespace eva {
+
+std::vector<FederationTenant> MakeTenantShards(const Trace& base, int num_tenants,
+                                               int jobs_per_tenant,
+                                               std::uint64_t seed_base,
+                                               SchedulerKind kind) {
+  std::vector<FederationTenant> tenants;
+  tenants.reserve(static_cast<std::size_t>(num_tenants));
+  for (int i = 0; i < num_tenants; ++i) {
+    TraceScaleOptions scale;
+    scale.target_jobs = jobs_per_tenant;
+    scale.seed = seed_base + static_cast<std::uint64_t>(i);
+    scale.rate_multiplier =
+        static_cast<double>(base.jobs.size()) / std::max(jobs_per_tenant, 1);
+    FederationTenant tenant;
+    tenant.name = "tenant" + std::to_string(i);
+    tenant.trace = ScaleTrace(base, scale);
+    tenant.kind = kind;
+    tenants.push_back(std::move(tenant));
+  }
+  return tenants;
+}
+
+FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
+                               const FederationOptions& options) {
+  FederationResult result;
+  if (tenants.empty()) {
+    return result;
+  }
+
+  CloudProvider provider(options.catalog, options.provider);
+
+  // One bundle + simulator per tenant, all provisioned from `provider`.
+  struct TenantRun {
+    SchedulerBundle bundle;
+    std::unique_ptr<Simulator> simulator;
+  };
+  std::vector<TenantRun> runs;
+  runs.reserve(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    TenantRun run;
+    run.bundle = MakeScheduler(tenants[i].kind, options.interference, options.eva);
+    SimulatorOptions sim_options = options.simulator;
+    // The shared provider's own options govern; SimulatorOptions::provider
+    // is only consulted when a simulator constructs a private provider.
+    sim_options.shared_provider = &provider;
+    sim_options.tenant_id = static_cast<int>(i);
+    sim_options.seed = options.simulator.seed + i;
+    run.simulator = std::make_unique<Simulator>(tenants[i].trace,
+                                                run.bundle.scheduler.get(), options.catalog,
+                                                options.interference, sim_options);
+    run.simulator->Start();
+    runs.push_back(std::move(run));
+  }
+
+  const int threads = options.num_threads > 0 ? options.num_threads
+                                              : ThreadPool::DefaultThreads();
+  ThreadPool pool(std::min<int>(threads, static_cast<int>(runs.size())));
+  constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+
+  const auto next_barrier = [&runs]() {
+    SimTime barrier = std::numeric_limits<SimTime>::infinity();
+    for (const TenantRun& run : runs) {
+      barrier = std::min(barrier, run.simulator->NextRoundTime());
+    }
+    return barrier;
+  };
+  const auto all_drained = [&runs]() {
+    for (const TenantRun& run : runs) {
+      if (!run.simulator->Drained()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  while (true) {
+    SimTime barrier = next_barrier();
+
+    // Parallel phase: every tenant burns through its non-round events below
+    // the barrier. Per-tenant work is fully independent; the only shared
+    // state touched (provider releases/preemption tallies) is commutative,
+    // so the barrier snapshot is the same for every pool size.
+    {
+      ThreadPool::TaskGroup group(pool);
+      for (TenantRun& run : runs) {
+        Simulator* simulator = run.simulator.get();
+        group.Submit([simulator, barrier] { simulator->AdvanceUntil(barrier); });
+      }
+      group.Wait();
+    }
+
+    // A tenant may have re-triggered its round chain below the barrier (an
+    // arrival after a drained stretch). Rounds must only run in the serial
+    // phase at the *global* minimum, so restart the loop with the earlier
+    // barrier before touching any round.
+    const SimTime recomputed = next_barrier();
+    if (recomputed < barrier) {
+      continue;
+    }
+    barrier = recomputed;
+    if (barrier == kInf) {
+      // No rounds pending anywhere and every queue below a round is
+      // drained: the federation is finished.
+      if (all_drained()) {
+        break;
+      }
+      continue;
+    }
+
+    // Serial phase, tenant order: the barrier-time events — scheduling
+    // rounds and anything sharing their timestamp — run one tenant at a
+    // time, so contended TryAcquire calls arbitrate deterministically.
+    for (TenantRun& run : runs) {
+      run.simulator->ProcessEventsThrough(barrier);
+    }
+  }
+
+  result.tenants.reserve(tenants.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    FederationResult::Tenant tenant;
+    tenant.name = tenants[i].name;
+    tenant.kind = tenants[i].kind;
+    tenant.metrics = runs[i].simulator->Finish();
+    result.horizon_s = std::max(result.horizon_s, tenant.metrics.makespan_s);
+    result.tenants.push_back(std::move(tenant));
+  }
+  result.provider = provider.FinalizeMetrics(result.horizon_s);
+  return result;
+}
+
+void PrintFederationReport(const FederationResult& result) {
+  std::printf("%-12s %-12s %12s %10s %8s %8s %8s %8s %9s\n", "Tenant", "Scheduler",
+              "Cost($)", "SpotCost", "JCT(h)", "Denied", "Preempt", "SpotInst", "Jobs");
+  for (const FederationResult::Tenant& tenant : result.tenants) {
+    const SimulationMetrics& m = tenant.metrics;
+    std::printf("%-12s %-12s %12.2f %10.2f %8.2f %8d %8d %8d %4d/%-4d\n",
+                tenant.name.c_str(), SchedulerKindName(tenant.kind), m.total_cost,
+                m.spot_cost, m.avg_jct_hours, m.acquisitions_denied, m.spot_preemptions,
+                m.spot_instances_launched, m.jobs_completed, m.jobs_submitted);
+  }
+  std::printf("provider (horizon %.1f h):\n", SecondsToHours(result.horizon_s));
+  for (int f = 0; f < kNumInstanceFamilies; ++f) {
+    const CloudProviderMetrics::Family& family =
+        result.provider.families[static_cast<std::size_t>(f)];
+    std::printf(
+        "  %-4s cap=%-4d granted=%-6lld denied=%-6lld preempted=%-5lld peak=%-4d "
+        "util=%5.1f%% inst-h=%.1f\n",
+        InstanceFamilyName(static_cast<InstanceFamily>(f)), family.capacity,
+        static_cast<long long>(family.granted), static_cast<long long>(family.denied),
+        static_cast<long long>(family.preempted), family.peak_in_use,
+        family.avg_utilization * 100.0, family.instance_hours);
+  }
+}
+
+}  // namespace eva

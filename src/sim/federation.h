@@ -1,0 +1,100 @@
+// Multi-tenant federation driver: N tenant simulators contending for one
+// shared CloudProvider in lockstep virtual time.
+//
+// Each tenant is a full Simulator (own trace, own scheduler, own metrics)
+// constructed against the shared provider's catalog. The driver interleaves
+// them with a two-phase barrier protocol that is deterministic by
+// construction — bit-identical results across runs AND across thread-pool
+// sizes:
+//
+//   1. Parallel phase. Every tenant processes its pending events up to
+//      (strictly before) T, the earliest pending scheduling round across
+//      all tenants, fanning out on the thread pool. No events in this
+//      window acquire provider capacity (only scheduling rounds launch
+//      instances); the provider mutations that can occur — capacity
+//      releases and preemption tallies — are commutative integer updates
+//      plus unordered record appends that are sorted before any
+//      floating-point fold, so the provider state at the barrier does not
+//      depend on interleaving.
+//
+//   2. Serial phase. Tenants whose next events sit exactly at T process
+//      them one tenant at a time, in tenant-index order. Scheduling rounds
+//      (and therefore all TryAcquire calls) happen only here, giving
+//      contended acquisitions a deterministic (virtual time, tenant index)
+//      arbitration order.
+//
+// A tenant that drains its round chain and later re-triggers it (an arrival
+// after an idle stretch) can create a round earlier than T mid-phase; the
+// driver detects this and re-computes the barrier before any round runs.
+
+#ifndef SRC_SIM_FEDERATION_H_
+#define SRC_SIM_FEDERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cloud/provider.h"
+#include "src/sim/experiment.h"
+#include "src/sim/simulator.h"
+
+namespace eva {
+
+struct FederationTenant {
+  std::string name;
+  Trace trace;
+  SchedulerKind kind = SchedulerKind::kEva;
+};
+
+struct FederationOptions {
+  // Per-tenant simulator options. shared_provider/tenant_id are overwritten
+  // per tenant; seed is offset by the tenant index so each tenant owns an
+  // independent stream.
+  SimulatorOptions simulator;
+  EvaOptions eva;
+  InterferenceModel interference = InterferenceModel::Measured();
+  InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+
+  // The shared provider every tenant provisions from.
+  CloudProviderOptions provider;
+
+  // Worker threads for the parallel phase; <= 0 uses all hardware threads.
+  int num_threads = 0;
+};
+
+struct FederationResult {
+  struct Tenant {
+    std::string name;
+    SchedulerKind kind = SchedulerKind::kEva;
+    SimulationMetrics metrics;
+  };
+
+  std::vector<Tenant> tenants;
+  CloudProviderMetrics provider;
+
+  // Latest tenant makespan — the federation's virtual horizon, which the
+  // provider utilization is normalized against.
+  SimTime horizon_s = 0.0;
+};
+
+// Runs every tenant to completion against one shared provider and returns
+// per-tenant metrics plus the provider-level tallies.
+FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
+                               const FederationOptions& options);
+
+// The standard multi-tenant scenario recipe (bench_federation and the
+// federation tests share it): N ScaleTrace shards of `base`, each thinned
+// to `jobs_per_tenant` jobs with the arrival rate re-densified to the
+// source's cadence — thinning alone would stretch the arrival process
+// ~source/target x, and non-overlapping tenants never contend. Tenant i is
+// named "tenant<i>" and seeded seed_base + i (distinct job mixes).
+std::vector<FederationTenant> MakeTenantShards(const Trace& base, int num_tenants,
+                                               int jobs_per_tenant,
+                                               std::uint64_t seed_base = 101,
+                                               SchedulerKind kind = SchedulerKind::kEva);
+
+// Renders a per-tenant table plus the provider summary.
+void PrintFederationReport(const FederationResult& result);
+
+}  // namespace eva
+
+#endif  // SRC_SIM_FEDERATION_H_

@@ -58,6 +58,13 @@ struct SimulationMetrics {
   // events/sec figure the perf benchmarks track.
   std::int64_t events_processed = 0;
 
+  // --- Cloud provider interactions (all 0 when the provider is disabled,
+  // the default: infinite capacity, on-demand only) ---
+  int acquisitions_denied = 0;     // Launches refused by an exhausted pool.
+  int spot_instances_launched = 0; // Instances acquired on the spot tier.
+  int spot_preemptions = 0;        // Two-minute preemption warnings received.
+  Money spot_cost = 0.0;           // Portion of total_cost paid at spot rates.
+
   // Wall time spent inside the scheduler per run (ObserveThroughput +
   // Schedule, summed over rounds) — divided by scheduling_rounds this is
   // the per-round decision latency the perf benchmarks report. Measurement

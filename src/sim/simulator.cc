@@ -24,14 +24,49 @@ class Simulator::Impl {
        const InterferenceModel& interference, SimulatorOptions options)
       : trace_(trace),
         scheduler_(scheduler),
-        catalog_(catalog),
         options_(options),
+        provider_owned_(options_.shared_provider == nullptr && options_.provider.enabled
+                            ? std::make_unique<CloudProvider>(catalog, options_.provider)
+                            : nullptr),
+        provider_(options_.shared_provider != nullptr ? options_.shared_provider
+                                                      : provider_owned_.get()),
+        catalog_(provider_ != nullptr ? provider_->tiered_catalog() : catalog),
         rng_(options.seed),
-        state_(catalog),
-        exec_(&state_, &catalog, &interference),
-        lifecycle_(&state_, &exec_, &queue_, options.migration_delay_multiplier) {}
+        state_(catalog_),
+        exec_(&state_, &catalog_, &interference),
+        lifecycle_(&state_, &exec_, &queue_, options.migration_delay_multiplier) {
+    if (provider_ != nullptr) {
+      // Spot instances are priced off the market's trace integral (and the
+      // spot share is tracked); releases return pool capacity. The hooks
+      // reproduce the default expressions exactly for on-demand types.
+      state_.set_instance_cost_fn([this](int type_index, SimTime launch, SimTime end) {
+        const Money cost = provider_->InstanceCost(type_index, launch, end);
+        if (provider_->IsSpotType(type_index)) {
+          metrics_.spot_cost += cost;
+        }
+        return cost;
+      });
+      state_.set_instance_terminated_fn([this](int type_index, SimTime launch, SimTime end) {
+        provider_->Release(type_index, launch, end);
+      });
+    }
+  }
 
   SimulationMetrics Run();
+
+  // Lockstep stepping API (see simulator.h).
+  void Start();
+  SimTime NextRoundTime() const {
+    // An aborted run (max_sim_time_s) reports no pending round even though
+    // the round event that tripped the limit never ran — otherwise a
+    // federation barrier would stay pinned at its stale time forever.
+    return round_scheduled_ && !aborted_ ? next_round_time_
+                                         : std::numeric_limits<SimTime>::infinity();
+  }
+  bool Drained() const { return aborted_ || queue_.Empty(); }
+  void AdvanceUntil(SimTime limit);
+  void ProcessEventsThrough(SimTime t);
+  SimulationMetrics Finish();
 
  private:
   void Advance(SimTime to);
@@ -39,11 +74,31 @@ class Simulator::Impl {
   // every event, standing in for the old full-cluster rescan.
   void RecomputeAndArm();
 
+  // Pops and dispatches exactly one event. Returns false when the run
+  // aborted (event beyond max_sim_time_s). Requires !queue_.Empty().
+  bool ProcessOneEvent();
+
   void HandleArrival(std::int64_t job_index);
   void HandleRound();
   void HandleInstanceReady(InstanceId id);
   void HandleCompletionCheck();
+  void HandleSpotCheck();
+  void HandleSpotPreempt(InstanceId id);
   void ApplyConfig(const SchedulingContext& context, const ClusterConfig& config);
+
+  void PushRound(SimTime at) {
+    round_scheduled_ = true;
+    next_round_time_ = at;
+    queue_.Push(at, SimEventType::kRound);
+  }
+
+  // Arms the next spot repricing check if none is outstanding.
+  void ArmSpotCheck();
+  // Issues the two-minute warning for one spot instance: evicts its
+  // assigned tasks, condemns it, and schedules the reclaim.
+  void WarnSpotInstance(InstanceId id);
+
+  bool SpotActive() const { return provider_ != nullptr && provider_->spot_enabled(); }
 
   bool HasActiveJobs() const { return state_.num_active() > 0; }
   bool HasPendingArrivals() const { return next_arrival_ < trace_.jobs.size(); }
@@ -52,16 +107,26 @@ class Simulator::Impl {
   // would see and the observations it would receive are identical (up to the
   // clock and remaining-runtime estimates) to the previous round's, and the
   // previous configuration was applied without touching the cluster. Such a
-  // round may be offered to Scheduler::CoalesceQuiescentRounds.
+  // round may be offered to Scheduler::CoalesceQuiescentRounds. Spot quotes
+  // drift between rounds, so no round is quiescent while the market is on.
   bool RoundIsQuiescent() const {
     return options_.coalesce_quiescent_rounds && !options_.physical_mode &&
-           last_apply_noop_ && !rates_dirty_since_round_ && !state_.HasPendingDelta();
+           !SpotActive() && last_apply_noop_ && !rates_dirty_since_round_ &&
+           !state_.HasPendingDelta();
   }
 
   const Trace& trace_;
   Scheduler* scheduler_;
-  const InstanceCatalog& catalog_;
   SimulatorOptions options_;
+
+  // Cloud provider market: owned for single-tenant runs, borrowed from the
+  // federation otherwise; null when disabled. `catalog_` is the catalog the
+  // engine actually runs against — the provider's tiered catalog (stable
+  // object) when a provider exists, the caller's otherwise.
+  std::unique_ptr<CloudProvider> provider_owned_;
+  CloudProvider* provider_;
+  const InstanceCatalog& catalog_;
+
   Rng rng_;
 
   ClusterState state_;
@@ -73,6 +138,17 @@ class Simulator::Impl {
   SimTime pending_completion_check_ = std::numeric_limits<SimTime>::infinity();
   SimTime now_ = 0.0;
   bool round_scheduled_ = false;
+  SimTime next_round_time_ = 0.0;
+  bool aborted_ = false;
+
+  // One outstanding spot repricing check at a time; re-armed while spot
+  // instances are live and parked (flag false) when none remain.
+  bool spot_check_armed_ = false;
+
+  // Per-round decision-price snapshot: the tiered catalog with spot entries
+  // at the current quote x (1 + risk premium). A fresh object per round —
+  // pricing caches key on catalog identity, so new quotes invalidate them.
+  std::unique_ptr<InstanceCatalog> quote_catalog_;
 
   // Quiescence tracking for the batched round trigger. `last_apply_noop_`:
   // the previous round's configuration changed nothing (no launches,
@@ -148,8 +224,7 @@ void Simulator::Impl::HandleRound() {
       (HasActiveJobs() || HasPendingArrivals() || state_.HasLiveInstances()) &&
       scheduler_->CoalesceQuiescentRounds(1, options_.scheduling_period_s) > 0) {
     ++metrics_.rounds_coalesced;
-    round_scheduled_ = true;
-    queue_.Push(now_ + options_.scheduling_period_s, SimEventType::kRound);
+    PushRound(now_ + options_.scheduling_period_s);
     return;
   }
 
@@ -161,6 +236,15 @@ void Simulator::Impl::HandleRound() {
       options_.physical_mode, options_.observation_noise_stddev, &rng_);
   SchedulingContext& context = round_context_;  // Reused storage across rounds.
   state_.FillContext(now_, options_.grant_runtime_estimates, context);
+  if (SpotActive()) {
+    // Reprice the spot tier for this round's decision. The previous round's
+    // snapshot stays alive until the new one exists, so catalog identities
+    // never collide and every pricing cache sees the change.
+    std::unique_ptr<InstanceCatalog> quote =
+        provider_->MakeQuoteCatalog(now_, options_.spot_risk_premium);
+    quote_catalog_ = std::move(quote);
+    context.catalog = quote_catalog_.get();
+  }
   context.delta = state_.TakeRoundDelta();
   rates_dirty_since_round_ = false;  // This round's snapshot is the new baseline.
   const auto sched_start = std::chrono::steady_clock::now();
@@ -186,8 +270,7 @@ void Simulator::Impl::HandleRound() {
   // Keep the cadence while there is anything left to manage (evaluated after
   // the configuration took effect, so a final cleanup round ends the chain).
   if (HasActiveJobs() || HasPendingArrivals() || state_.HasLiveInstances()) {
-    round_scheduled_ = true;
-    queue_.Push(now_ + options_.scheduling_period_s, SimEventType::kRound);
+    PushRound(now_ + options_.scheduling_period_s);
   }
 }
 
@@ -201,12 +284,23 @@ void Simulator::Impl::ApplyConfig(const SchedulingContext& context,
   last_apply_noop_ =
       diff.terminate.empty() && diff.moves.empty() && diff.NumLaunches() == 0;
 
-  // Launch new instances.
+  // Launch new instances, subject to provider admission: an exhausted
+  // family pool denies the launch, the binding stays unbound, and every
+  // task routed to it keeps its previous placement until a later round
+  // succeeds (or the scheduler gives up).
+  bool any_denied = false;
   std::vector<InstanceId> binding_instance(diff.bindings.size(), kInvalidInstanceId);
   for (std::size_t i = 0; i < diff.bindings.size(); ++i) {
     const ConfigDiff::Binding& binding = diff.bindings[i];
     if (binding.existing_id != kInvalidInstanceId) {
       binding_instance[i] = binding.existing_id;
+      continue;
+    }
+    if (provider_ != nullptr && !provider_->TryAcquire(binding.type_index, now_)) {
+      ++metrics_.acquisitions_denied;
+      any_denied = true;
+      EVA_LOG_DEBUG("tenant %d: launch of type %d denied at t=%.0f", options_.tenant_id,
+                    binding.type_index, now_);
       continue;
     }
     const SimTime delay = options_.cloud_delays.ProvisioningDelay(
@@ -215,19 +309,131 @@ void Simulator::Impl::ApplyConfig(const SchedulingContext& context,
         state_.CreateInstance(binding.type_index, now_, now_ + delay);
     binding_instance[i] = instance.id;
     queue_.Push(instance.ready_time, SimEventType::kInstanceReady, instance.id);
+    if (provider_ != nullptr && provider_->IsSpotType(binding.type_index)) {
+      ++metrics_.spot_instances_launched;
+      ArmSpotCheck();
+    }
   }
 
-  // Condemn instances leaving the configuration.
-  for (InstanceId id : diff.terminate) {
-    state_.Condemn(id);
+  // Which moves execute. Without denials: every move (the config was
+  // validated whole, and capacity is "eventual" — swaps may transiently
+  // overlap). A denial, however, strands each dropped move's task on its
+  // current instance, which the scheduler's plan assumed vacated — blindly
+  // executing the arrivals into that instance would over-commit it, and the
+  // oversubscribed assignment would then poison every later round (Partial
+  // Reconfiguration keeps instances verbatim, so the invalid set never
+  // heals). Re-verify arrivals against projected capacity instead, dropping
+  // (in diff order, to a fixpoint — a dropped arrival bounces its task back
+  // to an instance earlier arrivals were checked without) whatever no
+  // longer fits.
+  thread_local std::vector<char> execute;  // Pooled round scratch.
+  execute.assign(diff.moves.size(), 1);
+  for (std::size_t i = 0; i < diff.moves.size(); ++i) {
+    const TaskRec* task = state_.FindTask(diff.moves[i].task);
+    if (task == nullptr || task->state == TaskState::kDone ||
+        binding_instance[static_cast<std::size_t>(diff.moves[i].to_binding)] ==
+            kInvalidInstanceId) {
+      execute[i] = 0;
+    }
+  }
+  if (any_denied) {
+    // Move sources/destinations are live by the assigned-set invariant
+    // (MaybeTerminate requires assigned empty), so the instance lookup is
+    // dereferenced unchecked — pricing demand against a substitute family
+    // would silently corrupt the capacity re-verify.
+    const auto demand_on = [&](const TaskRec& task, InstanceId instance_id) {
+      const InstanceFamily family =
+          catalog_.Get(state_.FindInstance(instance_id)->type_index).family;
+      return task.job_ref->spec.DemandFor(family);
+    };
+    for (bool changed = true; changed;) {
+      changed = false;
+      // Projected per-instance demand if the currently executable moves all
+      // run: start from the live assignment, apply departures, then re-add
+      // arrivals one by one with a fit check at the destination.
+      std::map<InstanceId, ResourceVector> projected;
+      const auto projected_for = [&](InstanceId id) -> ResourceVector& {
+        auto [it, inserted] = projected.try_emplace(id);
+        if (inserted) {
+          if (const InstRec* instance = state_.FindInstance(id)) {
+            for (TaskId task_id : instance->assigned) {
+              if (const TaskRec* task = state_.FindTask(task_id)) {
+                it->second += demand_on(*task, id);
+              }
+            }
+          }
+        }
+        return it->second;
+      };
+      for (std::size_t i = 0; i < diff.moves.size(); ++i) {
+        if (!execute[i]) {
+          continue;
+        }
+        const TaskRec& task = *state_.FindTask(diff.moves[i].task);
+        if (task.target != kInvalidInstanceId) {
+          projected_for(task.target) -= demand_on(task, task.target);
+        }
+      }
+      for (std::size_t i = 0; i < diff.moves.size(); ++i) {
+        if (!execute[i]) {
+          continue;
+        }
+        const InstanceId dest =
+            binding_instance[static_cast<std::size_t>(diff.moves[i].to_binding)];
+        const TaskRec& task = *state_.FindTask(diff.moves[i].task);
+        ResourceVector& load = projected_for(dest);
+        const ResourceVector demand = demand_on(task, dest);
+        ResourceVector with = load;
+        with += demand;
+        const InstRec& inst = *state_.FindInstance(dest);
+        if (with.FitsWithin(catalog_.Get(inst.type_index).capacity)) {
+          load = with;
+          continue;
+        }
+        // Dropped: the task stays put; its departure must not have been
+        // applied. Restore and re-verify from the top.
+        execute[i] = 0;
+        if (task.target != kInvalidInstanceId) {
+          projected_for(task.target) += demand_on(task, task.target);
+        }
+        changed = true;
+      }
+    }
   }
 
-  // Execute task moves.
-  for (const ConfigDiff::Move& move : diff.moves) {
-    TaskRec* task = state_.FindTask(move.task);
-    if (task == nullptr || task->state == TaskState::kDone) {
+  // Condemn instances leaving the configuration — except any that still
+  // host a task whose move was dropped above. Condemned instances vanish
+  // from the scheduler's context, so condemning one with a stranded task
+  // would pin that task to an invisible instance no later round can
+  // re-pool; keeping the instance visible keeps the "denials throttle,
+  // the scheduler retries" loop real. Without denials every move executes
+  // (dropped entries are dead/absent tasks only), so this is exactly the
+  // old unconditional condemn.
+  thread_local std::vector<InstanceId> keep_visible;  // Pooled round scratch.
+  keep_visible.clear();
+  for (std::size_t i = 0; i < diff.moves.size(); ++i) {
+    if (execute[i]) {
       continue;
     }
+    const TaskRec* task = state_.FindTask(diff.moves[i].task);
+    if (task != nullptr && task->state != TaskState::kDone &&
+        task->target != kInvalidInstanceId) {
+      keep_visible.push_back(task->target);
+    }
+  }
+  for (InstanceId id : diff.terminate) {
+    if (std::find(keep_visible.begin(), keep_visible.end(), id) == keep_visible.end()) {
+      state_.Condemn(id);
+    }
+  }
+
+  // Execute the surviving moves.
+  for (std::size_t i = 0; i < diff.moves.size(); ++i) {
+    if (!execute[i]) {
+      continue;
+    }
+    const ConfigDiff::Move& move = diff.moves[i];
+    TaskRec* task = state_.FindTask(move.task);
     if (move.from_instance != kInvalidInstanceId) {
       ++metrics_.task_migrations;
     }
@@ -276,7 +482,180 @@ void Simulator::Impl::HandleCompletionCheck() {
   }
 }
 
-SimulationMetrics Simulator::Impl::Run() {
+void Simulator::Impl::ArmSpotCheck() {
+  if (!SpotActive() || spot_check_armed_) {
+    return;
+  }
+  spot_check_armed_ = true;
+  queue_.Push(provider_->market().NextStepBoundary(now_), SimEventType::kSpotCheck);
+}
+
+void Simulator::Impl::WarnSpotInstance(InstanceId id) {
+  InstRec* inst = state_.FindInstance(id);
+  if (inst == nullptr) {
+    return;
+  }
+  ++metrics_.spot_preemptions;
+  provider_->RecordPreemption(inst->type_index);
+  EVA_LOG_DEBUG("tenant %d: spot instance %lld (type %d) preemption warning at t=%.0f",
+                options_.tenant_id, static_cast<long long>(id), inst->type_index, now_);
+  // Evict every task routed here: running tasks checkpoint (and park
+  // kPending when the checkpoint lands), parked/launching tasks drop back
+  // to the pending pool immediately.
+  const std::vector<TaskId> assigned(inst->assigned.begin(), inst->assigned.end());
+  for (TaskId task_id : assigned) {
+    if (TaskRec* task = state_.FindTask(task_id)) {
+      lifecycle_.Evict(*task, now_);
+    }
+  }
+  // Condemned: invisible to the scheduler from the next context on, and
+  // terminated (capacity released) the moment the last container leaves —
+  // possibly right now, if nothing was placed yet.
+  state_.Condemn(id);
+  queue_.Push(now_ + provider_->market().options().warning_s, SimEventType::kSpotPreempt,
+              id);
+  state_.MaybeTerminate(id, now_);
+}
+
+void Simulator::Impl::HandleSpotCheck() {
+  spot_check_armed_ = false;
+  // Scan live spot instances in id order (deterministic) for types whose
+  // quote crossed the preemption threshold this step.
+  std::vector<InstanceId> to_warn;
+  bool any_spot_live = false;
+  for (const auto& [id, instance] : state_.instances()) {
+    if (!provider_->IsSpotType(instance.type_index)) {
+      continue;
+    }
+    any_spot_live = true;
+    if (instance.condemned) {
+      continue;  // Already warned (or draining); reclaim is scheduled.
+    }
+    if (provider_->market().IsPreempting(provider_->BaseType(instance.type_index), now_)) {
+      to_warn.push_back(id);
+    }
+  }
+  for (InstanceId id : to_warn) {
+    WarnSpotInstance(id);
+  }
+  if (any_spot_live) {
+    ArmSpotCheck();  // Keep repricing while spot capacity is held.
+  }
+}
+
+void Simulator::Impl::HandleSpotPreempt(InstanceId id) {
+  InstRec* inst = state_.FindInstance(id);
+  if (inst == nullptr) {
+    return;  // Drained (all checkpoints finished) and already terminated.
+  }
+  // The notice expired with containers still aboard (checkpoints slower
+  // than the warning): they are lost. Mark neighbors dirty first — the
+  // instance record disappears below.
+  exec_.MarkInstanceDirty(*inst);
+  const std::vector<TaskId> present(inst->present.begin(), inst->present.end());
+  for (TaskId task_id : present) {
+    TaskRec* task = state_.FindTask(task_id);
+    if (task == nullptr) {
+      continue;
+    }
+    ++task->version;  // Cancels the in-flight checkpoint completion.
+    state_.RemoveContainer(*task);
+    if (task->target != kInvalidInstanceId && task->target != id) {
+      // Outbound migration interrupted: the container is gone either way;
+      // relaunch at the (still valid) destination.
+      task->state = TaskState::kWaiting;
+      lifecycle_.TryLaunch(*task, now_);
+    } else {
+      state_.ClearTarget(*task);
+      task->state = TaskState::kPending;
+    }
+  }
+  // Anything still assigned (defensive — the warning evicted these) drops
+  // back to pending too.
+  const std::vector<TaskId> assigned(inst->assigned.begin(), inst->assigned.end());
+  for (TaskId task_id : assigned) {
+    if (TaskRec* task = state_.FindTask(task_id)) {
+      lifecycle_.Evict(*task, now_);
+    }
+  }
+  state_.Condemn(id);
+  state_.MaybeTerminate(id, now_);
+}
+
+bool Simulator::Impl::ProcessOneEvent() {
+  const SimEvent event = queue_.Pop();
+  if (event.time > options_.max_sim_time_s) {
+    EVA_LOG_ERROR("simulation exceeded max time; aborting with %d active jobs",
+                  state_.num_active());
+    aborted_ = true;
+    // Pay for and release everything immediately: in a federation, an
+    // aborted tenant must not sit on shared pool capacity while the
+    // surviving tenants finish (Finish()'s own TerminateAllLive is then a
+    // no-op — same cost, same uptime samples, charged at the same now_).
+    state_.TerminateAllLive(now_);
+    return false;
+  }
+  Advance(event.time);
+  ++metrics_.events_processed;
+  EVA_LOG_DEBUG("event t=%.3f type=%d a=%lld v=%d active=%d live=%zu queue=%zu", event.time,
+                static_cast<int>(event.type), static_cast<long long>(event.a), event.version,
+                state_.num_active(), state_.instances().size(), queue_.Size());
+  switch (event.type) {
+    case SimEventType::kArrival:
+      HandleArrival(event.a);
+      ++next_arrival_;
+      if (HasPendingArrivals()) {
+        queue_.Push(trace_.jobs[next_arrival_].arrival_time_s, SimEventType::kArrival,
+                    static_cast<std::int64_t>(next_arrival_));
+      }
+      if (!round_scheduled_) {
+        // The cluster drained; resume scheduling rounds.
+        PushRound(now_);
+      }
+      break;
+    case SimEventType::kRound:
+      HandleRound();
+      break;
+    case SimEventType::kInstanceReady:
+      // Task-rate transitions invalidate round quiescence: the next
+      // round's observations can differ even when the RoundDelta is empty
+      // (these transitions never touch the delta).
+      rates_dirty_since_round_ = true;
+      HandleInstanceReady(event.a);
+      break;
+    case SimEventType::kCheckpointDone:
+      if (TaskRec* task = state_.FindTask(event.a)) {
+        if (task->version == event.version && task->state == TaskState::kCheckpointing) {
+          rates_dirty_since_round_ = true;
+          lifecycle_.OnCheckpointDone(*task, now_);
+        }
+      }
+      break;
+    case SimEventType::kLaunchDone:
+      if (TaskRec* task = state_.FindTask(event.a)) {
+        if (task->version == event.version && task->state == TaskState::kLaunching) {
+          rates_dirty_since_round_ = true;
+          lifecycle_.OnLaunchDone(*task);
+        }
+      }
+      break;
+    case SimEventType::kCompletionCheck:
+      HandleCompletionCheck();
+      break;
+    case SimEventType::kSpotCheck:
+      rates_dirty_since_round_ = true;
+      HandleSpotCheck();
+      break;
+    case SimEventType::kSpotPreempt:
+      rates_dirty_since_round_ = true;
+      HandleSpotPreempt(event.a);
+      break;
+  }
+  RecomputeAndArm();
+  return true;
+}
+
+void Simulator::Impl::Start() {
   metrics_ = SimulationMetrics{};
   metrics_.scheduler_name = scheduler_->name();
   metrics_.trace_name = trace_.name;
@@ -289,68 +668,23 @@ SimulationMetrics Simulator::Impl::Run() {
   if (!trace_.jobs.empty()) {
     queue_.Push(trace_.jobs[0].arrival_time_s, SimEventType::kArrival, 0);
   }
-  queue_.Push(0.0, SimEventType::kRound);
-  round_scheduled_ = true;
+  PushRound(0.0);
+}
 
-  while (!queue_.Empty()) {
-    const SimEvent event = queue_.Pop();
-    if (event.time > options_.max_sim_time_s) {
-      EVA_LOG_ERROR("simulation exceeded max time; aborting with %d active jobs",
-                    state_.num_active());
-      break;
-    }
-    Advance(event.time);
-    ++metrics_.events_processed;
-    EVA_LOG_DEBUG("event t=%.3f type=%d a=%lld v=%d active=%d live=%zu queue=%zu", event.time,
-                  static_cast<int>(event.type), static_cast<long long>(event.a), event.version,
-                  state_.num_active(), state_.instances().size(), queue_.Size());
-    switch (event.type) {
-      case SimEventType::kArrival:
-        HandleArrival(event.a);
-        ++next_arrival_;
-        if (HasPendingArrivals()) {
-          queue_.Push(trace_.jobs[next_arrival_].arrival_time_s, SimEventType::kArrival,
-                      static_cast<std::int64_t>(next_arrival_));
-        }
-        if (!round_scheduled_) {
-          // The cluster drained; resume scheduling rounds.
-          round_scheduled_ = true;
-          queue_.Push(now_, SimEventType::kRound);
-        }
-        break;
-      case SimEventType::kRound:
-        HandleRound();
-        break;
-      case SimEventType::kInstanceReady:
-        // Task-rate transitions invalidate round quiescence: the next
-        // round's observations can differ even when the RoundDelta is empty
-        // (these transitions never touch the delta).
-        rates_dirty_since_round_ = true;
-        HandleInstanceReady(event.a);
-        break;
-      case SimEventType::kCheckpointDone:
-        if (TaskRec* task = state_.FindTask(event.a)) {
-          if (task->version == event.version && task->state == TaskState::kCheckpointing) {
-            rates_dirty_since_round_ = true;
-            lifecycle_.OnCheckpointDone(*task, now_);
-          }
-        }
-        break;
-      case SimEventType::kLaunchDone:
-        if (TaskRec* task = state_.FindTask(event.a)) {
-          if (task->version == event.version && task->state == TaskState::kLaunching) {
-            rates_dirty_since_round_ = true;
-            lifecycle_.OnLaunchDone(*task);
-          }
-        }
-        break;
-      case SimEventType::kCompletionCheck:
-        HandleCompletionCheck();
-        break;
-    }
-    RecomputeAndArm();
+void Simulator::Impl::AdvanceUntil(SimTime limit) {
+  while (!aborted_ && !queue_.Empty() && queue_.Top().time < limit &&
+         queue_.Top().type != SimEventType::kRound) {
+    ProcessOneEvent();
   }
+}
 
+void Simulator::Impl::ProcessEventsThrough(SimTime t) {
+  while (!aborted_ && !queue_.Empty() && queue_.Top().time <= t) {
+    ProcessOneEvent();
+  }
+}
+
+SimulationMetrics Simulator::Impl::Finish() {
   // Safety: pay for any instance still alive (a well-behaved run terminates
   // everything via the final cleanup round).
   state_.TerminateAllLive(now_);
@@ -364,6 +698,16 @@ SimulationMetrics Simulator::Impl::Run() {
   return metrics_;
 }
 
+SimulationMetrics Simulator::Impl::Run() {
+  Start();
+  while (!queue_.Empty()) {
+    if (!ProcessOneEvent()) {
+      break;
+    }
+  }
+  return Finish();
+}
+
 Simulator::Simulator(const Trace& trace, Scheduler* scheduler, const InstanceCatalog& catalog,
                      const InterferenceModel& interference, SimulatorOptions options)
     : impl_(std::make_unique<Impl>(trace, scheduler, catalog, interference, options)) {}
@@ -371,6 +715,13 @@ Simulator::Simulator(const Trace& trace, Scheduler* scheduler, const InstanceCat
 Simulator::~Simulator() = default;
 
 SimulationMetrics Simulator::Run() { return impl_->Run(); }
+
+void Simulator::Start() { impl_->Start(); }
+SimTime Simulator::NextRoundTime() const { return impl_->NextRoundTime(); }
+bool Simulator::Drained() const { return impl_->Drained(); }
+void Simulator::AdvanceUntil(SimTime limit) { impl_->AdvanceUntil(limit); }
+void Simulator::ProcessEventsThrough(SimTime t) { impl_->ProcessEventsThrough(t); }
+SimulationMetrics Simulator::Finish() { return impl_->Finish(); }
 
 SimulationMetrics RunSimulation(const Trace& trace, Scheduler* scheduler,
                                 const InstanceCatalog& catalog,

@@ -12,6 +12,14 @@
 // "simulated" uses deterministic mean delays and exact observations;
 // "physical" draws delays from the measured ranges and perturbs
 // observations, standing in for the AWS testbed of Tables 10-12.
+//
+// Cloud provider market (src/cloud/provider.h), default off: launches pass
+// through admission (denied when a family pool is exhausted), the catalog
+// gains a spot tier whose per-round quotes the scheduler prices against
+// on-demand, and spot instances receive two-minute preemption warnings that
+// evict and re-checkpoint their tasks. With the provider disabled the
+// engine never consults it and every trajectory is bit-identical to the
+// providerless build.
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
@@ -21,6 +29,7 @@
 
 #include "src/cloud/delays.h"
 #include "src/cloud/instance_type.h"
+#include "src/cloud/provider.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/metrics.h"
 #include "src/workload/interference.h"
@@ -50,14 +59,36 @@ struct SimulatorOptions {
 
   // Quiescence-aware round trigger: when nothing decision-relevant changed
   // since the previous round (empty RoundDelta, no task-rate transitions,
-  // previous configuration applied as a no-op), offer the round to
+  // previous apply was a no-op), offer the round to
   // Scheduler::CoalesceQuiescentRounds instead of building a context and
   // invoking the scheduler. The event/integration trajectory is unchanged —
   // results are bit-identical with batching on or off — only the per-round
   // observation/context/validation/diff work disappears. Automatically
   // disabled in physical mode (noisy observations consume RNG draws every
-  // round, so no round is ever a provable no-op).
+  // round, so no round is ever a provable no-op) and when the spot market
+  // is active (quotes drift between rounds, so no round is quiescent).
   bool coalesce_quiescent_rounds = true;
+
+  // --- Cloud provider market (default off: infinite on-demand supply) ----
+  // Per-simulator provider, constructed when `provider.enabled` and no
+  // shared provider is given.
+  CloudProviderOptions provider;
+
+  // Federation: several tenant simulators share one provider. The caller
+  // owns it (it must outlive the simulator) and must construct the
+  // simulator with the provider's base catalog; the engine then runs
+  // against provider->tiered_catalog(). See sim/federation.h for the
+  // lockstep protocol that keeps shared-provider runs deterministic.
+  CloudProvider* shared_provider = nullptr;
+
+  // Tenant index, for logs and federation bookkeeping.
+  int tenant_id = 0;
+
+  // Decision-time markup on spot quotes (the preemption-risk premium): the
+  // scheduler prices a spot instance at quote x (1 + premium), so a spot
+  // type must undercut on-demand by the premium before Eva mixes it in.
+  // Actual costs charge the raw quote trace.
+  double spot_risk_premium = 0.10;
 
   std::uint64_t seed = 42;
 
@@ -75,7 +106,38 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   // Runs the trace to completion and returns the collected metrics.
+  // Equivalent to Start(); ProcessEventsThrough(+inf); Finish().
   SimulationMetrics Run();
+
+  // --- Lockstep stepping API (the federation driver; see federation.h) ---
+  // The driver alternates a parallel phase — every tenant processes its
+  // events up to (strictly before) the next scheduling round anywhere, via
+  // AdvanceUntil — with a serial phase that processes the round-boundary
+  // events tenant by tenant via ProcessEventsThrough. Scheduling rounds are
+  // the only events that acquire provider capacity, so confining them to
+  // the serial phase makes contended admission deterministic: grants are
+  // arbitrated in (virtual time, tenant order), independent of thread
+  // count.
+
+  // Prepares the event queue (first arrival + first round). Call once.
+  void Start();
+
+  // Time of the pending scheduling-round event, or +infinity if none.
+  SimTime NextRoundTime() const;
+
+  // True when no events remain (or the run aborted at max_sim_time_s).
+  bool Drained() const;
+
+  // Processes events with time < limit, stopping early whenever the next
+  // event is a scheduling round (which the serial phase must own).
+  void AdvanceUntil(SimTime limit);
+
+  // Processes every event with time <= t, rounds included, plus any events
+  // they spawn at times <= t.
+  void ProcessEventsThrough(SimTime t);
+
+  // End-of-run cleanup (terminates leftover instances) and metrics.
+  SimulationMetrics Finish();
 
  private:
   class Impl;

@@ -2,6 +2,15 @@
 
 namespace eva {
 
+void TaskLifecycle::StartCheckpoint(TaskRec& task, SimTime now) {
+  ++task.version;
+  task.state = TaskState::kCheckpointing;
+  // The task stops executing and its neighbors speed up.
+  exec_->MarkInstanceDirty(*state_->FindInstance(task.source));
+  queue_->Push(now + CheckpointDelay(task), SimEventType::kCheckpointDone, task.id,
+               task.version);
+}
+
 void TaskLifecycle::Retarget(TaskRec& task, InstanceId dest, SimTime now) {
   if (task.target == dest) {
     return;
@@ -10,12 +19,7 @@ void TaskLifecycle::Retarget(TaskRec& task, InstanceId dest, SimTime now) {
 
   switch (task.state) {
     case TaskState::kRunning:
-      ++task.version;
-      task.state = TaskState::kCheckpointing;
-      // The task stops executing and its neighbors speed up.
-      exec_->MarkInstanceDirty(*state_->FindInstance(task.source));
-      queue_->Push(now + CheckpointDelay(task), SimEventType::kCheckpointDone, task.id,
-                   task.version);
+      StartCheckpoint(task, now);
       break;
     case TaskState::kCheckpointing:
       // The in-flight checkpoint completes and routes to the new target.
@@ -48,6 +52,32 @@ void TaskLifecycle::TryLaunch(TaskRec& task, SimTime now) {
   queue_->Push(now + LaunchDelay(task), SimEventType::kLaunchDone, task.id, task.version);
 }
 
+void TaskLifecycle::Evict(TaskRec& task, SimTime now) {
+  switch (task.state) {
+    case TaskState::kRunning:
+      state_->ClearTarget(task);
+      StartCheckpoint(task, now);
+      break;
+    case TaskState::kCheckpointing:
+      // In-flight checkpoint keeps running; with the target cleared its
+      // completion parks the task kPending instead of relaunching.
+      state_->ClearTarget(task);
+      break;
+    case TaskState::kLaunching:
+      ++task.version;  // Cancels the pending launch event.
+      state_->ClearTarget(task);
+      task.state = TaskState::kPending;
+      break;
+    case TaskState::kWaiting:
+      state_->ClearTarget(task);
+      task.state = TaskState::kPending;
+      break;
+    case TaskState::kPending:
+    case TaskState::kDone:
+      break;
+  }
+}
+
 void TaskLifecycle::OnCheckpointDone(TaskRec& task, SimTime now) {
   if (task.source != kInvalidInstanceId) {
     // Neighbors lose a (non-running) co-resident; recomputing them is a
@@ -56,6 +86,12 @@ void TaskLifecycle::OnCheckpointDone(TaskRec& task, SimTime now) {
     exec_->MarkInstanceDirty(*state_->FindInstance(task.source));
     const InstanceId source_id = state_->RemoveContainer(task);
     state_->MaybeTerminate(source_id, now);
+  }
+  if (task.target == kInvalidInstanceId) {
+    // Evicted while running (spot preemption): checkpoint saved, no new
+    // placement yet — back to the pending pool for the next round.
+    task.state = TaskState::kPending;
+    return;
   }
   task.state = TaskState::kWaiting;
   TryLaunch(task, now);

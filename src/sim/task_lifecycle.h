@@ -9,6 +9,7 @@
 //
 //   kPending ─Retarget→ kWaiting ─TryLaunch→ kLaunching ─OnLaunchDone→ kRunning
 //   kRunning ─Retarget→ kCheckpointing ─OnCheckpointDone→ kWaiting → ...
+//   kRunning ─Evict→ kCheckpointing (no target) ─OnCheckpointDone→ kPending
 //   any ─CompleteJob→ kDone
 
 #ifndef SRC_SIM_TASK_LIFECYCLE_H_
@@ -38,6 +39,13 @@ class TaskLifecycle {
   // Starts the container launch if the task is waiting on a ready instance.
   void TryLaunch(TaskRec& task, SimTime now);
 
+  // Spot eviction (preemption warning): detaches the task from its target
+  // without a replacement. A running task checkpoints first (kCheckpointing
+  // with no target; OnCheckpointDone parks it kPending); waiting/launching
+  // tasks drop straight back to kPending. The next scheduling round sees an
+  // unplaced task and re-places it.
+  void Evict(TaskRec& task, SimTime now);
+
   // Delayed-event completions; stale versions are ignored by the caller
   // (the orchestrator guards before dispatching here).
   void OnCheckpointDone(TaskRec& task, SimTime now);
@@ -57,6 +65,11 @@ class TaskLifecycle {
   }
 
  private:
+  // Shared checkpoint-start sequence of Retarget (migration) and Evict
+  // (spot preemption): version bump (cancelling in-flight events),
+  // kCheckpointing, neighbor dirty-mark, delayed completion event.
+  void StartCheckpoint(TaskRec& task, SimTime now);
+
   ClusterState* state_;
   ExecutionModel* exec_;
   EventQueue* queue_;

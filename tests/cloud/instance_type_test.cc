@@ -127,6 +127,86 @@ TEST(InstanceCatalogTest, ReservationPricePaperExample) {
   }
 }
 
+// --- Edge cases (ISSUE 5 satellite) --------------------------------------
+
+TEST(InstanceCatalogTest, EmptyCatalogFitsNothing) {
+  const InstanceCatalog catalog{std::vector<InstanceType>{}};
+  EXPECT_EQ(catalog.NumTypes(), 0);
+  EXPECT_FALSE(catalog.CheapestFitting(ResourceVector(0, 1, 1)).has_value());
+  EXPECT_TRUE(catalog.IndicesByDescendingCost().empty());
+}
+
+TEST(InstanceCatalogTest, DemandExceedingEveryAxisFitsNoType) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  // Each axis individually beyond the largest type in the catalog.
+  EXPECT_FALSE(catalog.CheapestFitting(ResourceVector(9, 1, 1)).has_value());    // > 8 GPUs
+  EXPECT_FALSE(catalog.CheapestFitting(ResourceVector(0, 97, 1)).has_value());   // > 96 cores
+  EXPECT_FALSE(catalog.CheapestFitting(ResourceVector(0, 1, 1537)).has_value()); // > 1536 GB
+  // A demand that fits only when paired with a GPU axis no CPU family has.
+  EXPECT_FALSE(catalog.CheapestFitting(ResourceVector(1, 64, 1)).has_value());
+}
+
+TEST(InstanceCatalogTest, FamilyDependentDemandCanFitNowhere) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  // Resolves to an impossible demand on every family, even though each
+  // family-specific vector would fit SOME other family's types: P3 gets a
+  // CPU count only C7i/R7i offer, and the CPU families get a GPU.
+  const auto index = catalog.CheapestFitting([](InstanceFamily family) {
+    return family == InstanceFamily::kP3 ? ResourceVector(0, 96, 4)
+                                         : ResourceVector(1, 1, 4);
+  });
+  EXPECT_FALSE(index.has_value());
+  EXPECT_FALSE(catalog
+                   .ReservationPrice([](InstanceFamily family) {
+                     return family == InstanceFamily::kP3 ? ResourceVector(0, 96, 4)
+                                                          : ResourceVector(1, 1, 4);
+                   })
+                   .has_value());
+}
+
+TEST(InstanceCatalogTest, PerFamilyResolutionPicksTheCheaperFamily) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  // Identical nominal need, but the demand resolver models the C7i cores as
+  // twice as effective: 8 cores on P3 vs 4 on C7i/R7i. c7i.2xlarge ($0.357)
+  // beats every fitting P3 ($3.06+) and r7i.2xlarge ($0.5292).
+  const auto index = catalog.CheapestFitting([](InstanceFamily family) {
+    return family == InstanceFamily::kP3 ? ResourceVector(0, 8, 16)
+                                         : ResourceVector(0, 4, 16);
+  });
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(catalog.Get(*index).name, "c7i.2xlarge");
+}
+
+TEST(InstanceCatalogTest, CheapestFitTieBreaksOnLowestIndex) {
+  // Two fitting types at exactly the same price: the first (lowest index)
+  // must win, deterministically — strict less-than keeps the incumbent.
+  const InstanceCatalog catalog(std::vector<InstanceType>{
+      {"a", InstanceFamily::kC7i, {0, 4, 16}, 0.5},
+      {"b", InstanceFamily::kC7i, {0, 8, 32}, 0.5},   // Same price, bigger.
+      {"c", InstanceFamily::kR7i, {0, 4, 16}, 0.5},   // Same price again.
+      {"d", InstanceFamily::kC7i, {0, 16, 64}, 0.9},
+  });
+  const auto index = catalog.CheapestFitting(ResourceVector(0, 2, 8));
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(*index, 0);
+  // A demand only the larger twin hosts skips the tie entirely.
+  const auto bigger = catalog.CheapestFitting(ResourceVector(0, 8, 32));
+  ASSERT_TRUE(bigger.has_value());
+  EXPECT_EQ(*bigger, 1);
+}
+
+TEST(InstanceCatalogTest, DescendingCostOrderTieBreaksOnAscendingIndex) {
+  const InstanceCatalog catalog(std::vector<InstanceType>{
+      {"a", InstanceFamily::kC7i, {0, 4, 16}, 0.5},
+      {"b", InstanceFamily::kC7i, {0, 8, 32}, 0.9},
+      {"c", InstanceFamily::kR7i, {0, 4, 16}, 0.5},
+      {"d", InstanceFamily::kC7i, {0, 2, 8}, 0.9},
+  });
+  // 0.9-priced types first (indices 1, 3 in ascending order — stable sort),
+  // then the 0.5 tie (0, 2).
+  EXPECT_EQ(catalog.IndicesByDescendingCost(), (std::vector<int>{1, 3, 0, 2}));
+}
+
 TEST(InstanceFamilyTest, Names) {
   EXPECT_STREQ(InstanceFamilyName(InstanceFamily::kP3), "P3");
   EXPECT_STREQ(InstanceFamilyName(InstanceFamily::kC7i), "C7i");

@@ -1,0 +1,104 @@
+// CloudProvider unit tests: tiered catalog layout, admission/denial
+// accounting, quote snapshots with the risk premium, and spot-aware cost.
+
+#include "src/cloud/provider.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+CloudProviderOptions SpotOptions() {
+  CloudProviderOptions options;
+  options.enabled = true;
+  options.spot.enabled = true;
+  options.spot.seed = 9;
+  return options;
+}
+
+TEST(CloudProviderTest, DisabledSpotKeepsBaseCatalogIdentity) {
+  const InstanceCatalog base = InstanceCatalog::AwsDefault();
+  CloudProviderOptions options;
+  options.enabled = true;
+  const CloudProvider provider(base, options);
+  EXPECT_FALSE(provider.spot_enabled());
+  EXPECT_EQ(provider.tiered_catalog().NumTypes(), 21);
+  EXPECT_EQ(&provider.tiered_catalog(), &provider.base_catalog());
+  EXPECT_FALSE(provider.IsSpotType(20));
+  EXPECT_EQ(provider.BaseType(20), 20);
+}
+
+TEST(CloudProviderTest, TieredCatalogAppendsSpotTwins) {
+  const InstanceCatalog base = InstanceCatalog::AwsDefault();
+  const CloudProvider provider(base, SpotOptions());
+  const InstanceCatalog& tiered = provider.tiered_catalog();
+  ASSERT_EQ(tiered.NumTypes(), 42);
+  for (int i = 0; i < 21; ++i) {
+    // Base prefix verbatim...
+    EXPECT_EQ(tiered.Get(i).name, base.Get(i).name);
+    EXPECT_EQ(tiered.Get(i).cost_per_hour, base.Get(i).cost_per_hour);
+    // ...spot twin with same family and capacity.
+    const InstanceType& spot = tiered.Get(i + 21);
+    EXPECT_EQ(spot.name, base.Get(i).name + "-spot");
+    EXPECT_EQ(spot.family, base.Get(i).family);
+    EXPECT_EQ(spot.capacity.cpus(), base.Get(i).capacity.cpus());
+    EXPECT_TRUE(provider.IsSpotType(i + 21));
+    EXPECT_EQ(provider.BaseType(i + 21), i);
+  }
+}
+
+TEST(CloudProviderTest, QuoteCatalogPricesSpotWithRiskPremium) {
+  const InstanceCatalog base = InstanceCatalog::AwsDefault();
+  const CloudProvider provider(base, SpotOptions());
+  const SimTime t = 12345.0;
+  const auto quote = provider.MakeQuoteCatalog(t, /*risk_premium=*/0.25);
+  ASSERT_EQ(quote->NumTypes(), 42);
+  for (int i = 0; i < 21; ++i) {
+    EXPECT_EQ(quote->Get(i).cost_per_hour, base.Get(i).cost_per_hour);
+    EXPECT_EQ(quote->Get(i + 21).cost_per_hour, provider.market().Quote(i, t) * 1.25);
+  }
+  // Fresh object per call: pricing caches key on identity.
+  EXPECT_NE(quote.get(), provider.MakeQuoteCatalog(t, 0.25).get());
+}
+
+TEST(CloudProviderTest, AdmissionDeniesWhenFamilyPoolExhausted) {
+  const InstanceCatalog base = InstanceCatalog::AwsDefault();
+  CloudProviderOptions options;
+  options.enabled = true;
+  options.family_capacity = {2, -1, -1};  // Two P3 slots, the rest unlimited.
+  CloudProvider provider(base, options);
+
+  EXPECT_TRUE(provider.TryAcquire(0, 0.0));   // p3.2xlarge
+  EXPECT_TRUE(provider.TryAcquire(1, 0.0));   // p3.8xlarge
+  EXPECT_FALSE(provider.TryAcquire(2, 0.0));  // Pool exhausted.
+  EXPECT_TRUE(provider.TryAcquire(3, 0.0));   // c7i.large: unlimited family.
+
+  provider.Release(0, 0.0, 3600.0);
+  EXPECT_TRUE(provider.TryAcquire(2, 3600.0));  // Slot came back.
+
+  const CloudProviderMetrics metrics = provider.FinalizeMetrics(3600.0);
+  const auto& p3 = metrics.families[0];
+  EXPECT_EQ(p3.granted, 3);
+  EXPECT_EQ(p3.denied, 1);
+  EXPECT_EQ(p3.released, 1);
+  EXPECT_EQ(p3.peak_in_use, 2);
+  EXPECT_EQ(p3.capacity, 2);
+  EXPECT_DOUBLE_EQ(p3.instance_hours, 1.0);
+  // One of two slots busy for the whole horizon.
+  EXPECT_DOUBLE_EQ(p3.avg_utilization, 0.5);
+  EXPECT_EQ(metrics.TotalGranted(), 4);
+  EXPECT_EQ(metrics.TotalDenied(), 1);
+}
+
+TEST(CloudProviderTest, InstanceCostUsesSpotTraceForSpotTypes) {
+  const InstanceCatalog base = InstanceCatalog::AwsDefault();
+  const CloudProvider provider(base, SpotOptions());
+  const Money on_demand = provider.InstanceCost(0, 0.0, 7200.0);
+  EXPECT_EQ(on_demand, CostForUptime(base.Get(0).cost_per_hour, 7200.0));
+  const Money spot = provider.InstanceCost(21, 0.0, 7200.0);
+  EXPECT_EQ(spot, provider.market().CostForInterval(0, 0.0, 7200.0));
+  EXPECT_NE(spot, on_demand);
+}
+
+}  // namespace
+}  // namespace eva

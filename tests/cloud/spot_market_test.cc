@@ -1,0 +1,165 @@
+// Property tests for the deterministic spot market: quotes are pure
+// functions of (seed, type, time), stay inside the configured band, preempt
+// exactly at the threshold, and integrate consistently.
+
+#include "src/cloud/spot_market.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace eva {
+namespace {
+
+SpotMarketOptions TestOptions() {
+  SpotMarketOptions options;
+  options.enabled = true;
+  options.price_step_s = 900.0;
+  options.min_price_fraction = 0.25;
+  options.max_price_fraction = 0.60;
+  options.spike_probability = 0.10;
+  options.spike_price_fraction = 1.5;
+  options.preemption_price_fraction = 1.0;
+  options.seed = 77;
+  return options;
+}
+
+TEST(SpotMarketTest, QuotesStayInsideTheConfiguredBand) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const SpotMarket market(catalog, TestOptions());
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const int type = static_cast<int>(rng.UniformInt(0, catalog.NumTypes() - 1));
+    const SimTime t = rng.Uniform(0.0, 30.0 * kSecondsPerDay);
+    const double fraction = market.PriceFraction(type, t);
+    const bool in_band = fraction >= 0.25 && fraction <= 0.60;
+    const bool spiking = fraction == 1.5;
+    EXPECT_TRUE(in_band || spiking) << "fraction " << fraction;
+    EXPECT_EQ(market.Quote(type, t), catalog.Get(type).cost_per_hour * fraction);
+  }
+}
+
+TEST(SpotMarketTest, QuotesArePureFunctionsOfSeedTypeAndStep) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const SpotMarket a(catalog, TestOptions());
+  const SpotMarket b(catalog, TestOptions());
+  SpotMarketOptions other = TestOptions();
+  other.seed = 78;
+  const SpotMarket c(catalog, other);
+  Rng rng(2);
+  int differing = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const int type = static_cast<int>(rng.UniformInt(0, catalog.NumTypes() - 1));
+    const SimTime t = rng.Uniform(0.0, 30.0 * kSecondsPerDay);
+    // Identical options agree bit-for-bit, in any evaluation order.
+    EXPECT_EQ(a.Quote(type, t), b.Quote(type, t));
+    // Within a step the quote is constant.
+    const SimTime step_start = std::floor(t / 900.0) * 900.0;
+    EXPECT_EQ(a.Quote(type, t), a.Quote(type, step_start + 1.0));
+    if (a.Quote(type, t) != c.Quote(type, t)) {
+      ++differing;
+    }
+  }
+  // A different seed produces a genuinely different trace.
+  EXPECT_GT(differing, 500);
+}
+
+TEST(SpotMarketTest, PreemptsExactlyWhenQuoteReachesThreshold) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const SpotMarket market(catalog, TestOptions());
+  int preempting = 0;
+  int calm = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const SimTime t = step * 900.0 + 1.0;
+    const double fraction = market.PriceFraction(0, t);
+    const bool preempt = market.IsPreempting(0, t);
+    EXPECT_EQ(preempt, fraction >= 1.0 - 1e-12);
+    (preempt ? preempting : calm) += 1;
+  }
+  // With spike probability 0.10 both outcomes must occur over 2,000 steps.
+  EXPECT_GT(preempting, 50);
+  EXPECT_GT(calm, 1000);
+}
+
+TEST(SpotMarketTest, NextStepBoundaryIsStrictlyAhead) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const SpotMarket market(catalog, TestOptions());
+  EXPECT_EQ(market.NextStepBoundary(0.0), 900.0);
+  EXPECT_EQ(market.NextStepBoundary(1.0), 900.0);
+  EXPECT_EQ(market.NextStepBoundary(899.999), 900.0);
+  // Exactly on a boundary: the *next* boundary, never the current instant.
+  EXPECT_EQ(market.NextStepBoundary(900.0), 1800.0);
+}
+
+TEST(SpotMarketTest, BoundaryTimesReadTheStepTheyOpenForAnyStepSize) {
+  // Steps without an exact binary representation: floor(t / step_s) of a
+  // boundary produced as (k+1) * step_s can land fractionally below k+1.
+  // The kSpotCheck event fires exactly at NextStepBoundary, so the quote
+  // read there must be the NEW step's — otherwise a spike is missed for a
+  // whole extra step.
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  for (double step_s : {3.3, 0.07, 617.7, 900.0}) {
+    SpotMarketOptions options = TestOptions();
+    options.price_step_s = step_s;
+    const SpotMarket market(catalog, options);
+    SimTime t = 1.0e-3;
+    for (int hop = 0; hop < 200; ++hop) {
+      const SimTime boundary = market.NextStepBoundary(t);
+      ASSERT_GT(boundary, t) << "step_s " << step_s << " hop " << hop;
+      // The price at the boundary equals the price just after it (same
+      // step), not the price just before it (previous step) — unless the
+      // two steps happen to share a quote.
+      ASSERT_EQ(market.PriceFraction(0, boundary),
+                market.PriceFraction(0, boundary + step_s * 0.5))
+          << "step_s " << step_s << " hop " << hop;
+      t = boundary;
+    }
+  }
+}
+
+TEST(SpotMarketTest, CostIntegralMatchesQuoteOverWholeSteps) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const SpotMarket market(catalog, TestOptions());
+  const int type = 3;
+  // One full step costs exactly quote x step-hours.
+  const Money one_step = market.CostForInterval(type, 1800.0, 2700.0);
+  EXPECT_EQ(one_step, CostForUptime(market.Quote(type, 1800.0), 900.0));
+  // Empty and inverted intervals are free.
+  EXPECT_EQ(market.CostForInterval(type, 100.0, 100.0), 0.0);
+  EXPECT_EQ(market.CostForInterval(type, 200.0, 100.0), 0.0);
+}
+
+TEST(SpotMarketTest, CostIntegralIsAdditiveAcrossSplits) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const SpotMarket market(catalog, TestOptions());
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const int type = static_cast<int>(rng.UniformInt(0, catalog.NumTypes() - 1));
+    const SimTime t0 = rng.Uniform(0.0, 5.0 * kSecondsPerDay);
+    const SimTime t2 = t0 + rng.Uniform(0.0, 2.0 * kSecondsPerDay);
+    const SimTime t1 = t0 + (t2 - t0) * rng.NextDouble();
+    const Money whole = market.CostForInterval(type, t0, t2);
+    const Money split =
+        market.CostForInterval(type, t0, t1) + market.CostForInterval(type, t1, t2);
+    EXPECT_NEAR(whole, split, 1e-9 * std::max(1.0, whole));
+    EXPECT_GE(whole, 0.0);
+  }
+}
+
+TEST(SpotMarketTest, SpotIsCheaperThanOnDemandInExpectation) {
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const SpotMarket market(catalog, TestOptions());
+  // A long holding at spot must undercut on-demand by roughly the band
+  // midpoint (spikes pull the mean up a little).
+  const SimTime month = 30.0 * kSecondsPerDay;
+  const Money spot = market.CostForInterval(0, 0.0, month);
+  const Money on_demand = CostForUptime(catalog.Get(0).cost_per_hour, month);
+  EXPECT_LT(spot, 0.7 * on_demand);
+  EXPECT_GT(spot, 0.2 * on_demand);
+}
+
+}  // namespace
+}  // namespace eva

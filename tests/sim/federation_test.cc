@@ -1,0 +1,201 @@
+// Federation driver tests: deterministic multi-tenant co-simulation against
+// one shared, capacity-constrained spot provider.
+//
+// The load-bearing property is bit-reproducibility: per-tenant metrics must
+// be identical across repeated runs AND across thread-pool sizes — the
+// lockstep protocol confines every provider grant to the serial
+// tenant-ordered phase, and all parallel-phase provider mutations are
+// commutative. The scenario tests additionally pin the new market behaviors
+// (denials under exhausted pools, spot preemptions) actually engaging.
+
+#include "src/sim/federation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/trace_gen.h"
+
+namespace eva {
+namespace {
+
+// Three ScaleTrace shards of the 2,000-job Alibaba-like trace — the shared
+// MakeTenantShards recipe, so the tested scenario and bench_federation's
+// can never diverge.
+std::vector<FederationTenant> MakeTenants(int jobs_per_tenant) {
+  AlibabaTraceOptions base_options;
+  base_options.num_jobs = 2000;
+  base_options.seed = 17;
+  base_options.max_duration_hours = 48.0;
+  return MakeTenantShards(GenerateAlibabaTrace(base_options), /*num_tenants=*/3,
+                          jobs_per_tenant);
+}
+
+// Capacity-constrained spot scenario: small family pools shared by three
+// tenants, frequent repricing with a noticeable spike rate.
+FederationOptions ConstrainedSpotOptions() {
+  FederationOptions options;
+  options.provider.enabled = true;
+  options.provider.family_capacity = {2, 4, 2};
+  options.provider.spot.enabled = true;
+  options.provider.spot.price_step_s = 900.0;
+  options.provider.spot.spike_probability = 0.15;
+  options.provider.spot.seed = 4242;
+  options.simulator.seed = 5;
+  return options;
+}
+
+void ExpectBitIdentical(const SimulationMetrics& a, const SimulationMetrics& b) {
+  // Every simulated quantity; scheduler_wall_seconds is wall-clock
+  // measurement and legitimately differs.
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.spot_cost, b.spot_cost);
+  EXPECT_EQ(a.jobs_submitted, b.jobs_submitted);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.tasks_total, b.tasks_total);
+  EXPECT_EQ(a.instances_launched, b.instances_launched);
+  EXPECT_EQ(a.spot_instances_launched, b.spot_instances_launched);
+  EXPECT_EQ(a.spot_preemptions, b.spot_preemptions);
+  EXPECT_EQ(a.acquisitions_denied, b.acquisitions_denied);
+  EXPECT_EQ(a.task_migrations, b.task_migrations);
+  EXPECT_EQ(a.migrations_per_task, b.migrations_per_task);
+  EXPECT_EQ(a.avg_tasks_per_instance, b.avg_tasks_per_instance);
+  EXPECT_EQ(a.avg_alloc_gpu, b.avg_alloc_gpu);
+  EXPECT_EQ(a.avg_alloc_cpu, b.avg_alloc_cpu);
+  EXPECT_EQ(a.avg_alloc_ram, b.avg_alloc_ram);
+  EXPECT_EQ(a.avg_norm_job_throughput, b.avg_norm_job_throughput);
+  EXPECT_EQ(a.avg_jct_hours, b.avg_jct_hours);
+  EXPECT_EQ(a.avg_job_idle_hours, b.avg_job_idle_hours);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.scheduling_rounds, b.scheduling_rounds);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  ASSERT_EQ(a.jct_hours.size(), b.jct_hours.size());
+  for (std::size_t i = 0; i < a.jct_hours.size(); ++i) {
+    ASSERT_EQ(a.jct_hours[i], b.jct_hours[i]) << "jct " << i;
+  }
+  ASSERT_EQ(a.instance_uptime_hours.size(), b.instance_uptime_hours.size());
+  for (std::size_t i = 0; i < a.instance_uptime_hours.size(); ++i) {
+    ASSERT_EQ(a.instance_uptime_hours[i], b.instance_uptime_hours[i]) << "uptime " << i;
+  }
+}
+
+TEST(FederationTest, DeterministicAcrossRunsAndThreadPoolSizes) {
+  const std::vector<FederationTenant> tenants = MakeTenants(25);
+  FederationOptions options = ConstrainedSpotOptions();
+
+  options.num_threads = 4;
+  const FederationResult first = RunFederation(tenants, options);
+  const FederationResult second = RunFederation(tenants, options);
+  options.num_threads = 1;
+  const FederationResult serial = RunFederation(tenants, options);
+
+  ASSERT_EQ(first.tenants.size(), 3u);
+  for (std::size_t i = 0; i < first.tenants.size(); ++i) {
+    ExpectBitIdentical(first.tenants[i].metrics, second.tenants[i].metrics);
+    ExpectBitIdentical(first.tenants[i].metrics, serial.tenants[i].metrics);
+  }
+  for (std::size_t f = 0; f < static_cast<std::size_t>(kNumInstanceFamilies); ++f) {
+    EXPECT_EQ(first.provider.families[f].granted, serial.provider.families[f].granted);
+    EXPECT_EQ(first.provider.families[f].denied, serial.provider.families[f].denied);
+    EXPECT_EQ(first.provider.families[f].preempted, serial.provider.families[f].preempted);
+    EXPECT_EQ(first.provider.families[f].peak_in_use,
+              serial.provider.families[f].peak_in_use);
+    EXPECT_EQ(first.provider.families[f].instance_hours,
+              serial.provider.families[f].instance_hours);
+  }
+}
+
+TEST(FederationTest, ConstrainedSpotScenarioDeniesAndPreempts) {
+  const std::vector<FederationTenant> tenants = MakeTenants(25);
+  const FederationResult result = RunFederation(tenants, ConstrainedSpotOptions());
+
+  int denied = 0;
+  int preempted = 0;
+  int spot_launched = 0;
+  for (const FederationResult::Tenant& tenant : result.tenants) {
+    // Every tenant drains despite contention: denials throttle, they do not
+    // wedge.
+    EXPECT_EQ(tenant.metrics.jobs_completed, tenant.metrics.jobs_submitted)
+        << tenant.name;
+    denied += tenant.metrics.acquisitions_denied;
+    preempted += tenant.metrics.spot_preemptions;
+    spot_launched += tenant.metrics.spot_instances_launched;
+    EXPECT_GE(tenant.metrics.spot_cost, 0.0);
+    EXPECT_LE(tenant.metrics.spot_cost, tenant.metrics.total_cost);
+  }
+  EXPECT_GT(denied, 0);
+  EXPECT_GT(preempted, 0);
+  EXPECT_GT(spot_launched, 0);
+
+  // Provider-side accounting agrees with the tenants' own counters.
+  EXPECT_EQ(result.provider.TotalDenied(), denied);
+  EXPECT_EQ(result.provider.TotalPreempted(), preempted);
+  std::int64_t granted = 0;
+  for (const FederationResult::Tenant& tenant : result.tenants) {
+    granted += tenant.metrics.instances_launched;
+  }
+  EXPECT_EQ(result.provider.TotalGranted(), granted);
+  // Everything acquired was eventually released (all tenants drained).
+  for (std::size_t f = 0; f < static_cast<std::size_t>(kNumInstanceFamilies); ++f) {
+    EXPECT_EQ(result.provider.families[f].granted, result.provider.families[f].released);
+    if (result.provider.families[f].capacity > 0) {
+      EXPECT_LE(result.provider.families[f].peak_in_use,
+                result.provider.families[f].capacity);
+    }
+  }
+}
+
+// With one tenant, unlimited pools and no spot tier, the federation
+// protocol must reproduce a plain Simulator::Run bit-for-bit: the provider
+// is pass-through (admission always grants, the cost hook evaluates the
+// exact same expression) and the stepping API processes the exact same
+// event sequence.
+TEST(FederationTest, SingleTenantPassThroughMatchesPlainRun) {
+  AlibabaTraceOptions trace_options;
+  trace_options.num_jobs = 60;
+  trace_options.seed = 17;
+  trace_options.max_duration_hours = 48.0;
+  const Trace trace = GenerateAlibabaTrace(trace_options);
+
+  FederationTenant tenant;
+  tenant.name = "solo";
+  tenant.trace = trace;
+  tenant.kind = SchedulerKind::kEva;
+  FederationOptions options;  // Provider defaults: unlimited, on-demand only.
+  options.num_threads = 2;
+  const FederationResult federated = RunFederation({tenant}, options);
+
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+  const InterferenceModel interference = InterferenceModel::Measured();
+  SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference);
+  const SimulationMetrics plain = RunSimulation(trace, bundle.scheduler.get(), catalog,
+                                                interference, SimulatorOptions{});
+
+  ASSERT_EQ(federated.tenants.size(), 1u);
+  ExpectBitIdentical(federated.tenants[0].metrics, plain);
+  EXPECT_EQ(federated.tenants[0].metrics.acquisitions_denied, 0);
+  EXPECT_EQ(federated.tenants[0].metrics.spot_preemptions, 0);
+  EXPECT_EQ(federated.tenants[0].metrics.spot_cost, 0.0);
+}
+
+// A tenant that trips max_sim_time_s aborts mid-run with its round event
+// still notionally pending; the driver must see its barrier as +infinity
+// and terminate instead of spinning on the stale round time forever.
+TEST(FederationTest, AbortedTenantDoesNotWedgeTheFederation) {
+  SyntheticTraceOptions trace_options;
+  trace_options.num_jobs = 4;
+  trace_options.seed = 2;
+  FederationTenant tenant;
+  tenant.name = "doomed";
+  tenant.trace = GenerateSyntheticTrace(trace_options);
+  tenant.kind = SchedulerKind::kEva;
+
+  FederationOptions options;
+  // The second scheduling round (t=300s) already exceeds the limit.
+  options.simulator.max_sim_time_s = 100.0;
+  const FederationResult result = RunFederation({tenant}, options);
+  ASSERT_EQ(result.tenants.size(), 1u);
+  EXPECT_EQ(result.tenants[0].metrics.jobs_completed, 0);
+  EXPECT_LE(result.tenants[0].metrics.makespan_s, 100.0);
+}
+
+}  // namespace
+}  // namespace eva
