@@ -2,13 +2,13 @@
 // price computation, Algorithm 1 packing, the config differ, the throughput
 // table, the B&B solver on small instances), plus an engine-throughput
 // scale sweep: the 2,000-job Alibaba-like trace (No-Packing + Eva) and
-// 10k/50k-job superposition-scaled traces (Eva), reporting events/sec,
+// 10k/50k/100k-job superposition-scaled traces (Eva), reporting events/sec,
 // rounds invoked vs. coalesced, per-round decision latency, peak RSS and
 // allocation counts. With EVA_BENCH_JSON=<path> the sweep (best wall time
 // of the deterministic repetitions per case) is written as machine-readable
 // JSON (the committed BENCH_scheduler_perf.json tracks it across commits).
-// EVA_BENCH_SCALE (a percentage) scales every case's job count; setting it
-// to 100 or more additionally enables the 100k-job point.
+// EVA_BENCH_SCALE (a percentage) scales every case's job count;
+// EVA_BENCH_SWEEP_MAX caps the sweep's largest point.
 
 #include <benchmark/benchmark.h>
 
@@ -204,11 +204,11 @@ void RunEngineCase(BenchJsonWriter& json, const std::string& name, const Trace& 
 }
 
 // Engine throughput scale sweep: the 2,000-job Alibaba-like trace (both
-// No-Packing and Eva, the tracked headline numbers), plus 10k- and 50k-job
-// traces produced by the deterministic superposition scaler (Eva only; the
-// points the O(active) engine work is measured by). The 100k point runs
-// when EVA_BENCH_SCALE is set to 100 or more — it is minutes of runtime.
-// All job counts scale with EVA_BENCH_SCALE so CI smoke stays fast.
+// No-Packing and Eva, the tracked headline numbers), plus 10k-, 50k- and
+// 100k-job traces produced by the deterministic superposition scaler (Eva
+// only; the points the O(active) engine work is measured by). Use
+// EVA_BENCH_SWEEP_MAX to cap the largest point when the full sweep is too
+// slow. All job counts scale with EVA_BENCH_SCALE so CI smoke stays fast.
 // Returns false if a requested JSON artifact could not be written.
 bool RunEngineThroughputCases() {
   PrintBenchHeader("Simulation engine throughput, Alibaba trace scale sweep",
@@ -235,11 +235,7 @@ bool RunEngineThroughputCases() {
     int jobs;
     int runs;
   };
-  std::vector<ScalePoint> points = {{10000, 2}, {50000, 1}};
-  const char* scale_env = std::getenv("EVA_BENCH_SCALE");
-  if (scale_env != nullptr && std::atoi(scale_env) >= 100) {
-    points.push_back({100000, 1});
-  }
+  std::vector<ScalePoint> points = {{10000, 2}, {50000, 1}, {100000, 1}};
   // EVA_BENCH_SWEEP_MAX caps the sweep's largest point (CI's regression
   // gate runs the 10k point at full scale without paying for 50k).
   const char* max_env = std::getenv("EVA_BENCH_SWEEP_MAX");

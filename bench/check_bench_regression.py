@@ -4,11 +4,21 @@
 Usage:
     check_bench_regression.py <baseline.json> <current.json> <case-name> [<case-name>...]
 
-Compares `events_per_sec` of each named case. Exits non-zero when the
-current value falls more than the tolerance below the baseline's
-(EVA_BENCH_TOLERANCE, default 0.20 = 20%, the margin CI grants for runner
-variance). A case missing from either file is an error: a silently dropped
-case must not read as a pass.
+Two gates per named case:
+
+  * `events_per_sec` — fails when the current value falls more than the
+    tolerance below the baseline's.
+  * allocations per event (`allocs / events`) — fails when the current
+    value rises more than the tolerance above the baseline's. Allocation
+    counts come from the counting allocator in bench_alloc_hooks.cc and
+    are deterministic modulo allocator-internal noise, so a >20% jump is a
+    real leak of per-event work back onto the heap (the arena/SoA refactor
+    is what the gate protects). Skipped with a note when either file
+    predates the `allocs` field.
+
+The tolerance is EVA_BENCH_TOLERANCE (default 0.20 = 20%, the margin CI
+grants for runner variance). A case missing from either file is an error:
+a silently dropped case must not read as a pass.
 
 Cases listed in WARN_ONLY are compared and reported but never fail the
 check — the observation period for newly added sweep cases before they earn
@@ -25,6 +35,7 @@ import sys
 WARN_ONLY = {
     "alibaba10000_Eva-inc",
     "alibaba50000_Eva-inc",
+    "alibaba100000_Eva-inc",
 }
 
 
@@ -32,6 +43,15 @@ def load_cases(path):
     with open(path) as handle:
         payload = json.load(handle)
     return {case["name"]: case for case in payload.get("cases", [])}
+
+
+def allocs_per_event(case):
+    """allocs/event for a case, or None when the row predates the field."""
+    allocs = case.get("allocs")
+    events = case.get("events")
+    if allocs is None or not events:
+        return None
+    return allocs / events
 
 
 def main(argv):
@@ -57,6 +77,8 @@ def main(argv):
             print(f"{missing_verdict}: case '{name}' missing from current run {current_path}")
             failed = failed or not warn_only
             continue
+
+        # Gate 1: throughput must not drop below (1 - tolerance) x baseline.
         base = baseline[name]["events_per_sec"]
         cur = current[name]["events_per_sec"]
         ratio = cur / base if base > 0 else float("inf")
@@ -65,6 +87,24 @@ def main(argv):
         print(
             f"{verdict}: {name}: events/sec {cur:,.0f} vs baseline {base:,.0f} "
             f"(ratio {ratio:.3f}, floor {1.0 - tolerance:.2f})"
+        )
+        failed = failed or verdict == "FAIL"
+
+        # Gate 2: allocs/event must not rise above (1 + tolerance) x baseline.
+        base_ape = allocs_per_event(baseline[name])
+        cur_ape = allocs_per_event(current[name])
+        if base_ape is None or cur_ape is None:
+            print(f"NOTE: {name}: allocs/event not gated (field missing from a file)")
+            continue
+        if base_ape > 0:
+            ape_ratio = cur_ape / base_ape
+        else:
+            ape_ratio = float("inf") if cur_ape > 0 else 1.0
+        above = ape_ratio > 1.0 + tolerance
+        verdict = ("WARN" if warn_only else "FAIL") if above else "OK"
+        print(
+            f"{verdict}: {name}: allocs/event {cur_ape:.4f} vs baseline {base_ape:.4f} "
+            f"(ratio {ape_ratio:.3f}, ceiling {1.0 + tolerance:.2f})"
         )
         failed = failed or verdict == "FAIL"
     return 1 if failed else 0

@@ -1,0 +1,52 @@
+#include "src/common/arena.h"
+
+#include <algorithm>
+
+namespace eva {
+
+void* MonotonicArena::AllocateSlow(std::size_t bytes, std::size_t align) {
+  // Try the remaining pre-existing chunks (after a Reset they are all
+  // retained); otherwise grow. An oversized request gets its own chunk so a
+  // single large spike does not inflate the doubling sequence.
+  while (true) {
+    if (chunk_ < chunks_.size()) {
+      const std::size_t offset = (offset_ + (align - 1)) & ~(align - 1);
+      if (offset + bytes <= chunks_[chunk_].size) {
+        void* p = chunks_[chunk_].data.get() + offset;
+        offset_ = offset + bytes;
+        return p;
+      }
+      ++chunk_;
+      offset_ = 0;
+      continue;
+    }
+    std::size_t next_size =
+        chunks_.empty() ? min_chunk_bytes_
+                        : std::min(chunks_.back().size * 2, kMaxChunkBytes);
+    next_size = std::max(next_size, bytes + align);
+    Chunk chunk;
+    chunk.data = std::make_unique<unsigned char[]>(next_size);
+    chunk.size = next_size;
+    chunks_.push_back(std::move(chunk));
+    chunk_ = chunks_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+std::size_t MonotonicArena::BytesUsed() const {
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < chunk_ && i < chunks_.size(); ++i) {
+    used += chunks_[i].size;
+  }
+  return used + offset_;
+}
+
+std::size_t MonotonicArena::BytesReserved() const {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) {
+    total += chunk.size;
+  }
+  return total;
+}
+
+}  // namespace eva

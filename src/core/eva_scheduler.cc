@@ -1,7 +1,9 @@
 #include "src/core/eva_scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/common/arena.h"
 #include "src/common/logging.h"
 #include "src/core/full_reconfig.h"
 #include "src/core/incremental_reconfig.h"
@@ -14,10 +16,16 @@ namespace {
 // Instantaneous provisioning saving S of a configuration: the amount by
 // which the tasks' willingness-to-pay exceeds what the configuration
 // actually costs per hour (§4.5).
+// Leased per-call scratch for the pricing passes (see common/arena.h).
+struct PricingScratch {
+  std::vector<const TaskInfo*> members;
+};
+
 Money ProvisioningSaving(const SchedulingContext& context, const TnrpCalculator& calculator,
                          const ClusterConfig& config) {
   Money saving = 0.0;
-  std::vector<const TaskInfo*> members;
+  ScratchLease<PricingScratch> scratch;
+  std::vector<const TaskInfo*>& members = scratch->members;
   for (const ConfigInstance& instance : config.instances) {
     members.clear();
     for (TaskId task_id : instance.tasks) {
@@ -104,22 +112,29 @@ int EvaScheduler::CountJobEvents(const SchedulingContext& context) {
     }
     return events;
   }
-  std::set<JobId> current;
+  // Fallback (incomplete delta): symmetric difference of sorted job-id
+  // sequences. The leased scratch + sort/unique reproduces std::set's
+  // ascending iteration order without a node per job.
+  ScratchLease<std::vector<JobId>> current_lease;
+  std::vector<JobId>& current = *current_lease;
+  current.clear();
   for (const TaskInfo& task : context.tasks) {
-    current.insert(task.job);
+    current.push_back(task.job);
   }
+  std::sort(current.begin(), current.end());
+  current.erase(std::unique(current.begin(), current.end()), current.end());
   int events = 0;
   for (JobId job : current) {
-    if (!last_jobs_.count(job)) {
+    if (!last_jobs_.contains(job)) {
       ++events;  // Arrival.
     }
   }
   for (JobId job : last_jobs_) {
-    if (!current.count(job)) {
+    if (!std::binary_search(current.begin(), current.end(), job)) {
       ++events;  // Completion.
     }
   }
-  last_jobs_ = std::move(current);
+  last_jobs_.AssignSorted(current);
   return events;
 }
 
@@ -151,24 +166,33 @@ void EvaScheduler::ComputeCandidates(const SchedulingContext& context) {
   const bool want_full = options_.policy != EvaOptions::Policy::kPartialOnly;
   const bool want_partial = options_.policy != EvaOptions::Policy::kFullOnly;
 
-  ClusterConfig full;
-  ClusterConfig partial;
+  // Candidates are packed into the persistent work buffers (their capacity —
+  // and every instance slot's tasks capacity — carries across rounds), then
+  // swapped into the memo below. The incremental path reads memo_.full as
+  // the previous configuration while writing work_full_, which is why the
+  // memo cannot be the pack destination directly. A candidate the policy
+  // does not compute is emptied, matching the fresh-local semantics.
+  if (!want_full) {
+    work_full_.instances.clear();
+  }
+  if (!want_partial) {
+    work_partial_.instances.clear();
+  }
   const auto compute_full = [&] {
     if (options_.incremental_packing && memo_.valid) {
       IncrementalOptions incremental;
       incremental.packing = packing;
       incremental.full_repack_fraction = options_.incremental_full_repack_fraction;
-      IncrementalResult result =
-          IncrementalReconfiguration(context, *calculator_, memo_.full, incremental);
-      full = std::move(result.config);
-      ++(result.full_repack ? stats_.full_packs : stats_.incremental_packs);
+      const bool full_repack = IncrementalReconfigurationInto(
+          context, *calculator_, memo_.full, incremental, work_full_);
+      ++(full_repack ? stats_.full_packs : stats_.incremental_packs);
     } else {
-      full = FullReconfiguration(context, *calculator_, packing);
+      FullReconfigurationInto(context, *calculator_, packing, work_full_);
       ++stats_.full_packs;
     }
   };
   const auto compute_partial = [&] {
-    partial = PartialReconfiguration(context, *calculator_, packing);
+    PartialReconfigurationInto(context, *calculator_, packing, work_partial_);
   };
 
   if (want_full && want_partial && pool_ != nullptr) {
@@ -193,12 +217,12 @@ void EvaScheduler::ComputeCandidates(const SchedulingContext& context) {
   memo_.catalog = context.catalog;
   memo_.tasks = context.tasks;
   memo_.instances = context.instances;
-  memo_.full = std::move(full);
-  memo_.partial = std::move(partial);
+  std::swap(memo_.full, work_full_);
+  std::swap(memo_.partial, work_partial_);
   memo_.savings_valid = false;
 }
 
-ClusterConfig EvaScheduler::Schedule(const SchedulingContext& context) {
+bool EvaScheduler::DecideRound(const SchedulingContext& context) {
   if (!pool_resolved_) {
     pool_resolved_ = true;
     const int threads = options_.max_parallelism == 0 ? ThreadPool::DefaultThreads()
@@ -249,12 +273,14 @@ ClusterConfig EvaScheduler::Schedule(const SchedulingContext& context) {
       if (!memo_.savings_valid) {
         memo_.saving_full = ProvisioningSaving(context, *calculator_, memo_.full);
         memo_.saving_partial = ProvisioningSaving(context, *calculator_, memo_.partial);
+        DiffConfigInto(context, memo_.full, pricing_diff_);
         memo_.migration_full =
-            EstimateMigrationCost(context, DiffConfig(context, memo_.full),
-                                  options_.cloud_delays, options_.migration_delay_multiplier);
+            EstimateMigrationCost(context, pricing_diff_, options_.cloud_delays,
+                                  options_.migration_delay_multiplier);
+        DiffConfigInto(context, memo_.partial, pricing_diff_);
         memo_.migration_partial =
-            EstimateMigrationCost(context, DiffConfig(context, memo_.partial),
-                                  options_.cloud_delays, options_.migration_delay_multiplier);
+            EstimateMigrationCost(context, pricing_diff_, options_.cloud_delays,
+                                  options_.migration_delay_multiplier);
         memo_.savings_valid = true;
       }
       const double d_hat = estimator_.ExpectedConfigurationDurationHours();
@@ -281,7 +307,18 @@ ClusterConfig EvaScheduler::Schedule(const SchedulingContext& context) {
     ++stats_.full_adopted;
   }
   last_adopt_full_ = adopt_full;
-  return adopt_full ? memo_.full : memo_.partial;
+  return adopt_full;
+}
+
+ClusterConfig EvaScheduler::Schedule(const SchedulingContext& context) {
+  return DecideRound(context) ? memo_.full : memo_.partial;
+}
+
+void EvaScheduler::ScheduleInto(const SchedulingContext& context, ClusterConfig& out) {
+  // Copy-assign (not move) so the memo keeps the winning candidate for the
+  // next round's reuse/coalescing paths, while `out` reuses whatever
+  // instance-slot capacity it accumulated in earlier rounds.
+  out = DecideRound(context) ? memo_.full : memo_.partial;
 }
 
 int EvaScheduler::CoalesceQuiescentRounds(int max_rounds, SimTime period_s) {

@@ -26,14 +26,15 @@
 
 #include <cstdint>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "src/cloud/delays.h"
+#include "src/common/soa_table.h"
 #include "src/common/thread_pool.h"
 #include "src/core/reconfig_decision.h"
 #include "src/core/throughput_monitor.h"
+#include "src/sched/config_diff.h"
 #include "src/sched/reservation_price.h"
 #include "src/sched/scheduler.h"
 
@@ -113,6 +114,7 @@ class EvaScheduler : public Scheduler {
 
   std::string name() const override;
   ClusterConfig Schedule(const SchedulingContext& context) override;
+  void ScheduleInto(const SchedulingContext& context, ClusterConfig& out) override;
   void ObserveThroughput(const std::vector<JobThroughputObservation>& observations) override;
   int CoalesceQuiescentRounds(int max_rounds, SimTime period_s) override;
 
@@ -138,12 +140,20 @@ class EvaScheduler : public Scheduler {
   // fanning out on pool_ when available.
   void ComputeCandidates(const SchedulingContext& context);
 
+  // The whole per-round decision (memo reuse, candidate computation,
+  // Equation 1, estimator bookkeeping); returns whether Full was adopted.
+  // Schedule/ScheduleInto only differ in how they hand out the winner.
+  bool DecideRound(const SchedulingContext& context);
+
   EvaOptions options_;
   ThroughputMonitor monitor_;
   EventRateEstimator estimator_;
   Stats stats_;
 
-  std::set<JobId> last_jobs_;
+  // Active-job id set carried between rounds: flat sorted storage with
+  // std::set iteration order, mutated O(delta) per round without per-node
+  // allocation.
+  IdSet<JobId> last_jobs_;
   SimTime last_round_time_ = -1.0;
 
   // Whether the last ObserveThroughput call changed any table entry. When it
@@ -184,6 +194,16 @@ class EvaScheduler : public Scheduler {
     Money migration_partial = 0.0;
   };
   RoundMemo memo_;
+
+  // Double-buffered candidate storage: ComputeCandidates packs into these
+  // via the -Into packers, then swaps them with the memo's configs, so both
+  // buffers' capacity is reused round over round (the incremental path reads
+  // memo_.full while the new Full candidate is being written).
+  ClusterConfig work_full_;
+  ClusterConfig work_partial_;
+
+  // Scratch for the ensemble's migration pricing (DiffConfigInto).
+  ConfigDiff pricing_diff_;
 };
 
 }  // namespace eva

@@ -1,8 +1,8 @@
 #include "src/core/full_reconfig.h"
 
 #include <algorithm>
-#include <memory>
 
+#include "src/common/arena.h"
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
 
@@ -20,11 +20,11 @@ struct ArgmaxResult {
   Money tnrp = 0.0;
 };
 
-// Pooled per-round packing scratch. One frame per *nesting level*: the
-// thread pool's helping Wait() may start another packing on this thread
-// while an inner argmax fan-out is pending, so a plain thread_local buffer
-// would be clobbered mid-pack — each (thread, depth) pair gets its own
-// frame instead, reused across rounds.
+// Pooled per-round packing scratch, leased per (thread, nesting level) via
+// the codebase's one sanctioned thread-local scratch mechanism (see
+// common/arena.h): the thread pool's helping Wait() may start another
+// packing on this thread while an inner argmax fan-out is pending, so a
+// plain thread_local buffer would be clobbered mid-pack.
 struct PackScratch {
   std::vector<bool> assigned;
   std::vector<bool> in_tentative_set;
@@ -32,30 +32,16 @@ struct PackScratch {
   std::vector<std::size_t> member_indices;
 };
 
-class PackScratchLease {
- public:
-  PackScratchLease() {
-    if (frames_.size() <= depth_) {
-      frames_.emplace_back(new PackScratch);
-    }
-    frame_ = frames_[depth_].get();
-    ++depth_;
-  }
-  ~PackScratchLease() { --depth_; }
-  PackScratchLease(const PackScratchLease&) = delete;
-  PackScratchLease& operator=(const PackScratchLease&) = delete;
-
-  PackScratch& operator*() const { return *frame_; }
-  PackScratch* operator->() const { return frame_; }
-
- private:
-  static thread_local std::vector<std::unique_ptr<PackScratch>> frames_;
-  static thread_local std::size_t depth_;
-  PackScratch* frame_;
+// Per-worker scratch for the downsizing fan-out (shrink_one runs on pool
+// threads, so it cannot share the packing frame above).
+struct ShrinkScratch {
+  std::vector<const TaskInfo*> members;
 };
 
-thread_local std::vector<std::unique_ptr<PackScratch>> PackScratchLease::frames_;
-thread_local std::size_t PackScratchLease::depth_ = 0;
+// Caller-facing entry points' pool-building scratch.
+struct PoolScratch {
+  std::vector<const TaskInfo*> pool;
+};
 
 // Serial argmax over pool[begin, end): the unassigned, fitting task whose
 // addition maximizes TNRP(members + {task}); earliest index wins exact ties
@@ -84,12 +70,11 @@ ArgmaxResult ScanCandidates(std::size_t begin, std::size_t end,
 
 }  // namespace
 
-PackingResult PackByReservationPrice(const SchedulingContext& context,
-                                     const TnrpCalculator& calculator,
-                                     std::vector<const TaskInfo*> pool,
-                                     const PackingOptions& options) {
-  PackingResult result;
-
+void PackByReservationPriceInto(const SchedulingContext& context,
+                                const TnrpCalculator& calculator,
+                                std::vector<const TaskInfo*>& pool,
+                                const PackingOptions& options, ConfigAppender& out,
+                                std::vector<TaskId>* unassigned) {
   // Deterministic candidate order: descending RP, then ascending id. The
   // argmax below breaks ties by this order, matching the VSBPP heuristic's
   // "largest ball first" intuition.
@@ -99,13 +84,14 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
   // Per-round scratch, pooled per (thread, nesting level): the packing runs
   // (at least) twice per changed round, and these grow-to-pool-size buffers
   // dominated its allocation profile.
-  PackScratchLease scratch;
+  ScratchLease<PackScratch> scratch;
   std::vector<bool>& assigned = scratch->assigned;
   std::vector<bool>& in_tentative_set = scratch->in_tentative_set;
   std::vector<const TaskInfo*>& members = scratch->members;
   std::vector<std::size_t>& member_indices = scratch->member_indices;
   assigned.assign(pool.size(), false);
   std::size_t num_assigned = 0;
+  const std::size_t pack_begin = out.used();
 
   for (int type_index : context.catalog->IndicesByDescendingCost()) {
     const InstanceType& type = context.catalog->Get(type_index);
@@ -180,12 +166,11 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
       if (!cost_efficient) {
         break;  // Move on to the next cheaper instance type.
       }
-      ConfigInstance instance;
+      ConfigInstance& instance = out.Append();
       instance.type_index = type_index;
       for (const TaskInfo* member : members) {
         instance.tasks.push_back(member->id);
       }
-      result.instances.push_back(std::move(instance));
       for (std::size_t index : member_indices) {
         assigned[index] = true;
       }
@@ -201,9 +186,12 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
     // "independent instance-type candidates" fan-out. Writes are disjoint
     // and the per-instance scan is deterministic, so serial and parallel
     // results are identical.
+    const std::size_t num_packed = out.used() - pack_begin;
     const auto shrink_one = [&](std::size_t index) {
-      ConfigInstance& instance = result.instances[index];
-      std::vector<const TaskInfo*> members;
+      ConfigInstance& instance = out[pack_begin + index];
+      ScratchLease<ShrinkScratch> shrink;
+      std::vector<const TaskInfo*>& members = shrink->members;
+      members.clear();
       for (TaskId id : instance.tasks) {
         if (const TaskInfo* task = context.FindTask(id)) {
           members.push_back(task);
@@ -234,10 +222,10 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
       }
       instance.type_index = best_type;
     };
-    if (parallel && result.instances.size() >= 8) {
-      options.pool->ParallelFor(result.instances.size(), shrink_one);
+    if (parallel && num_packed >= 8) {
+      options.pool->ParallelFor(num_packed, shrink_one);
     } else {
-      for (std::size_t i = 0; i < result.instances.size(); ++i) {
+      for (std::size_t i = 0; i < num_packed; ++i) {
         shrink_one(i);
       }
     }
@@ -252,7 +240,9 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
       continue;
     }
     if (!options.assign_leftovers_standalone) {
-      result.unassigned.push_back(pool[i]->id);
+      if (unassigned != nullptr) {
+        unassigned->push_back(pool[i]->id);
+      }
       continue;
     }
     const std::optional<int> type_index = context.catalog->CheapestFitting(
@@ -260,28 +250,50 @@ PackingResult PackByReservationPrice(const SchedulingContext& context,
     if (!type_index.has_value()) {
       EVA_LOG_WARNING("task %lld fits no instance type; leaving unassigned",
                       static_cast<long long>(pool[i]->id));
-      result.unassigned.push_back(pool[i]->id);
+      if (unassigned != nullptr) {
+        unassigned->push_back(pool[i]->id);
+      }
       continue;
     }
-    ConfigInstance instance;
+    ConfigInstance& instance = out.Append();
     instance.type_index = *type_index;
     instance.tasks.push_back(pool[i]->id);
-    result.instances.push_back(std::move(instance));
   }
+}
+
+PackingResult PackByReservationPrice(const SchedulingContext& context,
+                                     const TnrpCalculator& calculator,
+                                     std::vector<const TaskInfo*> pool,
+                                     const PackingOptions& options) {
+  PackingResult result;
+  ConfigAppender out(result.instances);
+  PackByReservationPriceInto(context, calculator, pool, options, out,
+                             &result.unassigned);
+  out.Finish();
   return result;
+}
+
+void FullReconfigurationInto(const SchedulingContext& context,
+                             const TnrpCalculator& calculator,
+                             const PackingOptions& options, ClusterConfig& out) {
+  ScratchLease<PoolScratch> scratch;
+  std::vector<const TaskInfo*>& pool = scratch->pool;
+  pool.clear();
+  pool.reserve(context.tasks.size());
+  for (const TaskInfo& task : context.tasks) {
+    pool.push_back(&task);
+  }
+  ConfigAppender appender(out.instances);
+  PackByReservationPriceInto(context, calculator, pool, options, appender,
+                             /*unassigned=*/nullptr);
+  appender.Finish();
 }
 
 ClusterConfig FullReconfiguration(const SchedulingContext& context,
                                   const TnrpCalculator& calculator,
                                   const PackingOptions& options) {
-  std::vector<const TaskInfo*> pool;
-  pool.reserve(context.tasks.size());
-  for (const TaskInfo& task : context.tasks) {
-    pool.push_back(&task);
-  }
   ClusterConfig config;
-  config.instances = PackByReservationPrice(context, calculator, std::move(pool), options)
-                         .instances;
+  FullReconfigurationInto(context, calculator, options, config);
   return config;
 }
 

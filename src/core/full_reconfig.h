@@ -56,14 +56,59 @@ struct PackingOptions {
   std::size_t parallel_min_candidates = 48;
 };
 
-// Runs Algorithm 1 over `pool` (tasks to place). Instances in the result
-// carry no reuse ids; callers layering Partial Reconfiguration add them.
+// Cursor-based appender over an existing ConfigInstance vector. Append()
+// hands back a recycled slot (its tasks vector keeps capacity), Finish()
+// trims slots not consumed this round. This is what lets the per-round
+// packing write into persistent storage with zero steady-state allocations.
+class ConfigAppender {
+ public:
+  explicit ConfigAppender(std::vector<ConfigInstance>& out) : out_(out) {}
+
+  ConfigInstance& Append() {
+    if (used_ < out_.size()) {
+      ConfigInstance& slot = out_[used_++];
+      slot.type_index = -1;
+      slot.reuse_instance = kInvalidInstanceId;
+      slot.tasks.clear();
+      return slot;
+    }
+    out_.emplace_back();
+    ++used_;
+    return out_.back();
+  }
+
+  ConfigInstance& operator[](std::size_t i) { return out_[i]; }
+  std::size_t used() const { return used_; }
+  void Finish() { out_.resize(used_); }
+
+ private:
+  std::vector<ConfigInstance>& out_;
+  std::size_t used_ = 0;
+};
+
+// Runs Algorithm 1 over `pool` (tasks to place; sorted in place). Emits the
+// packed instances through `out` — instances carry no reuse ids; callers
+// layering Partial Reconfiguration add them. Leftover tasks the greedy could
+// not place are appended to `unassigned` when non-null (always empty with
+// assign_leftovers_standalone; silently left pending otherwise).
+void PackByReservationPriceInto(const SchedulingContext& context,
+                                const TnrpCalculator& calculator,
+                                std::vector<const TaskInfo*>& pool,
+                                const PackingOptions& options, ConfigAppender& out,
+                                std::vector<TaskId>* unassigned);
+
+// Value-returning convenience wrapper (tests, benches, one-shot callers).
 PackingResult PackByReservationPrice(const SchedulingContext& context,
                                      const TnrpCalculator& calculator,
                                      std::vector<const TaskInfo*> pool,
                                      const PackingOptions& options = {});
 
-// The Full Reconfiguration entry point: packs *all* tasks in the context.
+// The Full Reconfiguration entry point: packs *all* tasks in the context
+// into `out`, reusing its storage (cleared semantically, capacity kept).
+void FullReconfigurationInto(const SchedulingContext& context,
+                             const TnrpCalculator& calculator,
+                             const PackingOptions& options, ClusterConfig& out);
+
 ClusterConfig FullReconfiguration(const SchedulingContext& context,
                                   const TnrpCalculator& calculator,
                                   const PackingOptions& options = {});

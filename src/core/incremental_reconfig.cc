@@ -1,38 +1,62 @@
 #include "src/core/incremental_reconfig.h"
 
 #include <algorithm>
-#include <unordered_set>
+
+#include "src/common/arena.h"
+#include "src/common/soa_table.h"
 
 namespace eva {
+namespace {
 
-IncrementalResult IncrementalReconfiguration(const SchedulingContext& context,
-                                             const TnrpCalculator& calculator,
-                                             const ClusterConfig& previous,
-                                             const IncrementalOptions& options) {
-  IncrementalResult result;
+// Per-call scratch, leased per (thread, depth) — the incremental path runs
+// on a pool worker concurrently with Partial Reconfiguration. The two
+// membership sets are epoch-stamped columns over the dense task-id space:
+// O(1) Clear, no per-insert node allocation.
+struct IncrementalScratch {
+  EpochColumn<char> retargeted;
+  EpochColumn<char> kept_tasks;
+  std::vector<const TaskInfo*> members;
+  std::vector<const TaskInfo*> repack;
+};
+
+}  // namespace
+
+bool IncrementalReconfigurationInto(const SchedulingContext& context,
+                                    const TnrpCalculator& calculator,
+                                    const ClusterConfig& previous,
+                                    const IncrementalOptions& options,
+                                    ClusterConfig& out) {
   const RoundDelta& delta = context.delta;
   const std::size_t pool_size = std::max<std::size_t>(1, context.tasks.size());
   if (!delta.complete || previous.instances.empty() ||
       static_cast<double>(delta.TouchedCount()) >
           options.full_repack_fraction * static_cast<double>(pool_size)) {
-    result.full_repack = true;
-    result.config = FullReconfiguration(context, calculator, options.packing);
-    return result;
+    FullReconfigurationInto(context, calculator, options.packing, out);
+    return true;
   }
 
-  const std::unordered_set<TaskId> retargeted(delta.tasks_retargeted.begin(),
-                                              delta.tasks_retargeted.end());
+  ScratchLease<IncrementalScratch> scratch;
+  EpochColumn<char>& retargeted = scratch->retargeted;
+  retargeted.Clear();
+  for (TaskId id : delta.tasks_retargeted) {
+    if (id >= 0) {
+      retargeted.Touch(static_cast<std::size_t>(id)) = 1;
+    }
+  }
+
+  ConfigAppender appender(out.instances);
 
   // Keep previous instances whose membership survived the delta untouched
   // and whose task set still covers its cost under the current estimates.
-  std::unordered_set<TaskId> kept_tasks;
-  std::vector<const TaskInfo*> members;
+  EpochColumn<char>& kept_tasks = scratch->kept_tasks;
+  kept_tasks.Clear();
+  std::vector<const TaskInfo*>& members = scratch->members;
   for (const ConfigInstance& instance : previous.instances) {
     members.clear();
     bool touched = false;
     for (TaskId id : instance.tasks) {
       const TaskInfo* task = context.FindTask(id);
-      if (task == nullptr || retargeted.count(id) > 0) {
+      if (task == nullptr || (id >= 0 && retargeted.Contains(static_cast<std::size_t>(id)))) {
         touched = true;  // Completed or migrated since last round.
         break;
       }
@@ -48,7 +72,7 @@ IncrementalResult IncrementalReconfiguration(const SchedulingContext& context,
         cost) {
       continue;  // No longer cost-efficient; release and repack.
     }
-    ConfigInstance kept;
+    ConfigInstance& kept = appender.Append();
     kept.type_index = instance.type_index;
     kept.reuse_instance = instance.reuse_instance;
     kept.tasks = instance.tasks;
@@ -66,24 +90,34 @@ IncrementalResult IncrementalReconfiguration(const SchedulingContext& context,
       }
     }
     for (TaskId id : kept.tasks) {
-      kept_tasks.insert(id);
+      if (id >= 0) {
+        kept_tasks.Touch(static_cast<std::size_t>(id)) = 1;
+      }
     }
-    result.config.instances.push_back(std::move(kept));
   }
 
   // Everything not kept — arrivals, evictees of touched or inefficient
   // instances — goes through Algorithm 1's greedy.
-  std::vector<const TaskInfo*> repack;
+  std::vector<const TaskInfo*>& repack = scratch->repack;
+  repack.clear();
   for (const TaskInfo& task : context.tasks) {
-    if (kept_tasks.count(task.id) == 0) {
+    if (!kept_tasks.Contains(static_cast<std::size_t>(task.id))) {
       repack.push_back(&task);
     }
   }
-  PackingResult packed =
-      PackByReservationPrice(context, calculator, std::move(repack), options.packing);
-  for (ConfigInstance& instance : packed.instances) {
-    result.config.instances.push_back(std::move(instance));
-  }
+  PackByReservationPriceInto(context, calculator, repack, options.packing, appender,
+                             /*unassigned=*/nullptr);
+  appender.Finish();
+  return false;
+}
+
+IncrementalResult IncrementalReconfiguration(const SchedulingContext& context,
+                                             const TnrpCalculator& calculator,
+                                             const ClusterConfig& previous,
+                                             const IncrementalOptions& options) {
+  IncrementalResult result;
+  result.full_repack =
+      IncrementalReconfigurationInto(context, calculator, previous, options, result.config);
   return result;
 }
 

@@ -53,6 +53,14 @@ IncrementalResult IncrementalReconfiguration(const SchedulingContext& context,
                                              const ClusterConfig& previous,
                                              const IncrementalOptions& options = {});
 
+// Packs into `out` (storage reused; must not alias `previous`). Returns the
+// full_repack flag of IncrementalResult.
+bool IncrementalReconfigurationInto(const SchedulingContext& context,
+                                    const TnrpCalculator& calculator,
+                                    const ClusterConfig& previous,
+                                    const IncrementalOptions& options,
+                                    ClusterConfig& out);
+
 }  // namespace eva
 
 #endif  // SRC_CORE_INCREMENTAL_RECONFIG_H_

@@ -1,14 +1,27 @@
 #include "src/core/partial_reconfig.h"
 
-#include <unordered_set>
+#include "src/common/arena.h"
 
 namespace eva {
+namespace {
 
-ClusterConfig PartialReconfiguration(const SchedulingContext& context,
-                                     const TnrpCalculator& calculator,
-                                     const PackingOptions& options) {
-  ClusterConfig config;
+// Per-call scratch, leased per (thread, depth): Partial Reconfiguration runs
+// every changed round (often concurrently with Full on a pool worker).
+struct PartialScratch {
   std::vector<const TaskInfo*> pool;
+  std::vector<const TaskInfo*> members;
+};
+
+}  // namespace
+
+void PartialReconfigurationInto(const SchedulingContext& context,
+                                const TnrpCalculator& calculator,
+                                const PackingOptions& options, ClusterConfig& out) {
+  ScratchLease<PartialScratch> scratch;
+  std::vector<const TaskInfo*>& pool = scratch->pool;
+  std::vector<const TaskInfo*>& members = scratch->members;
+  pool.clear();
+  ConfigAppender appender(out.instances);
 
   // (a) Unassigned tasks from recently submitted jobs.
   for (const TaskInfo& task : context.tasks) {
@@ -20,7 +33,7 @@ ClusterConfig PartialReconfiguration(const SchedulingContext& context,
   // (b) Tasks on instances that are no longer cost-efficient; those
   // instances are released. Every other instance is kept unchanged.
   for (const InstanceInfo& instance : context.instances) {
-    std::vector<const TaskInfo*> members;
+    members.clear();
     for (TaskId task_id : instance.tasks) {
       if (const TaskInfo* task = context.FindTask(task_id)) {
         members.push_back(task);
@@ -32,11 +45,10 @@ ClusterConfig PartialReconfiguration(const SchedulingContext& context,
         !members.empty() &&
         calculator.SetTnrp(members, type.family) + options.cost_epsilon * cost >= cost;
     if (cost_efficient) {
-      ConfigInstance kept;
+      ConfigInstance& kept = appender.Append();
       kept.type_index = instance.type_index;
       kept.reuse_instance = instance.id;
       kept.tasks = instance.tasks;
-      config.instances.push_back(std::move(kept));
     } else {
       for (const TaskInfo* member : members) {
         pool.push_back(member);
@@ -44,10 +56,16 @@ ClusterConfig PartialReconfiguration(const SchedulingContext& context,
     }
   }
 
-  PackingResult packed = PackByReservationPrice(context, calculator, std::move(pool), options);
-  for (ConfigInstance& instance : packed.instances) {
-    config.instances.push_back(std::move(instance));
-  }
+  PackByReservationPriceInto(context, calculator, pool, options, appender,
+                             /*unassigned=*/nullptr);
+  appender.Finish();
+}
+
+ClusterConfig PartialReconfiguration(const SchedulingContext& context,
+                                     const TnrpCalculator& calculator,
+                                     const PackingOptions& options) {
+  ClusterConfig config;
+  PartialReconfigurationInto(context, calculator, options, config);
   return config;
 }
 

@@ -17,6 +17,11 @@
 
 namespace eva {
 
+// Packs into `out`, reusing its storage (capacity kept round over round).
+void PartialReconfigurationInto(const SchedulingContext& context,
+                                const TnrpCalculator& calculator,
+                                const PackingOptions& options, ClusterConfig& out);
+
 ClusterConfig PartialReconfiguration(const SchedulingContext& context,
                                      const TnrpCalculator& calculator,
                                      const PackingOptions& options = {});

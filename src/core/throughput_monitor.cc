@@ -1,8 +1,27 @@
 #include "src/core/throughput_monitor.h"
 
 #include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "src/common/arena.h"
 
 namespace eva {
+namespace {
+
+// Per-call scratch (see common/arena.h): ObserveJob runs once per job per
+// observation window, and its two gather lists must not allocate at steady
+// state.
+struct ObserveScratch {
+  struct Candidate {
+    const TaskPlacementObservation* task;
+    std::optional<double> recorded;
+  };
+  std::vector<const TaskPlacementObservation*> colocated_tasks;
+  std::vector<Candidate> candidates;
+};
+
+}  // namespace
 
 ThroughputMonitor::ThroughputMonitor(double default_pairwise) : table_(default_pairwise) {}
 
@@ -15,8 +34,10 @@ int ThroughputMonitor::Observe(const std::vector<JobThroughputObservation>& obse
 }
 
 bool ThroughputMonitor::ObserveJob(const JobThroughputObservation& observation) {
+  ScratchLease<ObserveScratch> scratch;
   // Only co-located tasks can be blamed for interference.
-  std::vector<const TaskPlacementObservation*> colocated_tasks;
+  std::vector<const TaskPlacementObservation*>& colocated_tasks = scratch->colocated_tasks;
+  colocated_tasks.clear();
   for (const TaskPlacementObservation& task : observation.tasks) {
     if (!task.colocated.empty()) {
       colocated_tasks.push_back(&task);
@@ -37,11 +58,9 @@ bool ThroughputMonitor::ObserveJob(const JobThroughputObservation& observation) 
   }
 
   // Multi-task attribution. Gather the recorded state of each candidate.
-  struct Candidate {
-    const TaskPlacementObservation* task;
-    std::optional<double> recorded;
-  };
-  std::vector<Candidate> candidates;
+  using Candidate = ObserveScratch::Candidate;
+  std::vector<Candidate>& candidates = scratch->candidates;
+  candidates.clear();
   candidates.reserve(colocated_tasks.size());
   for (const TaskPlacementObservation* task : colocated_tasks) {
     candidates.push_back({task, table_.Lookup(task->workload, task->colocated)});

@@ -1,11 +1,34 @@
 #include "src/sched/config_diff.h"
 
 #include <algorithm>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "src/common/arena.h"
+#include "src/common/soa_table.h"
 
 namespace eva {
+namespace {
+
+// Greedy-matching candidate pair (pass 2).
+struct Candidate {
+  int overlap;
+  std::size_t config_index;
+  InstanceId existing_id;
+};
+
+// Per-call scratch, leased per (thread, depth) so the buckets/capacity
+// survive across the thousands of per-round calls — the codebase's one
+// sanctioned thread-local scratch mechanism (see common/arena.h).
+// `bound_existing` is an epoch-stamped membership column (instance ids are
+// dense and sequential): Clear() is O(1) and inserts allocate nothing at
+// steady state, where the unordered_set it replaces allocated a node per
+// bound instance per diff.
+struct DiffScratch {
+  EpochColumn<char> bound_existing;
+  std::vector<Candidate> candidates;
+  std::vector<TaskId> wanted_tasks;
+};
+
+}  // namespace
 
 int ConfigDiff::NumLaunches() const {
   int count = 0;
@@ -29,12 +52,20 @@ int ConfigDiff::NumMigrations() const {
 
 ConfigDiff DiffConfig(const SchedulingContext& context, const ClusterConfig& desired) {
   ConfigDiff diff;
-  diff.bindings.resize(desired.instances.size());
+  DiffConfigInto(context, desired, diff);
+  return diff;
+}
 
-  // Per-call scratch, thread_local so the buckets/capacity survive across
-  // the thousands of per-round calls (clear() keeps them allocated).
-  thread_local std::unordered_set<InstanceId> bound_existing;
-  bound_existing.clear();
+void DiffConfigInto(const SchedulingContext& context, const ClusterConfig& desired,
+                    ConfigDiff& out) {
+  ConfigDiff& diff = out;
+  diff.bindings.resize(desired.instances.size());
+  diff.terminate.clear();
+  diff.moves.clear();
+
+  ScratchLease<DiffScratch> scratch;
+  EpochColumn<char>& bound_existing = scratch->bound_existing;
+  bound_existing.Clear();
 
   // Pass 1: honor explicit reuse requests.
   for (std::size_t i = 0; i < desired.instances.size(); ++i) {
@@ -42,29 +73,25 @@ ConfigDiff DiffConfig(const SchedulingContext& context, const ClusterConfig& des
     ConfigDiff::Binding& binding = diff.bindings[i];
     binding.config_index = static_cast<int>(i);
     binding.type_index = want.type_index;
+    binding.existing_id = kInvalidInstanceId;  // Reused slots carry stale ids.
     binding.tasks = want.tasks;
     if (want.reuse_instance == kInvalidInstanceId) {
       continue;
     }
     const InstanceInfo* existing = context.FindInstance(want.reuse_instance);
     if (existing != nullptr && existing->type_index == want.type_index &&
-        !bound_existing.count(existing->id)) {
+        !bound_existing.Contains(static_cast<std::size_t>(existing->id))) {
       binding.existing_id = existing->id;
-      bound_existing.insert(existing->id);
+      bound_existing.Touch(static_cast<std::size_t>(existing->id)) = 1;
     }
   }
 
   // Pass 2: greedy same-type matching by descending task overlap. Candidate
   // pairs are enumerated once and sorted so the result is deterministic.
-  struct Candidate {
-    int overlap;
-    std::size_t config_index;
-    InstanceId existing_id;
-  };
-  thread_local std::vector<Candidate> candidates;
+  std::vector<Candidate>& candidates = scratch->candidates;
   candidates.clear();
   candidates.reserve(desired.instances.size());
-  thread_local std::vector<TaskId> wanted_tasks;  // Sorted scratch, no allocs.
+  std::vector<TaskId>& wanted_tasks = scratch->wanted_tasks;  // Sorted scratch.
   for (std::size_t i = 0; i < desired.instances.size(); ++i) {
     if (diff.bindings[i].existing_id != kInvalidInstanceId) {
       continue;
@@ -73,7 +100,7 @@ ConfigDiff DiffConfig(const SchedulingContext& context, const ClusterConfig& des
     wanted_tasks.assign(want.tasks.begin(), want.tasks.end());
     std::sort(wanted_tasks.begin(), wanted_tasks.end());
     for (const InstanceInfo& existing : context.instances) {
-      if (existing.type_index != want.type_index || bound_existing.count(existing.id)) {
+      if (existing.type_index != want.type_index || bound_existing.Contains(static_cast<std::size_t>(existing.id))) {
         continue;
       }
       int overlap = 0;
@@ -96,16 +123,16 @@ ConfigDiff DiffConfig(const SchedulingContext& context, const ClusterConfig& des
   });
   for (const Candidate& candidate : candidates) {
     ConfigDiff::Binding& binding = diff.bindings[candidate.config_index];
-    if (binding.existing_id != kInvalidInstanceId || bound_existing.count(candidate.existing_id)) {
+    if (binding.existing_id != kInvalidInstanceId || bound_existing.Contains(static_cast<std::size_t>(candidate.existing_id))) {
       continue;
     }
     binding.existing_id = candidate.existing_id;
-    bound_existing.insert(candidate.existing_id);
+    bound_existing.Touch(static_cast<std::size_t>(candidate.existing_id)) = 1;
   }
 
   // Terminate every running instance that was not bound.
   for (const InstanceInfo& existing : context.instances) {
-    if (!bound_existing.count(existing.id)) {
+    if (!bound_existing.Contains(static_cast<std::size_t>(existing.id))) {
       diff.terminate.push_back(existing.id);
     }
   }
@@ -126,7 +153,6 @@ ConfigDiff DiffConfig(const SchedulingContext& context, const ClusterConfig& des
       }
     }
   }
-  return diff;
 }
 
 Money EstimateMigrationCost(const SchedulingContext& context, const ConfigDiff& diff,

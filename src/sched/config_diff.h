@@ -50,6 +50,12 @@ struct ConfigDiff {
 //   4. fresh launches.
 ConfigDiff DiffConfig(const SchedulingContext& context, const ClusterConfig& desired);
 
+// Same computation into caller-owned storage, rewriting `out` in place so
+// its vectors' capacity is reused — the per-round fast path for callers
+// that diff every round (the simulator's apply, Eva's migration pricing).
+void DiffConfigInto(const SchedulingContext& context, const ClusterConfig& desired,
+                    ConfigDiff& out);
+
 // Estimated dollar cost of executing the diff (§4.5's M term): for every
 // migrated task, checkpoint + launch delays priced at the destination
 // instance's hourly rate; for every fresh launch, the mean provisioning

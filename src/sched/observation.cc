@@ -12,21 +12,46 @@ double PerturbObservedThroughput(double normalized_throughput, Rng& rng, double 
   return std::clamp(noisy, 0.01, 1.0);
 }
 
+void ObservationBatch::SealCurrentJob() {
+  if (used_jobs_ > 0) {
+    std::vector<TaskPlacementObservation>& tasks = observations_[used_jobs_ - 1].tasks;
+    if (tasks.size() > used_tasks_) {
+      tasks.resize(used_tasks_);
+    }
+  }
+}
+
 JobThroughputObservation& ObservationBatch::BeginJob(JobId job, double normalized_throughput) {
-  JobThroughputObservation observation;
+  SealCurrentJob();
+  if (used_jobs_ == observations_.size()) {
+    observations_.emplace_back();
+  }
+  JobThroughputObservation& observation = observations_[used_jobs_++];
   observation.job = job;
   observation.normalized_throughput = normalized_throughput;
-  observations_.push_back(std::move(observation));
-  return observations_.back();
+  used_tasks_ = 0;
+  return observation;
 }
 
 TaskPlacementObservation& ObservationBatch::AddTask(TaskId task, WorkloadId workload) {
-  assert(!observations_.empty());
-  TaskPlacementObservation placement;
+  assert(used_jobs_ > 0);
+  std::vector<TaskPlacementObservation>& tasks = observations_[used_jobs_ - 1].tasks;
+  if (used_tasks_ == tasks.size()) {
+    tasks.emplace_back();
+  }
+  TaskPlacementObservation& placement = tasks[used_tasks_++];
   placement.task = task;
   placement.workload = workload;
-  observations_.back().tasks.push_back(std::move(placement));
-  return observations_.back().tasks.back();
+  placement.colocated.clear();
+  return placement;
+}
+
+const std::vector<JobThroughputObservation>& ObservationBatch::Finish() {
+  SealCurrentJob();
+  if (observations_.size() > used_jobs_) {
+    observations_.resize(used_jobs_);
+  }
+  return observations_;
 }
 
 }  // namespace eva

@@ -6,10 +6,17 @@
 // share this builder so the observation wire format — including the
 // physical-measurement noise model — is defined once, on the scheduler's
 // side of the boundary.
+//
+// The batch is a reusable, cursor-based buffer: Reset() rewinds it without
+// destroying the nested per-job/per-task vectors, so a producer that keeps
+// one batch alive across rounds reaches a steady state where observation
+// assembly performs no heap allocations (the per-round arena discipline —
+// reset, don't reallocate).
 
 #ifndef SRC_SCHED_OBSERVATION_H_
 #define SRC_SCHED_OBSERVATION_H_
 
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -23,26 +30,43 @@ class Rng;
 // multiplicative Gaussian timer noise, clamped to (0, 1].
 double PerturbObservedThroughput(double normalized_throughput, Rng& rng, double stddev);
 
-// Accumulates one round's observations. Usage per job:
-//   batch.BeginJob(job, tput);
-//   auto& placement = batch.AddTask(task, workload);
-//   placement.colocated.push_back(...);
+// Accumulates one round's observations. Usage per round:
+//   batch.Reset();
+//   for each job:   batch.BeginJob(job, tput);
+//     for each task:  auto& placement = batch.AddTask(task, workload);
+//                     placement.colocated.push_back(...);
+//   const auto& observations = batch.Finish();
 class ObservationBatch {
  public:
   // Pre-sizes the batch (the producer usually knows the progressing-job
   // count), avoiding growth reallocations on the per-round hot path.
   void Reserve(std::size_t jobs) { observations_.reserve(jobs); }
 
+  // Rewinds the write cursors. Previously written records keep their
+  // storage and are overwritten in place by the next fill.
+  void Reset() {
+    used_jobs_ = 0;
+    used_tasks_ = 0;
+  }
+
   JobThroughputObservation& BeginJob(JobId job, double normalized_throughput);
 
   // Appends a placement record to the most recent BeginJob. Requires a
-  // preceding BeginJob call.
+  // preceding BeginJob call. The returned record's `colocated` is empty
+  // (capacity retained from the slot's previous use).
   TaskPlacementObservation& AddTask(TaskId task, WorkloadId workload);
 
-  std::vector<JobThroughputObservation> Take() { return std::move(observations_); }
+  // Trims to the records written since Reset() and returns them. The
+  // reference stays valid until the next Reset()/BeginJob().
+  const std::vector<JobThroughputObservation>& Finish();
 
  private:
+  // Drops task slots beyond the current job's cursor.
+  void SealCurrentJob();
+
   std::vector<JobThroughputObservation> observations_;
+  std::size_t used_jobs_ = 0;   // Jobs written since Reset.
+  std::size_t used_tasks_ = 0;  // Tasks written to the current (last) job.
 };
 
 }  // namespace eva

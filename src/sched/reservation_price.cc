@@ -3,9 +3,29 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/arena.h"
 #include "src/common/hash.h"
 
 namespace eva {
+namespace {
+
+// Per-(thread, depth) leased scratch (see common/arena.h) for the TNRP
+// paths. The depth frames matter: SetTnrpPlusOne's miss path holds a
+// TaskPtrScratch lease for the joined set while ComputeSetTnrp leases
+// another frame for each member's partner list.
+struct TaskPtrScratch {
+  std::vector<const TaskInfo*> ptrs;
+};
+
+struct WorkloadScratch {
+  std::vector<WorkloadId> workloads;
+};
+
+struct SortScratch {
+  std::vector<std::pair<Money, const TaskInfo*>> keyed;
+};
+
+}  // namespace
 
 std::size_t TnrpCalculator::TnrpKeyHash::operator()(const TnrpKey& key) const {
   const std::size_t seed = HashCombine(static_cast<std::size_t>(key.task),
@@ -68,10 +88,11 @@ void TnrpCalculator::Rebind(const SchedulingContext& context,
     // TNRP values embed both RPs (catalog-derived) and throughput estimates;
     // version stamps only track mutations of the *same* estimator object.
     for (TnrpShard& shard : tnrp_shards_) {
-      shard.cache.clear();
+      shard.cache.Clear();
     }
     for (SetShard& shard : set_shards_) {
-      shard.cache.clear();
+      shard.cache.Clear();
+      shard.blob.clear();
     }
   }
   // Memory aging for long traces: entries for retired tasks (and version-
@@ -83,12 +104,13 @@ void TnrpCalculator::Rebind(const SchedulingContext& context,
   constexpr std::size_t kMaxCachedEntriesPerShard = std::size_t{1} << 16;
   for (TnrpShard& shard : tnrp_shards_) {
     if (shard.cache.size() > kMaxCachedEntriesPerShard) {
-      shard.cache.clear();
+      shard.cache.Clear();
     }
   }
   for (SetShard& shard : set_shards_) {
     if (shard.cache.size() > kMaxCachedEntriesPerShard) {
-      shard.cache.clear();
+      shard.cache.Clear();
+      shard.blob.clear();
     }
   }
 }
@@ -186,6 +208,11 @@ Money TnrpCalculator::TaskTnrpOneImpl(const TaskInfo& task, const TaskInfo& part
   if (!options_.interference_aware) {
     return rp;
   }
+  // Audited exception to the ScratchLease rule: this is the hottest TNRP
+  // leaf (every pairwise fold), the buffer is written immediately before
+  // its only use, and no call between the write and ComputeTnrp can re-enter
+  // this function on the same thread (no pool Wait on the path) — so a
+  // plain thread_local cannot be clobbered mid-use here.
   thread_local std::vector<WorkloadId> one(1);
   one[0] = partner.workload;
   return ComputeTnrp(task, one, rp, job_size);
@@ -212,8 +239,9 @@ Money TnrpCalculator::TaskTnrp(const TaskInfo& task,
   // task's workload, which the row version captures. The key preserves the
   // caller's partner ORDER (see TnrpKey); recurring call sites present
   // partners in stable orders, so ordered keys still hit. The workload
-  // scratch lives in thread-local storage: nothing allocates on a hit.
-  thread_local std::vector<WorkloadId> partner_workloads;
+  // scratch is leased per (thread, depth): nothing allocates on a hit.
+  ScratchLease<WorkloadScratch> workload_scratch;
+  std::vector<WorkloadId>& partner_workloads = workload_scratch->workloads;
   partner_workloads.clear();
   partner_workloads.reserve(partners.size());
   TnrpKey key;
@@ -238,25 +266,28 @@ Money TnrpCalculator::TaskTnrp(const TaskInfo& task,
   // find() recomputes anyway): any partition works, values are unaffected.
   TnrpShard& shard =
       tnrp_shards_[static_cast<std::size_t>(task.id) % kNumShards];
+  const std::size_t key_hash = TnrpKeyHash()(key);
   {
     MaybeLock lock(shard.mutex, concurrent_);
-    const auto cached = shard.cache.find(key);
-    if (cached != shard.cache.end() && cached->second.row_version == row_version) {
+    const TnrpEntry* cached = shard.cache.Find(key, key_hash);
+    if (cached != nullptr && cached->row_version == row_version) {
       cache_stats_.tnrp_hits.fetch_add(1, std::memory_order_relaxed);
-      return cached->second.value;
+      return cached->value;
     }
   }
   const Money value = ComputeTnrp(task, partner_workloads, rp, entry.job_size);
   MaybeLock lock(shard.mutex, concurrent_);
   cache_stats_.tnrp_misses.fetch_add(1, std::memory_order_relaxed);
-  shard.cache[key] = {value, row_version};
+  shard.cache.Upsert(key, key_hash, [&] { return key; }) = {value, row_version};
   return value;
 }
 
 Money TnrpCalculator::ComputeSetTnrp(const std::vector<const TaskInfo*>& tasks,
                                      std::optional<InstanceFamily> family) const {
   Money total = 0.0;
-  std::vector<const TaskInfo*> partners;  // Local: TaskTnrp re-enters scratch.
+  ScratchLease<TaskPtrScratch> partner_scratch;
+  std::vector<const TaskInfo*>& partners = partner_scratch->ptrs;
+  partners.clear();
   partners.reserve(tasks.size());
   for (const TaskInfo* task : tasks) {
     partners.clear();
@@ -281,16 +312,25 @@ Money TnrpCalculator::CachedSetTnrp(const SetKey& key, std::uint64_t row_sum,
                                 kNumShards];
   {
     MaybeLock lock(shard.mutex, concurrent_);
-    const auto cached = shard.cache.find(key);
-    if (cached != shard.cache.end() && cached->second.row_sum == row_sum) {
+    const SetEntry* cached = shard.cache.Find(key, key.hash);
+    if (cached != nullptr && cached->row_sum == row_sum) {
       cache_stats_.set_hits.fetch_add(1, std::memory_order_relaxed);
-      return cached->second.value;
+      return cached->value;
     }
   }
   const Money value = compute();
   MaybeLock lock(shard.mutex, concurrent_);
   cache_stats_.set_misses.fetch_add(1, std::memory_order_relaxed);
-  shard.cache[key] = {value, row_sum};
+  shard.cache.Upsert(key, key.hash, [&] {
+    // First insertion of this set: intern the member sequence.
+    StoredSetKey stored;
+    stored.hash = key.hash;
+    stored.family = key.family;
+    stored.offset = shard.blob.size();
+    stored.count = static_cast<std::uint32_t>(key.members.size());
+    shard.blob.insert(shard.blob.end(), key.members.begin(), key.members.end());
+    return stored;
+  }) = {value, row_sum};
   return value;
 }
 
@@ -309,7 +349,8 @@ Money TnrpCalculator::SetTnrp(const std::vector<const TaskInfo*>& tasks,
   // Ordered key, for the same bit-exactness reason as TaskTnrp's: the sum
   // over members is folded in presentation order.
   const ThroughputEstimator* throughput = estimator();
-  thread_local SetKey key;
+  ScratchLease<SetKey> key_lease;
+  SetKey& key = *key_lease;
   key.family = family.has_value() ? static_cast<int>(*family) : -1;
   key.hash = SetHashSeed(key.family);
   key.members.clear();
@@ -338,7 +379,8 @@ Money TnrpCalculator::SetTnrpPlusOne(const std::vector<const TaskInfo*>& members
            TaskTnrpOne(candidate, *members[0], family);
   }
   const ThroughputEstimator* throughput = estimator();
-  thread_local SetKey key;
+  ScratchLease<SetKey> key_lease;
+  SetKey& key = *key_lease;
   key.family = family.has_value() ? static_cast<int>(*family) : -1;
   key.hash = SetHashSeed(key.family);
   key.members.clear();
@@ -357,7 +399,9 @@ Money TnrpCalculator::SetTnrpPlusOne(const std::vector<const TaskInfo*>& members
     row_sum += throughput->RowVersion(candidate.workload);
   }
   return CachedSetTnrp(key, row_sum, [&] {
-    std::vector<const TaskInfo*> joined = members;
+    ScratchLease<TaskPtrScratch> joined_scratch;
+    std::vector<const TaskInfo*>& joined = joined_scratch->ptrs;
+    joined.assign(members.begin(), members.end());
     joined.push_back(&candidate);
     return ComputeSetTnrp(joined, family);
   });
@@ -373,7 +417,8 @@ Money TnrpCalculator::SetRp(const std::vector<const TaskInfo*>& tasks) const {
 
 void SortTasksByRpDesc(const TnrpCalculator& calculator,
                        std::vector<const TaskInfo*>& tasks) {
-  thread_local std::vector<std::pair<Money, const TaskInfo*>> keyed;  // Pooled scratch.
+  ScratchLease<SortScratch> sort_scratch;  // Pooled per (thread, depth).
+  std::vector<std::pair<Money, const TaskInfo*>>& keyed = sort_scratch->keyed;
   keyed.clear();
   keyed.reserve(tasks.size());
   for (const TaskInfo* task : tasks) {

@@ -25,13 +25,16 @@
 #ifndef SRC_SCHED_RESERVATION_PRICE_H_
 #define SRC_SCHED_RESERVATION_PRICE_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/soa_table.h"
 #include "src/sched/throughput_estimator.h"
 #include "src/sched/types.h"
 
@@ -166,9 +169,14 @@ class TnrpCalculator {
     std::unordered_map<TaskId, RpEntry> cache;  // Fallback for sparse ids.
   };
 
+  // Memo shards live in flat open-addressing tables (FlatMemoMap): the
+  // node-based unordered_maps they replace allocated on every miss — the
+  // single largest allocation source of the 10k/50k sweep. The tables are
+  // lookup-only (never iterated), so the layout change cannot affect any
+  // value or order the scheduler produces.
   struct TnrpShard {
     mutable std::mutex mutex;
-    std::unordered_map<TnrpKey, TnrpEntry, TnrpKeyHash> cache;
+    FlatMemoMap<TnrpKey, TnrpEntry, TnrpKeyHash> cache;
   };
 
   struct SetKey {
@@ -179,10 +187,6 @@ class TnrpCalculator {
     bool operator==(const SetKey& other) const {
       return hash == other.hash && family == other.family && members == other.members;
     }
-  };
-
-  struct SetKeyHash {
-    std::size_t operator()(const SetKey& key) const { return key.hash; }
   };
 
   // Seeds/extends the incremental SetKey hash (caller-order fold).
@@ -198,9 +202,38 @@ class TnrpCalculator {
     std::uint64_t row_sum = 0;
   };
 
+  // Stored set-memo key: the member sequence is interned into the shard's
+  // id blob (offset/count), so SetKey — which owns a members vector — is
+  // only ever a caller-side probe/scratch. Inserting an entry appends to
+  // the blob (amortized) instead of copying a vector per stored key.
+  struct StoredSetKey {
+    std::size_t hash = 0;
+    std::size_t offset = 0;
+    std::uint32_t count = 0;
+    std::int32_t family = -1;
+  };
+
+  struct StoredSetKeyHash {
+    std::size_t operator()(const StoredSetKey& key) const { return key.hash; }
+  };
+
+  // Compares an interned key against a probe SetKey; bound to the owning
+  // shard's blob.
+  struct StoredSetKeyEq {
+    const std::vector<TaskId>* blob = nullptr;
+    bool operator()(const StoredSetKey& stored, const SetKey& probe) const {
+      return stored.hash == probe.hash && stored.family == probe.family &&
+             stored.count == probe.members.size() &&
+             std::equal(probe.members.begin(), probe.members.end(),
+                        blob->begin() + static_cast<std::ptrdiff_t>(stored.offset));
+    }
+  };
+
   struct SetShard {
     mutable std::mutex mutex;
-    std::unordered_map<SetKey, SetEntry, SetKeyHash> cache;
+    std::vector<TaskId> blob;  // Interned member sequences (cleared with cache).
+    FlatMemoMap<StoredSetKey, SetEntry, StoredSetKeyHash, StoredSetKeyEq> cache{
+        StoredSetKeyHash{}, StoredSetKeyEq{&blob}};
   };
 
   const ThroughputEstimator* estimator() const {

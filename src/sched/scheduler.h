@@ -38,6 +38,15 @@ class Scheduler {
   // once per scheduling period.
   virtual ClusterConfig Schedule(const SchedulingContext& context) = 0;
 
+  // Writes the desired configuration into caller-owned storage, reusing its
+  // buffers (the per-round fast path: one round-scoped ClusterConfig lives
+  // for the whole run and is rewritten in place). The default forwards to
+  // Schedule(); schedulers whose Schedule would copy a cached configuration
+  // (Eva's round memo) override this to copy into `out` directly.
+  virtual void ScheduleInto(const SchedulingContext& context, ClusterConfig& out) {
+    out = Schedule(context);
+  }
+
   // Delivers the throughput observations collected since the previous
   // scheduling round. Default: ignore (throughput-oblivious schedulers).
   virtual void ObserveThroughput(const std::vector<JobThroughputObservation>& observations) {

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/arena.h"
+
 namespace eva {
 
 namespace {
@@ -17,38 +19,27 @@ bool FlatEligible(std::int64_t id) { return id >= 0 && id < kMaxFlatIndexId; }
 }  // namespace
 
 void SchedulingContext::Finalize() {
-  ++index_epoch_;
-  if (index_epoch_ == 0) {
-    // Epoch wrap (one in 2^32 Finalizes): stamps from 2^32 rounds ago would
-    // read as current, so reset them all once.
-    task_flat_.assign(task_flat_.size(), FlatSlot{});
-    instance_flat_.assign(instance_flat_.size(), FlatSlot{});
-    job_size_flat_.assign(job_size_flat_.size(), FlatSlot{});
-    index_epoch_ = 1;
-  }
+  // O(1) expiry of the previous round's entries (epoch bump; the column
+  // handles the 2^32 wrap internally).
+  task_flat_.Clear();
+  instance_flat_.Clear();
+  job_size_flat_.Clear();
   task_index_.clear();
   instance_index_.clear();
   job_size_.clear();
-  const auto grow = [](std::vector<FlatSlot>& flat, std::int64_t id) -> FlatSlot& {
-    const auto needed = static_cast<std::size_t>(id) + 1;
-    if (needed > flat.size()) {
-      flat.resize(std::max(needed, flat.size() * 2));
-    }
-    return flat[static_cast<std::size_t>(id)];
-  };
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     if (FlatEligible(tasks[i].id)) {
-      grow(task_flat_, tasks[i].id) = {static_cast<std::uint32_t>(i), index_epoch_};
+      task_flat_.Set(static_cast<std::size_t>(tasks[i].id),
+                     static_cast<std::uint32_t>(i));
     } else {
       task_index_[tasks[i].id] = i;
     }
     const JobId job = tasks[i].job;
     if (FlatEligible(job)) {
-      FlatSlot& slot = grow(job_size_flat_, job);
-      if (slot.epoch == index_epoch_) {
-        ++slot.value;
+      if (std::uint32_t* count = job_size_flat_.Find(static_cast<std::size_t>(job))) {
+        ++*count;
       } else {
-        slot = {1, index_epoch_};
+        job_size_flat_.Set(static_cast<std::size_t>(job), 1);
       }
     } else {
       ++job_size_[job];
@@ -56,8 +47,8 @@ void SchedulingContext::Finalize() {
   }
   for (std::size_t i = 0; i < instances.size(); ++i) {
     if (FlatEligible(instances[i].id)) {
-      grow(instance_flat_, instances[i].id) = {static_cast<std::uint32_t>(i),
-                                               index_epoch_};
+      instance_flat_.Set(static_cast<std::size_t>(instances[i].id),
+                         static_cast<std::uint32_t>(i));
     } else {
       instance_index_[instances[i].id] = i;
     }
@@ -66,11 +57,8 @@ void SchedulingContext::Finalize() {
 
 const TaskInfo* SchedulingContext::FindTask(TaskId id) const {
   if (FlatEligible(id)) {
-    if (static_cast<std::size_t>(id) >= task_flat_.size()) {
-      return nullptr;
-    }
-    const FlatSlot& slot = task_flat_[static_cast<std::size_t>(id)];
-    return slot.epoch == index_epoch_ ? &tasks[slot.value] : nullptr;
+    const std::uint32_t* pos = task_flat_.Find(static_cast<std::size_t>(id));
+    return pos != nullptr ? &tasks[*pos] : nullptr;
   }
   const auto it = task_index_.find(id);
   return it == task_index_.end() ? nullptr : &tasks[it->second];
@@ -78,11 +66,8 @@ const TaskInfo* SchedulingContext::FindTask(TaskId id) const {
 
 const InstanceInfo* SchedulingContext::FindInstance(InstanceId id) const {
   if (FlatEligible(id)) {
-    if (static_cast<std::size_t>(id) >= instance_flat_.size()) {
-      return nullptr;
-    }
-    const FlatSlot& slot = instance_flat_[static_cast<std::size_t>(id)];
-    return slot.epoch == index_epoch_ ? &instances[slot.value] : nullptr;
+    const std::uint32_t* pos = instance_flat_.Find(static_cast<std::size_t>(id));
+    return pos != nullptr ? &instances[*pos] : nullptr;
   }
   const auto it = instance_index_.find(id);
   return it == instance_index_.end() ? nullptr : &instances[it->second];
@@ -100,11 +85,8 @@ std::vector<TaskId> SchedulingContext::JobTasks(JobId job) const {
 
 int SchedulingContext::JobSize(JobId job) const {
   if (FlatEligible(job)) {
-    if (static_cast<std::size_t>(job) >= job_size_flat_.size()) {
-      return 0;
-    }
-    const FlatSlot& slot = job_size_flat_[static_cast<std::size_t>(job)];
-    return slot.epoch == index_epoch_ ? static_cast<int>(slot.value) : 0;
+    const std::uint32_t* count = job_size_flat_.Find(static_cast<std::size_t>(job));
+    return count != nullptr ? static_cast<int>(*count) : 0;
   }
   const auto it = job_size_.find(job);
   return it == job_size_.end() ? 0 : it->second;
@@ -123,8 +105,10 @@ std::optional<std::string> ClusterConfig::Validate(const SchedulingContext& cont
   // round, and the duplicate probe must not allocate on the happy path.
   // Ids are collected during the scan and duplicate-checked with one
   // sort + adjacent_find at the end — O(n log n) with no mid-vector
-  // insertion, which matters at the 50k/100k-job sweep scale.
-  thread_local std::vector<TaskId> seen;
+  // insertion, which matters at the 50k/100k-job sweep scale. Leased per
+  // (thread, depth) via the sanctioned scratch mechanism (common/arena.h).
+  ScratchLease<std::vector<TaskId>> lease;
+  std::vector<TaskId>& seen = *lease;
   seen.clear();
   for (const ConfigInstance& instance : instances) {
     if (instance.type_index < 0 || instance.type_index >= context.catalog->NumTypes()) {

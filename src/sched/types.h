@@ -18,6 +18,7 @@
 
 #include "src/cloud/instance_type.h"
 #include "src/common/resources.h"
+#include "src/common/soa_table.h"
 #include "src/common/units.h"
 #include "src/workload/workload.h"
 
@@ -137,21 +138,15 @@ class SchedulingContext {
 
  private:
   // Epoch-stamped flat indices for the dense id universe the simulator
-  // produces (sequential task/job/instance ids). Finalize() bumps the epoch
-  // and stamps the slots it writes, so the previous round's entries expire
-  // in O(1) — the unordered_map rebuild this replaces allocated a node per
-  // task per live round. Ids outside the flat envelope fall back to the
-  // hash maps (hand-built contexts); the arrays grow amortized to the
-  // largest id seen and persist across Finalize calls.
-  struct FlatSlot {
-    std::uint32_t value = 0;  // Position (task/instance) or count (job size).
-    std::uint32_t epoch = 0;  // Valid only when equal to index_epoch_.
-  };
-
-  std::uint32_t index_epoch_ = 0;
-  std::vector<FlatSlot> task_flat_;
-  std::vector<FlatSlot> instance_flat_;
-  std::vector<FlatSlot> job_size_flat_;
+  // produces (sequential task/job/instance ids). Finalize() Clear()s the
+  // columns, so the previous round's entries expire in O(1) — the
+  // unordered_map rebuild this replaces allocated a node per task per live
+  // round. Ids outside the flat envelope fall back to the hash maps
+  // (hand-built contexts); the columns grow amortized to the largest id
+  // seen and persist across Finalize calls.
+  EpochColumn<std::uint32_t> task_flat_;      // id -> position in tasks.
+  EpochColumn<std::uint32_t> instance_flat_;  // id -> position in instances.
+  EpochColumn<std::uint32_t> job_size_flat_;  // job id -> task count.
   std::unordered_map<TaskId, std::size_t> task_index_;  // Sparse-id fallbacks.
   std::unordered_map<InstanceId, std::size_t> instance_index_;
   std::unordered_map<JobId, int> job_size_;

@@ -28,10 +28,7 @@ const JobRec* ClusterState::FindJob(JobId id) const {
   return it == jobs_.end() ? nullptr : &it->second;
 }
 
-TaskRec* ClusterState::FindTask(TaskId id) {
-  const auto it = tasks_.find(id);
-  return it == tasks_.end() ? nullptr : &it->second;
-}
+TaskRec* ClusterState::FindTask(TaskId id) { return tasks_.Find(id); }
 
 InstRec* ClusterState::FindInstance(InstanceId id) {
   const auto it = instances_.find(id);
@@ -50,13 +47,13 @@ JobRec& ClusterState::AddJob(const JobSpec& spec) {
   job.active = true;
   job.remaining_work_s = spec.duration_s;
   for (int i = 0; i < spec.num_tasks; ++i) {
-    TaskRec task;
-    task.id = next_task_id_++;
+    const TaskId task_id = next_task_id_++;
+    TaskRec& task = tasks_.Emplace(task_id);
+    task.id = task_id;
     task.job = spec.id;
     task.workload = spec.workload;
     task.job_ref = &job;  // Map nodes are pointer-stable.
-    tasks_[task.id] = task;
-    job.tasks.push_back(task.id);
+    job.tasks.push_back(task_id);
   }
   active_.insert(spec.id);
   active_task_count_ += spec.num_tasks;
@@ -82,7 +79,7 @@ void ClusterState::RetireJob(JobId id) {
   completed_.push_back({id, job.spec.arrival_time_s, job.completion_time,
                         job.running_seconds, job.spec.duration_s});
   for (TaskId task_id : job.tasks) {
-    tasks_.erase(task_id);
+    tasks_.Erase(task_id);
   }
   jobs_.erase(it);
 }
@@ -273,12 +270,11 @@ void ClusterState::RefreshCompositionSums() {
         instance.member_demands.clear();
         const InstanceType& type = catalog_.Get(instance.type_index);
         for (TaskId task_id : instance.assigned) {
-          const auto task = tasks_.find(task_id);
-          if (task == tasks_.end() || task->second.job_ref == nullptr) {
+          const TaskRec* task = tasks_.Find(task_id);
+          if (task == nullptr || task->job_ref == nullptr) {
             continue;
           }
-          instance.member_demands.push_back(
-              task->second.job_ref->spec.DemandFor(type.family));
+          instance.member_demands.push_back(task->job_ref->spec.DemandFor(type.family));
         }
         instance.demands_dirty = false;
       }
@@ -314,7 +310,6 @@ SchedulingContext ClusterState::BuildContext(SimTime now, bool grant_runtime_est
 void ClusterState::FillContext(SimTime now, bool grant_runtime_estimates,
                                SchedulingContext& context) const {
   context.tasks.clear();
-  context.instances.clear();
   context.delta.Clear();
   context.throughput = nullptr;
   context.now_s = now;
@@ -337,30 +332,46 @@ void ClusterState::FillContext(SimTime now, bool grant_runtime_estimates,
       context.tasks.push_back(std::move(info));
     }
   }
+  // Instances are written into the existing slots (assign reuses each
+  // slot's task-vector capacity) and trimmed at the end — clear() +
+  // push_back would destroy and reallocate every per-instance task vector
+  // each round.
+  std::size_t used = 0;
   for (const auto& [inst_id, instance] : instances_) {
     (void)inst_id;
     if (instance.condemned) {
       continue;
     }
-    InstanceInfo info;
+    if (used == context.instances.size()) {
+      context.instances.emplace_back();
+    }
+    InstanceInfo& info = context.instances[used++];
     info.id = instance.id;
     info.type_index = instance.type_index;
     info.tasks.assign(instance.assigned.begin(), instance.assigned.end());
-    context.instances.push_back(std::move(info));
   }
+  context.instances.resize(used);
   context.Finalize();
 }
 
 RoundDelta ClusterState::TakeRoundDelta() {
-  RoundDelta delta = std::move(round_delta_);
-  round_delta_.Clear();
-  SortUnique(delta.jobs_arrived);
-  SortUnique(delta.jobs_completed);
-  SortUnique(delta.tasks_retargeted);
-  SortUnique(delta.instances_launched);
-  SortUnique(delta.instances_terminated);
-  delta.complete = true;
+  RoundDelta delta;
+  DrainRoundDelta(delta);
   return delta;
+}
+
+void ClusterState::DrainRoundDelta(RoundDelta& out) {
+  const auto drain = [](std::vector<std::int64_t>& from, std::vector<std::int64_t>& to) {
+    to.assign(from.begin(), from.end());
+    from.clear();
+    SortUnique(to);
+  };
+  drain(round_delta_.jobs_arrived, out.jobs_arrived);
+  drain(round_delta_.jobs_completed, out.jobs_completed);
+  drain(round_delta_.tasks_retargeted, out.tasks_retargeted);
+  drain(round_delta_.instances_launched, out.instances_launched);
+  drain(round_delta_.instances_terminated, out.instances_terminated);
+  out.complete = true;
 }
 
 void ClusterState::FinalizeMetrics(SimulationMetrics& metrics) const {

@@ -28,10 +28,10 @@
 #include <functional>
 #include <map>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "src/cloud/instance_type.h"
+#include "src/common/soa_table.h"
 #include "src/common/resources.h"
 #include "src/common/units.h"
 #include "src/sched/types.h"
@@ -84,8 +84,11 @@ struct InstRec {
   bool condemned = false;
   SimTime launch_time = 0.0;
   SimTime ready_time = 0.0;
-  std::set<TaskId> assigned;  // Tasks targeted at this instance.
-  std::set<TaskId> present;   // Containers physically on this instance.
+  // Flat sorted id sets (identical iteration order to the std::sets they
+  // replaced): per-event retarget/migration churn mutates these, and set
+  // node allocation dominated the engine's per-event allocation count.
+  IdSet<TaskId> assigned;  // Tasks targeted at this instance.
+  IdSet<TaskId> present;   // Containers physically on this instance.
 
   // Demand vectors of `assigned`, in set (id) order, on this instance's
   // family — the allocation integral's operands, cached so the global fold
@@ -109,9 +112,9 @@ class ClusterState {
 
   // --- Lookup -----------------------------------------------------------
   const std::map<JobId, JobRec>& jobs() const { return jobs_; }
-  // Hash map (O(1) hot-path lookups); iteration order is unspecified —
-  // nothing order-sensitive iterates it.
-  const std::unordered_map<TaskId, TaskRec>& tasks() const { return tasks_; }
+  // Paged table (O(1) hot-path lookups, stable record pointers, one
+  // allocation per page instead of per task); iterates ascending by id.
+  const PagedTable<TaskRec, TaskId>& tasks() const { return tasks_; }
   const std::map<InstanceId, InstRec>& instances() const { return instances_; }
   const std::set<JobId>& active_jobs() const { return active_; }
   int num_active() const { return static_cast<int>(active_.size()); }
@@ -199,6 +202,11 @@ class ClusterState {
   // attaches the result to the round's SchedulingContext.
   RoundDelta TakeRoundDelta();
 
+  // TakeRoundDelta into caller-owned storage: `out` is rewritten in place
+  // (capacity reused) and the accumulator keeps its buffers — the per-round
+  // fast path; neither side allocates at steady state.
+  void DrainRoundDelta(RoundDelta& out);
+
   // Whether anything has accumulated since the last TakeRoundDelta — the
   // O(1) emptiness probe the quiescence-aware round trigger uses (an empty
   // delta need not be drained: taking it would yield the same empty result).
@@ -235,8 +243,8 @@ class ClusterState {
 
   const InstanceCatalog& catalog_;
 
-  std::map<JobId, JobRec> jobs_;                 // Live (not yet retired).
-  std::unordered_map<TaskId, TaskRec> tasks_;    // Live (not yet retired).
+  std::map<JobId, JobRec> jobs_;             // Live (not yet retired).
+  PagedTable<TaskRec, TaskId> tasks_;        // Live (not yet retired).
   std::map<InstanceId, InstRec> instances_;  // Live (provisioning/ready).
   std::set<JobId> active_;
   int active_task_count_ = 0;  // Sum of num_tasks over active_ (context size).

@@ -51,7 +51,7 @@ double ExecutionModel::TaskThroughput(const TaskRec& task) const {
 
 void ExecutionModel::MarkInstanceDirty(const InstRec& instance) {
   for (TaskId task_id : instance.present) {
-    dirty_.insert(state_->tasks().at(task_id).job);
+    dirty_.Insert(state_->tasks().at(task_id).job);
   }
 }
 
@@ -76,7 +76,15 @@ void ExecutionModel::IntegrateWork(SimTime dt) {
 }
 
 SimTime ExecutionModel::RecomputeDirtyRates(SimTime now) {
-  for (JobId job_id : dirty_) {
+  // Drain in ascending id order — the exact iteration order of the std::set
+  // this flat buffer replaced. (Rates are recomputed independently per job,
+  // but keeping the order identical keeps the engine trivially audit-equal.)
+  std::vector<JobId>& dirty_ids = dirty_.mutable_items();
+  std::sort(dirty_ids.begin(), dirty_ids.end());
+  for (JobId job_id : dirty_ids) {
+    if (!dirty_.Contains(job_id)) {
+      continue;  // Erased (job deactivated) after being marked.
+    }
     JobRec* job = state_->FindJob(job_id);
     if (job == nullptr || !job->active) {
       continue;
@@ -99,7 +107,7 @@ SimTime ExecutionModel::RecomputeDirtyRates(SimTime now) {
       progressing_flat_stale_ |= progressing_.erase(job_id) > 0;
     }
   }
-  dirty_.clear();
+  dirty_.Clear();
 
   // Project the earliest completion over everything still progressing. The
   // projection is refreshed every event (remaining work drifts as it is
@@ -136,7 +144,7 @@ SimTime ExecutionModel::RecomputeDirtyRates(SimTime now) {
 
 void ExecutionModel::OnJobDeactivated(JobId job) {
   progressing_flat_stale_ |= progressing_.erase(job) > 0;
-  dirty_.erase(job);
+  dirty_.EraseMembership(job);
   candidates_.erase(job);
 }
 
@@ -146,9 +154,10 @@ void ExecutionModel::OnJobAdded(const JobRec& job) {
   }
 }
 
-std::vector<JobThroughputObservation> ExecutionModel::CollectObservations(
+const std::vector<JobThroughputObservation>& ExecutionModel::CollectObservations(
     bool physical_mode, double noise_stddev, Rng* rng) const {
-  ObservationBatch batch;
+  ObservationBatch& batch = batch_;
+  batch.Reset();
   batch.Reserve(progressing_.size());
   for (const auto& [job_id, job_ptr] : progressing_) {
     const JobRec& job = *job_ptr;
@@ -179,7 +188,7 @@ std::vector<JobThroughputObservation> ExecutionModel::CollectObservations(
       }
     }
   }
-  return batch.Take();
+  return batch.Finish();
 }
 
 }  // namespace eva

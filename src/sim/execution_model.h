@@ -18,9 +18,10 @@
 #define SRC_SIM_EXECUTION_MODEL_H_
 
 #include <map>
-#include <set>
 #include <vector>
 
+#include "src/common/soa_table.h"
+#include "src/sched/observation.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/cluster_state.h"
 #include "src/workload/interference.h"
@@ -49,7 +50,7 @@ class ExecutionModel {
   double TaskThroughput(const TaskRec& task) const;
 
   // --- Dirty tracking ----------------------------------------------------
-  void MarkJobDirty(JobId job) { dirty_.insert(job); }
+  void MarkJobDirty(JobId job) { dirty_.Insert(job); }
 
   // Marks every job with a container on `instance` dirty (its tasks'
   // colocation sets changed).
@@ -65,7 +66,7 @@ class ExecutionModel {
   SimTime RecomputeDirtyRates(SimTime now);
 
   // Jobs whose remaining work is exhausted, ascending by id.
-  const std::set<JobId>& completion_candidates() const { return candidates_; }
+  const IdSet<JobId>& completion_candidates() const { return candidates_; }
 
   // Must be called when a job completes or is dropped so the tracking sets
   // do not retain it.
@@ -81,10 +82,12 @@ class ExecutionModel {
 
   // One round's throughput observations over the progressing jobs, in job-id
   // order. In physical mode the reported throughput is perturbed with
-  // multiplicative Gaussian noise drawn from `rng`.
-  std::vector<JobThroughputObservation> CollectObservations(bool physical_mode,
-                                                            double noise_stddev,
-                                                            Rng* rng) const;
+  // multiplicative Gaussian noise drawn from `rng`. The returned reference
+  // points into a persistent batch reused (reset, not reallocated) across
+  // rounds; it stays valid until the next CollectObservations call.
+  const std::vector<JobThroughputObservation>& CollectObservations(bool physical_mode,
+                                                                   double noise_stddev,
+                                                                   Rng* rng) const;
 
  private:
   void RefreshProgressingFlat();
@@ -99,8 +102,17 @@ class ExecutionModel {
   std::map<JobId, JobRec*> progressing_;
   std::vector<std::pair<JobId, JobRec*>> progressing_flat_;
   bool progressing_flat_stale_ = false;
-  std::set<JobId> dirty_;
-  std::set<JobId> candidates_;
+
+  // Flat-storage job-id sets (SoA columns + reused buffers) — the per-event
+  // mutation rates made std::set node churn the engine's dominant allocation
+  // source. `dirty_` is drained in sorted order, `candidates_` kept sorted,
+  // so processing order matches the old std::set iteration exactly.
+  EpochSet<JobId> dirty_;
+  IdSet<JobId> candidates_;
+
+  // Round-scoped observation buffer, reset per round (CollectObservations
+  // is logically const: the batch is storage, not model state).
+  mutable ObservationBatch batch_;
 };
 
 }  // namespace eva

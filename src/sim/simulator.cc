@@ -165,6 +165,28 @@ class Simulator::Impl {
   // scheduler contract already forbids retaining the reference.
   SchedulingContext round_context_;
 
+  // Round-scoped output buffers, rewritten in place every round: the
+  // scheduler's desired configuration and its diff against the context.
+  // These replace per-round temporaries (and ApplyConfig's PR-4
+  // thread_local scratch — members give each simulator its own storage,
+  // which is the stronger isolation under federation and parallel
+  // comparison runs, and leave ScratchLease as the one thread-local
+  // mechanism in the codebase).
+  ClusterConfig round_config_;
+  ConfigDiff round_diff_;
+  std::vector<InstanceId> apply_binding_instance_;
+  std::vector<char> apply_execute_;
+  std::vector<InstanceId> apply_keep_visible_;
+
+  // Per-event copy buffers (iteration-robust snapshots of instance task
+  // sets and completion candidates), reused so handlers allocate nothing
+  // at steady state. scratch_evict_ids_ is distinct because
+  // HandleSpotPreempt snapshots two sets in one call.
+  std::vector<TaskId> scratch_task_ids_;
+  std::vector<TaskId> scratch_evict_ids_;
+  std::vector<JobId> scratch_job_ids_;
+  std::vector<InstanceId> scratch_instance_ids_;
+
   SimulationMetrics metrics_;
 };
 
@@ -232,7 +254,7 @@ void Simulator::Impl::HandleRound() {
   // for the desired configuration. The context carries the RoundDelta the
   // cluster state accumulated since the previous round, and the scheduler
   // calls are timed so the benches can report per-round decision latency.
-  const std::vector<JobThroughputObservation> observations = exec_.CollectObservations(
+  const std::vector<JobThroughputObservation>& observations = exec_.CollectObservations(
       options_.physical_mode, options_.observation_noise_stddev, &rng_);
   SchedulingContext& context = round_context_;  // Reused storage across rounds.
   state_.FillContext(now_, options_.grant_runtime_estimates, context);
@@ -245,11 +267,15 @@ void Simulator::Impl::HandleRound() {
     quote_catalog_ = std::move(quote);
     context.catalog = quote_catalog_.get();
   }
-  context.delta = state_.TakeRoundDelta();
+  state_.DrainRoundDelta(context.delta);
   rates_dirty_since_round_ = false;  // This round's snapshot is the new baseline.
   const auto sched_start = std::chrono::steady_clock::now();
   scheduler_->ObserveThroughput(observations);
-  const ClusterConfig config = scheduler_->Schedule(context);
+  // Round-scoped storage: the config is written into the same buffers every
+  // round (schedulers reuse element capacity instead of building a fresh
+  // ClusterConfig), per the arena discipline of reset-not-reallocate.
+  ClusterConfig& config = round_config_;
+  scheduler_->ScheduleInto(context, config);
   metrics_.scheduler_wall_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - sched_start).count();
 
@@ -276,7 +302,8 @@ void Simulator::Impl::HandleRound() {
 
 void Simulator::Impl::ApplyConfig(const SchedulingContext& context,
                                   const ClusterConfig& config) {
-  const ConfigDiff diff = DiffConfig(context, config);
+  ConfigDiff& diff = round_diff_;  // Reused storage across rounds.
+  DiffConfigInto(context, config, diff);
 
   // An application that launches, terminates (or condemns) or moves nothing
   // leaves the cluster exactly as the scheduler saw it — the precondition
@@ -289,7 +316,8 @@ void Simulator::Impl::ApplyConfig(const SchedulingContext& context,
   // task routed to it keeps its previous placement until a later round
   // succeeds (or the scheduler gives up).
   bool any_denied = false;
-  std::vector<InstanceId> binding_instance(diff.bindings.size(), kInvalidInstanceId);
+  std::vector<InstanceId>& binding_instance = apply_binding_instance_;
+  binding_instance.assign(diff.bindings.size(), kInvalidInstanceId);
   for (std::size_t i = 0; i < diff.bindings.size(); ++i) {
     const ConfigDiff::Binding& binding = diff.bindings[i];
     if (binding.existing_id != kInvalidInstanceId) {
@@ -326,7 +354,7 @@ void Simulator::Impl::ApplyConfig(const SchedulingContext& context,
   // (in diff order, to a fixpoint — a dropped arrival bounces its task back
   // to an instance earlier arrivals were checked without) whatever no
   // longer fits.
-  thread_local std::vector<char> execute;  // Pooled round scratch.
+  std::vector<char>& execute = apply_execute_;  // Reused round scratch.
   execute.assign(diff.moves.size(), 1);
   for (std::size_t i = 0; i < diff.moves.size(); ++i) {
     const TaskRec* task = state_.FindTask(diff.moves[i].task);
@@ -409,7 +437,7 @@ void Simulator::Impl::ApplyConfig(const SchedulingContext& context,
   // the scheduler retries" loop real. Without denials every move executes
   // (dropped entries are dead/absent tasks only), so this is exactly the
   // old unconditional condemn.
-  thread_local std::vector<InstanceId> keep_visible;  // Pooled round scratch.
+  std::vector<InstanceId>& keep_visible = apply_keep_visible_;  // Reused round scratch.
   keep_visible.clear();
   for (std::size_t i = 0; i < diff.moves.size(); ++i) {
     if (execute[i]) {
@@ -442,7 +470,8 @@ void Simulator::Impl::ApplyConfig(const SchedulingContext& context,
   }
 
   // Condemned instances with nothing left terminate immediately.
-  std::vector<InstanceId> condemned;
+  std::vector<InstanceId>& condemned = scratch_instance_ids_;
+  condemned.clear();
   for (const auto& [id, instance] : state_.instances()) {
     if (instance.condemned) {
       condemned.push_back(id);
@@ -461,7 +490,8 @@ void Simulator::Impl::HandleInstanceReady(InstanceId id) {
   inst->ready = true;
   // Launch everything parked on this instance. Copy the set: TryLaunch does
   // not mutate `assigned`, but keep the iteration robust anyway.
-  const std::vector<TaskId> parked(inst->assigned.begin(), inst->assigned.end());
+  std::vector<TaskId>& parked = scratch_task_ids_;
+  parked.assign(inst->assigned.begin(), inst->assigned.end());
   for (TaskId task_id : parked) {
     if (TaskRec* task = state_.FindTask(task_id)) {
       lifecycle_.TryLaunch(*task, now_);
@@ -475,8 +505,9 @@ void Simulator::Impl::HandleCompletionCheck() {
     return;  // A check that fired early; RecomputeAndArm re-arms it.
   }
   rates_dirty_since_round_ = true;
-  const std::vector<JobId> finished(exec_.completion_candidates().begin(),
-                                    exec_.completion_candidates().end());
+  std::vector<JobId>& finished = scratch_job_ids_;
+  finished.assign(exec_.completion_candidates().begin(),
+                  exec_.completion_candidates().end());
   for (JobId job_id : finished) {
     lifecycle_.CompleteJob(*state_.FindJob(job_id), now_, metrics_);
   }
@@ -502,7 +533,8 @@ void Simulator::Impl::WarnSpotInstance(InstanceId id) {
   // Evict every task routed here: running tasks checkpoint (and park
   // kPending when the checkpoint lands), parked/launching tasks drop back
   // to the pending pool immediately.
-  const std::vector<TaskId> assigned(inst->assigned.begin(), inst->assigned.end());
+  std::vector<TaskId>& assigned = scratch_task_ids_;
+  assigned.assign(inst->assigned.begin(), inst->assigned.end());
   for (TaskId task_id : assigned) {
     if (TaskRec* task = state_.FindTask(task_id)) {
       lifecycle_.Evict(*task, now_);
@@ -552,7 +584,8 @@ void Simulator::Impl::HandleSpotPreempt(InstanceId id) {
   // than the warning): they are lost. Mark neighbors dirty first — the
   // instance record disappears below.
   exec_.MarkInstanceDirty(*inst);
-  const std::vector<TaskId> present(inst->present.begin(), inst->present.end());
+  std::vector<TaskId>& present = scratch_task_ids_;
+  present.assign(inst->present.begin(), inst->present.end());
   for (TaskId task_id : present) {
     TaskRec* task = state_.FindTask(task_id);
     if (task == nullptr) {
@@ -572,7 +605,8 @@ void Simulator::Impl::HandleSpotPreempt(InstanceId id) {
   }
   // Anything still assigned (defensive — the warning evicted these) drops
   // back to pending too.
-  const std::vector<TaskId> assigned(inst->assigned.begin(), inst->assigned.end());
+  std::vector<TaskId>& assigned = scratch_evict_ids_;
+  assigned.assign(inst->assigned.begin(), inst->assigned.end());
   for (TaskId task_id : assigned) {
     if (TaskRec* task = state_.FindTask(task_id)) {
       lifecycle_.Evict(*task, now_);

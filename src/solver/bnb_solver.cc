@@ -6,6 +6,7 @@
 #include <cmath>
 #include <thread>
 
+#include "src/common/arena.h"
 #include "src/common/thread_pool.h"
 #include "src/core/full_reconfig.h"
 #include "src/sched/reservation_price.h"
@@ -55,6 +56,45 @@ struct OpenInstance {
   }
 };
 
+// Stack of open instances whose Pop() keeps the slot — and its tasks
+// vector's capacity — alive for the next Push() at the same depth. The DFS
+// pushes/pops an instance per fresh-open node; with a plain vector that was
+// a heap allocation and free per node.
+class OpenList {
+ public:
+  std::size_t size() const { return size_; }
+  const OpenInstance& operator[](std::size_t i) const { return items_[i]; }
+  OpenInstance& operator[](std::size_t i) { return items_[i]; }
+  const OpenInstance* begin() const { return items_.data(); }
+  const OpenInstance* end() const { return items_.data() + size_; }
+
+  OpenInstance& Push() {
+    if (size_ == items_.size()) {
+      items_.emplace_back();
+    }
+    OpenInstance& slot = items_[size_++];
+    slot.type_index = -1;
+    slot.used = ResourceVector();
+    slot.tasks.clear();
+    return slot;
+  }
+  void Pop() { --size_; }
+
+  void Assign(const std::vector<OpenInstance>& from) {
+    size_ = 0;
+    for (const OpenInstance& instance : from) {
+      OpenInstance& slot = Push();
+      slot.type_index = instance.type_index;
+      slot.used = instance.used;
+      slot.tasks = instance.tasks;
+    }
+  }
+
+ private:
+  std::vector<OpenInstance> items_;
+  std::size_t size_ = 0;
+};
+
 // Immutable per-solve data shared by the serial search, the frontier
 // expansion and every worker: branch order, suffix bounds, limits.
 struct Problem {
@@ -82,11 +122,32 @@ struct Problem {
       }
       suffix_volume[i] = volume;
     }
+    // Per-task fitting instance types, cheapest-first — a pure function of
+    // (task demands, catalog), so computing it once per solve instead of
+    // once per node removes the search's dominant per-node allocation and
+    // sort. Same comparator over the same input: identical order.
+    fitting_by_task.resize(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      std::vector<int>& fitting = fitting_by_task[i];
+      for (int k = 0; k < context.catalog->NumTypes(); ++k) {
+        const InstanceType& type = context.catalog->Get(k);
+        if (tasks[i]->DemandFor(type.family).FitsWithin(type.capacity)) {
+          fitting.push_back(k);
+        }
+      }
+      std::sort(fitting.begin(), fitting.end(), [&context](int a, int b) {
+        return context.catalog->Get(a).cost_per_hour <
+               context.catalog->Get(b).cost_per_hour;
+      });
+    }
   }
 
   // Sound lower bound on the cost of hosting tasks[next_task..) given the
-  // instances already open (their unused capacity is free).
-  Money SuffixBound(std::size_t next_task, const std::vector<OpenInstance>& open) const {
+  // instances already open (their unused capacity is free). `open` is any
+  // range of OpenInstance (OpenList in the DFS, plain vector in the
+  // frontier expansion).
+  template <typename OpenRange>
+  Money SuffixBound(std::size_t next_task, const OpenRange& open) const {
     std::array<double, kNumResources> residual = suffix_volume[next_task];
     for (const OpenInstance& instance : open) {
       const ResourceVector& capacity = context.catalog->Get(instance.type_index).capacity;
@@ -111,6 +172,7 @@ struct Problem {
   std::array<double, kNumResources> unit_prices;
   std::vector<const TaskInfo*> tasks;
   std::vector<std::array<double, kNumResources>> suffix_volume;
+  std::vector<std::vector<int>> fitting_by_task;
 };
 
 // State shared between parallel workers. `best_cost` is a bound only — the
@@ -142,13 +204,17 @@ struct Choice {
 
 // Enumerates a node's children in serial DFS order: existing open instances
 // first (skipping symmetric (type, used) duplicates), then fresh instances
-// of each fitting type cheapest-first, cut where `cost_bound` proves a
-// fresh open cannot improve. Both the depth-first search and the parallel
-// frontier expansion branch through this, so their orders cannot drift
-// apart. Callers may re-check fresh choices against a live (tighter) bound.
-void EnumerateChoices(const Problem& problem, const TaskInfo& task,
-                      const std::vector<OpenInstance>& open, Money cost_so_far,
-                      Money cost_bound, std::vector<Choice>& out) {
+// of each fitting type cheapest-first (precomputed per task in Problem),
+// cut where `cost_bound` proves a fresh open cannot improve. Both the
+// depth-first search and the parallel frontier expansion branch through
+// this, so their orders cannot drift apart. Callers may re-check fresh
+// choices against a live (tighter) bound. `out` is any vector of Choice —
+// the DFS hands in an arena-backed one.
+template <typename OpenRange, typename ChoiceVec>
+void EnumerateChoices(const Problem& problem, std::size_t next_task,
+                      const OpenRange& open, Money cost_so_far, Money cost_bound,
+                      ChoiceVec& out) {
+  const TaskInfo& task = *problem.tasks[next_task];
   out.clear();
   for (std::size_t i = 0; i < open.size(); ++i) {
     bool duplicate = false;
@@ -169,18 +235,7 @@ void EnumerateChoices(const Problem& problem, const TaskInfo& task,
     choice.open_index = i;
     out.push_back(choice);
   }
-  std::vector<int> fitting;
-  for (int k = 0; k < problem.context.catalog->NumTypes(); ++k) {
-    const InstanceType& type = problem.context.catalog->Get(k);
-    if (task.DemandFor(type.family).FitsWithin(type.capacity)) {
-      fitting.push_back(k);
-    }
-  }
-  std::sort(fitting.begin(), fitting.end(), [&problem](int a, int b) {
-    return problem.context.catalog->Get(a).cost_per_hour <
-           problem.context.catalog->Get(b).cost_per_hour;
-  });
-  for (int type_index : fitting) {
+  for (int type_index : problem.fitting_by_task[next_task]) {
     const InstanceType& type = problem.context.catalog->Get(type_index);
     if (cost_so_far + type.cost_per_hour >= cost_bound - kCostEps) {
       break;  // Sorted ascending; all later types cost at least as much.
@@ -208,7 +263,7 @@ class Search {
 
   void SetIncumbentBound(Money cost) { incumbent_cost_ = cost; }
 
-  void Run(std::size_t next_task, Money cost_so_far, std::vector<OpenInstance>& open) {
+  void Run(std::size_t next_task, Money cost_so_far, OpenList& open) {
     Branch(next_task, cost_so_far, open);
     if (shared_ != nullptr) {
       shared_->nodes.fetch_add(nodes_since_flush_, std::memory_order_relaxed);
@@ -267,7 +322,7 @@ class Search {
            optimistic > shared_->best_cost.load(std::memory_order_relaxed) + kCostEps;
   }
 
-  void Branch(std::size_t next_task, Money cost_so_far, std::vector<OpenInstance>& open) {
+  void Branch(std::size_t next_task, Money cost_so_far, OpenList& open) {
     ++nodes_;
     ++nodes_since_flush_;
     if (TimeExceeded()) {
@@ -295,8 +350,12 @@ class Search {
     }
     const TaskInfo& task = *problem_.tasks[next_task];
 
-    std::vector<Choice> choices;
-    EnumerateChoices(problem_, task, open, cost_so_far, incumbent_cost_, choices);
+    // Per-node choice list in the worker's arena: the node marks, fills,
+    // recurses, rewinds — stack discipline, so deeper nodes' allocations
+    // land above this mark and are reclaimed before it.
+    const MonotonicArena::Marker mark = arena_.Mark();
+    ArenaVector<Choice> choices{ArenaAllocator<Choice>(&arena_)};
+    EnumerateChoices(problem_, next_task, open, cost_so_far, incumbent_cost_, choices);
     for (const Choice& choice : choices) {
       if (choice.fresh) {
         // Re-check against the live incumbent: deeper subtrees of this very
@@ -305,17 +364,16 @@ class Search {
           break;  // Fresh choices are cheapest-first; the rest cost more.
         }
         const InstanceType& type = problem_.context.catalog->Get(choice.type_index);
-        OpenInstance fresh;
+        OpenInstance& fresh = open.Push();
         fresh.type_index = choice.type_index;
         fresh.used = task.DemandFor(type.family);
         fresh.tasks.push_back(task.id);
-        open.push_back(std::move(fresh));
         Branch(next_task + 1, cost_so_far + choice.cost_delta, open);
-        open.pop_back();
+        open.Pop();
       } else {
         // Deliberately no retained reference into `open`: the recursive call
-        // pushes fresh instances and can reallocate the vector, so the host
-        // is re-indexed after it returns.
+        // pushes fresh instances and can reallocate the stack's storage, so
+        // the host is re-indexed after it returns.
         const InstanceType& type =
             problem_.context.catalog->Get(open[choice.open_index].type_index);
         const ResourceVector demand = task.DemandFor(type.family);
@@ -326,14 +384,17 @@ class Search {
         open[choice.open_index].used -= demand;
       }
       if (aborted_) {
+        arena_.Rewind(mark);
         return;
       }
     }
+    arena_.Rewind(mark);
   }
 
   const Problem& problem_;
   Clock::time_point start_;
   SharedState* shared_;
+  MonotonicArena arena_;  // Worker-local; rewound per branch node.
 
   ClusterConfig incumbent_;
   Money incumbent_cost_ = std::numeric_limits<double>::infinity();
@@ -358,6 +419,7 @@ struct FrontierNode {
 std::vector<FrontierNode> ExpandFrontier(const Problem& problem, Money seed_cost,
                                          std::size_t target, std::uint64_t& nodes_expanded) {
   std::vector<FrontierNode> frontier(1);
+  std::vector<Choice> choices;
   while (frontier.size() < target) {
     std::vector<FrontierNode> next;
     bool any_expanded = false;
@@ -374,8 +436,7 @@ std::vector<FrontierNode> ExpandFrontier(const Problem& problem, Money seed_cost
       any_expanded = true;
       ++nodes_expanded;
       const TaskInfo& task = *problem.tasks[node.next_task];
-      std::vector<Choice> choices;
-      EnumerateChoices(problem, task, node.open, node.cost, seed_cost, choices);
+      EnumerateChoices(problem, node.next_task, node.open, node.cost, seed_cost, choices);
       for (const Choice& choice : choices) {
         FrontierNode child;
         child.next_task = node.next_task + 1;
@@ -460,7 +521,7 @@ SolverResult SolveOptimalPacking(const SchedulingContext& context,
   if (threads <= 1) {
     Search search(problem, start, nullptr);
     search.SetIncumbent(seed_config, seed_cost);
-    std::vector<OpenInstance> open;
+    OpenList open;
     search.Run(0, 0.0, open);
     result.config = search.incumbent();
     result.hourly_cost = search.incumbent_cost();
@@ -486,6 +547,7 @@ SolverResult SolveOptimalPacking(const SchedulingContext& context,
   std::atomic<std::size_t> cursor{0};
 
   const auto worker = [&] {
+    OpenList open;  // Reused across subtrees; Assign keeps slot capacity.
     for (;;) {
       const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
       if (index >= frontier.size()) {
@@ -493,7 +555,7 @@ SolverResult SolveOptimalPacking(const SchedulingContext& context,
       }
       Search search(problem, start, &shared);
       search.SetIncumbentBound(seed_cost);
-      std::vector<OpenInstance> open = frontier[index].open;
+      open.Assign(frontier[index].open);
       search.Run(frontier[index].next_task, frontier[index].cost, open);
       SubtreeResult& slot = results[index];
       slot.found = search.improved();

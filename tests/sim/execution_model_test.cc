@@ -189,7 +189,7 @@ TEST_F(ExecutionModelTest, DirtySetRecomputeEqualsFullRecomputeOnRandomOps) {
         auto it = engine.state.tasks().begin();
         std::advance(it, rng.UniformInt(0, static_cast<std::int64_t>(
                                                engine.state.tasks().size()) - 1));
-        if (TaskRec* task = engine.state.FindTask(it->first)) {
+        if (TaskRec* task = engine.state.FindTask(it->id)) {
           if (task->state != TaskState::kDone) {
             const std::size_t which =
                 static_cast<std::size_t>(rng.UniformInt(0, 3));
