@@ -151,10 +151,12 @@ BENCHMARK(BM_EndToEndSmallTrace)->Unit(benchmark::kMillisecond);
 
 // One engine-throughput case: `trace` through the full event-driven engine
 // under `kind` (with `eva_options` for the Eva variants), best wall time of
-// `runs` deterministic repetitions.
-void RunEngineCase(BenchJsonWriter& json, const std::string& name, const Trace& trace,
-                   SchedulerKind kind, const InterferenceModel& interference, int runs,
-                   const EvaOptions& eva_options = {}) {
+// `runs` deterministic repetitions. Returns the best run's metrics so the
+// quality report can compare modes without replaying the trace.
+SimulationMetrics RunEngineCase(BenchJsonWriter& json, const std::string& name,
+                                const Trace& trace, SchedulerKind kind,
+                                const InterferenceModel& interference, int runs,
+                                const EvaOptions& eva_options = {}) {
   const std::uint64_t allocs_before = AllocationCount();
   SimulationMetrics metrics;
   double wall = 0.0;
@@ -187,6 +189,7 @@ void RunEngineCase(BenchJsonWriter& json, const std::string& name, const Trace& 
   const double peak_rss_mb = PeakRssMb();
   const std::uint64_t allocs = (AllocationCount() - allocs_before) /
                                static_cast<std::uint64_t>(runs > 0 ? runs : 1);
+  const SchedulerCounters& counters = metrics.scheduler_counters;
   std::printf("%-24s %9.3f %11lld %13.0f %8d %9d %9.3f %9.2f %9.1f\n", name.c_str(), wall,
               static_cast<long long>(metrics.events_processed), events_per_sec,
               metrics.scheduling_rounds, metrics.rounds_coalesced, sched_wall,
@@ -194,22 +197,61 @@ void RunEngineCase(BenchJsonWriter& json, const std::string& name, const Trace& 
   json.AddCaseWithScheduler(name, metrics.jobs_submitted, wall, metrics.events_processed,
                             events_per_sec, metrics.scheduling_rounds,
                             metrics.rounds_coalesced, sched_wall, sched_us_per_round,
-                            peak_rss_mb, allocs);
+                            peak_rss_mb, allocs, counters);
   if (kind == SchedulerKind::kEva) {
     std::printf(
         "  (rounds reused: %d/%d, coalesced: %d, table misses: %d, context misses: %d)\n",
         reused, metrics.scheduling_rounds, metrics.rounds_coalesced, miss_table,
         miss_context);
+    if (counters.packs_incremental > 0 || counters.packs_escalated > 0) {
+      std::printf(
+          "  (packs: %d incremental / %d full / %d escalated; reconciliations: %d, "
+          "escalations: %d, max divergence: %.4f cost / %d edits, staleness <= %d; "
+          "fallbacks: %d oversized, %d incomplete, %d no-previous)\n",
+          counters.packs_incremental, counters.packs_full, counters.packs_escalated,
+          counters.reconciliations, counters.escalations, counters.max_divergence_cost,
+          counters.max_divergence_edits, counters.max_kept_staleness,
+          counters.fallback_oversized_delta, counters.fallback_incomplete_delta,
+          counters.fallback_no_previous);
+    }
   }
+  return metrics;
+}
+
+// Approximation-quality row: relative cost/JCT deltas of the incremental
+// fast path vs the exact replay of the same trace (the CI quality gate
+// checks these against the documented envelope: cost <= 10%, JCT <= 5%).
+void ReportQuality(BenchJsonWriter& json, const std::string& name,
+                   const SimulationMetrics& exact, const SimulationMetrics& incremental) {
+  const double cost_delta =
+      exact.total_cost > 0.0 ? (incremental.total_cost - exact.total_cost) / exact.total_cost
+                             : 0.0;
+  const double jct_delta =
+      exact.avg_jct_hours > 0.0
+          ? (incremental.avg_jct_hours - exact.avg_jct_hours) / exact.avg_jct_hours
+          : 0.0;
+  std::printf("%-24s cost %+.2f%% (%.2f -> %.2f), JCT %+.2f%% (%.4fh -> %.4fh), "
+              "completed %d/%d\n",
+              name.c_str(), cost_delta * 100.0, exact.total_cost, incremental.total_cost,
+              jct_delta * 100.0, exact.avg_jct_hours, incremental.avg_jct_hours,
+              incremental.jobs_completed, exact.jobs_completed);
+  json.AddQualityCase(name, exact.jobs_submitted, exact.total_cost, incremental.total_cost,
+                      cost_delta, exact.avg_jct_hours, incremental.avg_jct_hours, jct_delta,
+                      exact.jobs_completed, incremental.jobs_completed);
 }
 
 // Engine throughput scale sweep: the 2,000-job Alibaba-like trace (both
 // No-Packing and Eva, the tracked headline numbers), plus 10k-, 50k- and
-// 100k-job traces produced by the deterministic superposition scaler (Eva
-// only; the points the O(active) engine work is measured by). Use
-// EVA_BENCH_SWEEP_MAX to cap the largest point when the full sweep is too
-// slow. All job counts scale with EVA_BENCH_SCALE so CI smoke stays fast.
-// Returns false if a requested JSON artifact could not be written.
+// 100k-job traces produced by the deterministic superposition scaler. At
+// every scaled point the default Eva (the incremental fast path — kAuto
+// turns it on at >= 10k jobs) and the exact-mode replay ("-exact") both
+// run; quality_* rows record the cost/JCT deltas between the two modes
+// (the CI quality gate checks the 2k and 10k rows against the documented
+// envelope). Use EVA_BENCH_SWEEP_MAX to cap the largest point when the
+// full sweep is too slow. All job counts scale with EVA_BENCH_SCALE so CI
+// smoke stays fast; EVA_BENCH_SCALE >= 1000 additionally unlocks the raw
+// 1,000,000-job point (combine with EVA_BENCH_SWEEP_MAX=1 to run it
+// alone). Returns false if a requested JSON artifact could not be written.
 bool RunEngineThroughputCases() {
   PrintBenchHeader("Simulation engine throughput, Alibaba trace scale sweep",
                    "engine perf tracking; not a paper table");
@@ -225,8 +267,21 @@ bool RunEngineThroughputCases() {
               "Events/sec", "Rounds", "Coal", "Sched(s)", "us/round", "RSS(MB)");
   RunEngineCase(json, std::string("alibaba2000_") + SchedulerKindName(SchedulerKind::kNoPacking),
                 base, SchedulerKind::kNoPacking, interference, /*runs=*/3);
-  RunEngineCase(json, std::string("alibaba2000_") + SchedulerKindName(SchedulerKind::kEva),
-                base, SchedulerKind::kEva, interference, /*runs=*/3);
+  const SimulationMetrics exact_2k =
+      RunEngineCase(json, std::string("alibaba2000_") + SchedulerKindName(SchedulerKind::kEva),
+                    base, SchedulerKind::kEva, interference, /*runs=*/3);
+
+  // The 2k trace sits below incremental_auto_min_jobs (it is the
+  // golden-pinned evaluation trace, kept bit-identical), so the 2k quality
+  // comparison forces the fast path on explicitly.
+  EvaOptions force_incremental;
+  force_incremental.incremental_packing = EvaOptions::IncrementalPacking::kOn;
+  EvaOptions force_exact;
+  force_exact.incremental_packing = EvaOptions::IncrementalPacking::kOff;
+  const SimulationMetrics inc_2k = RunEngineCase(
+      json, std::string("alibaba2000_") + SchedulerKindName(SchedulerKind::kEva) + "-inc",
+      base, SchedulerKind::kEva, interference, /*runs=*/3, force_incremental);
+  ReportQuality(json, "quality_alibaba2000", exact_2k, inc_2k);
 
   // Scaled points: proportional-rate superposition of the 2,000-job mix —
   // heavier traffic over the same simulated span, so the active-job
@@ -240,14 +295,6 @@ bool RunEngineThroughputCases() {
   // gate runs the 10k point at full scale without paying for 50k).
   const char* max_env = std::getenv("EVA_BENCH_SWEEP_MAX");
   const int max_jobs = max_env != nullptr ? std::atoi(max_env) : 0;
-  // The approximate delta-repacking mode (EvaOptions::incremental_packing,
-  // off by default — it changes configurations, so it never touches the
-  // golden-pinned paths) rides along as an extra reported case per scale
-  // point: the ROADMAP's question is whether it pays off where exact
-  // Algorithm 1 replay dominates sched_us_per_round. Reported, not yet
-  // gated (see WARN_ONLY in check_bench_regression.py).
-  EvaOptions incremental;
-  incremental.incremental_packing = true;
   for (const ScalePoint& point : points) {
     if (max_jobs > 0 && point.jobs > max_jobs) {
       continue;
@@ -258,9 +305,30 @@ bool RunEngineThroughputCases() {
     const Trace scaled = ScaleTrace(base, scale);
     const std::string name = "alibaba" + std::to_string(scale.target_jobs) + "_" +
                              SchedulerKindName(SchedulerKind::kEva);
-    RunEngineCase(json, name, scaled, SchedulerKind::kEva, interference, point.runs);
-    RunEngineCase(json, name + "-inc", scaled, SchedulerKind::kEva, interference,
-                  point.runs, incremental);
+    // Default options: IncrementalPacking::kAuto — the production fast path
+    // at these scales (at full scale; CI smoke's scaled-down populations
+    // fall below the auto threshold and stay exact, which is fine for a
+    // smoke signal).
+    const SimulationMetrics fast =
+        RunEngineCase(json, name, scaled, SchedulerKind::kEva, interference, point.runs);
+    const SimulationMetrics exact = RunEngineCase(json, name + "-exact", scaled,
+                                                  SchedulerKind::kEva, interference,
+                                                  point.runs, force_exact);
+    ReportQuality(json, "quality_alibaba" + std::to_string(scale.target_jobs), exact, fast);
+  }
+
+  // The million-job tier, opt-in via EVA_BENCH_SCALE >= 1000: a raw
+  // 1,000,000-job point (not additionally scaled) under the production
+  // default. One run, fast path only — the exact replay at this scale is
+  // the very thing the fast path exists to avoid.
+  const char* scale_env = std::getenv("EVA_BENCH_SCALE");
+  if (scale_env != nullptr && std::atoi(scale_env) >= 1000) {
+    TraceScaleOptions scale;
+    scale.target_jobs = 1000000;
+    scale.seed = 23;
+    const Trace million = ScaleTrace(base, scale);
+    RunEngineCase(json, "alibaba1000000_Eva", million, SchedulerKind::kEva, interference,
+                  /*runs=*/1);
   }
 
   if (const char* path = BenchJsonWriter::OutputPath()) {

@@ -97,24 +97,57 @@ class BenchJsonWriter {
 
   // Engine case plus the scheduler decision-path breakdown: rounds (split
   // into invoked vs. coalesced), total wall time inside the scheduler, the
-  // per-round decision latency, and process peak RSS / allocation count at
-  // the end of the case (the scale sweep's memory-behavior tracking).
+  // per-round decision latency, process peak RSS / allocation count at the
+  // end of the case (the scale sweep's memory-behavior tracking), and the
+  // incremental fast path's pack/fallback/reconciliation counters (all zero
+  // on exact-mode cases).
   void AddCaseWithScheduler(const std::string& name, int jobs, double wall_seconds,
                             std::int64_t events, double events_per_sec, int rounds,
                             int rounds_coalesced, double sched_wall_seconds,
                             double sched_us_per_round, double peak_rss_mb,
-                            std::uint64_t allocs) {
-    char buffer[640];
+                            std::uint64_t allocs, const SchedulerCounters& counters) {
+    char buffer[1024];
     std::snprintf(buffer, sizeof(buffer),
                   "    {\"name\": \"%s\", \"jobs\": %d, \"wall_seconds\": %.6f, "
                   "\"events\": %lld, \"events_per_sec\": %.1f, \"rounds\": %d, "
                   "\"rounds_coalesced\": %d, "
                   "\"sched_wall_seconds\": %.6f, \"sched_us_per_round\": %.2f, "
-                  "\"peak_rss_mb\": %.1f, \"allocs\": %llu}",
+                  "\"peak_rss_mb\": %.1f, \"allocs\": %llu, "
+                  "\"packs_full\": %d, \"packs_incremental\": %d, "
+                  "\"packs_escalated\": %d, \"reconciliations\": %d, "
+                  "\"escalations\": %d, \"fallback_incomplete_delta\": %d, "
+                  "\"fallback_oversized_delta\": %d, \"fallback_no_previous\": %d, "
+                  "\"max_divergence_cost\": %.6f, \"max_divergence_edits\": %d, "
+                  "\"max_kept_staleness\": %d}",
                   name.c_str(), jobs, wall_seconds, static_cast<long long>(events),
                   events_per_sec, rounds, rounds_coalesced, sched_wall_seconds,
                   sched_us_per_round, peak_rss_mb,
-                  static_cast<unsigned long long>(allocs));
+                  static_cast<unsigned long long>(allocs), counters.packs_full,
+                  counters.packs_incremental, counters.packs_escalated,
+                  counters.reconciliations, counters.escalations,
+                  counters.fallback_incomplete_delta, counters.fallback_oversized_delta,
+                  counters.fallback_no_previous, counters.max_divergence_cost,
+                  counters.max_divergence_edits, counters.max_kept_staleness);
+    cases_.emplace_back(buffer);
+  }
+
+  // Approximation-quality row: the same trace replayed in exact and
+  // incremental mode, with the relative cost/JCT deltas the CI quality gate
+  // checks (cost_delta may be negative when the approximation is cheaper).
+  void AddQualityCase(const std::string& name, int jobs, double cost_exact,
+                      double cost_incremental, double cost_delta, double jct_exact_hours,
+                      double jct_incremental_hours, double jct_delta,
+                      int jobs_completed_exact, int jobs_completed_incremental) {
+    char buffer[640];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"jobs\": %d, \"cost_exact\": %.4f, "
+                  "\"cost_incremental\": %.4f, \"cost_delta\": %.6f, "
+                  "\"jct_exact_hours\": %.6f, \"jct_incremental_hours\": %.6f, "
+                  "\"jct_delta\": %.6f, \"jobs_completed_exact\": %d, "
+                  "\"jobs_completed_incremental\": %d}",
+                  name.c_str(), jobs, cost_exact, cost_incremental, cost_delta,
+                  jct_exact_hours, jct_incremental_hours, jct_delta, jobs_completed_exact,
+                  jobs_completed_incremental);
     cases_.emplace_back(buffer);
   }
 

@@ -3,8 +3,9 @@
 
 Usage:
     check_bench_regression.py <baseline.json> <current.json> <case-name> [<case-name>...]
+    check_bench_regression.py --selftest
 
-Two gates per named case:
+Two gates per named engine case:
 
   * `events_per_sec` — fails when the current value falls more than the
     tolerance below the baseline's.
@@ -16,27 +17,38 @@ Two gates per named case:
     is what the gate protects). Skipped with a note when either file
     predates the `allocs` field.
 
-The tolerance is EVA_BENCH_TOLERANCE (default 0.20 = 20%, the margin CI
-grants for runner variance). A case missing from either file is an error:
-a silently dropped case must not read as a pass.
+Cases named `quality_*` are approximation-quality rows (the incremental
+fast path replayed against the exact mode on the same trace) and are gated
+against fixed envelopes instead of the baseline file:
+
+  * `cost_delta` <= EVA_QUALITY_COST_TOL (default 0.10): the incremental
+    run's provisioning cost may not exceed exact by more than 10%.
+  * `jct_delta` <= EVA_QUALITY_JCT_TOL (default 0.05): average JCT may not
+    degrade by more than 5%.
+  * `jobs_completed_incremental` must equal `jobs_completed_exact`: the
+    approximation must not lose jobs.
+
+Quality rows are judged on the current run alone — divergence is a property
+of this commit, not a trajectory — so they need no baseline entry.
+
+The perf tolerance is EVA_BENCH_TOLERANCE (default 0.20 = 20%, the margin
+CI grants for runner variance). A case missing from either file is an
+error: a silently dropped case must not read as a pass.
 
 Cases listed in WARN_ONLY are compared and reported but never fail the
 check — the observation period for newly added sweep cases before they earn
-a gate.
+a gate. (Empty since the incremental fast path became the gated default.)
+
+`--selftest` runs the gates against built-in fixtures that must fail (and
+one that must pass) — the negative test CI runs so a broken gate cannot
+silently wave regressions through.
 """
 
 import json
 import os
 import sys
 
-# Newly wired into the sweep (EvaOptions::incremental_packing); tracked but
-# not yet gated — promote out of this set once a few baselines confirm the
-# numbers are stable.
-WARN_ONLY = {
-    "alibaba10000_Eva-inc",
-    "alibaba50000_Eva-inc",
-    "alibaba100000_Eva-inc",
-}
+WARN_ONLY = set()
 
 
 def load_cases(path):
@@ -54,59 +66,162 @@ def allocs_per_event(case):
     return allocs / events
 
 
+def check_perf_case(name, base, cur, tolerance, warn_only):
+    """Throughput + allocs/event gates for one engine case. Returns failed."""
+    failed = False
+
+    # Gate 1: throughput must not drop below (1 - tolerance) x baseline.
+    base_eps = base["events_per_sec"]
+    cur_eps = cur["events_per_sec"]
+    ratio = cur_eps / base_eps if base_eps > 0 else float("inf")
+    below = ratio < 1.0 - tolerance
+    verdict = ("WARN" if warn_only else "FAIL") if below else "OK"
+    print(
+        f"{verdict}: {name}: events/sec {cur_eps:,.0f} vs baseline {base_eps:,.0f} "
+        f"(ratio {ratio:.3f}, floor {1.0 - tolerance:.2f})"
+    )
+    failed = failed or verdict == "FAIL"
+
+    # Gate 2: allocs/event must not rise above (1 + tolerance) x baseline.
+    base_ape = allocs_per_event(base)
+    cur_ape = allocs_per_event(cur)
+    if base_ape is None or cur_ape is None:
+        print(f"NOTE: {name}: allocs/event not gated (field missing from a file)")
+        return failed
+    if base_ape > 0:
+        ape_ratio = cur_ape / base_ape
+    else:
+        ape_ratio = float("inf") if cur_ape > 0 else 1.0
+    above = ape_ratio > 1.0 + tolerance
+    verdict = ("WARN" if warn_only else "FAIL") if above else "OK"
+    print(
+        f"{verdict}: {name}: allocs/event {cur_ape:.4f} vs baseline {base_ape:.4f} "
+        f"(ratio {ape_ratio:.3f}, ceiling {1.0 + tolerance:.2f})"
+    )
+    return failed or verdict == "FAIL"
+
+
+def check_quality_case(name, cur, cost_tol, jct_tol, warn_only):
+    """Approximation-quality envelope for one quality_* row. Returns failed."""
+    fail_verdict = "WARN" if warn_only else "FAIL"
+    failed = False
+
+    cost_delta = cur["cost_delta"]
+    verdict = fail_verdict if cost_delta > cost_tol else "OK"
+    print(
+        f"{verdict}: {name}: cost delta {cost_delta:+.4f} "
+        f"(incremental {cur.get('cost_incremental', 0.0):,.2f} vs exact "
+        f"{cur.get('cost_exact', 0.0):,.2f}, ceiling +{cost_tol:.2f})"
+    )
+    failed = failed or verdict == "FAIL"
+
+    jct_delta = cur["jct_delta"]
+    verdict = fail_verdict if jct_delta > jct_tol else "OK"
+    print(
+        f"{verdict}: {name}: JCT delta {jct_delta:+.4f} "
+        f"(incremental {cur.get('jct_incremental_hours', 0.0):.4f}h vs exact "
+        f"{cur.get('jct_exact_hours', 0.0):.4f}h, ceiling +{jct_tol:.2f})"
+    )
+    failed = failed or verdict == "FAIL"
+
+    done_exact = cur.get("jobs_completed_exact")
+    done_inc = cur.get("jobs_completed_incremental")
+    if done_exact is not None or done_inc is not None:
+        verdict = "OK" if done_exact == done_inc else fail_verdict
+        print(
+            f"{verdict}: {name}: jobs completed {done_inc} incremental vs "
+            f"{done_exact} exact"
+        )
+        failed = failed or verdict == "FAIL"
+    return failed
+
+
+def run_checks(baseline, current, names, tolerance, cost_tol, jct_tol):
+    failed = False
+    for name in names:
+        warn_only = name in WARN_ONLY
+        missing_verdict = "WARN" if warn_only else "FAIL"
+        if name not in current:
+            print(f"{missing_verdict}: case '{name}' missing from current run")
+            failed = failed or not warn_only
+            continue
+        if name.startswith("quality_"):
+            failed |= check_quality_case(name, current[name], cost_tol, jct_tol, warn_only)
+            continue
+        if name not in baseline:
+            print(f"{missing_verdict}: case '{name}' missing from baseline")
+            failed = failed or not warn_only
+            continue
+        failed |= check_perf_case(name, baseline[name], current[name], tolerance, warn_only)
+    return failed
+
+
+def selftest():
+    """The gates must fire on known-bad fixtures and stay green on good ones."""
+    good_perf = {"name": "c", "events_per_sec": 1000.0, "events": 1000, "allocs": 50}
+    slow_perf = {"name": "c", "events_per_sec": 700.0, "events": 1000, "allocs": 50}
+    leaky_perf = {"name": "c", "events_per_sec": 1000.0, "events": 1000, "allocs": 500}
+    good_quality = {
+        "name": "quality_c",
+        "cost_delta": 0.05,
+        "jct_delta": -0.01,
+        "jobs_completed_exact": 10,
+        "jobs_completed_incremental": 10,
+    }
+
+    def variant(base, **overrides):
+        case = dict(base)
+        case.update(overrides)
+        return case
+
+    scenarios = [
+        # (description, baseline case, current case, names, must_fail)
+        ("all gates green", good_perf, good_perf, ["c", "quality_c"], False),
+        ("events/sec drop", good_perf, slow_perf, ["c"], True),
+        ("allocs/event jump", good_perf, leaky_perf, ["c"], True),
+        ("missing current case", good_perf, None, ["c"], True),
+        ("cost delta over ceiling", None, variant(good_quality, cost_delta=0.25),
+         ["quality_c"], True),
+        ("jct delta over ceiling", None, variant(good_quality, jct_delta=0.10),
+         ["quality_c"], True),
+        ("lost jobs", None, variant(good_quality, jobs_completed_incremental=9),
+         ["quality_c"], True),
+    ]
+    broken = False
+    for description, base_case, cur_case, names, must_fail in scenarios:
+        baseline = {"c": base_case} if base_case else {}
+        current = {}
+        if cur_case is not None:
+            current[cur_case["name"]] = cur_case
+        if "quality_c" in names and "quality_c" not in current:
+            current["quality_c"] = good_quality
+        if "c" in names and cur_case is None:
+            pass  # "missing current case" scenario.
+        elif "c" in names and "c" not in current:
+            current["c"] = cur_case
+        failed = run_checks(baseline, current, names, 0.20, 0.10, 0.05)
+        ok = failed == must_fail
+        print(f"{'PASS' if ok else 'BROKEN'}: selftest '{description}' "
+              f"(expected {'failure' if must_fail else 'success'})")
+        broken = broken or not ok
+    return 1 if broken else 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--selftest":
+        return selftest()
     if len(argv) < 4:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     baseline_path, current_path = argv[1], argv[2]
     names = argv[3:]
     tolerance = float(os.environ.get("EVA_BENCH_TOLERANCE", "0.20"))
+    cost_tol = float(os.environ.get("EVA_QUALITY_COST_TOL", "0.10"))
+    jct_tol = float(os.environ.get("EVA_QUALITY_JCT_TOL", "0.05"))
 
     baseline = load_cases(baseline_path)
     current = load_cases(current_path)
-
-    failed = False
-    for name in names:
-        warn_only = name in WARN_ONLY
-        missing_verdict = "WARN" if warn_only else "FAIL"
-        if name not in baseline:
-            print(f"{missing_verdict}: case '{name}' missing from baseline {baseline_path}")
-            failed = failed or not warn_only
-            continue
-        if name not in current:
-            print(f"{missing_verdict}: case '{name}' missing from current run {current_path}")
-            failed = failed or not warn_only
-            continue
-
-        # Gate 1: throughput must not drop below (1 - tolerance) x baseline.
-        base = baseline[name]["events_per_sec"]
-        cur = current[name]["events_per_sec"]
-        ratio = cur / base if base > 0 else float("inf")
-        below = ratio < 1.0 - tolerance
-        verdict = ("WARN" if warn_only else "FAIL") if below else "OK"
-        print(
-            f"{verdict}: {name}: events/sec {cur:,.0f} vs baseline {base:,.0f} "
-            f"(ratio {ratio:.3f}, floor {1.0 - tolerance:.2f})"
-        )
-        failed = failed or verdict == "FAIL"
-
-        # Gate 2: allocs/event must not rise above (1 + tolerance) x baseline.
-        base_ape = allocs_per_event(baseline[name])
-        cur_ape = allocs_per_event(current[name])
-        if base_ape is None or cur_ape is None:
-            print(f"NOTE: {name}: allocs/event not gated (field missing from a file)")
-            continue
-        if base_ape > 0:
-            ape_ratio = cur_ape / base_ape
-        else:
-            ape_ratio = float("inf") if cur_ape > 0 else 1.0
-        above = ape_ratio > 1.0 + tolerance
-        verdict = ("WARN" if warn_only else "FAIL") if above else "OK"
-        print(
-            f"{verdict}: {name}: allocs/event {cur_ape:.4f} vs baseline {base_ape:.4f} "
-            f"(ratio {ape_ratio:.3f}, ceiling {1.0 + tolerance:.2f})"
-        )
-        failed = failed or verdict == "FAIL"
+    failed = run_checks(baseline, current, names, tolerance, cost_tol, jct_tol)
     return 1 if failed else 0
 
 

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <cstdlib>
 #include <string>
 
 namespace eva {
@@ -56,5 +57,20 @@ void LogMessage(LogLevel level, const char* format, ...)
 #define EVA_LOG_INFO(...) EVA_LOG_AT(::eva::LogLevel::kInfo, __VA_ARGS__)
 #define EVA_LOG_WARNING(...) EVA_LOG_AT(::eva::LogLevel::kWarning, __VA_ARGS__)
 #define EVA_LOG_ERROR(...) EVA_LOG_AT(::eva::LogLevel::kError, __VA_ARGS__)
+
+// Always-on invariant check (independent of NDEBUG, so contract violations
+// abort identically in release benches and death tests). Reserved for cheap
+// checks on cold paths — API-contract violations like aliased in/out
+// arguments — never for per-event hot-loop validation.
+#define EVA_CHECK(condition, ...)                             \
+  do {                                                        \
+    if (!(condition)) {                                       \
+      ::eva::LogMessage(::eva::LogLevel::kError,              \
+                        "EVA_CHECK failed: %s — " __VA_ARGS__ \
+                        " (%s:%d)",                           \
+                        #condition, __FILE__, __LINE__);      \
+      ::std::abort();                                         \
+    }                                                         \
+  } while (0)
 
 #endif  // SRC_COMMON_LOGGING_H_

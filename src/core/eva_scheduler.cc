@@ -1,6 +1,7 @@
 #include "src/core/eva_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/common/arena.h"
@@ -57,7 +58,32 @@ bool SameInstance(const InstanceInfo& a, const InstanceInfo& b) {
 EvaScheduler::EvaScheduler(EvaOptions options)
     : options_(std::move(options)),
       monitor_(options_.default_pairwise_throughput),
-      estimator_(options_.estimator) {}
+      estimator_(options_.estimator),
+      incremental_active_(options_.incremental_packing ==
+                          EvaOptions::IncrementalPacking::kOn),
+      escalation_(options_.escalation) {}
+
+void EvaScheduler::BindWorkloadScale(std::size_t expected_jobs) {
+  if (options_.incremental_packing == EvaOptions::IncrementalPacking::kAuto) {
+    incremental_active_ = expected_jobs >= options_.incremental_auto_min_jobs;
+  }
+}
+
+void EvaScheduler::ExportCounters(SchedulerCounters& out) const {
+  out.packs_full += counters_.packs_full;
+  out.packs_incremental += counters_.packs_incremental;
+  out.packs_escalated += counters_.packs_escalated;
+  out.reconciliations += counters_.reconciliations;
+  out.escalations += counters_.escalations;
+  out.fallback_incomplete_delta += counters_.fallback_incomplete_delta;
+  out.fallback_oversized_delta += counters_.fallback_oversized_delta;
+  out.fallback_no_previous += counters_.fallback_no_previous;
+  out.last_divergence_cost = counters_.last_divergence_cost;
+  out.max_divergence_cost = std::max(out.max_divergence_cost, counters_.max_divergence_cost);
+  out.last_divergence_edits = counters_.last_divergence_edits;
+  out.max_divergence_edits = std::max(out.max_divergence_edits, counters_.max_divergence_edits);
+  out.max_kept_staleness = std::max(out.max_kept_staleness, counters_.max_kept_staleness);
+}
 
 std::string EvaScheduler::name() const {
   if (!options_.name.empty()) {
@@ -178,19 +204,7 @@ void EvaScheduler::ComputeCandidates(const SchedulingContext& context) {
   if (!want_partial) {
     work_partial_.instances.clear();
   }
-  const auto compute_full = [&] {
-    if (options_.incremental_packing && memo_.valid) {
-      IncrementalOptions incremental;
-      incremental.packing = packing;
-      incremental.full_repack_fraction = options_.incremental_full_repack_fraction;
-      const bool full_repack = IncrementalReconfigurationInto(
-          context, *calculator_, memo_.full, incremental, work_full_);
-      ++(full_repack ? stats_.full_packs : stats_.incremental_packs);
-    } else {
-      FullReconfigurationInto(context, *calculator_, packing, work_full_);
-      ++stats_.full_packs;
-    }
-  };
+  const auto compute_full = [&] { ComputeFullCandidate(context, packing); };
   const auto compute_partial = [&] {
     PartialReconfigurationInto(context, *calculator_, packing, work_partial_);
   };
@@ -220,6 +234,116 @@ void EvaScheduler::ComputeCandidates(const SchedulingContext& context) {
   std::swap(memo_.full, work_full_);
   std::swap(memo_.partial, work_partial_);
   memo_.savings_valid = false;
+}
+
+void EvaScheduler::NoteExactIncumbent() {
+  packs_since_reconcile_ = 0;
+  reconcile_requested_ = false;
+  // Truthful by construction — the incumbent IS the exact configuration.
+  // This is also what lets an escalated policy clear its divergence latch:
+  // while escalated no incremental config exists to diverge.
+  escalation_.RecordDivergence(0.0);
+}
+
+void EvaScheduler::Reconcile(const SchedulingContext& context,
+                             const PackingOptions& packing) {
+  // The incremental candidate sits in work_full_; compute the exact repack
+  // alongside and measure how far the fast path drifted.
+  FullReconfigurationInto(context, *calculator_, packing, reconcile_exact_);
+  const Money cost_incremental = work_full_.HourlyCost(*context.catalog);
+  const Money cost_exact = reconcile_exact_.HourlyCost(*context.catalog);
+  const double divergence = std::abs(cost_incremental - cost_exact) /
+                            std::max(std::abs(cost_exact), 1e-9);
+  const int edits = ConfigEditDistance(work_full_, reconcile_exact_);
+  ++counters_.reconciliations;
+  counters_.last_divergence_cost = divergence;
+  counters_.max_divergence_cost = std::max(counters_.max_divergence_cost, divergence);
+  counters_.last_divergence_edits = edits;
+  counters_.max_divergence_edits = std::max(counters_.max_divergence_edits, edits);
+  const int before = escalation_.escalations();
+  escalation_.RecordDivergence(divergence);
+  counters_.escalations += escalation_.escalations() - before;
+  EVA_LOG_DEBUG("reconcile t=%.0f: cost_inc=%.3f cost_exact=%.3f div=%.4f edits=%d%s",
+                context.now_s, cost_incremental, cost_exact, divergence, edits,
+                escalation_.escalated() ? " [escalated]" : "");
+  // Adopt the exact result: divergence is re-zeroed and stays bounded by
+  // whatever accumulates before the next reconciliation.
+  std::swap(work_full_, reconcile_exact_);
+  packs_since_reconcile_ = 0;
+  reconcile_requested_ = false;
+}
+
+void EvaScheduler::ComputeFullCandidate(const SchedulingContext& context,
+                                        const PackingOptions& packing) {
+  if (!incremental_active_) {
+    FullReconfigurationInto(context, *calculator_, packing, work_full_);
+    ++stats_.full_packs;
+    ++counters_.packs_full;
+    return;
+  }
+  if (escalation_.escalated()) {
+    FullReconfigurationInto(context, *calculator_, packing, work_full_);
+    ++stats_.full_packs;
+    ++counters_.packs_escalated;
+    escalation_.RecordPack(/*fell_back=*/false);
+    NoteExactIncumbent();
+    return;
+  }
+  if (!memo_.valid) {
+    FullReconfigurationInto(context, *calculator_, packing, work_full_);
+    ++stats_.full_packs;
+    ++counters_.packs_full;
+    ++counters_.fallback_no_previous;
+    escalation_.RecordPack(/*fell_back=*/true);
+    NoteExactIncumbent();
+    return;
+  }
+  IncrementalOptions incremental;
+  incremental.packing = packing;
+  incremental.full_repack_fraction = options_.incremental_full_repack_fraction;
+  const IncrementalOutcome outcome = IncrementalReconfigurationInto(
+      context, *calculator_, memo_.full, incremental, work_full_);
+  if (outcome == IncrementalOutcome::kIncremental) {
+    ++stats_.incremental_packs;
+    ++counters_.packs_incremental;
+    {
+      const int before = escalation_.escalations();
+      escalation_.RecordPack(/*fell_back=*/false);
+      counters_.escalations += escalation_.escalations() - before;
+    }
+    ++packs_since_reconcile_;
+    counters_.max_kept_staleness =
+        std::max(counters_.max_kept_staleness, packs_since_reconcile_);
+    if (reconcile_requested_ || (options_.reconcile_every_n_packs > 0 &&
+                                 packs_since_reconcile_ >= options_.reconcile_every_n_packs)) {
+      Reconcile(context, packing);
+    }
+    return;
+  }
+  // The incremental path fell back — work_full_ already holds the exact
+  // repack, so no reconciliation is owed; account for the reason and let
+  // the fallback-rate EMA see it.
+  ++stats_.full_packs;
+  ++counters_.packs_full;
+  switch (outcome) {
+    case IncrementalOutcome::kFullIncompleteDelta:
+      ++counters_.fallback_incomplete_delta;
+      break;
+    case IncrementalOutcome::kFullNoPrevious:
+      ++counters_.fallback_no_previous;
+      break;
+    case IncrementalOutcome::kFullOversizedDelta:
+      ++counters_.fallback_oversized_delta;
+      break;
+    case IncrementalOutcome::kIncremental:
+      break;  // Unreachable.
+  }
+  {
+    const int before = escalation_.escalations();
+    escalation_.RecordPack(/*fell_back=*/true);
+    counters_.escalations += escalation_.escalations() - before;
+  }
+  NoteExactIncumbent();
 }
 
 bool EvaScheduler::DecideRound(const SchedulingContext& context) {

@@ -17,9 +17,15 @@
 //     nothing decision-relevant changed — the common quiescent round;
 //   * Full and Partial Reconfiguration run concurrently on a thread pool,
 //     which also fans out the packing's inner argmax and downsizing scans.
-// An opt-in approximate mode (incremental_packing) additionally replaces
-// Full Reconfiguration with delta-touched repacking via
-// IncrementalReconfiguration when the RoundDelta is small.
+// The incremental fast path (incremental_packing — on by default for
+// workloads of >= incremental_auto_min_jobs jobs, see IncrementalPacking)
+// replaces Full Reconfiguration with delta-touched repacking via
+// IncrementalReconfiguration, bounded by a control loop: every
+// reconcile_every_n_packs packs (and on demand) the exact repack runs
+// alongside the incumbent, divergence is measured (cost delta, config edit
+// distance, staleness) and the exact result adopted; an EscalationPolicy
+// with hysteresis forces exact packing when divergence or the fallback rate
+// spikes. All counters are exported through Scheduler::ExportCounters.
 
 #ifndef SRC_CORE_EVA_SCHEDULER_H_
 #define SRC_CORE_EVA_SCHEDULER_H_
@@ -39,6 +45,8 @@
 #include "src/sched/scheduler.h"
 
 namespace eva {
+
+struct PackingOptions;  // full_reconfig.h — referenced by the pack helpers.
 
 struct EvaOptions {
   // Which reconfiguration algorithms may be adopted.
@@ -80,11 +88,35 @@ struct EvaOptions {
 
   // --- Approximate incremental packing (changes configurations) --------
   // Replace Full Reconfiguration with delta-touched repacking seeded from
-  // the previous round's configuration (see incremental_reconfig.h). Off
-  // by default: the golden-pinned evaluation requires the exact Algorithm 1
-  // output every round.
-  bool incremental_packing = false;
+  // the previous round's configuration (see incremental_reconfig.h),
+  // bounded by periodic exact-repack reconciliation and the auto-escalation
+  // policy below. kAuto — the default — turns the fast path on only when
+  // the bound workload (Scheduler::BindWorkloadScale) reaches
+  // `incremental_auto_min_jobs`: small traces (the golden-pinned evaluation
+  // paths) keep the exact Algorithm 1 output every round bit-identically,
+  // large traces get the production fast path.
+  enum class IncrementalPacking {
+    kAuto,  // On iff the bound workload has >= incremental_auto_min_jobs.
+    kOff,   // Exact Algorithm 1 every round.
+    kOn,    // Always on, regardless of workload scale.
+  };
+  IncrementalPacking incremental_packing = IncrementalPacking::kAuto;
+  std::size_t incremental_auto_min_jobs = 10000;
   double incremental_full_repack_fraction = 0.25;
+
+  // Bounded-divergence reconciliation cadence: after this many consecutive
+  // packs without a known-exact incumbent, run FullReconfiguration alongside
+  // the incremental result, measure the divergence (cost delta, config edit
+  // distance) and adopt the exact configuration. Counted in *packs* — actual
+  // ComputeCandidates invocations — not rounds: memo-replayed and coalesced
+  // rounds reproduce the incumbent verbatim, so divergence cannot change
+  // there, and the cadence stays deterministic under batching and across
+  // pool sizes. <= 0 disables periodic reconciliation (on-demand still
+  // works).
+  int reconcile_every_n_packs = 64;
+
+  // Auto-escalation thresholds (see EscalationPolicy).
+  EscalationPolicy::Options escalation;
 
   // Custom display name; empty derives one from the options.
   std::string name;
@@ -117,7 +149,20 @@ class EvaScheduler : public Scheduler {
   void ScheduleInto(const SchedulingContext& context, ClusterConfig& out) override;
   void ObserveThroughput(const std::vector<JobThroughputObservation>& observations) override;
   int CoalesceQuiescentRounds(int max_rounds, SimTime period_s) override;
+  void BindWorkloadScale(std::size_t expected_jobs) override;
+  void ExportCounters(SchedulerCounters& out) const override;
 
+  // On-demand reconciliation: the next incremental pack runs the exact
+  // repack alongside, measures divergence, and adopts the exact result —
+  // regardless of where the periodic cadence stands. No-op in exact mode.
+  void RequestReconciliation() { reconcile_requested_ = true; }
+
+  // Whether the incremental fast path is live for this run (kOn, or kAuto
+  // resolved against the bound workload scale).
+  bool incremental_active() const { return incremental_active_; }
+
+  const SchedulerCounters& counters() const { return counters_; }
+  const EscalationPolicy& escalation() const { return escalation_; }
   const Stats& stats() const { return stats_; }
   const ThroughputTable& throughput_table() const { return monitor_.table(); }
   const EventRateEstimator& event_estimator() const { return estimator_; }
@@ -140,6 +185,20 @@ class EvaScheduler : public Scheduler {
   // fanning out on pool_ when available.
   void ComputeCandidates(const SchedulingContext& context);
 
+  // Computes the round's Full candidate into work_full_ — exact, or via the
+  // incremental fast path with fallback/escalation/reconciliation
+  // accounting. `packing` is the round's packing options.
+  void ComputeFullCandidate(const SchedulingContext& context, const PackingOptions& packing);
+
+  // Bounded-divergence reconciliation: runs FullReconfiguration alongside
+  // the incremental candidate already in work_full_, measures divergence,
+  // feeds the escalation policy, and swaps the exact result into work_full_.
+  void Reconcile(const SchedulingContext& context, const PackingOptions& packing);
+
+  // The incumbent candidate in work_full_ is known exact: staleness resets
+  // and the policy truthfully observes zero divergence.
+  void NoteExactIncumbent();
+
   // The whole per-round decision (memo reuse, candidate computation,
   // Equation 1, estimator bookkeeping); returns whether Full was adopted.
   // Schedule/ScheduleInto only differ in how they hand out the winner.
@@ -149,6 +208,19 @@ class EvaScheduler : public Scheduler {
   ThroughputMonitor monitor_;
   EventRateEstimator estimator_;
   Stats stats_;
+
+  // --- Incremental fast-path control loop ------------------------------
+  // kOn resolves at construction; kAuto at BindWorkloadScale. All state
+  // below advances only inside ComputeFullCandidate — exactly once per
+  // computed pack, never on memo-replayed or coalesced rounds — so the
+  // reconciliation cadence and escalation trajectory are deterministic
+  // under batching and across pool sizes.
+  bool incremental_active_ = false;
+  EscalationPolicy escalation_;
+  SchedulerCounters counters_;
+  int packs_since_reconcile_ = 0;  // Packs with a possibly-inexact incumbent.
+  bool reconcile_requested_ = false;
+  ClusterConfig reconcile_exact_;  // Exact-repack buffer (capacity reused).
 
   // Active-job id set carried between rounds: flat sorted storage with
   // std::set iteration order, mutated O(delta) per round without per-node

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/arena.h"
+#include "src/common/logging.h"
 #include "src/common/soa_table.h"
 
 namespace eva {
@@ -21,18 +22,21 @@ struct IncrementalScratch {
 
 }  // namespace
 
-bool IncrementalReconfigurationInto(const SchedulingContext& context,
-                                    const TnrpCalculator& calculator,
-                                    const ClusterConfig& previous,
-                                    const IncrementalOptions& options,
-                                    ClusterConfig& out) {
+IncrementalOutcome IncrementalReconfigurationInto(const SchedulingContext& context,
+                                                  const TnrpCalculator& calculator,
+                                                  const ClusterConfig& previous,
+                                                  const IncrementalOptions& options,
+                                                  ClusterConfig& out) {
+  EVA_CHECK(&out != &previous, "out must not alias previous");
   const RoundDelta& delta = context.delta;
   const std::size_t pool_size = std::max<std::size_t>(1, context.tasks.size());
-  if (!delta.complete || previous.instances.empty() ||
-      static_cast<double>(delta.TouchedCount()) >
-          options.full_repack_fraction * static_cast<double>(pool_size)) {
+  const bool oversized = static_cast<double>(delta.TouchedCount()) >
+                         options.full_repack_fraction * static_cast<double>(pool_size);
+  if (!delta.complete || previous.instances.empty() || oversized) {
     FullReconfigurationInto(context, calculator, options.packing, out);
-    return true;
+    return !delta.complete          ? IncrementalOutcome::kFullIncompleteDelta
+           : previous.instances.empty() ? IncrementalOutcome::kFullNoPrevious
+                                        : IncrementalOutcome::kFullOversizedDelta;
   }
 
   ScratchLease<IncrementalScratch> scratch;
@@ -108,7 +112,7 @@ bool IncrementalReconfigurationInto(const SchedulingContext& context,
   PackByReservationPriceInto(context, calculator, repack, options.packing, appender,
                              /*unassigned=*/nullptr);
   appender.Finish();
-  return false;
+  return IncrementalOutcome::kIncremental;
 }
 
 IncrementalResult IncrementalReconfiguration(const SchedulingContext& context,
@@ -116,8 +120,9 @@ IncrementalResult IncrementalReconfiguration(const SchedulingContext& context,
                                              const ClusterConfig& previous,
                                              const IncrementalOptions& options) {
   IncrementalResult result;
-  result.full_repack =
+  result.outcome =
       IncrementalReconfigurationInto(context, calculator, previous, options, result.config);
+  result.full_repack = IsFullRepack(result.outcome);
   return result;
 }
 

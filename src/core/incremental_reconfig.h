@@ -16,10 +16,13 @@
 // same greedy). Documented approximation bound, pinned by the end-to-end
 // integration test on the 2,000-job Alibaba trace: total provisioning cost
 // within 10% of exact Eva's (measured ~5%) and average JCT within 5%
-// (measured <1%), with every job still completing. EvaScheduler keeps it
-// opt-in (EvaOptions::incremental_packing) because the golden-pinned
-// evaluation path requires bit-identical configurations; the exact fast
-// path there is the unchanged-round memo plus the memoized TNRP caches.
+// (measured <1%), with every job still completing. EvaScheduler runs it by
+// default for large workloads (EvaOptions::IncrementalPacking::kAuto) under
+// a bounded-divergence control loop — periodic exact-repack reconciliation
+// plus an auto-escalation policy; small traces (the golden-pinned
+// evaluation paths, which require bit-identical configurations) stay on
+// exact Algorithm 1, where the exact fast path is the unchanged-round memo
+// plus the memoized TNRP caches.
 
 #ifndef SRC_CORE_INCREMENTAL_RECONFIG_H_
 #define SRC_CORE_INCREMENTAL_RECONFIG_H_
@@ -38,12 +41,27 @@ struct IncrementalOptions {
   double full_repack_fraction = 0.25;
 };
 
+// How an incremental pack was produced. Every value except kIncremental is
+// a fallback to FullReconfiguration; the scheduler counts them per reason
+// (SchedulerCounters) and feeds the fallback rate to its EscalationPolicy.
+enum class IncrementalOutcome {
+  kIncremental,          // Delta-touched repack seeded from `previous`.
+  kFullIncompleteDelta,  // delta.complete == false: changes unknown.
+  kFullNoPrevious,       // No previous configuration to start from.
+  kFullOversizedDelta,   // Delta touched > full_repack_fraction of the pool.
+};
+
+inline bool IsFullRepack(IncrementalOutcome outcome) {
+  return outcome != IncrementalOutcome::kIncremental;
+}
+
 struct IncrementalResult {
   ClusterConfig config;
 
   // True when the call fell back to FullReconfiguration (unknown or
   // oversized delta, or no previous configuration to start from).
   bool full_repack = false;
+  IncrementalOutcome outcome = IncrementalOutcome::kIncremental;
 };
 
 // `previous` is the configuration the same scheduler produced last round
@@ -53,13 +71,16 @@ IncrementalResult IncrementalReconfiguration(const SchedulingContext& context,
                                              const ClusterConfig& previous,
                                              const IncrementalOptions& options = {});
 
-// Packs into `out` (storage reused; must not alias `previous`). Returns the
-// full_repack flag of IncrementalResult.
-bool IncrementalReconfigurationInto(const SchedulingContext& context,
-                                    const TnrpCalculator& calculator,
-                                    const ClusterConfig& previous,
-                                    const IncrementalOptions& options,
-                                    ClusterConfig& out);
+// Packs into `out` (storage reused; must not alias `previous` — the kept-
+// instance loop reads `previous` while the appender rewrites `out`, so
+// aliasing would read half-overwritten state; enforced with an always-on
+// check). Returns how the pack was produced; IsFullRepack(outcome) is the
+// old full_repack flag.
+IncrementalOutcome IncrementalReconfigurationInto(const SchedulingContext& context,
+                                                  const TnrpCalculator& calculator,
+                                                  const ClusterConfig& previous,
+                                                  const IncrementalOptions& options,
+                                                  ClusterConfig& out);
 
 }  // namespace eva
 

@@ -34,6 +34,49 @@ double EventRateEstimator::ExpectedConfigurationDurationHours() const {
   return -1.0 / (lambda * std::log(1.0 - p));
 }
 
+EscalationPolicy::EscalationPolicy(const Options& options) : options_(options) {}
+
+void EscalationPolicy::Escalate() {
+  escalated_ = true;
+  hold_ = 0;
+  ++escalations_;
+}
+
+void EscalationPolicy::MaybeDeescalate() {
+  if (hold_ >= options_.min_hold_packs && !divergence_high_) {
+    escalated_ = false;
+    hold_ = 0;
+    fallback_rate_ = 0.0;  // Fresh observation window for the new regime.
+  }
+}
+
+void EscalationPolicy::RecordPack(bool fell_back) {
+  if (escalated_) {
+    ++hold_;
+    MaybeDeescalate();
+    return;
+  }
+  fallback_rate_ = options_.fallback_ema_alpha * (fell_back ? 1.0 : 0.0) +
+                   (1.0 - options_.fallback_ema_alpha) * fallback_rate_;
+  if (fallback_rate_ > options_.fallback_rate_enter) {
+    Escalate();
+  }
+}
+
+void EscalationPolicy::RecordDivergence(double cost_divergence) {
+  last_divergence_ = cost_divergence;
+  if (cost_divergence >= options_.divergence_enter) {
+    divergence_high_ = true;
+    if (!escalated_) {
+      Escalate();
+    }
+  } else if (cost_divergence <= options_.divergence_exit) {
+    divergence_high_ = false;
+    MaybeDeescalate();
+  }
+  // Between exit and enter: the hysteresis band — state unchanged.
+}
+
 bool ShouldAdoptFull(Money saving_full_per_hour, Money saving_partial_per_hour,
                      Money migration_cost_full, Money migration_cost_partial,
                      double expected_duration_hours) {

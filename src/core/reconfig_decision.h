@@ -56,6 +56,68 @@ bool ShouldAdoptFull(Money saving_full_per_hour, Money saving_partial_per_hour,
                      Money migration_cost_full, Money migration_cost_partial,
                      double expected_duration_hours);
 
+// Auto-escalation policy for the incremental fast path: decides when the
+// delta-touched repacking should be abandoned for exact Algorithm 1 until
+// further notice. Two triggers, both with hysteresis so the policy cannot
+// flap round-to-round:
+//
+//   * divergence — the relative provisioning-cost divergence measured at
+//     the last exact-repack reconciliation met `divergence_enter`; the
+//     trigger stays latched until a later reconciliation measures at or
+//     below `divergence_exit` (values in between change nothing);
+//   * fallback frequency — the EMA of how often the incremental path fell
+//     back to a full repack exceeded `fallback_rate_enter` (when most packs
+//     fall back anyway, the incremental bookkeeping is pure overhead).
+//
+// Once escalated, the policy holds for at least `min_hold_packs` exact
+// packs, and de-escalates only when the divergence latch has cleared (while
+// escalated the incumbent *is* the exact configuration, so reconciliations
+// truthfully record zero divergence). De-escalation resets the fallback EMA
+// to start a fresh observation window. Purely deterministic: state advances
+// only through RecordPack/RecordDivergence, which the scheduler calls once
+// per computed pack — never on memo-replayed or coalesced rounds.
+class EscalationPolicy {
+ public:
+  struct Options {
+    double divergence_enter = 0.15;  // Relative cost divergence that escalates.
+    double divergence_exit = 0.05;   // Divergence that releases the latch.
+    double fallback_rate_enter = 0.60;
+    double fallback_ema_alpha = 0.05;
+    int min_hold_packs = 32;  // Exact packs held before de-escalation.
+  };
+
+  EscalationPolicy() : EscalationPolicy(Options()) {}
+  explicit EscalationPolicy(const Options& options);
+
+  // Records one incremental-mode pack: whether the incremental path fell
+  // back to a full repack (ignored while escalated — packs then run exact
+  // by policy, and only advance the hold counter).
+  void RecordPack(bool fell_back);
+
+  // Records the relative provisioning-cost divergence measured at an
+  // exact-repack reconciliation.
+  void RecordDivergence(double cost_divergence);
+
+  // True when packs should run exact Algorithm 1 until further notice.
+  bool escalated() const { return escalated_; }
+
+  double fallback_rate() const { return fallback_rate_; }
+  double last_divergence() const { return last_divergence_; }
+  int escalations() const { return escalations_; }
+
+ private:
+  void Escalate();
+  void MaybeDeescalate();
+
+  Options options_;
+  double fallback_rate_ = 0.0;
+  double last_divergence_ = 0.0;
+  bool divergence_high_ = false;  // The divergence latch.
+  bool escalated_ = false;
+  int hold_ = 0;  // Exact packs since escalating.
+  int escalations_ = 0;
+};
+
 }  // namespace eva
 
 #endif  // SRC_CORE_RECONFIG_DECISION_H_

@@ -1,6 +1,7 @@
 #include "src/sched/config_diff.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/arena.h"
 #include "src/common/soa_table.h"
@@ -153,6 +154,49 @@ void DiffConfigInto(const SchedulingContext& context, const ClusterConfig& desir
       }
     }
   }
+}
+
+namespace {
+
+// Canonical instance keys for ConfigEditDistance: (type, sorted task set),
+// themselves sorted, so the symmetric difference is one merge walk.
+void CanonicalInstanceKeys(const ClusterConfig& config,
+                           std::vector<std::pair<int, std::vector<TaskId>>>& keys) {
+  keys.clear();
+  keys.reserve(config.instances.size());
+  for (const ConfigInstance& instance : config.instances) {
+    keys.emplace_back(instance.type_index, instance.tasks);
+    std::sort(keys.back().second.begin(), keys.back().second.end());
+  }
+  std::sort(keys.begin(), keys.end());
+}
+
+}  // namespace
+
+int ConfigEditDistance(const ClusterConfig& a, const ClusterConfig& b) {
+  ScratchLease<std::vector<std::pair<int, std::vector<TaskId>>>> keys_a;
+  ScratchLease<std::vector<std::pair<int, std::vector<TaskId>>>> keys_b;
+  CanonicalInstanceKeys(a, *keys_a);
+  CanonicalInstanceKeys(b, *keys_b);
+  int distance = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < keys_a->size() && j < keys_b->size()) {
+    const auto& ka = (*keys_a)[i];
+    const auto& kb = (*keys_b)[j];
+    if (ka == kb) {
+      ++i;
+      ++j;
+    } else if (ka < kb) {
+      ++distance;
+      ++i;
+    } else {
+      ++distance;
+      ++j;
+    }
+  }
+  distance += static_cast<int>((keys_a->size() - i) + (keys_b->size() - j));
+  return distance;
 }
 
 Money EstimateMigrationCost(const SchedulingContext& context, const ConfigDiff& diff,

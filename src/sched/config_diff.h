@@ -65,6 +65,15 @@ Money EstimateMigrationCost(const SchedulingContext& context, const ConfigDiff& 
                             const CloudDelayModel& cloud_delays,
                             double migration_delay_multiplier);
 
+// Edit distance between two configurations, counted in instances: the
+// number of instances present in one config but not the other, where two
+// instances match iff they have the same type and the same task set
+// (order-insensitive; reuse_instance hints are ignored — they steer the
+// differ, not the configuration's semantics). Zero iff the configs describe
+// the same placement. Used to measure how far the incremental incumbent
+// drifted from the exact repack at reconciliation.
+int ConfigEditDistance(const ClusterConfig& a, const ClusterConfig& b);
+
 }  // namespace eva
 
 #endif  // SRC_SCHED_CONFIG_DIFF_H_

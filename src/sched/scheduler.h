@@ -73,6 +73,18 @@ class Scheduler {
     (void)period_s;
     return 0;
   }
+
+  // Tells the scheduler how large the workload it is about to serve is
+  // (total jobs in the trace / expected over the deployment's horizon).
+  // Called once, before the first Schedule call. Schedulers with
+  // scale-dependent defaults (Eva's auto incremental-packing mode) resolve
+  // them here; the default ignores the hint.
+  virtual void BindWorkloadScale(std::size_t expected_jobs) { (void)expected_jobs; }
+
+  // Adds this run's decision-path counters into `out` (+=, so federated
+  // callers can aggregate across tenants). Called after the last round.
+  // Default: export nothing.
+  virtual void ExportCounters(SchedulerCounters& out) const { (void)out; }
 };
 
 }  // namespace eva

@@ -178,6 +178,43 @@ struct ClusterConfig {
   std::optional<std::string> Validate(const SchedulingContext& context) const;
 };
 
+// Decision-path counters a scheduler exports at the end of a run (see
+// Scheduler::ExportCounters); the simulator copies them into
+// SimulationMetrics and the perf benches serialize them per case. All zero
+// for schedulers that don't override the export — only Eva's incremental
+// fast path populates them today.
+struct SchedulerCounters {
+  // How each round's Full candidate was produced.
+  int packs_full = 0;         // Exact Algorithm 1 packs.
+  int packs_incremental = 0;  // Delta-touched incremental repacks.
+  int packs_escalated = 0;    // Exact packs forced by the escalation policy.
+
+  // Bounded-divergence reconciliation: exact repacks run alongside the
+  // incremental incumbent, measured and adopted.
+  int reconciliations = 0;
+
+  // Escalation episodes (the policy latching to exact mode), as opposed to
+  // packs_escalated which counts the packs run while latched.
+  int escalations = 0;
+
+  // Why incremental packs fell back to a full repack.
+  int fallback_incomplete_delta = 0;
+  int fallback_oversized_delta = 0;
+  int fallback_no_previous = 0;
+
+  // Divergence measured at reconciliations: relative hourly-cost delta of
+  // the incremental incumbent vs the exact repack, and the config edit
+  // distance between them (see ConfigEditDistance).
+  double last_divergence_cost = 0.0;
+  double max_divergence_cost = 0.0;
+  int last_divergence_edits = 0;
+  int max_divergence_edits = 0;
+
+  // Largest number of packs any configuration ran unreconciled — the
+  // realized staleness bound (<= the reconciliation cadence).
+  int max_kept_staleness = 0;
+};
+
 }  // namespace eva
 
 #endif  // SRC_SCHED_TYPES_H_

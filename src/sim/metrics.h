@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/sched/types.h"
 
 namespace eva {
 
@@ -70,6 +71,11 @@ struct SimulationMetrics {
   // the per-round decision latency the perf benchmarks report. Measurement
   // only; never feeds back into the simulation.
   double scheduler_wall_seconds = 0.0;
+
+  // Scheduler decision-path counters (Scheduler::ExportCounters), collected
+  // at Finish. All zero for schedulers that don't export any; Eva populates
+  // the incremental fast path's pack/fallback/reconciliation accounting.
+  SchedulerCounters scheduler_counters;
 
   // Raw distributions for CDFs / percentile reporting (Figure 3).
   std::vector<double> instance_uptime_hours;

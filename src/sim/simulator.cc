@@ -35,6 +35,9 @@ class Simulator::Impl {
         state_(catalog_),
         exec_(&state_, &catalog_, &interference),
         lifecycle_(&state_, &exec_, &queue_, options.migration_delay_multiplier) {
+    // Let scale-dependent scheduler defaults (Eva's auto incremental-
+    // packing mode) resolve against the workload size before any round.
+    scheduler_->BindWorkloadScale(trace_.jobs.size());
     if (provider_ != nullptr) {
       // Spot instances are priced off the market's trace integral (and the
       // spot share is tracked); releases return pool capacity. The hooks
@@ -728,6 +731,7 @@ SimulationMetrics Simulator::Impl::Finish() {
       metrics_.tasks_total > 0
           ? static_cast<double>(metrics_.task_migrations) / metrics_.tasks_total
           : 0.0;
+  scheduler_->ExportCounters(metrics_.scheduler_counters);
   state_.FinalizeMetrics(metrics_);
   return metrics_;
 }

@@ -216,7 +216,7 @@ TEST_F(EvaSchedulerTest, UnchangedRoundsReplayTheMemoBitForBit) {
 
 TEST_F(EvaSchedulerTest, IncrementalPackingCoversAllTasksAndValidates) {
   EvaOptions options;
-  options.incremental_packing = true;
+  options.incremental_packing = EvaOptions::IncrementalPacking::kOn;
   EvaScheduler scheduler(options);
 
   const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
@@ -247,6 +247,85 @@ TEST_F(EvaSchedulerTest, IncrementalPackingCoversAllTasksAndValidates) {
   }
   EXPECT_EQ(seen.size(), 6u);
   EXPECT_GE(scheduler.stats().incremental_packs, 1);
+}
+
+TEST_F(EvaSchedulerTest, BindWorkloadScaleResolvesAutoMode) {
+  // kAuto (the default) flips on exactly at the threshold...
+  EvaScheduler below;  // Never bound: stays exact, like a hand-built harness.
+  EXPECT_FALSE(below.incremental_active());
+  below.BindWorkloadScale(9999);
+  EXPECT_FALSE(below.incremental_active());
+  EvaScheduler at;
+  at.BindWorkloadScale(10000);
+  EXPECT_TRUE(at.incremental_active());
+
+  // ...while kOff and kOn ignore the bound scale entirely.
+  EvaOptions off;
+  off.incremental_packing = EvaOptions::IncrementalPacking::kOff;
+  EvaScheduler forced_off(off);
+  forced_off.BindWorkloadScale(1000000);
+  EXPECT_FALSE(forced_off.incremental_active());
+  EvaOptions on;
+  on.incremental_packing = EvaOptions::IncrementalPacking::kOn;
+  EvaScheduler forced_on(on);
+  EXPECT_TRUE(forced_on.incremental_active());
+  forced_on.BindWorkloadScale(1);
+  EXPECT_TRUE(forced_on.incremental_active());
+}
+
+TEST_F(EvaSchedulerTest, OnDemandReconciliationAdoptsExactAndCounts) {
+  EvaOptions options;
+  options.incremental_packing = EvaOptions::IncrementalPacking::kOn;
+  options.reconcile_every_n_packs = 0;  // Periodic cadence off: on-demand only.
+  // Full-only: Schedule returns the Full candidate itself, so the adopted-
+  // exact-config assertion below is independent of the ensemble's estimator
+  // trajectory.
+  options.policy = EvaOptions::Policy::kFullOnly;
+  EvaScheduler scheduler(options);
+
+  const WorkloadId vit = WorkloadRegistry::IdOf("ViT");
+  const WorkloadId gcn = WorkloadRegistry::IdOf("GCN");
+  for (JobId job = 1; job <= 5; ++job) {
+    AddTask(job % 2 == 0 ? gcn : vit, job);
+  }
+  context_.Finalize();
+  context_.delta.complete = true;
+  context_.delta.jobs_arrived = {1, 2, 3, 4, 5};
+  (void)scheduler.Schedule(context_);  // Pack 1: no previous -> exact.
+  EXPECT_EQ(scheduler.counters().fallback_no_previous, 1);
+  EXPECT_EQ(scheduler.counters().reconciliations, 0);
+
+  AddTask(gcn, 6);
+  context_.Finalize();
+  context_.delta.Clear();
+  context_.delta.complete = true;
+  context_.delta.jobs_arrived = {6};
+  context_.now_s = 300.0;
+  (void)scheduler.Schedule(context_);  // Pack 2: incremental, cadence off.
+  EXPECT_EQ(scheduler.counters().packs_incremental, 1);
+  EXPECT_EQ(scheduler.counters().reconciliations, 0);
+  EXPECT_EQ(scheduler.counters().max_kept_staleness, 1);
+
+  scheduler.RequestReconciliation();
+  AddTask(vit, 7);
+  context_.Finalize();
+  context_.delta.Clear();
+  context_.delta.complete = true;
+  context_.delta.jobs_arrived = {7};
+  context_.now_s = 600.0;
+  const ClusterConfig config = scheduler.Schedule(context_);  // Pack 3: reconciled.
+  EXPECT_EQ(scheduler.counters().packs_incremental, 2);
+  EXPECT_EQ(scheduler.counters().reconciliations, 1);
+  EXPECT_FALSE(config.Validate(context_).has_value());
+
+  // The adopted configuration is the exact repack of the full context: a
+  // fresh exact-mode scheduler over the same context (same default
+  // throughput table, memoryless Full Reconfiguration) must agree exactly.
+  EvaOptions exact_options;
+  exact_options.policy = EvaOptions::Policy::kFullOnly;
+  EvaScheduler exact(exact_options);  // kAuto unbound: stays exact.
+  const ClusterConfig reference = exact.Schedule(context_);
+  EXPECT_EQ(ConfigEditDistance(config, reference), 0);
 }
 
 TEST_F(EvaSchedulerTest, EnsembleConsolidatesWhenSavingsAreLarge) {

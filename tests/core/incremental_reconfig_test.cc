@@ -72,7 +72,20 @@ TEST_F(IncrementalReconfigTest, IncompleteDeltaFallsBackToFullRepack) {
   const IncrementalResult result =
       IncrementalReconfiguration(context_, calculator, previous);
   EXPECT_TRUE(result.full_repack);
+  EXPECT_EQ(result.outcome, IncrementalOutcome::kFullIncompleteDelta);
   EXPECT_EQ(AssignedTasks(result.config).size(), 1u);
+}
+
+TEST_F(IncrementalReconfigTest, EmptyPreviousFallsBackWithNoPreviousOutcome) {
+  AddTask("ViT", 1);
+  context_.Finalize();
+  context_.delta.complete = true;
+  context_.delta.jobs_arrived = {1};
+  const TnrpCalculator calculator(context_, {});
+  const IncrementalResult result =
+      IncrementalReconfiguration(context_, calculator, ClusterConfig{});
+  EXPECT_TRUE(result.full_repack);
+  EXPECT_EQ(result.outcome, IncrementalOutcome::kFullNoPrevious);
 }
 
 TEST_F(IncrementalReconfigTest, OversizedDeltaFallsBackToFullRepack) {
@@ -87,6 +100,24 @@ TEST_F(IncrementalReconfigTest, OversizedDeltaFallsBackToFullRepack) {
   const IncrementalResult result =
       IncrementalReconfiguration(context_, calculator, previous);
   EXPECT_TRUE(result.full_repack);
+  EXPECT_EQ(result.outcome, IncrementalOutcome::kFullOversizedDelta);
+}
+
+// The -Into variant's documented aliasing contract ("must not alias
+// `previous`") is enforced with an always-on check: the kept-instance loop
+// reads `previous` while the appender rewrites the output, so an aliased
+// call would silently read half-overwritten state.
+using IncrementalReconfigDeathTest = IncrementalReconfigTest;
+
+TEST_F(IncrementalReconfigDeathTest, AliasedOutputAborts) {
+  AddTask("ViT", 1);
+  context_.Finalize();
+  context_.delta.complete = true;
+  const TnrpCalculator calculator(context_, {});
+  ClusterConfig config = FullReconfiguration(context_, calculator);
+  EXPECT_DEATH(
+      IncrementalReconfigurationInto(context_, calculator, config, {}, config),
+      "must not alias previous");
 }
 
 TEST_F(IncrementalReconfigTest, SmallDeltaKeepsUntouchedInstancesAndPacksTheRest) {
@@ -142,15 +173,25 @@ TEST(IncrementalPackingEndToEndTest, StaysWithinDocumentedBoundOnAlibaba2000) {
   }
 
   EvaOptions options;
-  options.incremental_packing = true;
+  options.incremental_packing = EvaOptions::IncrementalPacking::kOn;
   SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference, options);
   const SimulationMetrics incremental = RunSimulation(
       trace, bundle.scheduler.get(), catalog, interference, SimulatorOptions{});
   const EvaScheduler::Stats& stats = bundle.eva->stats();
+  const SchedulerCounters& counters = incremental.scheduler_counters;
 
   // Both the delta-touched repacking and the full-repack fallback ran.
   EXPECT_GT(stats.incremental_packs, 100);
   EXPECT_GT(stats.full_packs, 100);
+
+  // The bounded-divergence control loop was live: reconciliations happened
+  // at the default cadence, no configuration ran unreconciled past it, and
+  // the counters exported through the simulator agree with the scheduler.
+  EXPECT_GT(counters.reconciliations, 0);
+  EXPECT_LE(counters.max_kept_staleness, options.reconcile_every_n_packs);
+  EXPECT_EQ(counters.packs_incremental, stats.incremental_packs);
+  EXPECT_EQ(counters.packs_full + counters.packs_escalated, stats.full_packs);
+  EXPECT_EQ(counters.fallback_incomplete_delta, 0);  // The engine tracks deltas.
 
   // Nothing was lost to the approximation...
   EXPECT_EQ(incremental.jobs_submitted, exact.jobs_submitted);
@@ -159,6 +200,97 @@ TEST(IncrementalPackingEndToEndTest, StaysWithinDocumentedBoundOnAlibaba2000) {
   // ...and the economics stay inside the documented envelope.
   EXPECT_LT(incremental.total_cost, exact.total_cost * 1.10);
   EXPECT_NEAR(incremental.avg_jct_hours / exact.avg_jct_hours, 1.0, 0.05);
+}
+
+// The kAuto default resolves against the workload scale the simulator binds:
+// below incremental_auto_min_jobs the run is exact (zero incremental
+// counters — the golden-pinned paths stay bit-identical), at or above it the
+// fast path is live. Exercised end-to-end through RunSimulation with a
+// lowered threshold so the test stays small.
+TEST(IncrementalPackingAutoFlipTest, AutoModeFollowsBoundWorkloadScale) {
+  AlibabaTraceOptions trace_options;
+  trace_options.num_jobs = 300;
+  trace_options.seed = 11;
+  trace_options.max_duration_hours = 24.0;
+  const Trace trace = GenerateAlibabaTrace(trace_options);
+  const InterferenceModel interference = InterferenceModel::Measured();
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+
+  {
+    // Default threshold (10k) far above the trace: stays exact.
+    SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference);
+    const SimulationMetrics metrics = RunSimulation(
+        trace, bundle.scheduler.get(), catalog, interference, SimulatorOptions{});
+    EXPECT_FALSE(bundle.eva->incremental_active());
+    EXPECT_EQ(metrics.scheduler_counters.packs_incremental, 0);
+    EXPECT_EQ(metrics.scheduler_counters.reconciliations, 0);
+  }
+  {
+    // Threshold at the trace size: the same run flips incremental on.
+    EvaOptions options;
+    options.incremental_auto_min_jobs = 300;
+    SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference, options);
+    const SimulationMetrics metrics = RunSimulation(
+        trace, bundle.scheduler.get(), catalog, interference, SimulatorOptions{});
+    EXPECT_TRUE(bundle.eva->incremental_active());
+    EXPECT_GT(metrics.scheduler_counters.packs_incremental, 0);
+  }
+  {
+    // kOff wins over any scale.
+    EvaOptions options;
+    options.incremental_packing = EvaOptions::IncrementalPacking::kOff;
+    options.incremental_auto_min_jobs = 1;
+    SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference, options);
+    const SimulationMetrics metrics = RunSimulation(
+        trace, bundle.scheduler.get(), catalog, interference, SimulatorOptions{});
+    EXPECT_FALSE(bundle.eva->incremental_active());
+    EXPECT_EQ(metrics.scheduler_counters.packs_incremental, 0);
+  }
+}
+
+// Reconciliation cadence is counted in computed packs, not rounds, so the
+// trajectory — configurations, metrics, and every counter — must be
+// bit-identical across decision-path pool sizes (serial vs 4 workers), the
+// same way the exact path is.
+TEST(IncrementalPackingDeterminismTest, SameSeedSameMetricsAcrossPoolSizes) {
+  AlibabaTraceOptions trace_options;
+  trace_options.num_jobs = 400;
+  trace_options.seed = 29;
+  trace_options.max_duration_hours = 24.0;
+  const Trace trace = GenerateAlibabaTrace(trace_options);
+  const InterferenceModel interference = InterferenceModel::Measured();
+  const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+
+  auto run = [&](int parallelism) {
+    EvaOptions options;
+    options.incremental_packing = EvaOptions::IncrementalPacking::kOn;
+    options.reconcile_every_n_packs = 8;  // Tight cadence: many reconciliations.
+    options.max_parallelism = parallelism;
+    SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference, options);
+    return RunSimulation(trace, bundle.scheduler.get(), catalog, interference,
+                         SimulatorOptions{});
+  };
+  const SimulationMetrics serial = run(1);
+  const SimulationMetrics pooled = run(4);
+
+  EXPECT_EQ(serial.total_cost, pooled.total_cost);
+  EXPECT_EQ(serial.avg_jct_hours, pooled.avg_jct_hours);
+  EXPECT_EQ(serial.jobs_completed, pooled.jobs_completed);
+  EXPECT_EQ(serial.instances_launched, pooled.instances_launched);
+  EXPECT_EQ(serial.task_migrations, pooled.task_migrations);
+  const SchedulerCounters& a = serial.scheduler_counters;
+  const SchedulerCounters& b = pooled.scheduler_counters;
+  EXPECT_GT(a.reconciliations, 0);
+  EXPECT_EQ(a.packs_incremental, b.packs_incremental);
+  EXPECT_EQ(a.packs_full, b.packs_full);
+  EXPECT_EQ(a.packs_escalated, b.packs_escalated);
+  EXPECT_EQ(a.reconciliations, b.reconciliations);
+  EXPECT_EQ(a.escalations, b.escalations);
+  EXPECT_EQ(a.fallback_oversized_delta, b.fallback_oversized_delta);
+  EXPECT_EQ(a.fallback_no_previous, b.fallback_no_previous);
+  EXPECT_EQ(a.max_divergence_cost, b.max_divergence_cost);
+  EXPECT_EQ(a.max_divergence_edits, b.max_divergence_edits);
+  EXPECT_EQ(a.max_kept_staleness, b.max_kept_staleness);
 }
 
 }  // namespace

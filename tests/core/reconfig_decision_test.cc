@@ -100,5 +100,107 @@ TEST(ShouldAdoptFullTest, ExpensiveMigrationSuppressesFull) {
   EXPECT_FALSE(ShouldAdoptFull(2.0, 0.5, 5.0, 0.0, 1.0));
 }
 
+EscalationPolicy::Options TightPolicyOptions() {
+  EscalationPolicy::Options options;
+  options.divergence_enter = 0.15;
+  options.divergence_exit = 0.05;
+  options.fallback_rate_enter = 0.60;
+  options.fallback_ema_alpha = 0.5;  // Fast EMA so tests stay short.
+  options.min_hold_packs = 3;
+  return options;
+}
+
+TEST(EscalationPolicyTest, StartsCalm) {
+  const EscalationPolicy policy(TightPolicyOptions());
+  EXPECT_FALSE(policy.escalated());
+  EXPECT_EQ(policy.escalations(), 0);
+  EXPECT_DOUBLE_EQ(policy.fallback_rate(), 0.0);
+}
+
+TEST(EscalationPolicyTest, DivergenceAtThresholdEscalates) {
+  EscalationPolicy policy(TightPolicyOptions());
+  policy.RecordDivergence(0.1499);  // Below enter: nothing.
+  EXPECT_FALSE(policy.escalated());
+  policy.RecordDivergence(0.15);  // Enter threshold is inclusive.
+  EXPECT_TRUE(policy.escalated());
+  EXPECT_EQ(policy.escalations(), 1);
+}
+
+TEST(EscalationPolicyTest, HysteresisBandHoldsTheLatch) {
+  EscalationPolicy policy(TightPolicyOptions());
+  policy.RecordDivergence(0.2);
+  ASSERT_TRUE(policy.escalated());
+  // Hold for min_hold_packs exact packs, then measure a divergence inside
+  // the (exit, enter) band: the latch must not release.
+  for (int i = 0; i < 10; ++i) {
+    policy.RecordPack(false);
+  }
+  policy.RecordDivergence(0.10);  // 0.05 < 0.10 < 0.15: the band.
+  EXPECT_TRUE(policy.escalated());
+  // At (or below) the exit threshold the latch clears and — with the hold
+  // already served — the policy de-escalates.
+  policy.RecordDivergence(0.05);
+  EXPECT_FALSE(policy.escalated());
+  EXPECT_EQ(policy.escalations(), 1);
+}
+
+TEST(EscalationPolicyTest, MinHoldDelaysDeescalation) {
+  EscalationPolicy policy(TightPolicyOptions());
+  policy.RecordDivergence(0.5);
+  ASSERT_TRUE(policy.escalated());
+  // Divergence clears immediately, but only min_hold_packs = 3 exact packs
+  // release the policy.
+  policy.RecordDivergence(0.0);
+  EXPECT_TRUE(policy.escalated());
+  policy.RecordPack(false);
+  policy.RecordPack(false);
+  EXPECT_TRUE(policy.escalated());
+  policy.RecordPack(false);
+  EXPECT_FALSE(policy.escalated());
+}
+
+TEST(EscalationPolicyTest, FallbackRateSpikesEscalate) {
+  EscalationPolicy policy(TightPolicyOptions());
+  // alpha = 0.5: two consecutive fallbacks put the EMA at 0.75 > 0.60.
+  policy.RecordPack(true);
+  EXPECT_FALSE(policy.escalated());
+  policy.RecordPack(true);
+  EXPECT_TRUE(policy.escalated());
+  EXPECT_EQ(policy.escalations(), 1);
+}
+
+TEST(EscalationPolicyTest, DeescalationResetsTheFallbackWindow) {
+  EscalationPolicy policy(TightPolicyOptions());
+  policy.RecordPack(true);
+  policy.RecordPack(true);
+  ASSERT_TRUE(policy.escalated());
+  // Packs while escalated do not feed the EMA; after the hold plus a clear
+  // divergence reading the policy releases with a fresh window.
+  for (int i = 0; i < 3; ++i) {
+    policy.RecordPack(false);
+  }
+  policy.RecordDivergence(0.0);
+  ASSERT_FALSE(policy.escalated());
+  EXPECT_DOUBLE_EQ(policy.fallback_rate(), 0.0);
+  // One fallback alone (EMA 0.5 < 0.60) must not re-escalate.
+  policy.RecordPack(true);
+  EXPECT_FALSE(policy.escalated());
+  EXPECT_EQ(policy.escalations(), 1);
+}
+
+TEST(EscalationPolicyTest, ReescalationCountsEpisodes) {
+  EscalationPolicy policy(TightPolicyOptions());
+  for (int episode = 0; episode < 3; ++episode) {
+    policy.RecordDivergence(0.3);
+    ASSERT_TRUE(policy.escalated());
+    for (int i = 0; i < 3; ++i) {
+      policy.RecordPack(false);
+    }
+    policy.RecordDivergence(0.0);
+    ASSERT_FALSE(policy.escalated());
+  }
+  EXPECT_EQ(policy.escalations(), 3);
+}
+
 }  // namespace
 }  // namespace eva
