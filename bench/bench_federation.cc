@@ -1,26 +1,41 @@
-// Multi-tenant federation harness: three Eva tenants (ScaleTrace shards of
-// the 2,000-job Alibaba-like trace) provisioning from one shared cloud
-// provider, in three market regimes:
+// Multi-tenant federation harness, two parts:
 //
-//   * open        — unlimited capacity, on-demand only (the idealized cloud
-//                   every earlier experiment assumed; contention baseline);
-//   * capped      — finite per-family pools, on-demand only: acquisition
-//                   denials throttle the tenants;
-//   * capped-spot — finite pools plus the spot tier: tenants mix preemptible
-//                   discounted capacity and eat two-minute preemptions.
+// 1. Market regimes — three Eva tenants (ScaleTrace shards of the 2,000-job
+//    Alibaba-like trace) provisioning from one shared cloud provider:
+//
+//      * open        — unlimited capacity, on-demand only (the idealized
+//                      cloud every earlier experiment assumed);
+//      * capped      — finite per-family pools, on-demand only: acquisition
+//                      denials throttle the tenants;
+//      * capped-spot — finite pools plus the spot tier: tenants mix
+//                      preemptible discounted capacity and eat two-minute
+//                      preemptions.
+//
+// 2. Tenant-scaling sweep — 10/100/500 tenants (1000 at full
+//    EVA_BENCH_SCALE) through the sharded parallel driver, each point run
+//    at 1 thread and at the hardware pool. Reports events/sec, the
+//    1→N-thread scaling ratio, the serialized share of the round phase,
+//    and the shard-derivation setup wall — the numbers behind the
+//    near-linear-scaling claim. Per-tenant metrics are bit-identical
+//    across both pool sizes (cross-checked here every run).
 //
 // Reports per-tenant cost / spot share / JCT / denial / preemption counts
-// and the provider-level utilization table. EVA_BENCH_JSON writes the same
-// rows machine-readably; EVA_BENCH_SCALE scales the per-tenant job counts.
+// (capped; large fleets aggregate to min/median/p95/max rows) and the
+// provider-level utilization table. EVA_BENCH_JSON writes the same rows
+// machine-readably; EVA_BENCH_SCALE scales the per-tenant job counts.
 // Not a paper table: this is the scenario platform the provider-market
 // subsystem opens up.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/thread_pool.h"
 #include "src/sim/federation.h"
 #include "src/workload/trace_gen.h"
 
@@ -28,13 +43,86 @@ namespace {
 
 using namespace eva;
 
-std::vector<FederationTenant> MakeTenants(int jobs_per_tenant) {
+// Per-tenant JSON rows beyond this fold into the `_agg` aggregate row; a
+// 500-tenant sweep point must not emit 500 rows of noise.
+constexpr std::size_t kMaxTenantJsonRows = 8;
+
+Trace MakeBaseTrace() {
   AlibabaTraceOptions base_options;
   base_options.num_jobs = 2000;
   base_options.seed = 17;
   base_options.max_duration_hours = 48.0;
-  return MakeTenantShards(GenerateAlibabaTrace(base_options), /*num_tenants=*/3,
-                          jobs_per_tenant);
+  return GenerateAlibabaTrace(base_options);
+}
+
+double WallSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::int64_t TotalEvents(const FederationResult& result) {
+  std::int64_t events = 0;
+  for (const FederationResult::Tenant& tenant : result.tenants) {
+    events += tenant.metrics.events_processed;
+  }
+  return events;
+}
+
+// Cross-tenant distribution row: the per-tenant table compressed to
+// min/median/p95/max, which is all a 100+-tenant fleet's story needs.
+void EmitTenantAggregates(BenchJsonWriter& json, const std::string& name,
+                          const FederationResult& result) {
+  std::vector<double> cost;
+  std::vector<double> jct;
+  std::int64_t denied = 0;
+  std::int64_t preempted = 0;
+  std::int64_t completed = 0;
+  for (const FederationResult::Tenant& tenant : result.tenants) {
+    cost.push_back(tenant.metrics.total_cost);
+    jct.push_back(tenant.metrics.avg_jct_hours);
+    denied += tenant.metrics.acquisitions_denied;
+    preempted += tenant.metrics.spot_preemptions;
+    completed += tenant.metrics.jobs_completed;
+  }
+  char fields[640];
+  std::snprintf(
+      fields, sizeof(fields),
+      "\"tenants\": %zu, \"cost_min\": %.4f, \"cost_median\": %.4f, "
+      "\"cost_p95\": %.4f, \"cost_max\": %.4f, \"jct_min_hours\": %.6f, "
+      "\"jct_median_hours\": %.6f, \"jct_p95_hours\": %.6f, "
+      "\"jct_max_hours\": %.6f, \"denied\": %lld, \"preempted\": %lld, "
+      "\"jobs_completed\": %lld",
+      result.tenants.size(), *std::min_element(cost.begin(), cost.end()),
+      Quantile(cost, 0.5), Quantile(cost, 0.95),
+      *std::max_element(cost.begin(), cost.end()),
+      *std::min_element(jct.begin(), jct.end()), Quantile(jct, 0.5),
+      Quantile(jct, 0.95), *std::max_element(jct.begin(), jct.end()),
+      static_cast<long long>(denied), static_cast<long long>(preempted),
+      static_cast<long long>(completed));
+  json.AddCaseFields(name + "_agg", fields);
+}
+
+void EmitProviderRow(BenchJsonWriter& json, const std::string& name,
+                     const FederationResult& result, double wall) {
+  const std::int64_t events = TotalEvents(result);
+  char fields[640];
+  std::snprintf(
+      fields, sizeof(fields),
+      "\"wall_seconds\": %.6f, \"events\": %lld, \"events_per_sec\": %.1f, "
+      "\"granted\": %lld, \"denied\": %lld, \"preempted\": %lld, "
+      "\"barriers\": %lld, \"round_groups\": %lld, \"serial_share\": %.4f, "
+      "\"setup_wall_s\": %.6f, \"advance_wall_s\": %.6f, "
+      "\"round_wall_s\": %.6f",
+      wall, static_cast<long long>(events),
+      wall > 0.0 ? static_cast<double>(events) / wall : 0.0,
+      static_cast<long long>(result.provider.TotalGranted()),
+      static_cast<long long>(result.provider.TotalDenied()),
+      static_cast<long long>(result.provider.TotalPreempted()),
+      static_cast<long long>(result.stats.barriers),
+      static_cast<long long>(result.stats.round_groups),
+      result.stats.SerialShare(), result.stats.setup_wall_s,
+      result.stats.advance_wall_s, result.stats.round_wall_s);
+  json.AddCaseFields(name + "_provider", fields);
 }
 
 void RunScenario(BenchJsonWriter& json, const std::string& name,
@@ -43,20 +131,18 @@ void RunScenario(BenchJsonWriter& json, const std::string& name,
   std::printf("\n--- scenario: %s ---\n", name.c_str());
   const auto start = std::chrono::steady_clock::now();
   const FederationResult result = RunFederation(tenants, options);
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double wall = WallSince(start);
   PrintFederationReport(result);
 
-  std::int64_t events = 0;
-  for (const FederationResult::Tenant& tenant : result.tenants) {
-    events += tenant.metrics.events_processed;
-  }
+  const std::int64_t events = TotalEvents(result);
   std::printf("wall %.3fs, %lld events (%.0f events/sec, all tenants)\n", wall,
               static_cast<long long>(events),
               wall > 0.0 ? static_cast<double>(events) / wall : 0.0);
 
   char fields[512];
-  for (const FederationResult::Tenant& tenant : result.tenants) {
+  for (std::size_t i = 0;
+       i < result.tenants.size() && i < kMaxTenantJsonRows; ++i) {
+    const FederationResult::Tenant& tenant = result.tenants[i];
     const SimulationMetrics& m = tenant.metrics;
     std::snprintf(fields, sizeof(fields),
                   "\"jobs\": %d, \"cost\": %.4f, \"spot_cost\": %.4f, "
@@ -67,15 +153,95 @@ void RunScenario(BenchJsonWriter& json, const std::string& name,
                   m.makespan_s);
     json.AddCaseFields(name + "_" + tenant.name, fields);
   }
-  std::snprintf(fields, sizeof(fields),
-                "\"wall_seconds\": %.6f, \"events\": %lld, \"events_per_sec\": %.1f, "
-                "\"granted\": %lld, \"denied\": %lld, \"preempted\": %lld",
-                wall, static_cast<long long>(events),
-                wall > 0.0 ? static_cast<double>(events) / wall : 0.0,
-                static_cast<long long>(result.provider.TotalGranted()),
-                static_cast<long long>(result.provider.TotalDenied()),
-                static_cast<long long>(result.provider.TotalPreempted()));
-  json.AddCaseFields(name + "_provider", fields);
+  EmitTenantAggregates(json, name, result);
+  EmitProviderRow(json, name, result, wall);
+}
+
+// One tenant-scaling point: derive the shards (timed — the setup-wall
+// satellite), then run the identical federation once serially and once on
+// the hardware pool. The two runs must agree bit-for-bit; the wall-clock
+// ratio is the thread-scaling headline.
+void RunSweepPoint(BenchJsonWriter& json, const Trace& base, int num_tenants,
+                   int jobs_per_tenant) {
+  const std::string name = "fed" + std::to_string(num_tenants);
+  std::printf("\n--- sweep: %d tenants x %d jobs ---\n", num_tenants,
+              jobs_per_tenant);
+
+  const auto setup_start = std::chrono::steady_clock::now();
+  const std::vector<FederationTenant> tenants =
+      MakeTenantShards(base, num_tenants, jobs_per_tenant);
+  const double shard_wall = WallSince(setup_start);
+
+  FederationOptions options;
+  options.provider.enabled = true;
+  // Pools that stay scarce as the fleet grows: shard capacity tracks the
+  // tenant count so denials and cross-tenant contention survive the sweep.
+  options.provider.family_capacity = {std::max(4, num_tenants / 5),
+                                      std::max(10, num_tenants / 2),
+                                      std::max(6, num_tenants / 3)};
+  options.provider.spot.enabled = true;
+  options.provider.spot.seed = 4242;
+  options.provider.spot.spike_probability = 0.06;
+  options.simulator.seed = 5;
+  options.stagger_rounds = true;  // Spread barriers; shrinks the serial residue.
+
+  options.num_threads = 1;
+  auto start = std::chrono::steady_clock::now();
+  const FederationResult serial = RunFederation(tenants, options);
+  const double wall_serial = WallSince(start);
+
+  const int hardware_threads = ThreadPool::DefaultThreads();
+  options.num_threads = hardware_threads;
+  start = std::chrono::steady_clock::now();
+  const FederationResult result = RunFederation(tenants, options);
+  const double wall_pooled = WallSince(start);
+
+  // The determinism contract, enforced on every bench run: pool size must
+  // not leak into any simulated quantity.
+  double divergence = 0.0;
+  for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+    divergence +=
+        std::abs(result.tenants[i].metrics.total_cost -
+                 serial.tenants[i].metrics.total_cost) +
+        std::abs(static_cast<double>(result.tenants[i].metrics.events_processed -
+                                     serial.tenants[i].metrics.events_processed));
+  }
+  if (divergence != 0.0) {
+    std::printf("ERROR: pool-size divergence detected (%.6f) — "
+                "determinism contract broken\n", divergence);
+  }
+
+  PrintFederationReport(result);
+
+  const std::int64_t events = TotalEvents(result);
+  const double eps_serial =
+      wall_serial > 0.0 ? static_cast<double>(events) / wall_serial : 0.0;
+  const double eps_pooled =
+      wall_pooled > 0.0 ? static_cast<double>(events) / wall_pooled : 0.0;
+  const double scaling = wall_pooled > 0.0 ? wall_serial / wall_pooled : 0.0;
+  std::printf("shard setup %.3fs; 1 thread: %.3fs (%.0f ev/s); %d threads: "
+              "%.3fs (%.0f ev/s); scaling %.2fx; serial share %.3f\n",
+              shard_wall, wall_serial, eps_serial, hardware_threads,
+              wall_pooled, eps_pooled, scaling, result.stats.SerialShare());
+
+  char fields[640];
+  std::snprintf(
+      fields, sizeof(fields),
+      "\"tenants\": %d, \"jobs_per_tenant\": %d, \"events\": %lld, "
+      "\"events_per_sec\": %.1f, \"events_per_sec_1thread\": %.1f, "
+      "\"wall_seconds\": %.6f, \"wall_seconds_1thread\": %.6f, "
+      "\"thread_scaling_x\": %.4f, \"num_threads\": %d, "
+      "\"serial_share\": %.4f, \"shard_setup_s\": %.6f, "
+      "\"barriers\": %lld, \"round_groups\": %lld, "
+      "\"bit_identical\": %s",
+      num_tenants, jobs_per_tenant, static_cast<long long>(events), eps_pooled,
+      eps_serial, wall_pooled, wall_serial, scaling, hardware_threads,
+      result.stats.SerialShare(), shard_wall,
+      static_cast<long long>(result.stats.barriers),
+      static_cast<long long>(result.stats.round_groups),
+      divergence == 0.0 ? "true" : "false");
+  json.AddCaseFields(name + "_scale", fields);
+  EmitTenantAggregates(json, name, result);
 }
 
 }  // namespace
@@ -85,7 +251,8 @@ int main() {
                    "provider-market subsystem; not a paper table");
 
   const int jobs_per_tenant = ScaledJobCount(666);
-  const std::vector<FederationTenant> tenants = MakeTenants(jobs_per_tenant);
+  const std::vector<FederationTenant> tenants =
+      MakeTenantShards(MakeBaseTrace(), /*num_tenants=*/3, jobs_per_tenant);
   std::printf("3 tenants x %d jobs (ScaleTrace shards of alibaba2000)\n", jobs_per_tenant);
 
   BenchJsonWriter json;
@@ -106,6 +273,17 @@ int main() {
   capped_spot.provider.spot.seed = 4242;
   capped_spot.provider.spot.spike_probability = 0.06;
   RunScenario(json, "capped-spot", tenants, capped_spot);
+
+  // Tenant-scaling sweep through the sharded parallel driver. Job counts
+  // shrink with the fleet so each point stays a comparable total volume;
+  // the 1000-tenant point only runs at full EVA_BENCH_SCALE.
+  const Trace base = MakeBaseTrace();
+  RunSweepPoint(json, base, /*num_tenants=*/10, ScaledJobCount(100));
+  RunSweepPoint(json, base, /*num_tenants=*/100, ScaledJobCount(40));
+  RunSweepPoint(json, base, /*num_tenants=*/500, ScaledJobCount(12));
+  if (ScaledJobCount(100) >= 100) {
+    RunSweepPoint(json, base, /*num_tenants=*/1000, ScaledJobCount(8));
+  }
 
   if (const char* path = BenchJsonWriter::OutputPath()) {
     return json.WriteTo(path, "federation") ? 0 : 1;

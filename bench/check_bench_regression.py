@@ -37,7 +37,7 @@ error: a silently dropped case must not read as a pass.
 
 Cases listed in WARN_ONLY are compared and reported but never fail the
 check — the observation period for newly added sweep cases before they earn
-a gate. (Empty since the incremental fast path became the gated default.)
+a gate. (Currently the 100-tenant federation sweep point.)
 
 `--selftest` runs the gates against built-in fixtures that must fail (and
 one that must pass) — the negative test CI runs so a broken gate cannot
@@ -48,7 +48,11 @@ import json
 import os
 import sys
 
-WARN_ONLY = set()
+# fed100_scale is the 100-tenant federation sweep point, in its observation
+# period: the events/sec there folds in thread-pool scheduling noise on
+# shared CI runners, so it reports against BENCH_federation.json but cannot
+# fail the job yet.
+WARN_ONLY = {"fed100_scale"}
 
 
 def load_cases(path):

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/logging.h"
+
 namespace eva {
 
 std::int64_t CloudProviderMetrics::TotalGranted() const {
@@ -49,13 +51,46 @@ std::vector<InstanceType> TieredTypes(const InstanceCatalog& base,
   return types;
 }
 
+// Max overlap of the closed intervals {[s, e]} ∪ {[a, ∞)}: sorted sweep,
+// starts before ends at equal times. Order-independent by construction —
+// the inputs are treated as multisets.
+int SweptPeak(std::vector<std::pair<SimTime, SimTime>> lifetimes,
+              std::vector<SimTime> live_acquires) {
+  std::vector<SimTime> starts;
+  std::vector<SimTime> ends;
+  starts.reserve(lifetimes.size() + live_acquires.size());
+  ends.reserve(lifetimes.size());
+  for (const auto& [start, end] : lifetimes) {
+    starts.push_back(start);
+    ends.push_back(std::max(end, start));
+  }
+  starts.insert(starts.end(), live_acquires.begin(), live_acquires.end());
+  std::sort(starts.begin(), starts.end());
+  std::sort(ends.begin(), ends.end());
+  int current = 0;
+  int peak = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < starts.size()) {
+    if (j < ends.size() && ends[j] < starts[i]) {
+      --current;
+      ++j;
+    } else {
+      ++current;
+      ++i;
+      peak = std::max(peak, current);
+    }
+  }
+  return peak;
+}
+
 }  // namespace
 
 InstanceCatalog CloudProvider::MakeTiered(const InstanceCatalog& base,
                                           const SpotMarket& market) {
   // The stable catalog's spot price is the band midpoint — a placeholder
-  // for display only. Decision prices come from MakeQuoteCatalog and true
-  // costs from InstanceCost; neither reads this entry.
+  // for display only. Decision prices come from the quote snapshots and
+  // true costs from InstanceCost; neither reads this entry.
   const double midpoint = 0.5 * (market.options().min_price_fraction +
                                  market.options().max_price_fraction);
   return InstanceCatalog(
@@ -67,7 +102,13 @@ CloudProvider::CloudProvider(const InstanceCatalog& base, CloudProviderOptions o
       options_(options),
       market_(base_, options_.spot),
       tiered_(options_.spot.enabled ? MakeTiered(base_, market_)
-                                    : InstanceCatalog({})) {}
+                                    : InstanceCatalog({})) {
+  for (std::size_t f = 0; f < static_cast<std::size_t>(kNumInstanceFamilies); ++f) {
+    if (options_.family_capacity[f] >= 0) {
+      finite_family_mask_ |= 1u << f;
+    }
+  }
+}
 
 std::unique_ptr<InstanceCatalog> CloudProvider::MakeQuoteCatalog(
     SimTime now, double risk_premium) const {
@@ -80,35 +121,73 @@ std::unique_ptr<InstanceCatalog> CloudProvider::MakeQuoteCatalog(
       }));
 }
 
+std::shared_ptr<const InstanceCatalog> CloudProvider::SharedQuoteCatalog(
+    SimTime now, double risk_premium) const {
+  std::lock_guard<std::mutex> lock(quote_mutex_);
+  if (!spot_enabled()) {
+    if (base_snapshot_ == nullptr) {
+      base_snapshot_ = std::make_shared<InstanceCatalog>(base_.types());
+    }
+    return base_snapshot_;
+  }
+  const std::int64_t step = market_.StepOf(now);
+  const auto key = std::make_pair(step, risk_premium);
+  auto it = quote_cache_.find(key);
+  if (it != quote_cache_.end()) {
+    return it->second;
+  }
+  // Same prices as MakeQuoteCatalog bit-for-bit: Quote(now) ==
+  // QuoteAtStep(StepOf(now)), and every `now` in this step maps here.
+  auto snapshot = std::make_shared<const InstanceCatalog>(
+      TieredTypes(base_, [this, step, risk_premium](int index, Money) {
+        return market_.QuoteAtStep(index, step) * (1.0 + risk_premium);
+      }));
+  quote_cache_.emplace(key, snapshot);
+  return snapshot;
+}
+
 bool CloudProvider::TryAcquire(int type_index, SimTime now) {
-  (void)now;
   const auto family = static_cast<std::size_t>(FamilyOf(type_index));
-  std::lock_guard<std::mutex> lock(mutex_);
-  FamilyState& state = families_[family];
   const int capacity = options_.family_capacity[family];
-  if (capacity >= 0 && state.in_use >= capacity) {
-    ++state.denied;
+  FamilyShard& shard = shards_[family];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (capacity >= 0 && shard.in_use >= capacity) {
+    ++shard.denied;
     return false;
   }
-  ++state.in_use;
-  ++state.granted;
-  state.peak_in_use = std::max(state.peak_in_use, state.in_use);
+  ++shard.in_use;
+  ++shard.granted;
+  if (capacity >= 0) {
+    shard.peak_in_use = std::max(shard.peak_in_use, shard.in_use);
+  } else {
+    shard.live_acquires.push_back(now);
+  }
   return true;
 }
 
 void CloudProvider::Release(int type_index, SimTime acquired_at, SimTime now) {
   const auto family = static_cast<std::size_t>(FamilyOf(type_index));
-  std::lock_guard<std::mutex> lock(mutex_);
-  FamilyState& state = families_[family];
-  --state.in_use;
-  ++state.released;
-  state.lifetimes.emplace_back(acquired_at, now);
+  const int capacity = options_.family_capacity[family];
+  FamilyShard& shard = shards_[family];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  --shard.in_use;
+  ++shard.released;
+  shard.lifetimes.emplace_back(acquired_at, now);
+  if (capacity < 0) {
+    auto it = std::find(shard.live_acquires.begin(), shard.live_acquires.end(),
+                        acquired_at);
+    EVA_CHECK(it != shard.live_acquires.end(),
+              "provider release without matching acquire record");
+    *it = shard.live_acquires.back();
+    shard.live_acquires.pop_back();
+  }
 }
 
 void CloudProvider::RecordPreemption(int type_index) {
   const auto family = static_cast<std::size_t>(FamilyOf(type_index));
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++families_[family].preempted;
+  FamilyShard& shard = shards_[family];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.preempted;
 }
 
 Money CloudProvider::InstanceCost(int type_index, SimTime t0, SimTime t1) const {
@@ -121,26 +200,33 @@ Money CloudProvider::InstanceCost(int type_index, SimTime t0, SimTime t1) const 
 
 CloudProviderMetrics CloudProvider::FinalizeMetrics(SimTime horizon) const {
   CloudProviderMetrics metrics;
-  std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t f = 0; f < static_cast<std::size_t>(kNumInstanceFamilies); ++f) {
-    const FamilyState& state = families_[f];
+    const FamilyShard& shard = shards_[f];
+    std::lock_guard<std::mutex> lock(shard.mutex);
     CloudProviderMetrics::Family& out = metrics.families[f];
     out.capacity = options_.family_capacity[f];
-    out.granted = state.granted;
-    out.denied = state.denied;
-    out.preempted = state.preempted;
-    out.released = state.released;
-    out.peak_in_use = state.peak_in_use;
+    out.granted = shard.granted;
+    out.denied = shard.denied;
+    out.preempted = shard.preempted;
+    out.released = shard.released;
     // Fold lifetimes in (start, end) order: the records arrive in
     // nondeterministic order under concurrent release, and floating-point
     // sums are order-sensitive — sorting first makes the fold reproducible.
-    std::vector<std::pair<SimTime, SimTime>> sorted = state.lifetimes;
+    std::vector<std::pair<SimTime, SimTime>> sorted = shard.lifetimes;
     std::sort(sorted.begin(), sorted.end());
     double instance_seconds = 0.0;
     for (const auto& [start, end] : sorted) {
       instance_seconds += std::max(end - start, 0.0);
     }
     out.instance_hours = SecondsToHours(instance_seconds);
+    if (out.capacity >= 0) {
+      out.peak_in_use = shard.peak_in_use;
+    } else {
+      // Unlimited pools grant concurrently, so a running max would depend
+      // on thread interleaving; sweep the (multiset-deterministic) interval
+      // records instead.
+      out.peak_in_use = SweptPeak(sorted, shard.live_acquires);
+    }
     if (out.capacity > 0 && horizon > 0.0) {
       out.avg_utilization = instance_seconds / (static_cast<double>(out.capacity) * horizon);
     }

@@ -15,27 +15,32 @@
 //     catalog*: indices [0, N) are the base on-demand types verbatim and
 //     [N, 2N) are their spot twins (same family/capacity, "-spot" names).
 //     Capacities and shard layouts key off this stable object, while the
-//     per-round *decision* prices come from MakeQuoteCatalog — a fresh
-//     snapshot in the same layout whose spot entries carry the current
-//     quote times (1 + risk premium). Schedulers therefore price spot
-//     against on-demand with zero structural changes: Algorithm 1 walks the
-//     tiered catalog exactly as it walks the base one.
+//     per-round *decision* prices come from a quote snapshot — the same
+//     layout with spot entries at the current quote times (1 + risk
+//     premium). Schedulers therefore price spot against on-demand with zero
+//     structural changes: Algorithm 1 walks the tiered catalog exactly as
+//     it walks the base one.
 //
-//   * Multi-tenancy. Several simulators may share one provider (see
-//     sim/federation.h). Grants are only ever issued from the federation's
-//     serial, tenant-ordered phase; releases and preemption records may
-//     arrive concurrently from the parallel phase and are commutative
-//     (mutex-guarded integer updates plus an unordered record list that is
-//     sorted deterministically at Finalize), so provider state and metrics
-//     are bit-reproducible across runs and thread-pool sizes.
+//   * Multi-tenancy, sharded. Several simulators may share one provider
+//     (see sim/federation.h). Accounting is partitioned into one shard per
+//     instance family, each behind its own mutex, so tenants whose demand
+//     touches disjoint families never contend on a lock. The federation
+//     driver serializes (in tenant-index order) only the tenants that can
+//     touch the same *finite* family; everything else — grants on unlimited
+//     pools, releases, preemption records — is commutative per shard
+//     (integer tallies plus unordered record lists sorted deterministically
+//     at Finalize), so provider state and metrics are bit-reproducible
+//     across runs and thread-pool sizes.
 
 #ifndef SRC_CLOUD_PROVIDER_H_
 #define SRC_CLOUD_PROVIDER_H_
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/cloud/instance_type.h"
@@ -107,16 +112,43 @@ class CloudProvider {
 
   const SpotMarket& market() const { return market_; }
 
+  // Bit f set <=> family f's pool is finite. Only finite families can make
+  // two tenants conflict (an unlimited pool grants unconditionally and its
+  // tallies are commutative), so this is the mask the federation driver
+  // intersects tenant footprints against when partitioning rounds.
+  std::uint32_t finite_family_mask() const { return finite_family_mask_; }
+
+  // Family of a tiered-catalog index (pure; spot twins share their base
+  // type's family).
+  InstanceFamily FamilyOf(int type_index) const {
+    return tiered_catalog().Get(type_index).family;
+  }
+
   // Decision-price snapshot at time `now`: base entries verbatim, spot
   // entries at quote x (1 + risk_premium). Fresh object per call — pricing
   // caches key on catalog identity, so a new snapshot invalidates them.
   std::unique_ptr<InstanceCatalog> MakeQuoteCatalog(SimTime now,
                                                     double risk_premium) const;
 
+  // The same snapshot, shared and cached by (price step, risk premium):
+  // spot prices are a pure function of the step, so every round that falls
+  // in one step sees the *same object*. Two consequences the federation
+  // leans on: (a) N tenants rounding in the same step build one catalog
+  // instead of N, from any thread, in any order; (b) catalog identity now
+  // means "prices bit-identical", so scheduler-side caches keyed on catalog
+  // identity (round memos, TNRP rebinds) stay exactly as valid as with
+  // per-round fresh snapshots. Entries are never evicted — the map is
+  // bounded by horizon / price_step (and reusing a freed address for a new
+  // step would alias identity-keyed caches).
+  std::shared_ptr<const InstanceCatalog> SharedQuoteCatalog(
+      SimTime now, double risk_premium) const;
+
   // --- Admission and accounting -----------------------------------------
-  // Grants or denies one instance of `type_index` (tiered index). Grants
-  // must be serialized in tenant order by the caller (the federation's
-  // serial phase; a single-tenant simulator is trivially serial).
+  // Grants or denies one instance of `type_index` (tiered index). Grants on
+  // a *finite* family must be serialized in tenant-index order by the
+  // caller (the federation's conflict-group phase; a single-tenant
+  // simulator is trivially serial). Grants on unlimited families are
+  // commutative and may run concurrently.
   bool TryAcquire(int type_index, SimTime now);
 
   // Returns the slot and records the uptime. Thread-safe; commutative, so
@@ -133,14 +165,14 @@ class CloudProvider {
 
   // Snapshot of the counters plus derived utilization over [0, horizon].
   // Sorts the (unordered) release records first, so the result is
-  // independent of release arrival order.
+  // independent of release arrival order. peak_in_use is the incremental
+  // maximum for finite pools (grants are serialized, so it is exact) and a
+  // sorted interval sweep over lifetimes for unlimited pools (whose grants
+  // may interleave across threads; ties count a start before an end, so
+  // touching intervals overlap).
   CloudProviderMetrics FinalizeMetrics(SimTime horizon) const;
 
  private:
-  InstanceFamily FamilyOf(int type_index) const {
-    return tiered_catalog().Get(type_index).family;
-  }
-
   static InstanceCatalog MakeTiered(const InstanceCatalog& base,
                                     const SpotMarket& market);
 
@@ -148,10 +180,16 @@ class CloudProvider {
   const CloudProviderOptions options_;
   SpotMarket market_;
   InstanceCatalog tiered_;  // == base twins appended; unused when spot off.
+  std::uint32_t finite_family_mask_ = 0;
 
-  mutable std::mutex mutex_;
-  struct FamilyState {
+  // One independently-lockable shard per instance family (the ytsaurus
+  // node-shard idiom): tenants touching disjoint families never share a
+  // lock.
+  struct FamilyShard {
+    mutable std::mutex mutex;
     int in_use = 0;
+    // Exact for finite pools (grants serialized by the caller); unused for
+    // unlimited pools, whose peak comes from the Finalize sweep.
     int peak_in_use = 0;
     std::int64_t granted = 0;
     std::int64_t denied = 0;
@@ -160,8 +198,20 @@ class CloudProvider {
     // Released-instance lifetimes, in arrival order (nondeterministic under
     // concurrency); FinalizeMetrics sorts before folding.
     std::vector<std::pair<SimTime, SimTime>> lifetimes;
+    // Acquire times of still-live instances — maintained only for unlimited
+    // pools, where the peak sweep needs open intervals too. A multiset in
+    // effect: the contents are order-independent.
+    std::vector<SimTime> live_acquires;
   };
-  std::array<FamilyState, kNumInstanceFamilies> families_;
+  std::array<FamilyShard, kNumInstanceFamilies> shards_;
+
+  // Shared quote snapshots keyed by (price step, risk premium). Guarded by
+  // its own mutex so quoting never contends with admission shards.
+  mutable std::mutex quote_mutex_;
+  mutable std::map<std::pair<std::int64_t, double>,
+                   std::shared_ptr<const InstanceCatalog>>
+      quote_cache_;
+  mutable std::shared_ptr<const InstanceCatalog> base_snapshot_;  // Spot off.
 };
 
 }  // namespace eva

@@ -58,6 +58,10 @@ Money SpotMarket::Quote(int base_type, SimTime t) const {
   return base_.Get(base_type).cost_per_hour * PriceFraction(base_type, t);
 }
 
+Money SpotMarket::QuoteAtStep(int base_type, std::int64_t step) const {
+  return base_.Get(base_type).cost_per_hour * FractionForStep(base_type, step);
+}
+
 bool SpotMarket::IsPreempting(int base_type, SimTime t) const {
   return PriceFraction(base_type, t) >=
          options_.preemption_price_fraction - 1e-12;

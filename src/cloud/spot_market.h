@@ -70,6 +70,15 @@ class SpotMarket {
   // Hourly spot price of `base_type` at time t.
   Money Quote(int base_type, SimTime t) const;
 
+  // The price step containing t. Prices are a pure function of
+  // (seed, type, step), so a step index is a complete cache key for a
+  // quote snapshot — the provider's shared quote-catalog cache keys on it.
+  std::int64_t StepOf(SimTime t) const { return StepIndex(t); }
+
+  // Hourly spot price of `base_type` during `step`. Quote(t) ==
+  // QuoteAtStep(StepOf(t)) bit-for-bit.
+  Money QuoteAtStep(int base_type, std::int64_t step) const;
+
   // True when holding spot capacity of this type at time t triggers a
   // preemption (quote at or above the threshold).
   bool IsPreempting(int base_type, SimTime t) const;

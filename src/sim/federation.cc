@@ -1,33 +1,62 @@
 #include "src/sim/federation.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdio>
 #include <limits>
 #include <memory>
 
+#include "src/common/stats.h"
 #include "src/common/thread_pool.h"
 #include "src/workload/trace_gen.h"
 
 namespace eva {
 
+namespace {
+
+// SplitMix64 finalizer — the stagger slot must be a pure function of
+// (seed, tenant index) so the same options always yield the same offsets.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
 std::vector<FederationTenant> MakeTenantShards(const Trace& base, int num_tenants,
                                                int jobs_per_tenant,
                                                std::uint64_t seed_base,
                                                SchedulerKind kind) {
-  std::vector<FederationTenant> tenants;
-  tenants.reserve(static_cast<std::size_t>(num_tenants));
-  for (int i = 0; i < num_tenants; ++i) {
+  std::vector<FederationTenant> tenants(
+      static_cast<std::size_t>(std::max(num_tenants, 0)));
+  if (tenants.empty()) {
+    return tenants;
+  }
+  // Hoist the source-derived resample quantities out of the per-tenant
+  // loop (one plan, N derivations) and build the shards in parallel — each
+  // shard is a pure function of (plan, options), so slot i's content is
+  // independent of scheduling order.
+  const TraceResamplePlan plan = MakeResamplePlan(base);
+  const double rate_multiplier =
+      static_cast<double>(base.jobs.size()) / std::max(jobs_per_tenant, 1);
+  ThreadPool pool(std::min<int>(ThreadPool::DefaultThreads(), num_tenants));
+  pool.ParallelFor(tenants.size(), [&](std::size_t i) {
     TraceScaleOptions scale;
     scale.target_jobs = jobs_per_tenant;
     scale.seed = seed_base + static_cast<std::uint64_t>(i);
-    scale.rate_multiplier =
-        static_cast<double>(base.jobs.size()) / std::max(jobs_per_tenant, 1);
-    FederationTenant tenant;
+    scale.rate_multiplier = rate_multiplier;
+    FederationTenant& tenant = tenants[i];
     tenant.name = "tenant" + std::to_string(i);
-    tenant.trace = ScaleTrace(base, scale);
+    tenant.trace = ScaleTraceFromPlan(plan, scale);
     tenant.kind = kind;
-    tenants.push_back(std::move(tenant));
-  }
+  });
   return tenants;
 }
 
@@ -37,8 +66,20 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
   if (tenants.empty()) {
     return result;
   }
+  FederationStats& stats = result.stats;
+  const auto setup_start = std::chrono::steady_clock::now();
 
   CloudProvider provider(options.catalog, options.provider);
+
+  // Tenant schedulers default to single-threaded: the federation owns the
+  // parallelism (N tenants x a lazily-created hardware-sized pool each
+  // would oversubscribe the machine ~Nx), and Eva's serial and parallel
+  // decision paths are bit-identical. An explicit max_parallelism is
+  // honored.
+  EvaOptions eva = options.eva;
+  if (eva.max_parallelism == 0) {
+    eva.max_parallelism = 1;
+  }
 
   // One bundle + simulator per tenant, all provisioned from `provider`.
   struct TenantRun {
@@ -47,26 +88,37 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
   };
   std::vector<TenantRun> runs;
   runs.reserve(tenants.size());
+  const int stagger_slots = std::max(options.stagger_slots, 1);
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     TenantRun run;
-    run.bundle = MakeScheduler(tenants[i].kind, options.interference, options.eva);
+    run.bundle = MakeScheduler(tenants[i].kind, options.interference, eva);
     SimulatorOptions sim_options = options.simulator;
     // The shared provider's own options govern; SimulatorOptions::provider
     // is only consulted when a simulator constructs a private provider.
     sim_options.shared_provider = &provider;
     sim_options.tenant_id = static_cast<int>(i);
     sim_options.seed = options.simulator.seed + i;
+    if (options.stagger_rounds) {
+      const auto slot = static_cast<int>(
+          Mix64(options.stagger_seed ^ static_cast<std::uint64_t>(i)) %
+          static_cast<std::uint64_t>(stagger_slots));
+      sim_options.first_round_offset_s =
+          static_cast<double>(slot) *
+          (options.simulator.scheduling_period_s / static_cast<double>(stagger_slots));
+    }
     run.simulator = std::make_unique<Simulator>(tenants[i].trace,
                                                 run.bundle.scheduler.get(), options.catalog,
                                                 options.interference, sim_options);
     run.simulator->Start();
     runs.push_back(std::move(run));
   }
+  stats.setup_wall_s = Seconds(std::chrono::steady_clock::now() - setup_start);
 
   const int threads = options.num_threads > 0 ? options.num_threads
                                               : ThreadPool::DefaultThreads();
   ThreadPool pool(std::min<int>(threads, static_cast<int>(runs.size())));
   constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+  const std::uint32_t finite_mask = provider.finite_family_mask();
 
   const auto next_barrier = [&runs]() {
     SimTime barrier = std::numeric_limits<SimTime>::infinity();
@@ -84,13 +136,20 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
     return true;
   };
 
+  // Reused per-barrier scratch.
+  std::vector<std::size_t> participants;
+  std::vector<std::uint32_t> masks;
+  std::vector<std::vector<std::size_t>> groups;
+
   while (true) {
     SimTime barrier = next_barrier();
 
     // Parallel phase: every tenant burns through its non-round events below
     // the barrier. Per-tenant work is fully independent; the only shared
-    // state touched (provider releases/preemption tallies) is commutative,
-    // so the barrier snapshot is the same for every pool size.
+    // state touched (provider releases/preemption tallies, quote snapshots)
+    // is commutative per family shard, so the barrier snapshot is the same
+    // for every pool size.
+    const auto advance_start = std::chrono::steady_clock::now();
     {
       ThreadPool::TaskGroup group(pool);
       for (TenantRun& run : runs) {
@@ -99,11 +158,12 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
       }
       group.Wait();
     }
+    stats.advance_wall_s += Seconds(std::chrono::steady_clock::now() - advance_start);
 
     // A tenant may have re-triggered its round chain below the barrier (an
-    // arrival after a drained stretch). Rounds must only run in the serial
-    // phase at the *global* minimum, so restart the loop with the earlier
-    // barrier before touching any round.
+    // arrival after a drained stretch). Rounds must only run at the
+    // *global* minimum, so restart the loop with the earlier barrier before
+    // touching any round.
     const SimTime recomputed = next_barrier();
     if (recomputed < barrier) {
       continue;
@@ -118,12 +178,101 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
       continue;
     }
 
-    // Serial phase, tenant order: the barrier-time events — scheduling
-    // rounds and anything sharing their timestamp — run one tenant at a
-    // time, so contended TryAcquire calls arbitrate deterministically.
-    for (TenantRun& run : runs) {
-      run.simulator->ProcessEventsThrough(barrier);
+    const auto round_start = std::chrono::steady_clock::now();
+
+    // Participants: after the parallel phase, every remaining event at or
+    // before the barrier sits exactly on it (non-round events below were
+    // consumed; rounds below would have lowered `recomputed`).
+    participants.clear();
+    masks.clear();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (runs[i].simulator->NextEventTime() <= barrier) {
+        participants.push_back(i);
+        // Only finite families can make two tenants conflict; grants on
+        // unlimited pools are unconditional and their tallies commutative.
+        masks.push_back(runs[i].simulator->ProviderFamilyFootprint(barrier) &
+                        finite_mask);
+      }
     }
+
+    // Conflict partition: union the finite families each participant can
+    // touch, then bucket participants by their families' root. A tenant
+    // touching no finite family forms a singleton group. Group membership
+    // and order are pure functions of (participants, masks) — identical for
+    // every pool size — and members stay in ascending tenant order.
+    groups.clear();
+    std::array<int, kNumInstanceFamilies> root;
+    for (int f = 0; f < kNumInstanceFamilies; ++f) {
+      root[static_cast<std::size_t>(f)] = f;
+    }
+    const auto find = [&root](int f) {
+      while (root[static_cast<std::size_t>(f)] != f) {
+        f = root[static_cast<std::size_t>(f)] =
+            root[static_cast<std::size_t>(root[static_cast<std::size_t>(f)])];
+      }
+      return f;
+    };
+    for (const std::uint32_t mask : masks) {
+      int first = -1;
+      for (int f = 0; f < kNumInstanceFamilies; ++f) {
+        if ((mask >> f) & 1u) {
+          if (first < 0) {
+            first = f;
+          } else {
+            root[static_cast<std::size_t>(find(f))] = find(first);
+          }
+        }
+      }
+    }
+    std::array<int, kNumInstanceFamilies> group_of_family;
+    group_of_family.fill(-1);
+    for (std::size_t k = 0; k < participants.size(); ++k) {
+      const std::uint32_t mask = masks[k];
+      if (mask == 0) {
+        groups.emplace_back(1, participants[k]);
+        continue;
+      }
+      int f = 0;
+      while (((mask >> f) & 1u) == 0) {
+        ++f;
+      }
+      const auto r = static_cast<std::size_t>(find(f));
+      if (group_of_family[r] < 0) {
+        group_of_family[r] = static_cast<int>(groups.size());
+        groups.emplace_back();
+      }
+      groups[static_cast<std::size_t>(group_of_family[r])].push_back(participants[k]);
+    }
+
+    ++stats.barriers;
+    stats.round_participants += static_cast<std::int64_t>(participants.size());
+    stats.round_groups += static_cast<std::int64_t>(groups.size());
+    std::size_t largest = 0;
+    for (const auto& members : groups) {
+      largest = std::max(largest, members.size());
+    }
+    stats.largest_group_participants += static_cast<std::int64_t>(largest);
+
+    // Grouped round phase: groups fan out on the pool (they touch disjoint
+    // finite shards, plus commutative unlimited/quote state); members of a
+    // group run serially in tenant-index order, so every contended grant
+    // arbitrates deterministically.
+    if (groups.size() == 1) {
+      for (const std::size_t idx : groups.front()) {
+        runs[idx].simulator->ProcessEventsThrough(barrier);
+      }
+    } else {
+      ThreadPool::TaskGroup task_group(pool);
+      for (const auto& members : groups) {
+        task_group.Submit([&runs, &members, barrier] {
+          for (const std::size_t idx : members) {
+            runs[idx].simulator->ProcessEventsThrough(barrier);
+          }
+        });
+      }
+      task_group.Wait();
+    }
+    stats.round_wall_s += Seconds(std::chrono::steady_clock::now() - round_start);
   }
 
   result.tenants.reserve(tenants.size());
@@ -139,16 +288,49 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
   return result;
 }
 
-void PrintFederationReport(const FederationResult& result) {
+void PrintFederationReport(const FederationResult& result,
+                           const FederationReportOptions& report) {
+  const std::size_t total = result.tenants.size();
+  const std::size_t shown =
+      report.max_tenant_rows <= 0
+          ? total
+          : std::min(total, static_cast<std::size_t>(report.max_tenant_rows));
   std::printf("%-12s %-12s %12s %10s %8s %8s %8s %8s %9s\n", "Tenant", "Scheduler",
               "Cost($)", "SpotCost", "JCT(h)", "Denied", "Preempt", "SpotInst", "Jobs");
-  for (const FederationResult::Tenant& tenant : result.tenants) {
+  for (std::size_t i = 0; i < shown; ++i) {
+    const FederationResult::Tenant& tenant = result.tenants[i];
     const SimulationMetrics& m = tenant.metrics;
     std::printf("%-12s %-12s %12.2f %10.2f %8.2f %8d %8d %8d %4d/%-4d\n",
                 tenant.name.c_str(), SchedulerKindName(tenant.kind), m.total_cost,
                 m.spot_cost, m.avg_jct_hours, m.acquisitions_denied, m.spot_preemptions,
                 m.spot_instances_launched, m.jobs_completed, m.jobs_submitted);
   }
+  if (shown < total) {
+    std::printf("  ... %zu more tenants elided (max_tenant_rows=%d)\n", total - shown,
+                report.max_tenant_rows);
+  }
+
+  if (total > 1) {
+    // Cross-tenant aggregates: the per-tenant table's story at any scale.
+    const auto aggregate = [&](const char* label, const auto& get) {
+      std::vector<double> values;
+      values.reserve(total);
+      for (const FederationResult::Tenant& tenant : result.tenants) {
+        values.push_back(static_cast<double>(get(tenant.metrics)));
+      }
+      const double min = *std::min_element(values.begin(), values.end());
+      const double max = *std::max_element(values.begin(), values.end());
+      std::printf("  %-10s min=%-10.2f median=%-10.2f p95=%-10.2f max=%-10.2f\n", label,
+                  min, Quantile(values, 0.5), Quantile(values, 0.95), max);
+    };
+    std::printf("aggregate across %zu tenants:\n", total);
+    aggregate("cost($)", [](const SimulationMetrics& m) { return m.total_cost; });
+    aggregate("jct(h)", [](const SimulationMetrics& m) { return m.avg_jct_hours; });
+    aggregate("denied", [](const SimulationMetrics& m) { return m.acquisitions_denied; });
+    aggregate("preempted", [](const SimulationMetrics& m) { return m.spot_preemptions; });
+    aggregate("completed", [](const SimulationMetrics& m) { return m.jobs_completed; });
+  }
+
   std::printf("provider (horizon %.1f h):\n", SecondsToHours(result.horizon_s));
   for (int f = 0; f < kNumInstanceFamilies; ++f) {
     const CloudProviderMetrics::Family& family =
@@ -161,6 +343,14 @@ void PrintFederationReport(const FederationResult& result) {
         static_cast<long long>(family.preempted), family.peak_in_use,
         family.avg_utilization * 100.0, family.instance_hours);
   }
+  const FederationStats& stats = result.stats;
+  std::printf(
+      "driver: barriers=%lld participants=%lld groups=%lld serial-share=%.3f "
+      "setup=%.3fs advance=%.3fs rounds=%.3fs\n",
+      static_cast<long long>(stats.barriers),
+      static_cast<long long>(stats.round_participants),
+      static_cast<long long>(stats.round_groups), stats.SerialShare(),
+      stats.setup_wall_s, stats.advance_wall_s, stats.round_wall_s);
 }
 
 }  // namespace eva

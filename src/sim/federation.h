@@ -12,16 +12,26 @@
 //      all tenants, fanning out on the thread pool. No events in this
 //      window acquire provider capacity (only scheduling rounds launch
 //      instances); the provider mutations that can occur — capacity
-//      releases and preemption tallies — are commutative integer updates
-//      plus unordered record appends that are sorted before any
-//      floating-point fold, so the provider state at the barrier does not
-//      depend on interleaving.
+//      releases and preemption tallies — are commutative per family shard,
+//      so the provider state at the barrier does not depend on
+//      interleaving.
 //
-//   2. Serial phase. Tenants whose next events sit exactly at T process
-//      them one tenant at a time, in tenant-index order. Scheduling rounds
-//      (and therefore all TryAcquire calls) happen only here, giving
-//      contended acquisitions a deterministic (virtual time, tenant index)
-//      arbitration order.
+//   2. Conflict-grouped round phase. Tenants with events exactly at T are
+//      partitioned by the provider family shards they can touch (the
+//      Simulator::ProviderFamilyFootprint contract, intersected with the
+//      provider's *finite* families — unlimited pools grant unconditionally
+//      and tally commutatively, so they cannot make two tenants conflict).
+//      Tenants sharing a finite shard land in one group; groups run
+//      concurrently on the pool, and within a group tenants run one at a
+//      time in tenant-index order. Every contended TryAcquire therefore
+//      arbitrates in deterministic (virtual time, tenant index) order,
+//      while non-contending tenants — the common case once capacity is
+//      partitioned or demand is family-disjoint — round in parallel.
+//
+// With staggered round offsets enabled, tenants' round phases are spread
+// deterministically across the scheduling period, so each barrier carries a
+// fraction of the tenants instead of all of them — the same trick real
+// clusters use to flatten controller load spikes.
 //
 // A tenant that drains its round chain and later re-triggers it (an arrival
 // after an idle stretch) can create a round earlier than T mid-phase; the
@@ -30,12 +40,14 @@
 #ifndef SRC_SIM_FEDERATION_H_
 #define SRC_SIM_FEDERATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/cloud/provider.h"
 #include "src/sim/experiment.h"
 #include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
 
 namespace eva {
 
@@ -57,8 +69,46 @@ struct FederationOptions {
   // The shared provider every tenant provisions from.
   CloudProviderOptions provider;
 
-  // Worker threads for the parallel phase; <= 0 uses all hardware threads.
+  // Worker threads for the parallel and grouped phases; <= 0 uses all
+  // hardware threads.
   int num_threads = 0;
+
+  // Deterministic round stagger (opt-in). Tenant i's first scheduling round
+  // fires at slot(i) x (period / stagger_slots) with slot(i) =
+  // hash(stagger_seed, i) % stagger_slots, instead of every tenant rounding
+  // at t=0, 300, 600, ... in phase. Spreads barrier pressure: each barrier
+  // then carries ~1/stagger_slots of the tenants, shrinking both the
+  // serialized residue and the idle tail of the parallel phase. Offsets are
+  // a pure function of (stagger_seed, i) — same seed, same trajectory.
+  bool stagger_rounds = false;
+  int stagger_slots = 8;
+  std::uint64_t stagger_seed = 0x57A66E12u;
+};
+
+// Where the federation's wall-clock time went, plus the counters behind the
+// serial-phase share the bench reports.
+struct FederationStats {
+  std::int64_t barriers = 0;           // Two-phase iterations executed.
+  std::int64_t round_participants = 0; // Tenant-barrier pairs with barrier-time events.
+  std::int64_t round_groups = 0;       // Conflict groups dispatched (singletons included).
+  // Sum over barriers of the largest group's participant count — the
+  // critical path of the grouped phase (groups run concurrently; members
+  // of one group run serially).
+  std::int64_t largest_group_participants = 0;
+
+  double setup_wall_s = 0.0;    // Scheduler + simulator construction, Start().
+  double advance_wall_s = 0.0;  // Parallel AdvanceUntil phase.
+  double round_wall_s = 0.0;    // Conflict-grouped round phase.
+
+  // Fraction of round-phase tenant work that sits on the serialized
+  // critical path: 1.0 = every participant shares one group (the old
+  // fully-serial phase), 1/participants = perfect spread.
+  double SerialShare() const {
+    return round_participants > 0
+               ? static_cast<double>(largest_group_participants) /
+                     static_cast<double>(round_participants)
+               : 0.0;
+  }
 };
 
 struct FederationResult {
@@ -70,6 +120,7 @@ struct FederationResult {
 
   std::vector<Tenant> tenants;
   CloudProviderMetrics provider;
+  FederationStats stats;
 
   // Latest tenant makespan — the federation's virtual horizon, which the
   // provider utilization is normalized against.
@@ -78,6 +129,12 @@ struct FederationResult {
 
 // Runs every tenant to completion against one shared provider and returns
 // per-tenant metrics plus the provider-level tallies.
+//
+// Unless FederationOptions::eva.max_parallelism is set explicitly, tenant
+// schedulers run single-threaded: the federation already parallelizes
+// across tenants, and N tenants each lazily spawning a hardware-sized pool
+// would oversubscribe the machine ~Nx (scheduler results are bit-identical
+// either way).
 FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
                                const FederationOptions& options);
 
@@ -86,14 +143,26 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
 // to `jobs_per_tenant` jobs with the arrival rate re-densified to the
 // source's cadence — thinning alone would stretch the arrival process
 // ~source/target x, and non-overlapping tenants never contend. Tenant i is
-// named "tenant<i>" and seeded seed_base + i (distinct job mixes).
+// named "tenant<i>" and seeded seed_base + i (distinct job mixes). The
+// source's resample plan is computed once and the shards derived from it in
+// parallel, so setup stays flat in the source size at high tenant counts.
 std::vector<FederationTenant> MakeTenantShards(const Trace& base, int num_tenants,
                                                int jobs_per_tenant,
                                                std::uint64_t seed_base = 101,
                                                SchedulerKind kind = SchedulerKind::kEva);
 
-// Renders a per-tenant table plus the provider summary.
-void PrintFederationReport(const FederationResult& result);
+struct FederationReportOptions {
+  // Per-tenant rows printed before the rest are elided behind an aggregate
+  // line (<= 0 prints every tenant). At 1000 tenants the full table is
+  // noise; the min/median/p95/max rows carry the story.
+  int max_tenant_rows = 16;
+};
+
+// Renders a per-tenant table (capped per `report`), cross-tenant aggregate
+// rows when more than one tenant ran, the provider summary, and the
+// driver's phase/wall statistics.
+void PrintFederationReport(const FederationResult& result,
+                           const FederationReportOptions& report = {});
 
 }  // namespace eva
 

@@ -84,6 +84,12 @@ struct SimulatorOptions {
   // Tenant index, for logs and federation bookkeeping.
   int tenant_id = 0;
 
+  // First scheduling round fires at this offset instead of t=0; later
+  // rounds keep the phase (offset + k x period) until the cluster drains.
+  // The federation's stagger option assigns distinct per-tenant offsets so
+  // rounds spread across the period instead of colliding on one barrier.
+  SimTime first_round_offset_s = 0.0;
+
   // Decision-time markup on spot quotes (the preemption-risk premium): the
   // scheduler prices a spot instance at quote x (1 + premium), so a spot
   // type must undercut on-demand by the premium before Eva mixes it in.
@@ -124,6 +130,22 @@ class Simulator {
 
   // Time of the pending scheduling-round event, or +infinity if none.
   SimTime NextRoundTime() const;
+
+  // Time of the earliest pending event of any kind, or +infinity when
+  // drained. The federation driver uses it to skip tenants with nothing to
+  // do at a barrier.
+  SimTime NextEventTime() const;
+
+  // Families of the shared provider this tenant could touch — acquire,
+  // release, or preemption-record — while processing events at times <=
+  // `through`: live-instance families plus every family an active or
+  // arriving-by-`through` job fits. The federation driver intersects these
+  // masks (restricted to the provider's finite families) to partition
+  // same-barrier rounds into conflict groups. Calling this also arms a
+  // contract check: an acquisition at exactly `through` outside the
+  // returned mask is a hard error, because a launch the grouping could not
+  // foresee would silently break cross-pool-size determinism.
+  std::uint32_t ProviderFamilyFootprint(SimTime through);
 
   // True when no events remain (or the run aborted at max_sim_time_s).
   bool Drained() const;

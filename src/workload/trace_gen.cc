@@ -133,24 +133,39 @@ Trace GenerateAlibabaTrace(const AlibabaTraceOptions& options) {
   return trace;
 }
 
+TraceResamplePlan MakeResamplePlan(const Trace& source) {
+  TraceResamplePlan plan;
+  plan.source = &source;
+  // Empirical mean inter-arrival of the source process (its jobs are
+  // arrival-sorted after Normalize); a single-job source has no spacing
+  // information, so fall back to one hour.
+  const double span = source.jobs.empty()
+                          ? 0.0
+                          : source.jobs.back().arrival_time_s -
+                                source.jobs.front().arrival_time_s;
+  plan.source_mean_interarrival_s =
+      source.jobs.size() > 1 && span > 0.0
+          ? span / static_cast<double>(source.jobs.size() - 1)
+          : kSecondsPerHour;
+  return plan;
+}
+
 Trace ScaleTrace(const Trace& source, const TraceScaleOptions& options) {
+  return ScaleTraceFromPlan(MakeResamplePlan(source), options);
+}
+
+Trace ScaleTraceFromPlan(const TraceResamplePlan& plan,
+                         const TraceScaleOptions& options) {
+  const Trace& source = *plan.source;
   Trace trace;
   trace.name = source.name + "-x" + std::to_string(options.target_jobs);
   if (source.jobs.empty() || options.target_jobs <= 0) {
     return trace;
   }
-  // Empirical mean inter-arrival of the source process (its jobs are
-  // arrival-sorted after Normalize); a single-job source has no spacing
-  // information, so fall back to one hour.
-  const double span = source.jobs.back().arrival_time_s - source.jobs.front().arrival_time_s;
-  const double source_mean_interarrival =
-      source.jobs.size() > 1 && span > 0.0
-          ? span / static_cast<double>(source.jobs.size() - 1)
-          : kSecondsPerHour;
   const double rate_scale =
       std::max(1e-9, options.rate_multiplier) *
       (static_cast<double>(options.target_jobs) / static_cast<double>(source.jobs.size()));
-  const double mean_interarrival = source_mean_interarrival / rate_scale;
+  const double mean_interarrival = plan.source_mean_interarrival_s / rate_scale;
 
   Rng rng(options.seed);
   trace.jobs.reserve(static_cast<std::size_t>(options.target_jobs));

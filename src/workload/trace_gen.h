@@ -98,6 +98,22 @@ struct TraceScaleOptions {
 
 Trace ScaleTrace(const Trace& source, const TraceScaleOptions& options);
 
+// The source-derived resample inputs of ScaleTrace (one pass over the
+// source), hoisted so N shard derivations — MakeTenantShards at hundreds of
+// tenants — share a single plan instead of re-deriving per tenant.
+// ScaleTraceFromPlan(MakeResamplePlan(s), o) == ScaleTrace(s, o)
+// bit-for-bit. The plan borrows `source`, which must outlive it.
+struct TraceResamplePlan {
+  const Trace* source = nullptr;
+  double source_mean_interarrival_s = 0.0;
+};
+
+TraceResamplePlan MakeResamplePlan(const Trace& source);
+
+// Pure in (plan, options): safe to call concurrently for distinct outputs.
+Trace ScaleTraceFromPlan(const TraceResamplePlan& plan,
+                         const TraceScaleOptions& options);
+
 // One draw from either duration model, in seconds.
 SimTime SampleDuration(DurationModel model, Rng& rng);
 

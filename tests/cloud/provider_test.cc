@@ -90,6 +90,80 @@ TEST(CloudProviderTest, AdmissionDeniesWhenFamilyPoolExhausted) {
   EXPECT_EQ(metrics.TotalDenied(), 1);
 }
 
+TEST(CloudProviderTest, FiniteFamilyMaskTracksCapacities) {
+  const InstanceCatalog base = InstanceCatalog::AwsDefault();
+  CloudProviderOptions options;
+  options.enabled = true;
+  options.family_capacity = {2, -1, 0};  // P3 and R7i finite, C7i unlimited.
+  const CloudProvider provider(base, options);
+  EXPECT_EQ(provider.finite_family_mask(), 0b101u);
+
+  CloudProviderOptions unlimited;
+  unlimited.enabled = true;
+  EXPECT_EQ(CloudProvider(base, unlimited).finite_family_mask(), 0u);
+}
+
+TEST(CloudProviderTest, SharedQuoteCatalogCachesByPriceStepAndPremium) {
+  const InstanceCatalog base = InstanceCatalog::AwsDefault();
+  const CloudProvider provider(base, SpotOptions());
+  const double step_s = provider.market().options().price_step_s;
+
+  // Same price step, same premium: the identical snapshot object — the
+  // identity the Eva round memo and pricing caches key on.
+  const auto a = provider.SharedQuoteCatalog(100.0, 0.25);
+  const auto b = provider.SharedQuoteCatalog(100.0 + step_s * 0.5, 0.25);
+  EXPECT_EQ(a.get(), b.get());
+
+  // Crossing a step boundary or changing the premium makes a new snapshot.
+  const auto c = provider.SharedQuoteCatalog(100.0 + step_s, 0.25);
+  EXPECT_NE(a.get(), c.get());
+  const auto d = provider.SharedQuoteCatalog(100.0, 0.5);
+  EXPECT_NE(a.get(), d.get());
+
+  // Prices match the per-call snapshot bit-for-bit.
+  const SimTime t = 3.0 * step_s + 17.0;
+  const auto shared = provider.SharedQuoteCatalog(t, 0.25);
+  const auto fresh = provider.MakeQuoteCatalog(t, 0.25);
+  ASSERT_EQ(shared->NumTypes(), fresh->NumTypes());
+  for (int i = 0; i < shared->NumTypes(); ++i) {
+    EXPECT_EQ(shared->Get(i).cost_per_hour, fresh->Get(i).cost_per_hour);
+  }
+}
+
+TEST(CloudProviderTest, SharedQuoteCatalogWithoutSpotIsOneBaseSnapshot) {
+  const InstanceCatalog base = InstanceCatalog::AwsDefault();
+  CloudProviderOptions options;
+  options.enabled = true;
+  const CloudProvider provider(base, options);
+  const auto a = provider.SharedQuoteCatalog(0.0, 0.25);
+  const auto b = provider.SharedQuoteCatalog(99999.0, 0.75);
+  EXPECT_EQ(a.get(), b.get());  // Prices never move without a spot market.
+  EXPECT_EQ(a->NumTypes(), 21);
+  EXPECT_EQ(a->Get(5).cost_per_hour, base.Get(5).cost_per_hour);
+}
+
+TEST(CloudProviderTest, UnlimitedPoolPeakIsSweptFromLifetimes) {
+  const InstanceCatalog base = InstanceCatalog::AwsDefault();
+  CloudProviderOptions options;
+  options.enabled = true;  // All families unlimited.
+  CloudProvider provider(base, options);
+
+  // Overlapping lifetimes [0,1h], [0.5h,3h] and a still-live acquire at 2h:
+  // concurrency peaks at 2 (never 3), whatever order the tallies landed in.
+  EXPECT_TRUE(provider.TryAcquire(0, 0.0));
+  EXPECT_TRUE(provider.TryAcquire(1, 1800.0));
+  provider.Release(0, 0.0, 3600.0);
+  EXPECT_TRUE(provider.TryAcquire(2, 7200.0));
+  provider.Release(1, 1800.0, 10800.0);
+
+  const CloudProviderMetrics metrics = provider.FinalizeMetrics(14400.0);
+  const auto& p3 = metrics.families[0];
+  EXPECT_EQ(p3.granted, 3);
+  EXPECT_EQ(p3.released, 2);
+  EXPECT_EQ(p3.denied, 0);
+  EXPECT_EQ(p3.peak_in_use, 2);
+}
+
 TEST(CloudProviderTest, InstanceCostUsesSpotTraceForSpotTypes) {
   const InstanceCatalog base = InstanceCatalog::AwsDefault();
   const CloudProvider provider(base, SpotOptions());

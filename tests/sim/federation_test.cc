@@ -176,6 +176,144 @@ TEST(FederationTest, SingleTenantPassThroughMatchesPlainRun) {
   EXPECT_EQ(federated.tenants[0].metrics.spot_cost, 0.0);
 }
 
+// The conflict-grouped round phase at production tenant counts: 100 tenants
+// sharing finite P3/R7i pools and an unlimited C7i pool (the concurrent-
+// grant path plus the swept-peak accounting) must be bit-identical across
+// pool sizes {1, 2, 8} — the tentpole invariant of the sharded driver.
+TEST(FederationTest, PoolSizeDeterminismAtOneHundredTenants) {
+  AlibabaTraceOptions base_options;
+  base_options.num_jobs = 2000;
+  base_options.seed = 17;
+  base_options.max_duration_hours = 48.0;
+  const std::vector<FederationTenant> tenants =
+      MakeTenantShards(GenerateAlibabaTrace(base_options), /*num_tenants=*/100,
+                       /*jobs_per_tenant=*/6);
+
+  FederationOptions options;
+  options.provider.enabled = true;
+  // Finite P3/R7i shards (contended, serialized per group) + unlimited C7i
+  // (concurrent grants, peak via the finalize sweep).
+  options.provider.family_capacity = {40, -1, 30};
+  options.provider.spot.enabled = true;
+  options.provider.spot.price_step_s = 900.0;
+  options.provider.spot.spike_probability = 0.15;
+  options.provider.spot.seed = 4242;
+  options.simulator.seed = 5;
+
+  options.num_threads = 1;
+  const FederationResult one = RunFederation(tenants, options);
+  options.num_threads = 2;
+  const FederationResult two = RunFederation(tenants, options);
+  options.num_threads = 8;
+  const FederationResult eight = RunFederation(tenants, options);
+
+  ASSERT_EQ(one.tenants.size(), 100u);
+  for (std::size_t i = 0; i < one.tenants.size(); ++i) {
+    ExpectBitIdentical(one.tenants[i].metrics, two.tenants[i].metrics);
+    ExpectBitIdentical(one.tenants[i].metrics, eight.tenants[i].metrics);
+  }
+  for (const FederationResult* other : {&two, &eight}) {
+    for (std::size_t f = 0; f < static_cast<std::size_t>(kNumInstanceFamilies); ++f) {
+      EXPECT_EQ(one.provider.families[f].granted, other->provider.families[f].granted);
+      EXPECT_EQ(one.provider.families[f].denied, other->provider.families[f].denied);
+      EXPECT_EQ(one.provider.families[f].preempted,
+                other->provider.families[f].preempted);
+      EXPECT_EQ(one.provider.families[f].released, other->provider.families[f].released);
+      EXPECT_EQ(one.provider.families[f].peak_in_use,
+                other->provider.families[f].peak_in_use);
+      EXPECT_EQ(one.provider.families[f].instance_hours,
+                other->provider.families[f].instance_hours);
+    }
+  }
+  // Sanity: the scenario actually contends and actually parallelizes.
+  EXPECT_GT(one.provider.TotalDenied(), 0);
+  EXPECT_GT(one.stats.round_groups, one.stats.barriers);  // >1 group somewhere.
+}
+
+// Two tenants racing the single slot of one family shard: the grouped phase
+// must arbitrate the grant in tenant-index order, every time, at every pool
+// size. Demands carry GPUs on both vectors, so only the P3 family fits and
+// the two tenants provably share that shard.
+TEST(FederationTest, ContendedShardGrantsArbitrateInTenantOrder) {
+  const auto gpu_job = [] {
+    JobSpec job = JobSpec::FromWorkload(/*id=*/0, /*arrival_time_s=*/0.0,
+                                        static_cast<WorkloadId>(0),
+                                        /*duration_s=*/1800.0, /*num_tasks=*/1);
+    job.demand_p3 = ResourceVector(1.0, 4.0, 16.0);
+    job.demand_cpu = job.demand_p3;
+    return job;
+  };
+  std::vector<FederationTenant> tenants(2);
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    tenants[i].name = "racer" + std::to_string(i);
+    tenants[i].trace.name = tenants[i].name;
+    tenants[i].trace.jobs = {gpu_job()};
+  }
+
+  FederationOptions options;
+  options.provider.enabled = true;
+  options.provider.family_capacity = {1, -1, -1};  // One P3 slot for two tenants.
+
+  options.num_threads = 1;
+  const FederationResult serial = RunFederation(tenants, options);
+  options.num_threads = 8;
+  const FederationResult parallel = RunFederation(tenants, options);
+
+  for (const FederationResult* result : {&serial, &parallel}) {
+    ASSERT_EQ(result->tenants.size(), 2u);
+    const SimulationMetrics& winner = result->tenants[0].metrics;
+    const SimulationMetrics& loser = result->tenants[1].metrics;
+    // Tenant 0 wins the t=0 round's only slot; tenant 1 is denied and
+    // retries until the release.
+    EXPECT_EQ(winner.acquisitions_denied, 0);
+    EXPECT_GT(loser.acquisitions_denied, 0);
+    EXPECT_EQ(winner.jobs_completed, 1);
+    EXPECT_EQ(loser.jobs_completed, 1);
+    EXPECT_LT(winner.avg_jct_hours, loser.avg_jct_hours);
+  }
+  ExpectBitIdentical(serial.tenants[0].metrics, parallel.tenants[0].metrics);
+  ExpectBitIdentical(serial.tenants[1].metrics, parallel.tenants[1].metrics);
+}
+
+// Staggered round offsets: a pure function of (stagger_seed, tenant index),
+// so the same options reproduce bit-identically across runs and pool sizes
+// — and the offsets must actually shift the trajectory vs. the unstaggered
+// run.
+TEST(FederationTest, StaggerOffsetsAreDeterministic) {
+  const std::vector<FederationTenant> tenants = MakeTenants(25);
+  FederationOptions options = ConstrainedSpotOptions();
+  options.stagger_rounds = true;
+  options.stagger_slots = 4;
+
+  options.num_threads = 4;
+  const FederationResult first = RunFederation(tenants, options);
+  const FederationResult second = RunFederation(tenants, options);
+  options.num_threads = 1;
+  const FederationResult serial = RunFederation(tenants, options);
+
+  ASSERT_EQ(first.tenants.size(), 3u);
+  for (std::size_t i = 0; i < first.tenants.size(); ++i) {
+    ExpectBitIdentical(first.tenants[i].metrics, second.tenants[i].metrics);
+    ExpectBitIdentical(first.tenants[i].metrics, serial.tenants[i].metrics);
+  }
+
+  // The offsets engaged: some tenant's trajectory differs from the
+  // unstaggered run (deterministically — both sides are pure functions of
+  // their options).
+  options.stagger_rounds = false;
+  options.num_threads = 4;
+  const FederationResult unstaggered = RunFederation(tenants, options);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < first.tenants.size(); ++i) {
+    any_difference = any_difference ||
+                     first.tenants[i].metrics.makespan_s !=
+                         unstaggered.tenants[i].metrics.makespan_s ||
+                     first.tenants[i].metrics.scheduling_rounds !=
+                         unstaggered.tenants[i].metrics.scheduling_rounds;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
 // A tenant that trips max_sim_time_s aborts mid-run with its round event
 // still notionally pending; the driver must see its barrier as +infinity
 // and terminate instead of spinning on the stale round time forever.

@@ -305,6 +305,33 @@ TEST(ScaleTraceTest, SeededDeterminism) {
   EXPECT_TRUE(any_difference);
 }
 
+TEST(ScaleTraceTest, PlanDerivationMatchesDirectScale) {
+  // ScaleTraceFromPlan(MakeResamplePlan(s), o) is the hoisted form
+  // MakeTenantShards fans out over; it must equal ScaleTrace(s, o)
+  // bit-for-bit, including the thinning + rate_multiplier shapes the
+  // federation recipe uses.
+  const Trace source = ScalerSource();
+  const TraceResamplePlan plan = MakeResamplePlan(source);
+  for (const double rate_multiplier : {1.0, 40.0}) {
+    TraceScaleOptions options;
+    options.target_jobs = 50;
+    options.seed = 123;
+    options.rate_multiplier = rate_multiplier;
+    const Trace direct = ScaleTrace(source, options);
+    const Trace planned = ScaleTraceFromPlan(plan, options);
+    EXPECT_EQ(direct.name, planned.name);
+    ASSERT_EQ(direct.jobs.size(), planned.jobs.size());
+    for (std::size_t i = 0; i < direct.jobs.size(); ++i) {
+      EXPECT_EQ(direct.jobs[i].id, planned.jobs[i].id);
+      EXPECT_EQ(direct.jobs[i].arrival_time_s, planned.jobs[i].arrival_time_s);
+      EXPECT_EQ(direct.jobs[i].workload, planned.jobs[i].workload);
+      EXPECT_EQ(direct.jobs[i].num_tasks, planned.jobs[i].num_tasks);
+      EXPECT_EQ(direct.jobs[i].duration_s, planned.jobs[i].duration_s);
+      EXPECT_EQ(direct.jobs[i].demand_p3, planned.jobs[i].demand_p3);
+    }
+  }
+}
+
 TEST(ScaleTraceTest, MonotoneArrivalsAndSequentialIds) {
   const Trace source = ScalerSource();
   TraceScaleOptions options;
