@@ -102,6 +102,61 @@ void EmitTenantAggregates(BenchJsonWriter& json, const std::string& name,
   json.AddCaseFields(name + "_agg", fields);
 }
 
+// Fault-ledger row, emitted only when a scenario injected anything: kill /
+// drain / loss tallies summed across tenants, the goodput distribution, and
+// the provider-side clamp denials.
+void EmitFaultRow(BenchJsonWriter& json, const std::string& name,
+                  const FederationResult& result) {
+  FaultStats sum;
+  std::vector<double> goodput;
+  std::vector<double> p95;
+  for (const FederationResult::Tenant& tenant : result.tenants) {
+    const FaultStats& f = tenant.metrics.faults;
+    sum.zone_outages += f.zone_outages;
+    sum.correlated_failures += f.correlated_failures;
+    sum.maintenance_drains += f.maintenance_drains;
+    sum.instances_killed += f.instances_killed;
+    sum.instances_drained += f.instances_drained;
+    sum.tasks_evicted += f.tasks_evicted;
+    sum.tasks_lost += f.tasks_lost;
+    sum.lost_work_seconds += f.lost_work_seconds;
+    sum.replacements_completed += f.replacements_completed;
+    goodput.push_back(f.goodput_ratio);
+    if (f.replacements_completed > 0) {
+      p95.push_back(f.replacement_latency_p95_s);
+    }
+  }
+  if (sum.zone_outages + sum.correlated_failures + sum.maintenance_drains == 0) {
+    return;
+  }
+  std::int64_t fault_denied = 0;
+  for (const CloudProviderMetrics::Family& family : result.provider.families) {
+    fault_denied += family.fault_denied;
+  }
+  char fields[640];
+  std::snprintf(
+      fields, sizeof(fields),
+      "\"zone_outages\": %lld, \"correlated_failures\": %lld, "
+      "\"maintenance_drains\": %lld, \"instances_killed\": %lld, "
+      "\"instances_drained\": %lld, \"tasks_evicted\": %lld, "
+      "\"tasks_lost\": %lld, \"lost_work_hours\": %.4f, "
+      "\"replacements\": %lld, \"replace_p95_s_median\": %.2f, "
+      "\"goodput_min\": %.6f, \"goodput_median\": %.6f, \"fault_denied\": %lld",
+      static_cast<long long>(sum.zone_outages),
+      static_cast<long long>(sum.correlated_failures),
+      static_cast<long long>(sum.maintenance_drains),
+      static_cast<long long>(sum.instances_killed),
+      static_cast<long long>(sum.instances_drained),
+      static_cast<long long>(sum.tasks_evicted),
+      static_cast<long long>(sum.tasks_lost),
+      SecondsToHours(sum.lost_work_seconds),
+      static_cast<long long>(sum.replacements_completed),
+      p95.empty() ? 0.0 : Quantile(p95, 0.5),
+      *std::min_element(goodput.begin(), goodput.end()), Quantile(goodput, 0.5),
+      static_cast<long long>(fault_denied));
+  json.AddCaseFields(name + "_faults", fields);
+}
+
 void EmitProviderRow(BenchJsonWriter& json, const std::string& name,
                      const FederationResult& result, double wall) {
   const std::int64_t events = TotalEvents(result);
@@ -145,15 +200,17 @@ void RunScenario(BenchJsonWriter& json, const std::string& name,
     const FederationResult::Tenant& tenant = result.tenants[i];
     const SimulationMetrics& m = tenant.metrics;
     std::snprintf(fields, sizeof(fields),
-                  "\"jobs\": %d, \"cost\": %.4f, \"spot_cost\": %.4f, "
-                  "\"avg_jct_hours\": %.6f, \"denied\": %d, \"preemptions\": %d, "
-                  "\"spot_instances\": %d, \"makespan_s\": %.1f",
-                  m.jobs_submitted, m.total_cost, m.spot_cost, m.avg_jct_hours,
-                  m.acquisitions_denied, m.spot_preemptions, m.spot_instances_launched,
-                  m.makespan_s);
+                  "\"jobs\": %lld, \"cost\": %.4f, \"spot_cost\": %.4f, "
+                  "\"avg_jct_hours\": %.6f, \"denied\": %lld, \"preemptions\": %lld, "
+                  "\"spot_instances\": %lld, \"makespan_s\": %.1f",
+                  static_cast<long long>(m.jobs_submitted), m.total_cost, m.spot_cost,
+                  m.avg_jct_hours, static_cast<long long>(m.acquisitions_denied),
+                  static_cast<long long>(m.spot_preemptions),
+                  static_cast<long long>(m.spot_instances_launched), m.makespan_s);
     json.AddCaseFields(name + "_" + tenant.name, fields);
   }
   EmitTenantAggregates(json, name, result);
+  EmitFaultRow(json, name, result);
   EmitProviderRow(json, name, result, wall);
 }
 
@@ -273,6 +330,14 @@ int main() {
   capped_spot.provider.spot.seed = 4242;
   capped_spot.provider.spot.spike_probability = 0.06;
   RunScenario(json, "capped-spot", tenants, capped_spot);
+
+  // Everything at once: finite pools, the spot market, and the fault model
+  // — zone outages clamp the shared pools, correlated bursts and drains
+  // churn placements. The hostile regime the recovery accounting is for.
+  FederationOptions faults = capped_spot;
+  faults.simulator.faults.enabled = true;
+  faults.simulator.faults.seed = 97;
+  RunScenario(json, "faults", tenants, faults);
 
   // Tenant-scaling sweep through the sharded parallel driver. Job counts
   // shrink with the fleet so each point stays a comparable total volume;

@@ -190,19 +190,20 @@ SimulationMetrics RunEngineCase(BenchJsonWriter& json, const std::string& name,
   const std::uint64_t allocs = (AllocationCount() - allocs_before) /
                                static_cast<std::uint64_t>(runs > 0 ? runs : 1);
   const SchedulerCounters& counters = metrics.scheduler_counters;
-  std::printf("%-24s %9.3f %11lld %13.0f %8d %9d %9.3f %9.2f %9.1f\n", name.c_str(), wall,
-              static_cast<long long>(metrics.events_processed), events_per_sec,
-              metrics.scheduling_rounds, metrics.rounds_coalesced, sched_wall,
+  std::printf("%-24s %9.3f %11lld %13.0f %8lld %9lld %9.3f %9.2f %9.1f\n", name.c_str(),
+              wall, static_cast<long long>(metrics.events_processed), events_per_sec,
+              static_cast<long long>(metrics.scheduling_rounds),
+              static_cast<long long>(metrics.rounds_coalesced), sched_wall,
               sched_us_per_round, peak_rss_mb);
-  json.AddCaseWithScheduler(name, metrics.jobs_submitted, wall, metrics.events_processed,
-                            events_per_sec, metrics.scheduling_rounds,
-                            metrics.rounds_coalesced, sched_wall, sched_us_per_round,
-                            peak_rss_mb, allocs, counters);
+  json.AddCaseWithScheduler(name, static_cast<int>(metrics.jobs_submitted), wall,
+                            metrics.events_processed, events_per_sec,
+                            metrics.scheduling_rounds, metrics.rounds_coalesced, sched_wall,
+                            sched_us_per_round, peak_rss_mb, allocs, counters);
   if (kind == SchedulerKind::kEva) {
     std::printf(
-        "  (rounds reused: %d/%d, coalesced: %d, table misses: %d, context misses: %d)\n",
-        reused, metrics.scheduling_rounds, metrics.rounds_coalesced, miss_table,
-        miss_context);
+        "  (rounds reused: %d/%lld, coalesced: %lld, table misses: %d, context misses: %d)\n",
+        reused, static_cast<long long>(metrics.scheduling_rounds),
+        static_cast<long long>(metrics.rounds_coalesced), miss_table, miss_context);
     if (counters.packs_incremental > 0 || counters.packs_escalated > 0) {
       std::printf(
           "  (packs: %d incremental / %d full / %d escalated; reconciliations: %d, "
@@ -231,13 +232,15 @@ void ReportQuality(BenchJsonWriter& json, const std::string& name,
           ? (incremental.avg_jct_hours - exact.avg_jct_hours) / exact.avg_jct_hours
           : 0.0;
   std::printf("%-24s cost %+.2f%% (%.2f -> %.2f), JCT %+.2f%% (%.4fh -> %.4fh), "
-              "completed %d/%d\n",
+              "completed %lld/%lld\n",
               name.c_str(), cost_delta * 100.0, exact.total_cost, incremental.total_cost,
               jct_delta * 100.0, exact.avg_jct_hours, incremental.avg_jct_hours,
-              incremental.jobs_completed, exact.jobs_completed);
-  json.AddQualityCase(name, exact.jobs_submitted, exact.total_cost, incremental.total_cost,
-                      cost_delta, exact.avg_jct_hours, incremental.avg_jct_hours, jct_delta,
-                      exact.jobs_completed, incremental.jobs_completed);
+              static_cast<long long>(incremental.jobs_completed),
+              static_cast<long long>(exact.jobs_completed));
+  json.AddQualityCase(name, static_cast<int>(exact.jobs_submitted), exact.total_cost,
+                      incremental.total_cost, cost_delta, exact.avg_jct_hours,
+                      incremental.avg_jct_hours, jct_delta, exact.jobs_completed,
+                      incremental.jobs_completed);
 }
 
 // Engine throughput scale sweep: the 2,000-job Alibaba-like trace (both
@@ -282,6 +285,57 @@ bool RunEngineThroughputCases() {
       json, std::string("alibaba2000_") + SchedulerKindName(SchedulerKind::kEva) + "-inc",
       base, SchedulerKind::kEva, interference, /*runs=*/3, force_incremental);
   ReportQuality(json, "quality_alibaba2000", exact_2k, inc_2k);
+
+  // Fault-injection row: the same 2k trace with the deterministic fault
+  // model on (zone outages, correlated bursts, maintenance drains). Faults
+  // destroy in-flight work and churn placements but must never lose a job —
+  // killed tasks re-run — so jobs_completed must match the fault-free
+  // replay; goodput degrades boundedly. The CI gate (fault_* rows in
+  // check_bench_regression.py) checks both.
+  {
+    SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference, {});
+    const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+    SimulatorOptions fault_options;
+    fault_options.faults.enabled = true;
+    fault_options.faults.seed = 97;
+    const auto start = std::chrono::steady_clock::now();
+    const SimulationMetrics faulted = RunSimulation(base, bundle.scheduler.get(), catalog,
+                                                    interference, fault_options);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const FaultStats& f = faulted.faults;
+    std::printf(
+        "fault_alibaba2000_Eva    completed %lld/%lld, goodput %.4f, lost work %.2fh "
+        "(%lld tasks), killed %lld, drained %lld, outages %lld, replace p95 %.0fs\n",
+        static_cast<long long>(faulted.jobs_completed),
+        static_cast<long long>(exact_2k.jobs_completed), f.goodput_ratio,
+        SecondsToHours(f.lost_work_seconds), static_cast<long long>(f.tasks_lost),
+        static_cast<long long>(f.instances_killed),
+        static_cast<long long>(f.instances_drained),
+        static_cast<long long>(f.zone_outages), f.replacement_latency_p95_s);
+    char fields[640];
+    std::snprintf(
+        fields, sizeof(fields),
+        "\"jobs\": %lld, \"jobs_completed\": %lld, "
+        "\"jobs_completed_fault_free\": %lld, \"goodput_ratio\": %.6f, "
+        "\"tasks_lost\": %lld, \"lost_work_hours\": %.4f, "
+        "\"instances_killed\": %lld, \"instances_drained\": %lld, "
+        "\"zone_outages\": %lld, \"correlated_failures\": %lld, "
+        "\"maintenance_drains\": %lld, \"replacements\": %lld, "
+        "\"replace_p95_s\": %.2f, \"wall_seconds\": %.6f",
+        static_cast<long long>(faulted.jobs_submitted),
+        static_cast<long long>(faulted.jobs_completed),
+        static_cast<long long>(exact_2k.jobs_completed), f.goodput_ratio,
+        static_cast<long long>(f.tasks_lost), SecondsToHours(f.lost_work_seconds),
+        static_cast<long long>(f.instances_killed),
+        static_cast<long long>(f.instances_drained),
+        static_cast<long long>(f.zone_outages),
+        static_cast<long long>(f.correlated_failures),
+        static_cast<long long>(f.maintenance_drains),
+        static_cast<long long>(f.replacements_completed), f.replacement_latency_p95_s,
+        wall);
+    json.AddCaseFields("fault_alibaba2000_Eva", fields);
+  }
 
   // Scaled points: proportional-rate superposition of the 2,000-job mix —
   // heavier traffic over the same simulated span, so the active-job

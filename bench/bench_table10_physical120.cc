@@ -37,9 +37,10 @@ int main() {
   std::printf("%-12s %10s %7s %10s %9s %6s %6s %6s\n", "Scheduler", "Cost($)", "Norm",
               "Instances", "Mig/Task", "GPU%", "CPU%", "RAM%");
   for (const ExperimentResult& r : results) {
-    std::printf("%-12s %10.2f %6.1f%% %10d %9.2f %5.0f%% %5.0f%% %5.0f%%\n",
+    std::printf("%-12s %10.2f %6.1f%% %10lld %9.2f %5.0f%% %5.0f%% %5.0f%%\n",
                 SchedulerKindName(r.kind), r.metrics.total_cost, r.normalized_cost * 100.0,
-                r.metrics.instances_launched, r.metrics.migrations_per_task,
+                static_cast<long long>(r.metrics.instances_launched),
+                r.metrics.migrations_per_task,
                 r.metrics.avg_alloc_gpu * 100.0, r.metrics.avg_alloc_cpu * 100.0,
                 r.metrics.avg_alloc_ram * 100.0);
   }

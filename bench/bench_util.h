@@ -102,15 +102,16 @@ class BenchJsonWriter {
   // incremental fast path's pack/fallback/reconciliation counters (all zero
   // on exact-mode cases).
   void AddCaseWithScheduler(const std::string& name, int jobs, double wall_seconds,
-                            std::int64_t events, double events_per_sec, int rounds,
-                            int rounds_coalesced, double sched_wall_seconds,
-                            double sched_us_per_round, double peak_rss_mb,
-                            std::uint64_t allocs, const SchedulerCounters& counters) {
+                            std::int64_t events, double events_per_sec,
+                            std::int64_t rounds, std::int64_t rounds_coalesced,
+                            double sched_wall_seconds, double sched_us_per_round,
+                            double peak_rss_mb, std::uint64_t allocs,
+                            const SchedulerCounters& counters) {
     char buffer[1024];
     std::snprintf(buffer, sizeof(buffer),
                   "    {\"name\": \"%s\", \"jobs\": %d, \"wall_seconds\": %.6f, "
-                  "\"events\": %lld, \"events_per_sec\": %.1f, \"rounds\": %d, "
-                  "\"rounds_coalesced\": %d, "
+                  "\"events\": %lld, \"events_per_sec\": %.1f, \"rounds\": %lld, "
+                  "\"rounds_coalesced\": %lld, "
                   "\"sched_wall_seconds\": %.6f, \"sched_us_per_round\": %.2f, "
                   "\"peak_rss_mb\": %.1f, \"allocs\": %llu, "
                   "\"packs_full\": %d, \"packs_incremental\": %d, "
@@ -120,7 +121,8 @@ class BenchJsonWriter {
                   "\"max_divergence_cost\": %.6f, \"max_divergence_edits\": %d, "
                   "\"max_kept_staleness\": %d}",
                   name.c_str(), jobs, wall_seconds, static_cast<long long>(events),
-                  events_per_sec, rounds, rounds_coalesced, sched_wall_seconds,
+                  events_per_sec, static_cast<long long>(rounds),
+                  static_cast<long long>(rounds_coalesced), sched_wall_seconds,
                   sched_us_per_round, peak_rss_mb,
                   static_cast<unsigned long long>(allocs), counters.packs_full,
                   counters.packs_incremental, counters.packs_escalated,
@@ -137,17 +139,19 @@ class BenchJsonWriter {
   void AddQualityCase(const std::string& name, int jobs, double cost_exact,
                       double cost_incremental, double cost_delta, double jct_exact_hours,
                       double jct_incremental_hours, double jct_delta,
-                      int jobs_completed_exact, int jobs_completed_incremental) {
+                      std::int64_t jobs_completed_exact,
+                      std::int64_t jobs_completed_incremental) {
     char buffer[640];
     std::snprintf(buffer, sizeof(buffer),
                   "    {\"name\": \"%s\", \"jobs\": %d, \"cost_exact\": %.4f, "
                   "\"cost_incremental\": %.4f, \"cost_delta\": %.6f, "
                   "\"jct_exact_hours\": %.6f, \"jct_incremental_hours\": %.6f, "
-                  "\"jct_delta\": %.6f, \"jobs_completed_exact\": %d, "
-                  "\"jobs_completed_incremental\": %d}",
+                  "\"jct_delta\": %.6f, \"jobs_completed_exact\": %lld, "
+                  "\"jobs_completed_incremental\": %lld}",
                   name.c_str(), jobs, cost_exact, cost_incremental, cost_delta,
-                  jct_exact_hours, jct_incremental_hours, jct_delta, jobs_completed_exact,
-                  jobs_completed_incremental);
+                  jct_exact_hours, jct_incremental_hours, jct_delta,
+                  static_cast<long long>(jobs_completed_exact),
+                  static_cast<long long>(jobs_completed_incremental));
     cases_.emplace_back(buffer);
   }
 

@@ -31,6 +31,16 @@ against fixed envelopes instead of the baseline file:
 Quality rows are judged on the current run alone — divergence is a property
 of this commit, not a trajectory — so they need no baseline entry.
 
+Cases named `fault_*` are fault-injection rows (the same trace replayed with
+the deterministic fault model on) and are likewise judged on the current run
+alone:
+
+  * `jobs_completed` must equal `jobs_completed_fault_free`: faults destroy
+    in-flight work and delay jobs, they must never lose one.
+  * `goodput_ratio` >= EVA_FAULT_GOODPUT_FLOOR (default 0.50): recovery
+    overhead (re-executed work after kills) may not eat more than half the
+    executed compute under the default fault regime.
+
 The perf tolerance is EVA_BENCH_TOLERANCE (default 0.20 = 20%, the margin
 CI grants for runner variance). A case missing from either file is an
 error: a silently dropped case must not read as a pass.
@@ -140,7 +150,32 @@ def check_quality_case(name, cur, cost_tol, jct_tol, warn_only):
     return failed
 
 
-def run_checks(baseline, current, names, tolerance, cost_tol, jct_tol):
+def check_fault_case(name, cur, goodput_floor, warn_only):
+    """Lost-jobs + goodput gates for one fault_* row. Returns failed."""
+    fail_verdict = "WARN" if warn_only else "FAIL"
+    failed = False
+
+    done = cur.get("jobs_completed")
+    done_fault_free = cur.get("jobs_completed_fault_free")
+    verdict = "OK" if done == done_fault_free else fail_verdict
+    print(
+        f"{verdict}: {name}: jobs completed {done} under faults vs "
+        f"{done_fault_free} fault-free"
+    )
+    failed = failed or verdict == "FAIL"
+
+    goodput = cur["goodput_ratio"]
+    verdict = fail_verdict if goodput < goodput_floor else "OK"
+    print(
+        f"{verdict}: {name}: goodput {goodput:.4f} "
+        f"(lost work {cur.get('lost_work_hours', 0.0):.2f}h over "
+        f"{cur.get('tasks_lost', 0)} tasks, floor {goodput_floor:.2f})"
+    )
+    return failed or verdict == "FAIL"
+
+
+def run_checks(baseline, current, names, tolerance, cost_tol, jct_tol,
+               goodput_floor=0.50):
     failed = False
     for name in names:
         warn_only = name in WARN_ONLY
@@ -151,6 +186,9 @@ def run_checks(baseline, current, names, tolerance, cost_tol, jct_tol):
             continue
         if name.startswith("quality_"):
             failed |= check_quality_case(name, current[name], cost_tol, jct_tol, warn_only)
+            continue
+        if name.startswith("fault_"):
+            failed |= check_fault_case(name, current[name], goodput_floor, warn_only)
             continue
         if name not in baseline:
             print(f"{missing_verdict}: case '{name}' missing from baseline")
@@ -172,6 +210,14 @@ def selftest():
         "jobs_completed_exact": 10,
         "jobs_completed_incremental": 10,
     }
+    good_fault = {
+        "name": "fault_c",
+        "jobs_completed": 10,
+        "jobs_completed_fault_free": 10,
+        "goodput_ratio": 0.85,
+        "lost_work_hours": 12.5,
+        "tasks_lost": 4,
+    }
 
     def variant(base, **overrides):
         case = dict(base)
@@ -190,6 +236,11 @@ def selftest():
          ["quality_c"], True),
         ("lost jobs", None, variant(good_quality, jobs_completed_incremental=9),
          ["quality_c"], True),
+        ("fault gates green", None, good_fault, ["fault_c"], False),
+        ("fault lost jobs", None, variant(good_fault, jobs_completed=9),
+         ["fault_c"], True),
+        ("goodput below floor", None, variant(good_fault, goodput_ratio=0.30),
+         ["fault_c"], True),
     ]
     broken = False
     for description, base_case, cur_case, names, must_fail in scenarios:
@@ -222,10 +273,12 @@ def main(argv):
     tolerance = float(os.environ.get("EVA_BENCH_TOLERANCE", "0.20"))
     cost_tol = float(os.environ.get("EVA_QUALITY_COST_TOL", "0.10"))
     jct_tol = float(os.environ.get("EVA_QUALITY_JCT_TOL", "0.05"))
+    goodput_floor = float(os.environ.get("EVA_FAULT_GOODPUT_FLOOR", "0.50"))
 
     baseline = load_cases(baseline_path)
     current = load_cases(current_path)
-    failed = run_checks(baseline, current, names, tolerance, cost_tol, jct_tol)
+    failed = run_checks(baseline, current, names, tolerance, cost_tol, jct_tol,
+                        goodput_floor)
     return 1 if failed else 0
 
 

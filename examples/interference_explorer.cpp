@@ -28,8 +28,8 @@ int main() {
   const SimulationMetrics metrics =
       RunSimulation(trace, &scheduler, catalog, interference, sim_options);
 
-  std::printf("Ran %d jobs; Eva adopted Full Reconfiguration in %d of %d rounds.\n\n",
-              metrics.jobs_completed, scheduler.stats().full_adopted,
+  std::printf("Ran %lld jobs; Eva adopted Full Reconfiguration in %d of %d rounds.\n\n",
+              static_cast<long long>(metrics.jobs_completed), scheduler.stats().full_adopted,
               scheduler.stats().rounds);
 
   const ThroughputTable& table = scheduler.throughput_table();

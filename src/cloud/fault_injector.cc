@@ -1,0 +1,144 @@
+#include "src/cloud/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eva {
+namespace {
+
+// SplitMix64 finalizer (public domain, Steele et al.) — the same stateless
+// mixing SpotMarket uses, so any (seed, kind, entity, step) query is
+// independent of every other.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Kind salts: distinct streams per fault kind so enabling one kind never
+// shifts another's schedule.
+constexpr std::uint64_t kZoneOutageSalt = 0x0a17a6e5ULL;
+constexpr std::uint64_t kCorrelatedSalt = 0xc0fe14e1ULL;
+constexpr std::uint64_t kDrainSalt = 0xd7a1a915ULL;
+constexpr std::uint64_t kZonePickSalt = 0x5a17c3e5ULL;
+constexpr std::uint64_t kVictimSalt = 0x71c71c71ULL;
+
+}  // namespace
+
+double FaultModel::HashUniform(std::uint64_t salt, std::int64_t entity,
+                               std::int64_t step) const {
+  std::uint64_t h = Mix64(options_.seed ^ salt);
+  h = Mix64(h ^ (static_cast<std::uint64_t>(entity) * 0x100000001b3ULL));
+  h = Mix64(h ^ static_cast<std::uint64_t>(step));
+  // Top 53 bits -> [0, 1), exactly like Rng::NextDouble.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::int64_t FaultModel::StepOf(SimTime t) const {
+  const double step_s = options_.check_period_s;
+  std::int64_t step = static_cast<std::int64_t>(std::floor(std::max(t, 0.0) / step_s));
+  // Round-trip guard (see SpotMarket::StepIndex): (k+1)*step_s may divide
+  // back to just under k+1 for steps without an exact binary representation
+  // — a boundary must belong to the step it opens.
+  if (static_cast<double>(step + 1) * step_s <= t) {
+    ++step;
+  }
+  return step;
+}
+
+SimTime FaultModel::NextStepBoundary(SimTime t) const {
+  return static_cast<double>(StepOf(t) + 1) * options_.check_period_s;
+}
+
+bool FaultModel::ZoneOutageStartsAt(int zone, std::int64_t step) const {
+  return options_.enabled &&
+         HashUniform(kZoneOutageSalt, zone, step) < options_.zone_outage_probability;
+}
+
+bool FaultModel::CorrelatedFailureAt(int family, std::int64_t step) const {
+  return options_.enabled && HashUniform(kCorrelatedSalt, family, step) <
+                                 options_.correlated_failure_probability;
+}
+
+bool FaultModel::DrainStartsAt(int zone, std::int64_t step) const {
+  return options_.enabled &&
+         HashUniform(kDrainSalt, zone, step) < options_.drain_probability;
+}
+
+bool FaultModel::ZoneDownAt(int zone, SimTime t) const {
+  if (!options_.enabled || options_.zone_outage_probability <= 0.0 || t < 0.0) {
+    return false;
+  }
+  const double step_s = options_.check_period_s;
+  const SimTime window_start = std::max(t - options_.zone_outage_duration_s, 0.0);
+  const std::int64_t hi = StepOf(t);
+  for (std::int64_t s = StepOf(window_start); s <= hi; ++s) {
+    const SimTime start = static_cast<double>(s) * step_s;
+    if (start > t) {
+      break;
+    }
+    if (t < start + options_.zone_outage_duration_s && ZoneOutageStartsAt(zone, s)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int FaultModel::UpZoneCount(SimTime t) const {
+  const int zones = std::max(options_.num_zones, 1);
+  int up = 0;
+  for (int zone = 0; zone < zones; ++zone) {
+    if (!ZoneDownAt(zone, t)) {
+      ++up;
+    }
+  }
+  return up;
+}
+
+int FaultModel::ClampedCapacity(int capacity, SimTime t) const {
+  if (capacity < 0 || !options_.enabled || options_.zone_outage_probability <= 0.0) {
+    return capacity;
+  }
+  const int zones = std::max(options_.num_zones, 1);
+  const int up = UpZoneCount(t);
+  if (up >= zones) {
+    return capacity;
+  }
+  return static_cast<int>(static_cast<std::int64_t>(capacity) * up / zones);
+}
+
+int FaultModel::ZoneAt(int tenant_id, std::int64_t instance_id,
+                       SimTime launch_time) const {
+  const int zones = std::max(options_.num_zones, 1);
+  std::uint64_t h = Mix64(options_.seed ^ kZonePickSalt);
+  h = Mix64(h ^ (static_cast<std::uint64_t>(tenant_id) * 0x100000001b3ULL));
+  h = Mix64(h ^ static_cast<std::uint64_t>(instance_id));
+  // Launch into a zone that is up right now; during a full blackout (every
+  // zone down) fall back to the plain spread — the launch itself was
+  // already admitted through the capacity clamp.
+  const int up = UpZoneCount(launch_time);
+  if (up == 0 || up == zones) {
+    return static_cast<int>(h % static_cast<std::uint64_t>(zones));
+  }
+  int pick = static_cast<int>(h % static_cast<std::uint64_t>(up));
+  for (int zone = 0; zone < zones; ++zone) {
+    if (ZoneDownAt(zone, launch_time)) {
+      continue;
+    }
+    if (pick-- == 0) {
+      return zone;
+    }
+  }
+  return 0;  // Unreachable: `pick` < number of up zones.
+}
+
+std::uint64_t FaultModel::VictimRank(int tenant_id, std::int64_t instance_id,
+                                     std::int64_t step) const {
+  std::uint64_t h = Mix64(options_.seed ^ kVictimSalt);
+  h = Mix64(h ^ (static_cast<std::uint64_t>(tenant_id) * 0x100000001b3ULL));
+  h = Mix64(h ^ static_cast<std::uint64_t>(instance_id));
+  return Mix64(h ^ static_cast<std::uint64_t>(step));
+}
+
+}  // namespace eva

@@ -33,6 +33,10 @@ std::int64_t CloudProviderMetrics::TotalPreempted() const {
 
 namespace {
 
+// Freed live-acquire arena slots hold this sentinel; real acquire times are
+// always >= 0, so occupied and free slots can never be confused.
+constexpr SimTime kFreeAcquireSlot = -1.0;
+
 // The one copy of the tier layout: base types verbatim, then one "-spot"
 // twin per type (same family/capacity) priced by `spot_price(index, base
 // hourly price)`. Both the stable tiered catalog and every per-round quote
@@ -101,6 +105,7 @@ CloudProvider::CloudProvider(const InstanceCatalog& base, CloudProviderOptions o
     : base_(base),
       options_(options),
       market_(base_, options_.spot),
+      fault_model_(options_.faults),
       tiered_(options_.spot.enabled ? MakeTiered(base_, market_)
                                     : InstanceCatalog({})) {
   for (std::size_t f = 0; f < static_cast<std::size_t>(kNumInstanceFamilies); ++f) {
@@ -146,13 +151,23 @@ std::shared_ptr<const InstanceCatalog> CloudProvider::SharedQuoteCatalog(
   return snapshot;
 }
 
-bool CloudProvider::TryAcquire(int type_index, SimTime now) {
+bool CloudProvider::TryAcquire(int type_index, SimTime now, std::int64_t* slot) {
   const auto family = static_cast<std::size_t>(FamilyOf(type_index));
   const int capacity = options_.family_capacity[family];
+  // Windowed outage clamp: a pure function of time, so it is computed
+  // outside the shard lock and agrees across tenants and threads.
+  const int effective =
+      fault_model_.enabled() ? fault_model_.ClampedCapacity(capacity, now) : capacity;
+  if (slot != nullptr) {
+    *slot = -1;
+  }
   FamilyShard& shard = shards_[family];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if (capacity >= 0 && shard.in_use >= capacity) {
+  if (capacity >= 0 && shard.in_use >= effective) {
     ++shard.denied;
+    if (shard.in_use < capacity) {
+      ++shard.fault_denied;  // Nominal headroom existed; the clamp denied.
+    }
     return false;
   }
   ++shard.in_use;
@@ -160,12 +175,26 @@ bool CloudProvider::TryAcquire(int type_index, SimTime now) {
   if (capacity >= 0) {
     shard.peak_in_use = std::max(shard.peak_in_use, shard.in_use);
   } else {
-    shard.live_acquires.push_back(now);
+    // Slot arena: reuse a freed index when one exists, grow otherwise. The
+    // returned ticket makes the matching Release O(1).
+    std::int64_t index;
+    if (!shard.live_free.empty()) {
+      index = shard.live_free.back();
+      shard.live_free.pop_back();
+      shard.live_acquires[static_cast<std::size_t>(index)] = now;
+    } else {
+      index = static_cast<std::int64_t>(shard.live_acquires.size());
+      shard.live_acquires.push_back(now);
+    }
+    if (slot != nullptr) {
+      *slot = index;
+    }
   }
   return true;
 }
 
-void CloudProvider::Release(int type_index, SimTime acquired_at, SimTime now) {
+void CloudProvider::Release(int type_index, SimTime acquired_at, SimTime now,
+                            std::int64_t slot) {
   const auto family = static_cast<std::size_t>(FamilyOf(type_index));
   const int capacity = options_.family_capacity[family];
   FamilyShard& shard = shards_[family];
@@ -174,12 +203,25 @@ void CloudProvider::Release(int type_index, SimTime acquired_at, SimTime now) {
   ++shard.released;
   shard.lifetimes.emplace_back(acquired_at, now);
   if (capacity < 0) {
-    auto it = std::find(shard.live_acquires.begin(), shard.live_acquires.end(),
-                        acquired_at);
-    EVA_CHECK(it != shard.live_acquires.end(),
-              "provider release without matching acquire record");
-    *it = shard.live_acquires.back();
-    shard.live_acquires.pop_back();
+    if (slot >= 0) {
+      // Ticketed release: O(1) — the federation hot path.
+      const auto index = static_cast<std::size_t>(slot);
+      EVA_CHECK(index < shard.live_acquires.size() &&
+                    shard.live_acquires[index] == acquired_at,
+                "provider release ticket does not match its acquire record");
+      shard.live_acquires[index] = kFreeAcquireSlot;
+      shard.live_free.push_back(slot);
+    } else {
+      // Ticketless fallback (direct callers): linear scan for the matching
+      // acquire time; freed slots hold the sentinel and can never match.
+      auto it = std::find(shard.live_acquires.begin(), shard.live_acquires.end(),
+                          acquired_at);
+      EVA_CHECK(it != shard.live_acquires.end(),
+                "provider release without matching acquire record");
+      *it = kFreeAcquireSlot;
+      shard.live_free.push_back(
+          static_cast<std::int64_t>(it - shard.live_acquires.begin()));
+    }
   }
 }
 
@@ -209,6 +251,7 @@ CloudProviderMetrics CloudProvider::FinalizeMetrics(SimTime horizon) const {
     out.denied = shard.denied;
     out.preempted = shard.preempted;
     out.released = shard.released;
+    out.fault_denied = shard.fault_denied;
     // Fold lifetimes in (start, end) order: the records arrive in
     // nondeterministic order under concurrent release, and floating-point
     // sums are order-sensitive — sorting first makes the fold reproducible.
@@ -224,8 +267,15 @@ CloudProviderMetrics CloudProvider::FinalizeMetrics(SimTime horizon) const {
     } else {
       // Unlimited pools grant concurrently, so a running max would depend
       // on thread interleaving; sweep the (multiset-deterministic) interval
-      // records instead.
-      out.peak_in_use = SweptPeak(sorted, shard.live_acquires);
+      // records instead. Only occupied arena slots are open intervals.
+      std::vector<SimTime> live;
+      live.reserve(shard.live_acquires.size() - shard.live_free.size());
+      for (const SimTime acquired : shard.live_acquires) {
+        if (acquired >= 0.0) {
+          live.push_back(acquired);
+        }
+      }
+      out.peak_in_use = SweptPeak(sorted, std::move(live));
     }
     if (out.capacity > 0 && horizon > 0.0) {
       out.avg_utilization = instance_seconds / (static_cast<double>(out.capacity) * horizon);

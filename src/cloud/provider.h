@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/cloud/fault_injector.h"
 #include "src/cloud/instance_type.h"
 #include "src/cloud/spot_market.h"
 #include "src/common/units.h"
@@ -60,6 +61,12 @@ struct CloudProviderOptions {
   std::array<int, kNumInstanceFamilies> family_capacity = {-1, -1, -1};
 
   SpotMarketOptions spot;
+
+  // Fault injection (zone outages clamp finite pools for their window; see
+  // src/cloud/fault_injector.h). The simulator propagates its own
+  // SimulatorOptions::faults here, so provider clamps and simulator kill
+  // events always read one schedule.
+  FaultInjectorOptions faults;
 };
 
 // Provider-level accounting across all tenants.
@@ -70,6 +77,9 @@ struct CloudProviderMetrics {
     std::int64_t denied = 0;
     std::int64_t preempted = 0;  // Preemption warnings issued.
     std::int64_t released = 0;
+    // Subset of `denied` attributable to the fault model's outage clamp:
+    // the pool had nominal headroom but the windowed capacity did not.
+    std::int64_t fault_denied = 0;
     int peak_in_use = 0;
     double instance_hours = 0.0;  // Sum of released-instance uptimes.
     // Time-weighted pool utilization: instance-time / (capacity x horizon).
@@ -112,6 +122,11 @@ class CloudProvider {
 
   const SpotMarket& market() const { return market_; }
 
+  // The fault schedule shared by the capacity clamp and the simulator's
+  // kill/drain events. Pure in its options, so a simulator-side FaultModel
+  // constructed from the same options agrees with it bit-for-bit.
+  const FaultModel& faults() const { return fault_model_; }
+
   // Bit f set <=> family f's pool is finite. Only finite families can make
   // two tenants conflict (an unlimited pool grants unconditionally and its
   // tallies are commutative), so this is the mask the federation driver
@@ -148,13 +163,23 @@ class CloudProvider {
   // a *finite* family must be serialized in tenant-index order by the
   // caller (the federation's conflict-group phase; a single-tenant
   // simulator is trivially serial). Grants on unlimited families are
-  // commutative and may run concurrently.
-  bool TryAcquire(int type_index, SimTime now);
+  // commutative and may run concurrently. During a zone outage window,
+  // finite capacity is clamped by the down-zone fraction, so admission
+  // denies into the outage even with nominal headroom.
+  //
+  // `slot` (optional) receives the grant's release ticket: an index into
+  // the unlimited pool's live-acquire arena (-1 for finite pools and
+  // denials). Passing it back to Release makes the release O(1); callers
+  // that drop it fall back to a linear scan.
+  bool TryAcquire(int type_index, SimTime now, std::int64_t* slot = nullptr);
 
   // Returns the slot and records the uptime. Thread-safe; commutative, so
   // concurrent releases from the federation's parallel phase are
-  // deterministic in effect.
-  void Release(int type_index, SimTime acquired_at, SimTime now);
+  // deterministic in effect. `slot` is the ticket TryAcquire returned
+  // (unlimited pools; O(1) free) or -1 (linear fallback — direct callers
+  // without ticket plumbing).
+  void Release(int type_index, SimTime acquired_at, SimTime now,
+               std::int64_t slot = -1);
 
   // Counts a preemption warning. Thread-safe.
   void RecordPreemption(int type_index);
@@ -179,6 +204,7 @@ class CloudProvider {
   const InstanceCatalog base_;
   const CloudProviderOptions options_;
   SpotMarket market_;
+  FaultModel fault_model_;
   InstanceCatalog tiered_;  // == base twins appended; unused when spot off.
   std::uint32_t finite_family_mask_ = 0;
 
@@ -195,13 +221,18 @@ class CloudProvider {
     std::int64_t denied = 0;
     std::int64_t preempted = 0;
     std::int64_t released = 0;
+    std::int64_t fault_denied = 0;  // Denials attributable to the outage clamp.
     // Released-instance lifetimes, in arrival order (nondeterministic under
     // concurrency); FinalizeMetrics sorts before folding.
     std::vector<std::pair<SimTime, SimTime>> lifetimes;
     // Acquire times of still-live instances — maintained only for unlimited
-    // pools, where the peak sweep needs open intervals too. A multiset in
-    // effect: the contents are order-independent.
+    // pools, where the peak sweep needs open intervals too. A slot arena:
+    // TryAcquire hands out an index (reusing `live_free` slots first) and
+    // Release frees it in O(1); freed slots hold kFreeAcquireSlot. The
+    // occupied values form a multiset — slot numbering is interleaving-
+    // dependent, but nothing downstream reads it (the peak sweep sorts).
     std::vector<SimTime> live_acquires;
+    std::vector<std::int64_t> live_free;
   };
   std::array<FamilyShard, kNumInstanceFamilies> shards_;
 

@@ -116,7 +116,7 @@ void ClusterState::AccrueTerminated(const InstRec& instance, SimTime now) {
   uptime_hours_.push_back(SecondsToHours(uptime));
   if (terminated_fn_) {
     terminated_fn_(instance.type_index, instance.launch_time,
-                   instance.launch_time + uptime);
+                   instance.launch_time + uptime, instance.provider_slot);
   }
 }
 
@@ -412,6 +412,20 @@ void ClusterState::FinalizeMetrics(SimulationMetrics& metrics) const {
   metrics.avg_jct_hours = jct.mean();
   metrics.avg_norm_job_throughput = tput.mean();
   metrics.avg_job_idle_hours = idle.mean();
+}
+
+double ClusterState::TotalRunningSeconds() const {
+  // Both folds walk ascending-id containers, so the floating-point sum is
+  // deterministic.
+  double total = 0.0;
+  for (const CompletedJob& job : completed_) {
+    total += job.running_seconds;
+  }
+  for (const auto& [job_id, job] : jobs_) {
+    (void)job_id;
+    total += job.running_seconds;
+  }
+  return total;
 }
 
 }  // namespace eva

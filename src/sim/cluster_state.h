@@ -25,6 +25,7 @@
 #ifndef SRC_SIM_CLUSTER_STATE_H_
 #define SRC_SIM_CLUSTER_STATE_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
@@ -60,6 +61,11 @@ struct TaskRec {
   InstanceId source = kInvalidInstanceId;  // Where the container lives now.
   int version = 0;                         // Guards in-flight events.
 
+  // When the current container started executing (-1 when it never has) —
+  // the fault accounting's lost-work baseline for abruptly destroyed
+  // containers. Stamped by TaskLifecycle::OnLaunchDone.
+  SimTime running_since = -1.0;
+
   // Owning job record (map nodes are pointer-stable). Saves the hot
   // execution-model paths a per-event map lookup that would grow with the
   // trace; valid for the task's whole lifetime (tasks are retired together
@@ -84,6 +90,14 @@ struct InstRec {
   bool condemned = false;
   SimTime launch_time = 0.0;
   SimTime ready_time = 0.0;
+
+  // Fault injection: the availability zone this instance was placed in (a
+  // pure hash at launch; 0 when faults are off) — zone outages and drains
+  // select victims by it.
+  int zone = 0;
+  // Provider release ticket from CloudProvider::TryAcquire (unlimited
+  // pools; -1 otherwise) — makes the release at termination O(1).
+  std::int64_t provider_slot = -1;
   // Flat sorted id sets (identical iteration order to the std::sets they
   // replaced): per-event retarget/migration churn mutates these, and set
   // node allocation dominated the engine's per-event allocation count.
@@ -216,6 +230,11 @@ class ClusterState {
   // table metrics and the completed-job JCT/throughput/idle averages.
   void FinalizeMetrics(SimulationMetrics& metrics) const;
 
+  // Total executing seconds accumulated so far — retired jobs' archives
+  // plus live jobs' running tallies. The fault accounting's goodput
+  // denominator (executed work; lost work is tracked by the simulator).
+  double TotalRunningSeconds() const;
+
   // --- Cloud provider hooks ----------------------------------------------
   // Custom pricing for an instance's [launch, end] lifetime (the spot tier's
   // time-varying trace). Unset (the default): CostForUptime(catalog hourly
@@ -225,8 +244,10 @@ class ClusterState {
 
   // Observer invoked whenever an instance's lifetime ends (MaybeTerminate
   // and TerminateAllLive) — the provider's capacity-release channel.
-  using InstanceTerminatedFn =
-      std::function<void(int type_index, SimTime launch, SimTime end)>;
+  // `provider_slot` is the instance's release ticket (InstRec::provider_slot;
+  // -1 when none), forwarded so the provider can free in O(1).
+  using InstanceTerminatedFn = std::function<void(
+      int type_index, SimTime launch, SimTime end, std::int64_t provider_slot)>;
   void set_instance_terminated_fn(InstanceTerminatedFn fn) {
     terminated_fn_ = std::move(fn);
   }
@@ -280,7 +301,7 @@ class ClusterState {
   InstanceTerminatedFn terminated_fn_;
 
   // Metric accumulators.
-  int instances_launched_ = 0;
+  std::int64_t instances_launched_ = 0;
   Money total_cost_ = 0.0;
   std::vector<double> uptime_hours_;
   double instance_seconds_ = 0.0;       // integral of #live instances dt

@@ -30,6 +30,16 @@ enum class SimEventType {
   // one warned instance after the two-minute notice (`a` = instance id).
   kSpotCheck,
   kSpotPreempt,
+  // Fault injection (src/cloud/fault_injector.h): the per-step schedule
+  // probe (roll every fault kind for the step just opened), a zone outage
+  // (`a` = zone; abrupt kill of everything in the zone), the start of a
+  // zone maintenance drain (`a` = zone; graceful eviction with notice), and
+  // the expiry of one drained instance's notice (`a` = instance id; abrupt
+  // reclaim of whatever is still aboard).
+  kFaultCheck,
+  kZoneOutage,
+  kDrainStart,
+  kDrainDeadline,
 };
 
 struct SimEvent {

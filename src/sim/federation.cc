@@ -69,7 +69,14 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
   FederationStats& stats = result.stats;
   const auto setup_start = std::chrono::steady_clock::now();
 
-  CloudProvider provider(options.catalog, options.provider);
+  // The shared provider must clamp capacity off the same fault schedule the
+  // tenants kill instances from: propagate the simulator-side fault options
+  // into the provider exactly as a per-simulator provider would.
+  CloudProviderOptions provider_options = options.provider;
+  if (options.simulator.faults.enabled) {
+    provider_options.faults = options.simulator.faults;
+  }
+  CloudProvider provider(options.catalog, provider_options);
 
   // Tenant schedulers default to single-threaded: the federation owns the
   // parallelism (N tenants x a lazily-created hardware-sized pool each
@@ -300,10 +307,14 @@ void PrintFederationReport(const FederationResult& result,
   for (std::size_t i = 0; i < shown; ++i) {
     const FederationResult::Tenant& tenant = result.tenants[i];
     const SimulationMetrics& m = tenant.metrics;
-    std::printf("%-12s %-12s %12.2f %10.2f %8.2f %8d %8d %8d %4d/%-4d\n",
+    std::printf("%-12s %-12s %12.2f %10.2f %8.2f %8lld %8lld %8lld %4lld/%-4lld\n",
                 tenant.name.c_str(), SchedulerKindName(tenant.kind), m.total_cost,
-                m.spot_cost, m.avg_jct_hours, m.acquisitions_denied, m.spot_preemptions,
-                m.spot_instances_launched, m.jobs_completed, m.jobs_submitted);
+                m.spot_cost, m.avg_jct_hours,
+                static_cast<long long>(m.acquisitions_denied),
+                static_cast<long long>(m.spot_preemptions),
+                static_cast<long long>(m.spot_instances_launched),
+                static_cast<long long>(m.jobs_completed),
+                static_cast<long long>(m.jobs_submitted));
   }
   if (shown < total) {
     std::printf("  ... %zu more tenants elided (max_tenant_rows=%d)\n", total - shown,
@@ -331,15 +342,62 @@ void PrintFederationReport(const FederationResult& result,
     aggregate("completed", [](const SimulationMetrics& m) { return m.jobs_completed; });
   }
 
+  // Fault ledger, summed across tenants. Omitted entirely for fault-free
+  // runs (every counter is zero there) so existing report consumers see an
+  // unchanged layout.
+  FaultStats fault_sum;
+  std::vector<double> goodputs;
+  std::vector<double> replace_p95s;
+  for (const FederationResult::Tenant& tenant : result.tenants) {
+    const FaultStats& f = tenant.metrics.faults;
+    fault_sum.zone_outages += f.zone_outages;
+    fault_sum.correlated_failures += f.correlated_failures;
+    fault_sum.maintenance_drains += f.maintenance_drains;
+    fault_sum.instances_killed += f.instances_killed;
+    fault_sum.instances_drained += f.instances_drained;
+    fault_sum.tasks_evicted += f.tasks_evicted;
+    fault_sum.tasks_lost += f.tasks_lost;
+    fault_sum.lost_work_seconds += f.lost_work_seconds;
+    fault_sum.replacements_completed += f.replacements_completed;
+    goodputs.push_back(f.goodput_ratio);
+    if (f.replacements_completed > 0) {
+      replace_p95s.push_back(f.replacement_latency_p95_s);
+    }
+  }
+  if (fault_sum.zone_outages + fault_sum.correlated_failures +
+          fault_sum.maintenance_drains >
+      0) {
+    std::printf(
+        "faults: outages=%lld bursts=%lld drains=%lld killed=%lld drained=%lld "
+        "evicted=%lld lost=%lld lost-work=%.2fh replaced=%lld\n",
+        static_cast<long long>(fault_sum.zone_outages),
+        static_cast<long long>(fault_sum.correlated_failures),
+        static_cast<long long>(fault_sum.maintenance_drains),
+        static_cast<long long>(fault_sum.instances_killed),
+        static_cast<long long>(fault_sum.instances_drained),
+        static_cast<long long>(fault_sum.tasks_evicted),
+        static_cast<long long>(fault_sum.tasks_lost),
+        SecondsToHours(fault_sum.lost_work_seconds),
+        static_cast<long long>(fault_sum.replacements_completed));
+    std::printf("  goodput    min=%.4f median=%.4f\n",
+                *std::min_element(goodputs.begin(), goodputs.end()),
+                Quantile(goodputs, 0.5));
+    if (!replace_p95s.empty()) {
+      std::printf("  replace-p95(s) median=%.1f max=%.1f\n", Quantile(replace_p95s, 0.5),
+                  *std::max_element(replace_p95s.begin(), replace_p95s.end()));
+    }
+  }
+
   std::printf("provider (horizon %.1f h):\n", SecondsToHours(result.horizon_s));
   for (int f = 0; f < kNumInstanceFamilies; ++f) {
     const CloudProviderMetrics::Family& family =
         result.provider.families[static_cast<std::size_t>(f)];
     std::printf(
-        "  %-4s cap=%-4d granted=%-6lld denied=%-6lld preempted=%-5lld peak=%-4d "
-        "util=%5.1f%% inst-h=%.1f\n",
+        "  %-4s cap=%-4d granted=%-6lld denied=%-6lld fault-denied=%-5lld "
+        "preempted=%-5lld peak=%-4d util=%5.1f%% inst-h=%.1f\n",
         InstanceFamilyName(static_cast<InstanceFamily>(f)), family.capacity,
         static_cast<long long>(family.granted), static_cast<long long>(family.denied),
+        static_cast<long long>(family.fault_denied),
         static_cast<long long>(family.preempted), family.peak_in_use,
         family.avg_utilization * 100.0, family.instance_hours);
   }

@@ -9,6 +9,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/rng.h"
+#include "src/common/stats.h"
 #include "src/sched/config_diff.h"
 #include "src/sim/cluster_state.h"
 #include "src/sim/event_queue.h"
@@ -16,6 +17,20 @@
 #include "src/sim/task_lifecycle.h"
 
 namespace eva {
+
+namespace {
+
+// A per-simulator provider must clamp capacity off the *same* fault schedule
+// the simulator kills instances from — one options block, two consumers.
+CloudProviderOptions MergedProviderOptions(const SimulatorOptions& options) {
+  CloudProviderOptions merged = options.provider;
+  if (options.faults.enabled) {
+    merged.faults = options.faults;
+  }
+  return merged;
+}
+
+}  // namespace
 
 // Orchestrator: wires the event queue, cluster state, execution model and
 // task lifecycle to the Scheduler interface. All domain logic lives in those
@@ -28,7 +43,8 @@ class Simulator::Impl {
         scheduler_(scheduler),
         options_(options),
         provider_owned_(options_.shared_provider == nullptr && options_.provider.enabled
-                            ? std::make_unique<CloudProvider>(catalog, options_.provider)
+                            ? std::make_unique<CloudProvider>(
+                                  catalog, MergedProviderOptions(options_))
                             : nullptr),
         provider_(options_.shared_provider != nullptr ? options_.shared_provider
                                                       : provider_owned_.get()),
@@ -51,9 +67,10 @@ class Simulator::Impl {
         }
         return cost;
       });
-      state_.set_instance_terminated_fn([this](int type_index, SimTime launch, SimTime end) {
-        provider_->Release(type_index, launch, end);
-      });
+      state_.set_instance_terminated_fn(
+          [this](int type_index, SimTime launch, SimTime end, std::int64_t slot) {
+            provider_->Release(type_index, launch, end, slot);
+          });
     }
   }
 
@@ -94,7 +111,24 @@ class Simulator::Impl {
   void HandleCompletionCheck();
   void HandleSpotCheck();
   void HandleSpotPreempt(InstanceId id);
+  void HandleFaultCheck();
+  void HandleZoneOutage(int zone);
+  void HandleDrainStart(int zone);
+  void HandleDrainDeadline(InstanceId id);
   void ApplyConfig(const SchedulingContext& context, const ClusterConfig& config);
+
+  // Destroys an instance right now — containers aboard are lost, assigned
+  // tasks bounce back to pending, capacity is released. The shared abrupt
+  // path of expired spot notices (fault_loss=false: no fault accounting)
+  // and fault kills (fault_loss=true: lost work, victims, and re-placement
+  // latency are tallied).
+  void AbruptReclaim(InstanceId id, bool fault_loss);
+
+  // Records the first fault disruption of a task (idempotent); the next
+  // successful container launch closes the re-placement latency sample.
+  void MarkFaultDisrupted(TaskId task_id) {
+    fault_disrupted_at_.try_emplace(task_id, now_);
+  }
 
   void PushRound(SimTime at) {
     round_scheduled_ = true;
@@ -104,11 +138,14 @@ class Simulator::Impl {
 
   // Arms the next spot repricing check if none is outstanding.
   void ArmSpotCheck();
+  // Arms the next fault-schedule check if none is outstanding.
+  void ArmFaultCheck();
   // Issues the two-minute warning for one spot instance: evicts its
   // assigned tasks, condemns it, and schedules the reclaim.
   void WarnSpotInstance(InstanceId id);
 
   bool SpotActive() const { return provider_ != nullptr && provider_->spot_enabled(); }
+  bool FaultsActive() const { return options_.faults.enabled; }
 
   // Families with at least one catalog type that can host this job's tasks
   // — every family a scheduler could conceivably launch for it.
@@ -140,11 +177,13 @@ class Simulator::Impl {
   // clock and remaining-runtime estimates) to the previous round's, and the
   // previous configuration was applied without touching the cluster. Such a
   // round may be offered to Scheduler::CoalesceQuiescentRounds. Spot quotes
-  // drift between rounds, so no round is quiescent while the market is on.
+  // drift between rounds, so no round is quiescent while the market is on;
+  // fault injection is likewise disqualifying (a fault can rip capacity out
+  // between two otherwise-identical rounds).
   bool RoundIsQuiescent() const {
     return options_.coalesce_quiescent_rounds && !options_.physical_mode &&
-           !SpotActive() && last_apply_noop_ && !rates_dirty_since_round_ &&
-           !state_.HasPendingDelta();
+           !SpotActive() && !FaultsActive() && last_apply_noop_ &&
+           !rates_dirty_since_round_ && !state_.HasPendingDelta();
   }
 
   const Trace& trace_;
@@ -176,6 +215,17 @@ class Simulator::Impl {
   // One outstanding spot repricing check at a time; re-armed while spot
   // instances are live and parked (flag false) when none remain.
   bool spot_check_armed_ = false;
+
+  // Fault injection. The simulator-side view of the schedule — pure in
+  // options_.faults, so it agrees bit-for-bit with the provider's capacity
+  // clamp built from the same options. One outstanding kFaultCheck at a
+  // time, re-armed while instances are live (the same idiom as spot).
+  FaultModel fault_model_{options_.faults};
+  bool fault_check_armed_ = false;
+  // First fault disruption per not-yet-replaced task, and the closed
+  // re-placement latency samples (disruption -> next successful launch).
+  std::unordered_map<TaskId, SimTime> fault_disrupted_at_;
+  std::vector<double> replacement_latency_s_;
 
   // Per-round decision-price snapshot: the tiered catalog with spot entries
   // at the current quote x (1 + risk premium). Borrowed from the provider's
@@ -384,7 +434,8 @@ void Simulator::Impl::ApplyConfig(const SchedulingContext& context,
         std::abort();
       }
     }
-    if (provider_ != nullptr && !provider_->TryAcquire(binding.type_index, now_)) {
+    std::int64_t slot = -1;
+    if (provider_ != nullptr && !provider_->TryAcquire(binding.type_index, now_, &slot)) {
       ++metrics_.acquisitions_denied;
       any_denied = true;
       EVA_LOG_DEBUG("tenant %d: launch of type %d denied at t=%.0f", options_.tenant_id,
@@ -393,8 +444,14 @@ void Simulator::Impl::ApplyConfig(const SchedulingContext& context,
     }
     const SimTime delay = options_.cloud_delays.ProvisioningDelay(
         options_.physical_mode ? &rng_ : nullptr);
-    const InstRec& instance =
-        state_.CreateInstance(binding.type_index, now_, now_ + delay);
+    InstRec& instance = state_.CreateInstance(binding.type_index, now_, now_ + delay);
+    instance.provider_slot = slot;
+    if (FaultsActive()) {
+      // Zone placement is a pure hash over the zones up right now, so an
+      // instance never launches into an ongoing outage.
+      instance.zone = fault_model_.ZoneAt(options_.tenant_id, instance.id, now_);
+      ArmFaultCheck();
+    }
     binding_instance[i] = instance.id;
     queue_.Push(instance.ready_time, SimEventType::kInstanceReady, instance.id);
     if (provider_ != nullptr && provider_->IsSpotType(binding.type_index)) {
@@ -636,13 +693,21 @@ void Simulator::Impl::HandleSpotCheck() {
 }
 
 void Simulator::Impl::HandleSpotPreempt(InstanceId id) {
+  // The notice expired with containers still aboard (checkpoints slower
+  // than the warning): they are lost. Spot losses are tallied by the spot
+  // counters, not the fault ledger.
+  AbruptReclaim(id, /*fault_loss=*/false);
+}
+
+void Simulator::Impl::AbruptReclaim(InstanceId id, bool fault_loss) {
   InstRec* inst = state_.FindInstance(id);
   if (inst == nullptr) {
-    return;  // Drained (all checkpoints finished) and already terminated.
+    return;  // Already drained and terminated.
   }
-  // The notice expired with containers still aboard (checkpoints slower
-  // than the warning): they are lost. Mark neighbors dirty first — the
-  // instance record disappears below.
+  if (fault_loss) {
+    ++metrics_.faults.instances_killed;
+  }
+  // Mark neighbors dirty first — the instance record disappears below.
   exec_.MarkInstanceDirty(*inst);
   std::vector<TaskId>& present = scratch_task_ids_;
   present.assign(inst->present.begin(), inst->present.end());
@@ -650,6 +715,16 @@ void Simulator::Impl::HandleSpotPreempt(InstanceId id) {
     TaskRec* task = state_.FindTask(task_id);
     if (task == nullptr) {
       continue;
+    }
+    if (fault_loss) {
+      // A container died with work in flight: everything since its launch
+      // is gone (no checkpoint finished, or the event would have removed it
+      // from the present set already).
+      ++metrics_.faults.tasks_lost;
+      if (task->running_since >= 0.0) {
+        metrics_.faults.lost_work_seconds += std::max(now_ - task->running_since, 0.0);
+      }
+      MarkFaultDisrupted(task_id);
     }
     ++task->version;  // Cancels the in-flight checkpoint completion.
     state_.RemoveContainer(*task);
@@ -663,17 +738,135 @@ void Simulator::Impl::HandleSpotPreempt(InstanceId id) {
       task->state = TaskState::kPending;
     }
   }
-  // Anything still assigned (defensive — the warning evicted these) drops
-  // back to pending too.
+  // Anything still assigned (tasks parked, launching, or bound here without
+  // a container yet) drops back to pending too.
   std::vector<TaskId>& assigned = scratch_evict_ids_;
   assigned.assign(inst->assigned.begin(), inst->assigned.end());
   for (TaskId task_id : assigned) {
     if (TaskRec* task = state_.FindTask(task_id)) {
+      if (fault_loss) {
+        MarkFaultDisrupted(task_id);
+      }
       lifecycle_.Evict(*task, now_);
     }
   }
   state_.Condemn(id);
   state_.MaybeTerminate(id, now_);
+}
+
+void Simulator::Impl::ArmFaultCheck() {
+  if (!FaultsActive() || fault_check_armed_) {
+    return;
+  }
+  fault_check_armed_ = true;
+  queue_.Push(fault_model_.NextStepBoundary(now_), SimEventType::kFaultCheck);
+}
+
+void Simulator::Impl::HandleFaultCheck() {
+  fault_check_armed_ = false;
+  const std::int64_t step = fault_model_.StepOf(now_);
+  const FaultInjectorOptions& fopts = fault_model_.options();
+  // Zone events go through the queue (at now_, after this event's seq) so
+  // they appear in the trace as first-class events; correlated bursts act
+  // inline — their victim set is computed from the live set right here.
+  for (int zone = 0; zone < fopts.num_zones; ++zone) {
+    if (fault_model_.ZoneOutageStartsAt(zone, step)) {
+      queue_.Push(now_, SimEventType::kZoneOutage, zone);
+    }
+    if (fault_model_.DrainStartsAt(zone, step)) {
+      queue_.Push(now_, SimEventType::kDrainStart, zone);
+    }
+  }
+  for (int family = 0; family < kNumInstanceFamilies; ++family) {
+    if (!fault_model_.CorrelatedFailureAt(family, step)) {
+      continue;
+    }
+    // Rank the family's live instances by a pure hash and kill the lowest
+    // K: the victim set is a function of (schedule, live set) only, never
+    // of map iteration or event interleaving.
+    std::vector<std::pair<std::uint64_t, InstanceId>> ranked;
+    for (const auto& [id, instance] : state_.instances()) {
+      if (instance.condemned ||
+          static_cast<int>(catalog_.Get(instance.type_index).family) != family) {
+        continue;
+      }
+      ranked.emplace_back(fault_model_.VictimRank(options_.tenant_id, id, step), id);
+    }
+    if (ranked.empty()) {
+      continue;  // Scheduled burst found nothing to kill; not counted.
+    }
+    ++metrics_.faults.correlated_failures;
+    std::sort(ranked.begin(), ranked.end());
+    const std::size_t burst =
+        std::min(ranked.size(), static_cast<std::size_t>(
+                                    std::max(fopts.correlated_failure_size, 0)));
+    for (std::size_t i = 0; i < burst; ++i) {
+      AbruptReclaim(ranked[i].second, /*fault_loss=*/true);
+    }
+  }
+  if (state_.HasLiveInstances()) {
+    ArmFaultCheck();  // Keep checking while anything can still fail.
+  }
+}
+
+void Simulator::Impl::HandleZoneOutage(int zone) {
+  ++metrics_.faults.zone_outages;
+  EVA_LOG_DEBUG("tenant %d: zone %d outage at t=%.0f", options_.tenant_id, zone, now_);
+  // The zone drops wholesale: every instance in it — ready, provisioning,
+  // even already-condemned — dies abruptly, in id order.
+  std::vector<InstanceId>& victims = scratch_instance_ids_;
+  victims.clear();
+  for (const auto& [id, instance] : state_.instances()) {
+    if (instance.zone == zone) {
+      victims.push_back(id);
+    }
+  }
+  for (InstanceId id : victims) {
+    AbruptReclaim(id, /*fault_loss=*/true);
+  }
+}
+
+void Simulator::Impl::HandleDrainStart(int zone) {
+  ++metrics_.faults.maintenance_drains;
+  EVA_LOG_DEBUG("tenant %d: zone %d maintenance drain at t=%.0f", options_.tenant_id,
+                zone, now_);
+  std::vector<InstanceId>& draining = scratch_instance_ids_;
+  draining.clear();
+  for (const auto& [id, instance] : state_.instances()) {
+    if (!instance.condemned && instance.zone == zone) {
+      draining.push_back(id);
+    }
+  }
+  // The graceful twin of WarnSpotInstance, with a longer lead: evict every
+  // assigned task through checkpoint-then-pend, condemn the instance, and
+  // only reclaim abruptly if containers outlast the notice.
+  for (InstanceId id : draining) {
+    InstRec* inst = state_.FindInstance(id);
+    if (inst == nullptr) {
+      continue;
+    }
+    ++metrics_.faults.instances_drained;
+    std::vector<TaskId>& assigned = scratch_task_ids_;
+    assigned.assign(inst->assigned.begin(), inst->assigned.end());
+    for (TaskId task_id : assigned) {
+      if (TaskRec* task = state_.FindTask(task_id)) {
+        ++metrics_.faults.tasks_evicted;
+        MarkFaultDisrupted(task_id);
+        lifecycle_.Evict(*task, now_);
+      }
+    }
+    state_.Condemn(id);
+    queue_.Push(now_ + fault_model_.options().drain_notice_s,
+                SimEventType::kDrainDeadline, id);
+    state_.MaybeTerminate(id, now_);
+  }
+}
+
+void Simulator::Impl::HandleDrainDeadline(InstanceId id) {
+  // Whatever survived the notice (checkpoints slower than the lead time) is
+  // reclaimed the hard way; a cleanly drained instance is long gone and
+  // this is a no-op.
+  AbruptReclaim(id, /*fault_loss=*/true);
 }
 
 bool Simulator::Impl::ProcessOneEvent() {
@@ -729,7 +922,16 @@ bool Simulator::Impl::ProcessOneEvent() {
       if (TaskRec* task = state_.FindTask(event.a)) {
         if (task->version == event.version && task->state == TaskState::kLaunching) {
           rates_dirty_since_round_ = true;
-          lifecycle_.OnLaunchDone(*task);
+          lifecycle_.OnLaunchDone(*task, now_);
+          if (!fault_disrupted_at_.empty()) {
+            // A fault-disrupted task is back on a container: close its
+            // re-placement latency sample.
+            const auto it = fault_disrupted_at_.find(task->id);
+            if (it != fault_disrupted_at_.end()) {
+              replacement_latency_s_.push_back(now_ - it->second);
+              fault_disrupted_at_.erase(it);
+            }
+          }
         }
       }
       break;
@@ -743,6 +945,22 @@ bool Simulator::Impl::ProcessOneEvent() {
     case SimEventType::kSpotPreempt:
       rates_dirty_since_round_ = true;
       HandleSpotPreempt(event.a);
+      break;
+    case SimEventType::kFaultCheck:
+      rates_dirty_since_round_ = true;
+      HandleFaultCheck();
+      break;
+    case SimEventType::kZoneOutage:
+      rates_dirty_since_round_ = true;
+      HandleZoneOutage(static_cast<int>(event.a));
+      break;
+    case SimEventType::kDrainStart:
+      rates_dirty_since_round_ = true;
+      HandleDrainStart(static_cast<int>(event.a));
+      break;
+    case SimEventType::kDrainDeadline:
+      rates_dirty_since_round_ = true;
+      HandleDrainDeadline(event.a);
       break;
   }
   RecomputeAndArm();
@@ -817,6 +1035,25 @@ SimulationMetrics Simulator::Impl::Finish() {
           : 0.0;
   scheduler_->ExportCounters(metrics_.scheduler_counters);
   state_.FinalizeMetrics(metrics_);
+  if (FaultsActive()) {
+    FaultStats& faults = metrics_.faults;
+    faults.replacements_completed =
+        static_cast<std::int64_t>(replacement_latency_s_.size());
+    if (!replacement_latency_s_.empty()) {
+      faults.replacement_latency_min_s =
+          *std::min_element(replacement_latency_s_.begin(), replacement_latency_s_.end());
+      faults.replacement_latency_median_s = Quantile(replacement_latency_s_, 0.5);
+      faults.replacement_latency_p95_s = Quantile(replacement_latency_s_, 0.95);
+    }
+    // Goodput indicator: executed / (executed + lost), 1.0 in a fault-free
+    // run. `lost_work_seconds` is the re-execution debt a real fleet would
+    // pay for destroyed containers (progress since launch that no
+    // checkpoint preserved) — a ledger quantity layered on top of the
+    // executed-time integral, not a rewind of it.
+    const double executed = state_.TotalRunningSeconds();
+    const double attempted = executed + faults.lost_work_seconds;
+    faults.goodput_ratio = attempted > 0.0 ? executed / attempted : 1.0;
+  }
   return metrics_;
 }
 

@@ -84,6 +84,15 @@ struct SimulatorOptions {
   // Tenant index, for logs and federation bookkeeping.
   int tenant_id = 0;
 
+  // Fault injection (default off: no zones, no outages — trajectories
+  // bit-identical to a build without the subsystem). The schedule is a pure
+  // hash of (seed, kind, step), shared with the provider's outage capacity
+  // clamp; see src/cloud/fault_injector.h. When a per-simulator provider is
+  // constructed these options are propagated into it; with a shared
+  // provider the federation driver does the same, so both sides always read
+  // one schedule.
+  FaultInjectorOptions faults;
+
   // First scheduling round fires at this offset instead of t=0; later
   // rounds keep the phase (offset + k x period) until the cluster drains.
   // The federation's stagger option assigns distinct per-tenant offsets so

@@ -97,8 +97,9 @@ void TaskLifecycle::OnCheckpointDone(TaskRec& task, SimTime now) {
   TryLaunch(task, now);
 }
 
-void TaskLifecycle::OnLaunchDone(TaskRec& task) {
+void TaskLifecycle::OnLaunchDone(TaskRec& task, SimTime now) {
   task.state = TaskState::kRunning;
+  task.running_since = now;
   state_->PlaceContainer(task);
   // This task starts interfering with its new neighbors (and vice versa).
   exec_->MarkInstanceDirty(*state_->FindInstance(task.source));

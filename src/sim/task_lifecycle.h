@@ -47,9 +47,10 @@ class TaskLifecycle {
   void Evict(TaskRec& task, SimTime now);
 
   // Delayed-event completions; stale versions are ignored by the caller
-  // (the orchestrator guards before dispatching here).
+  // (the orchestrator guards before dispatching here). OnLaunchDone stamps
+  // `running_since = now` — the fault accounting's lost-work baseline.
   void OnCheckpointDone(TaskRec& task, SimTime now);
-  void OnLaunchDone(TaskRec& task);
+  void OnLaunchDone(TaskRec& task, SimTime now);
 
   // Finishes a job: deactivates it, records JCT, detaches every task
   // (pruning presence/assignment so no stale colocation entry survives) and

@@ -56,7 +56,7 @@ struct EngineParts {
         lifecycle.OnCheckpointDone(*task, now);
       } else if (event.type == SimEventType::kLaunchDone &&
                  task->state == TaskState::kLaunching) {
-        lifecycle.OnLaunchDone(*task);
+        lifecycle.OnLaunchDone(*task, now);
       }
     }
     exec.RecomputeDirtyRates(now);

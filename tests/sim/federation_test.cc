@@ -75,6 +75,21 @@ void ExpectBitIdentical(const SimulationMetrics& a, const SimulationMetrics& b) 
   for (std::size_t i = 0; i < a.instance_uptime_hours.size(); ++i) {
     ASSERT_EQ(a.instance_uptime_hours[i], b.instance_uptime_hours[i]) << "uptime " << i;
   }
+  // Fault-injection ledger: recovery accounting must be as reproducible as
+  // the base metrics (all zero / 1.0 when faults are off).
+  EXPECT_EQ(a.faults.zone_outages, b.faults.zone_outages);
+  EXPECT_EQ(a.faults.correlated_failures, b.faults.correlated_failures);
+  EXPECT_EQ(a.faults.maintenance_drains, b.faults.maintenance_drains);
+  EXPECT_EQ(a.faults.instances_killed, b.faults.instances_killed);
+  EXPECT_EQ(a.faults.instances_drained, b.faults.instances_drained);
+  EXPECT_EQ(a.faults.tasks_evicted, b.faults.tasks_evicted);
+  EXPECT_EQ(a.faults.tasks_lost, b.faults.tasks_lost);
+  EXPECT_EQ(a.faults.lost_work_seconds, b.faults.lost_work_seconds);
+  EXPECT_EQ(a.faults.replacements_completed, b.faults.replacements_completed);
+  EXPECT_EQ(a.faults.replacement_latency_min_s, b.faults.replacement_latency_min_s);
+  EXPECT_EQ(a.faults.replacement_latency_median_s, b.faults.replacement_latency_median_s);
+  EXPECT_EQ(a.faults.replacement_latency_p95_s, b.faults.replacement_latency_p95_s);
+  EXPECT_EQ(a.faults.goodput_ratio, b.faults.goodput_ratio);
 }
 
 TEST(FederationTest, DeterministicAcrossRunsAndThreadPoolSizes) {
@@ -228,6 +243,84 @@ TEST(FederationTest, PoolSizeDeterminismAtOneHundredTenants) {
   // Sanity: the scenario actually contends and actually parallelizes.
   EXPECT_GT(one.provider.TotalDenied(), 0);
   EXPECT_GT(one.stats.round_groups, one.stats.barriers);  // >1 group somewhere.
+}
+
+// The fault-injection tentpole invariant: with the deterministic fault
+// model on (zone outages, correlated bursts, maintenance drains all
+// engaging against the shared provider), the 100-tenant federation must
+// still be bit-identical across pool sizes {1, 2, 8} — fault kills in the
+// parallel phase only release capacity (commutative per shard), the outage
+// capacity clamp is a pure function of time consulted at the serialized
+// acquire, and every fault schedule is a pure hash of (seed, kind, step).
+TEST(FederationTest, FaultInjectionDeterministicAtOneHundredTenants) {
+  AlibabaTraceOptions base_options;
+  base_options.num_jobs = 2000;
+  base_options.seed = 17;
+  base_options.max_duration_hours = 48.0;
+  const std::vector<FederationTenant> tenants =
+      MakeTenantShards(GenerateAlibabaTrace(base_options), /*num_tenants=*/100,
+                       /*jobs_per_tenant=*/6);
+
+  FederationOptions options;
+  options.provider.enabled = true;
+  options.provider.family_capacity = {40, -1, 30};
+  options.provider.spot.enabled = true;
+  options.provider.spot.price_step_s = 900.0;
+  options.provider.spot.spike_probability = 0.15;
+  options.provider.spot.seed = 4242;
+  options.simulator.seed = 5;
+  options.simulator.faults.enabled = true;
+  options.simulator.faults.seed = 97;
+
+  options.num_threads = 1;
+  const FederationResult one = RunFederation(tenants, options);
+  options.num_threads = 2;
+  const FederationResult two = RunFederation(tenants, options);
+  options.num_threads = 8;
+  const FederationResult eight = RunFederation(tenants, options);
+
+  ASSERT_EQ(one.tenants.size(), 100u);
+  std::int64_t fault_events = 0;
+  std::int64_t replacements = 0;
+  for (std::size_t i = 0; i < one.tenants.size(); ++i) {
+    ExpectBitIdentical(one.tenants[i].metrics, two.tenants[i].metrics);
+    ExpectBitIdentical(one.tenants[i].metrics, eight.tenants[i].metrics);
+    const FaultStats& faults = one.tenants[i].metrics.faults;
+    fault_events +=
+        faults.zone_outages + faults.correlated_failures + faults.maintenance_drains;
+    replacements += faults.replacements_completed;
+    EXPECT_GE(faults.goodput_ratio, 0.0);
+    EXPECT_LE(faults.goodput_ratio, 1.0);
+  }
+  for (const FederationResult* other : {&two, &eight}) {
+    for (std::size_t f = 0; f < static_cast<std::size_t>(kNumInstanceFamilies); ++f) {
+      EXPECT_EQ(one.provider.families[f].granted, other->provider.families[f].granted);
+      EXPECT_EQ(one.provider.families[f].denied, other->provider.families[f].denied);
+      EXPECT_EQ(one.provider.families[f].fault_denied,
+                other->provider.families[f].fault_denied);
+      EXPECT_EQ(one.provider.families[f].preempted,
+                other->provider.families[f].preempted);
+      EXPECT_EQ(one.provider.families[f].released, other->provider.families[f].released);
+      EXPECT_EQ(one.provider.families[f].peak_in_use,
+                other->provider.families[f].peak_in_use);
+      EXPECT_EQ(one.provider.families[f].instance_hours,
+                other->provider.families[f].instance_hours);
+    }
+  }
+  // The scenario is not vacuous: faults fired, tasks were re-placed, the
+  // outage clamp denied at least one acquire, and every tenant still
+  // drained (faults delay jobs, they never lose them).
+  EXPECT_GT(fault_events, 0);
+  EXPECT_GT(replacements, 0);
+  std::int64_t fault_denied = 0;
+  for (std::size_t f = 0; f < static_cast<std::size_t>(kNumInstanceFamilies); ++f) {
+    fault_denied += one.provider.families[f].fault_denied;
+  }
+  EXPECT_GT(fault_denied, 0);
+  for (const FederationResult::Tenant& tenant : one.tenants) {
+    EXPECT_EQ(tenant.metrics.jobs_completed, tenant.metrics.jobs_submitted)
+        << tenant.name;
+  }
 }
 
 // Two tenants racing the single slot of one family shard: the grouped phase
