@@ -34,7 +34,10 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/format.h"
 #include "src/common/stats.h"
+#include "src/obs/publish.h"
+#include "src/obs/registry.h"
 #include "src/common/thread_pool.h"
 #include "src/sim/federation.h"
 #include "src/workload/trace_gen.h"
@@ -90,15 +93,14 @@ void EmitTenantAggregates(BenchJsonWriter& json, const std::string& name,
       "\"tenants\": %zu, \"cost_min\": %.4f, \"cost_median\": %.4f, "
       "\"cost_p95\": %.4f, \"cost_max\": %.4f, \"jct_min_hours\": %.6f, "
       "\"jct_median_hours\": %.6f, \"jct_p95_hours\": %.6f, "
-      "\"jct_max_hours\": %.6f, \"denied\": %lld, \"preempted\": %lld, "
-      "\"jobs_completed\": %lld",
+      "\"jct_max_hours\": %.6f, \"denied\": " EVA_PRId64 ", \"preempted\": " EVA_PRId64
+      ", \"jobs_completed\": " EVA_PRId64,
       result.tenants.size(), *std::min_element(cost.begin(), cost.end()),
       Quantile(cost, 0.5), Quantile(cost, 0.95),
       *std::max_element(cost.begin(), cost.end()),
       *std::min_element(jct.begin(), jct.end()), Quantile(jct, 0.5),
       Quantile(jct, 0.95), *std::max_element(jct.begin(), jct.end()),
-      static_cast<long long>(denied), static_cast<long long>(preempted),
-      static_cast<long long>(completed));
+      denied, preempted, completed);
   json.AddCaseFields(name + "_agg", fields);
 }
 
@@ -136,24 +138,18 @@ void EmitFaultRow(BenchJsonWriter& json, const std::string& name,
   char fields[640];
   std::snprintf(
       fields, sizeof(fields),
-      "\"zone_outages\": %lld, \"correlated_failures\": %lld, "
-      "\"maintenance_drains\": %lld, \"instances_killed\": %lld, "
-      "\"instances_drained\": %lld, \"tasks_evicted\": %lld, "
-      "\"tasks_lost\": %lld, \"lost_work_hours\": %.4f, "
-      "\"replacements\": %lld, \"replace_p95_s_median\": %.2f, "
-      "\"goodput_min\": %.6f, \"goodput_median\": %.6f, \"fault_denied\": %lld",
-      static_cast<long long>(sum.zone_outages),
-      static_cast<long long>(sum.correlated_failures),
-      static_cast<long long>(sum.maintenance_drains),
-      static_cast<long long>(sum.instances_killed),
-      static_cast<long long>(sum.instances_drained),
-      static_cast<long long>(sum.tasks_evicted),
-      static_cast<long long>(sum.tasks_lost),
-      SecondsToHours(sum.lost_work_seconds),
-      static_cast<long long>(sum.replacements_completed),
-      p95.empty() ? 0.0 : Quantile(p95, 0.5),
+      "\"zone_outages\": " EVA_PRId64 ", \"correlated_failures\": " EVA_PRId64 ", "
+      "\"maintenance_drains\": " EVA_PRId64 ", \"instances_killed\": " EVA_PRId64 ", "
+      "\"instances_drained\": " EVA_PRId64 ", \"tasks_evicted\": " EVA_PRId64 ", "
+      "\"tasks_lost\": " EVA_PRId64 ", \"lost_work_hours\": %.4f, "
+      "\"replacements\": " EVA_PRId64 ", \"replace_p95_s_median\": %.2f, "
+      "\"goodput_min\": %.6f, \"goodput_median\": %.6f, \"fault_denied\": " EVA_PRId64,
+      sum.zone_outages, sum.correlated_failures, sum.maintenance_drains,
+      sum.instances_killed, sum.instances_drained, sum.tasks_evicted,
+      sum.tasks_lost, SecondsToHours(sum.lost_work_seconds),
+      sum.replacements_completed, p95.empty() ? 0.0 : Quantile(p95, 0.5),
       *std::min_element(goodput.begin(), goodput.end()), Quantile(goodput, 0.5),
-      static_cast<long long>(fault_denied));
+      fault_denied);
   json.AddCaseFields(name + "_faults", fields);
 }
 
@@ -163,21 +159,25 @@ void EmitProviderRow(BenchJsonWriter& json, const std::string& name,
   char fields[640];
   std::snprintf(
       fields, sizeof(fields),
-      "\"wall_seconds\": %.6f, \"events\": %lld, \"events_per_sec\": %.1f, "
-      "\"granted\": %lld, \"denied\": %lld, \"preempted\": %lld, "
-      "\"barriers\": %lld, \"round_groups\": %lld, \"serial_share\": %.4f, "
+      "\"wall_seconds\": %.6f, \"events\": " EVA_PRId64 ", \"events_per_sec\": %.1f, "
+      "\"granted\": " EVA_PRId64 ", \"denied\": " EVA_PRId64
+      ", \"preempted\": " EVA_PRId64 ", "
+      "\"barriers\": " EVA_PRId64 ", \"round_groups\": " EVA_PRId64
+      ", \"serial_share\": %.4f, "
       "\"setup_wall_s\": %.6f, \"advance_wall_s\": %.6f, "
       "\"round_wall_s\": %.6f",
-      wall, static_cast<long long>(events),
-      wall > 0.0 ? static_cast<double>(events) / wall : 0.0,
-      static_cast<long long>(result.provider.TotalGranted()),
-      static_cast<long long>(result.provider.TotalDenied()),
-      static_cast<long long>(result.provider.TotalPreempted()),
-      static_cast<long long>(result.stats.barriers),
-      static_cast<long long>(result.stats.round_groups),
-      result.stats.SerialShare(), result.stats.setup_wall_s,
-      result.stats.advance_wall_s, result.stats.round_wall_s);
-  json.AddCaseFields(name + "_provider", fields);
+      wall, events, wall > 0.0 ? static_cast<double>(events) / wall : 0.0,
+      result.provider.TotalGranted(), result.provider.TotalDenied(),
+      result.provider.TotalPreempted(), result.stats.barriers,
+      result.stats.round_groups, result.stats.SerialShare(),
+      result.stats.setup_wall_s, result.stats.advance_wall_s,
+      result.stats.round_wall_s);
+  // Driver-level stats again through the shared registry protocol, so the
+  // row's "telemetry" object matches what any registry consumer would see.
+  TelemetryRegistry registry;
+  PublishFederationStats(result.stats, &registry);
+  json.AddCaseFields(name + "_provider",
+                     std::string(fields) + ", \"telemetry\": " + registry.ToJson());
 }
 
 void RunScenario(BenchJsonWriter& json, const std::string& name,
@@ -190,9 +190,8 @@ void RunScenario(BenchJsonWriter& json, const std::string& name,
   PrintFederationReport(result);
 
   const std::int64_t events = TotalEvents(result);
-  std::printf("wall %.3fs, %lld events (%.0f events/sec, all tenants)\n", wall,
-              static_cast<long long>(events),
-              wall > 0.0 ? static_cast<double>(events) / wall : 0.0);
+  std::printf("wall %.3fs, " EVA_PRId64 " events (%.0f events/sec, all tenants)\n",
+              wall, events, wall > 0.0 ? static_cast<double>(events) / wall : 0.0);
 
   char fields[512];
   for (std::size_t i = 0;
@@ -200,13 +199,13 @@ void RunScenario(BenchJsonWriter& json, const std::string& name,
     const FederationResult::Tenant& tenant = result.tenants[i];
     const SimulationMetrics& m = tenant.metrics;
     std::snprintf(fields, sizeof(fields),
-                  "\"jobs\": %lld, \"cost\": %.4f, \"spot_cost\": %.4f, "
-                  "\"avg_jct_hours\": %.6f, \"denied\": %lld, \"preemptions\": %lld, "
-                  "\"spot_instances\": %lld, \"makespan_s\": %.1f",
-                  static_cast<long long>(m.jobs_submitted), m.total_cost, m.spot_cost,
-                  m.avg_jct_hours, static_cast<long long>(m.acquisitions_denied),
-                  static_cast<long long>(m.spot_preemptions),
-                  static_cast<long long>(m.spot_instances_launched), m.makespan_s);
+                  "\"jobs\": " EVA_PRId64 ", \"cost\": %.4f, \"spot_cost\": %.4f, "
+                  "\"avg_jct_hours\": %.6f, \"denied\": " EVA_PRId64
+                  ", \"preemptions\": " EVA_PRId64 ", "
+                  "\"spot_instances\": " EVA_PRId64 ", \"makespan_s\": %.1f",
+                  m.jobs_submitted, m.total_cost, m.spot_cost, m.avg_jct_hours,
+                  m.acquisitions_denied, m.spot_preemptions,
+                  m.spot_instances_launched, m.makespan_s);
     json.AddCaseFields(name + "_" + tenant.name, fields);
   }
   EmitTenantAggregates(json, name, result);
@@ -284,19 +283,17 @@ void RunSweepPoint(BenchJsonWriter& json, const Trace& base, int num_tenants,
   char fields[640];
   std::snprintf(
       fields, sizeof(fields),
-      "\"tenants\": %d, \"jobs_per_tenant\": %d, \"events\": %lld, "
+      "\"tenants\": %d, \"jobs_per_tenant\": %d, \"events\": " EVA_PRId64 ", "
       "\"events_per_sec\": %.1f, \"events_per_sec_1thread\": %.1f, "
       "\"wall_seconds\": %.6f, \"wall_seconds_1thread\": %.6f, "
       "\"thread_scaling_x\": %.4f, \"num_threads\": %d, "
       "\"serial_share\": %.4f, \"shard_setup_s\": %.6f, "
-      "\"barriers\": %lld, \"round_groups\": %lld, "
+      "\"barriers\": " EVA_PRId64 ", \"round_groups\": " EVA_PRId64 ", "
       "\"bit_identical\": %s",
-      num_tenants, jobs_per_tenant, static_cast<long long>(events), eps_pooled,
+      num_tenants, jobs_per_tenant, events, eps_pooled,
       eps_serial, wall_pooled, wall_serial, scaling, hardware_threads,
-      result.stats.SerialShare(), shard_wall,
-      static_cast<long long>(result.stats.barriers),
-      static_cast<long long>(result.stats.round_groups),
-      divergence == 0.0 ? "true" : "false");
+      result.stats.SerialShare(), shard_wall, result.stats.barriers,
+      result.stats.round_groups, divergence == 0.0 ? "true" : "false");
   json.AddCaseFields(name + "_scale", fields);
   EmitTenantAggregates(json, name, result);
 }

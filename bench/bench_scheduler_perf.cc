@@ -19,6 +19,8 @@
 
 #include "bench/bench_util.h"
 #include "src/core/full_reconfig.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/trace.h"
 #include "src/core/partial_reconfig.h"
 #include "src/sched/config_diff.h"
 #include "src/sched/throughput_estimator.h"
@@ -190,20 +192,21 @@ SimulationMetrics RunEngineCase(BenchJsonWriter& json, const std::string& name,
   const std::uint64_t allocs = (AllocationCount() - allocs_before) /
                                static_cast<std::uint64_t>(runs > 0 ? runs : 1);
   const SchedulerCounters& counters = metrics.scheduler_counters;
-  std::printf("%-24s %9.3f %11lld %13.0f %8lld %9lld %9.3f %9.2f %9.1f\n", name.c_str(),
-              wall, static_cast<long long>(metrics.events_processed), events_per_sec,
-              static_cast<long long>(metrics.scheduling_rounds),
-              static_cast<long long>(metrics.rounds_coalesced), sched_wall,
+  std::printf("%-24s %9.3f %11" PRId64 " %13.0f %8" PRId64 " %9" PRId64
+              " %9.3f %9.2f %9.1f\n",
+              name.c_str(), wall, metrics.events_processed, events_per_sec,
+              metrics.scheduling_rounds, metrics.rounds_coalesced, sched_wall,
               sched_us_per_round, peak_rss_mb);
   json.AddCaseWithScheduler(name, static_cast<int>(metrics.jobs_submitted), wall,
                             metrics.events_processed, events_per_sec,
                             metrics.scheduling_rounds, metrics.rounds_coalesced, sched_wall,
-                            sched_us_per_round, peak_rss_mb, allocs, counters);
+                            sched_us_per_round, peak_rss_mb, allocs, counters,
+                            TelemetryJson(metrics));
   if (kind == SchedulerKind::kEva) {
-    std::printf(
-        "  (rounds reused: %d/%lld, coalesced: %lld, table misses: %d, context misses: %d)\n",
-        reused, static_cast<long long>(metrics.scheduling_rounds),
-        static_cast<long long>(metrics.rounds_coalesced), miss_table, miss_context);
+    std::printf("  (rounds reused: %d/" EVA_PRId64 ", coalesced: " EVA_PRId64
+                ", table misses: %d, context misses: %d)\n",
+                reused, metrics.scheduling_rounds, metrics.rounds_coalesced,
+                miss_table, miss_context);
     if (counters.packs_incremental > 0 || counters.packs_escalated > 0) {
       std::printf(
           "  (packs: %d incremental / %d full / %d escalated; reconciliations: %d, "
@@ -232,11 +235,10 @@ void ReportQuality(BenchJsonWriter& json, const std::string& name,
           ? (incremental.avg_jct_hours - exact.avg_jct_hours) / exact.avg_jct_hours
           : 0.0;
   std::printf("%-24s cost %+.2f%% (%.2f -> %.2f), JCT %+.2f%% (%.4fh -> %.4fh), "
-              "completed %lld/%lld\n",
+              "completed " EVA_PRId64 "/" EVA_PRId64 "\n",
               name.c_str(), cost_delta * 100.0, exact.total_cost, incremental.total_cost,
               jct_delta * 100.0, exact.avg_jct_hours, incremental.avg_jct_hours,
-              static_cast<long long>(incremental.jobs_completed),
-              static_cast<long long>(exact.jobs_completed));
+              incremental.jobs_completed, exact.jobs_completed);
   json.AddQualityCase(name, static_cast<int>(exact.jobs_submitted), exact.total_cost,
                       incremental.total_cost, cost_delta, exact.avg_jct_hours,
                       incremental.avg_jct_hours, jct_delta, exact.jobs_completed,
@@ -305,36 +307,89 @@ bool RunEngineThroughputCases() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     const FaultStats& f = faulted.faults;
     std::printf(
-        "fault_alibaba2000_Eva    completed %lld/%lld, goodput %.4f, lost work %.2fh "
-        "(%lld tasks), killed %lld, drained %lld, outages %lld, replace p95 %.0fs\n",
-        static_cast<long long>(faulted.jobs_completed),
-        static_cast<long long>(exact_2k.jobs_completed), f.goodput_ratio,
-        SecondsToHours(f.lost_work_seconds), static_cast<long long>(f.tasks_lost),
-        static_cast<long long>(f.instances_killed),
-        static_cast<long long>(f.instances_drained),
-        static_cast<long long>(f.zone_outages), f.replacement_latency_p95_s);
+        "fault_alibaba2000_Eva    completed " EVA_PRId64 "/" EVA_PRId64
+        ", goodput %.4f, lost work %.2fh "
+        "(" EVA_PRId64 " tasks), killed " EVA_PRId64 ", drained " EVA_PRId64
+        ", outages " EVA_PRId64 ", replace p95 %.0fs\n",
+        faulted.jobs_completed, exact_2k.jobs_completed, f.goodput_ratio,
+        SecondsToHours(f.lost_work_seconds), f.tasks_lost, f.instances_killed,
+        f.instances_drained, f.zone_outages, f.replacement_latency_p95_s);
     char fields[640];
     std::snprintf(
         fields, sizeof(fields),
-        "\"jobs\": %lld, \"jobs_completed\": %lld, "
-        "\"jobs_completed_fault_free\": %lld, \"goodput_ratio\": %.6f, "
-        "\"tasks_lost\": %lld, \"lost_work_hours\": %.4f, "
-        "\"instances_killed\": %lld, \"instances_drained\": %lld, "
-        "\"zone_outages\": %lld, \"correlated_failures\": %lld, "
-        "\"maintenance_drains\": %lld, \"replacements\": %lld, "
+        "\"jobs\": " EVA_PRId64 ", \"jobs_completed\": " EVA_PRId64 ", "
+        "\"jobs_completed_fault_free\": " EVA_PRId64 ", \"goodput_ratio\": %.6f, "
+        "\"tasks_lost\": " EVA_PRId64 ", \"lost_work_hours\": %.4f, "
+        "\"instances_killed\": " EVA_PRId64 ", \"instances_drained\": " EVA_PRId64 ", "
+        "\"zone_outages\": " EVA_PRId64 ", \"correlated_failures\": " EVA_PRId64 ", "
+        "\"maintenance_drains\": " EVA_PRId64 ", \"replacements\": " EVA_PRId64 ", "
         "\"replace_p95_s\": %.2f, \"wall_seconds\": %.6f",
-        static_cast<long long>(faulted.jobs_submitted),
-        static_cast<long long>(faulted.jobs_completed),
-        static_cast<long long>(exact_2k.jobs_completed), f.goodput_ratio,
-        static_cast<long long>(f.tasks_lost), SecondsToHours(f.lost_work_seconds),
-        static_cast<long long>(f.instances_killed),
-        static_cast<long long>(f.instances_drained),
-        static_cast<long long>(f.zone_outages),
-        static_cast<long long>(f.correlated_failures),
-        static_cast<long long>(f.maintenance_drains),
-        static_cast<long long>(f.replacements_completed), f.replacement_latency_p95_s,
-        wall);
+        faulted.jobs_submitted, faulted.jobs_completed, exact_2k.jobs_completed,
+        f.goodput_ratio, f.tasks_lost, SecondsToHours(f.lost_work_seconds),
+        f.instances_killed, f.instances_drained, f.zone_outages,
+        f.correlated_failures, f.maintenance_drains, f.replacements_completed,
+        f.replacement_latency_p95_s, wall);
     json.AddCaseFields("fault_alibaba2000_Eva", fields);
+  }
+
+  // Traced replay, opted into with EVA_TRACE_JSON=<path>: the 2k Eva case
+  // again with the full observability stack on (span recorder, per-round
+  // flight digests, telemetry registry), measuring the tracing overhead
+  // against a fresh untraced run and writing the Chrome trace_event
+  // artifact. The trace is stamped purely in virtual time, so the written
+  // bytes are a deterministic function of the trace+seed (the obs test
+  // suite holds that invariant across pool sizes; here we record the
+  // artifact and the overhead row the CI trend tracks).
+  bool trace_artifact_ok = true;
+  if (const char* trace_path = std::getenv("EVA_TRACE_JSON")) {
+    const InstanceCatalog catalog = InstanceCatalog::AwsDefault();
+    const auto run_once = [&](SimulatorOptions sim_options,
+                              SimulationMetrics& out_metrics) {
+      SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference, {});
+      const auto start = std::chrono::steady_clock::now();
+      out_metrics = RunSimulation(base, bundle.scheduler.get(), catalog, interference,
+                                  sim_options);
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+    };
+    SimulationMetrics off_metrics;
+    const double wall_off = run_once(SimulatorOptions{}, off_metrics);
+
+    TraceRecorder recorder;
+    FlightRecorder flight;
+    TelemetryRegistry registry;
+    SimulatorOptions traced_options;
+    traced_options.observability.enabled = true;
+    traced_options.observability.trace = &recorder;
+    traced_options.observability.flight_recorder = &flight;
+    traced_options.observability.registry = &registry;
+    traced_options.observability.track_name = "alibaba2000_Eva";
+    SimulationMetrics on_metrics;
+    const double wall_on = run_once(traced_options, on_metrics);
+
+    const double eps_off =
+        wall_off > 0.0 ? static_cast<double>(off_metrics.events_processed) / wall_off : 0.0;
+    const double eps_on =
+        wall_on > 0.0 ? static_cast<double>(on_metrics.events_processed) / wall_on : 0.0;
+    const double overhead = eps_off > 0.0 ? 1.0 - eps_on / eps_off : 0.0;
+    trace_artifact_ok = recorder.WriteChromeJson(trace_path);
+    std::printf("trace_alibaba2000_Eva    overhead %+.2f%% (%.0f -> %.0f events/sec), "
+                "spans " EVA_PRIu64 " emitted / " EVA_PRIu64 " retained, "
+                "rounds digested " EVA_PRId64 "%s -> %s\n",
+                overhead * 100.0, eps_off, eps_on, recorder.TotalEmitted(),
+                recorder.TotalRetained(), flight.rounds_recorded(),
+                trace_artifact_ok ? "" : " [trace write FAILED]", trace_path);
+    char trace_fields[512];
+    std::snprintf(
+        trace_fields, sizeof(trace_fields),
+        "\"events\": " EVA_PRId64 ", \"wall_seconds_off\": %.6f, "
+        "\"wall_seconds_on\": %.6f, \"events_per_sec_off\": %.1f, "
+        "\"events_per_sec_on\": %.1f, \"trace_overhead\": %.6f, "
+        "\"spans_emitted\": " EVA_PRIu64 ", \"spans_retained\": " EVA_PRIu64 ", "
+        "\"rounds_digested\": " EVA_PRId64,
+        on_metrics.events_processed, wall_off, wall_on, eps_off, eps_on, overhead,
+        recorder.TotalEmitted(), recorder.TotalRetained(), flight.rounds_recorded());
+    json.AddCaseFields("trace_alibaba2000_Eva", trace_fields);
   }
 
   // Scaled points: proportional-rate superposition of the 2,000-job mix —
@@ -386,9 +441,9 @@ bool RunEngineThroughputCases() {
   }
 
   if (const char* path = BenchJsonWriter::OutputPath()) {
-    return json.WriteTo(path, "scheduler_perf");
+    return json.WriteTo(path, "scheduler_perf") && trace_artifact_ok;
   }
-  return true;
+  return trace_artifact_ok;
 }
 
 }  // namespace

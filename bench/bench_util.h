@@ -13,8 +13,12 @@
 #include <sys/resource.h>
 #endif
 
+#include "src/common/format.h"
 #include "src/common/rng.h"
+#include "src/obs/publish.h"
+#include "src/obs/registry.h"
 #include "src/sched/types.h"
+#include "src/sim/metrics.h"
 #include "src/workload/workload.h"
 
 namespace eva {
@@ -75,12 +79,25 @@ inline void PrintBenchHeader(const char* title, const char* paper_ref) {
   std::printf("================================================================\n");
 }
 
+// Renders a run's end-of-run telemetry (counters/gauges/series from the
+// registry protocol every engine publishes through) as a JSON object
+// fragment, for embedding in a bench row under "telemetry".
+inline std::string TelemetryJson(const SimulationMetrics& metrics) {
+  TelemetryRegistry registry;
+  PublishSimulationMetrics(metrics, &registry);
+  return registry.ToJson();
+}
+
 // Machine-readable results, opted into with EVA_BENCH_JSON=<path>: each
 // harness that supports it writes {"bench": ..., "cases": [...]} with
 // wall-time and throughput per case, so the repo's perf trajectory can be
-// recorded across commits (see BENCH_scheduler_perf.json).
+// recorded across commits (see BENCH_scheduler_perf.json). Every row
+// carries "schema_version" (kBenchSchemaVersion); bump it when a row's
+// layout changes incompatibly — check_bench_regression.py validates it.
 class BenchJsonWriter {
  public:
+  static constexpr int kSchemaVersion = 2;
+
   // The EVA_BENCH_JSON destination, or nullptr when JSON output is off.
   static const char* OutputPath() { return std::getenv("EVA_BENCH_JSON"); }
 
@@ -88,9 +105,10 @@ class BenchJsonWriter {
                std::int64_t events, double events_per_sec) {
     char buffer[512];
     std::snprintf(buffer, sizeof(buffer),
-                  "    {\"name\": \"%s\", \"jobs\": %d, \"wall_seconds\": %.6f, "
-                  "\"events\": %lld, \"events_per_sec\": %.1f}",
-                  name.c_str(), jobs, wall_seconds, static_cast<long long>(events),
+                  "    {\"name\": \"%s\", \"schema_version\": %d, \"jobs\": %d, "
+                  "\"wall_seconds\": %.6f, \"events\": " EVA_PRId64
+                  ", \"events_per_sec\": %.1f}",
+                  name.c_str(), kSchemaVersion, jobs, wall_seconds, events,
                   events_per_sec);
     cases_.emplace_back(buffer);
   }
@@ -101,36 +119,45 @@ class BenchJsonWriter {
   // end of the case (the scale sweep's memory-behavior tracking), and the
   // incremental fast path's pack/fallback/reconciliation counters (all zero
   // on exact-mode cases).
+  // `telemetry`, when non-empty, is a ready-made JSON object (typically
+  // TelemetryJson(metrics)) embedded under a "telemetry" key, giving the
+  // row the full registry view alongside the flat gate columns.
   void AddCaseWithScheduler(const std::string& name, int jobs, double wall_seconds,
                             std::int64_t events, double events_per_sec,
                             std::int64_t rounds, std::int64_t rounds_coalesced,
                             double sched_wall_seconds, double sched_us_per_round,
                             double peak_rss_mb, std::uint64_t allocs,
-                            const SchedulerCounters& counters) {
+                            const SchedulerCounters& counters,
+                            const std::string& telemetry = std::string()) {
     char buffer[1024];
     std::snprintf(buffer, sizeof(buffer),
-                  "    {\"name\": \"%s\", \"jobs\": %d, \"wall_seconds\": %.6f, "
-                  "\"events\": %lld, \"events_per_sec\": %.1f, \"rounds\": %lld, "
-                  "\"rounds_coalesced\": %lld, "
+                  "    {\"name\": \"%s\", \"schema_version\": %d, \"jobs\": %d, "
+                  "\"wall_seconds\": %.6f, "
+                  "\"events\": " EVA_PRId64 ", \"events_per_sec\": %.1f, "
+                  "\"rounds\": " EVA_PRId64 ", "
+                  "\"rounds_coalesced\": " EVA_PRId64 ", "
                   "\"sched_wall_seconds\": %.6f, \"sched_us_per_round\": %.2f, "
-                  "\"peak_rss_mb\": %.1f, \"allocs\": %llu, "
+                  "\"peak_rss_mb\": %.1f, \"allocs\": " EVA_PRIu64 ", "
                   "\"packs_full\": %d, \"packs_incremental\": %d, "
                   "\"packs_escalated\": %d, \"reconciliations\": %d, "
                   "\"escalations\": %d, \"fallback_incomplete_delta\": %d, "
                   "\"fallback_oversized_delta\": %d, \"fallback_no_previous\": %d, "
                   "\"max_divergence_cost\": %.6f, \"max_divergence_edits\": %d, "
-                  "\"max_kept_staleness\": %d}",
-                  name.c_str(), jobs, wall_seconds, static_cast<long long>(events),
-                  events_per_sec, static_cast<long long>(rounds),
-                  static_cast<long long>(rounds_coalesced), sched_wall_seconds,
-                  sched_us_per_round, peak_rss_mb,
-                  static_cast<unsigned long long>(allocs), counters.packs_full,
+                  "\"max_kept_staleness\": %d",
+                  name.c_str(), kSchemaVersion, jobs, wall_seconds, events,
+                  events_per_sec, rounds, rounds_coalesced, sched_wall_seconds,
+                  sched_us_per_round, peak_rss_mb, allocs, counters.packs_full,
                   counters.packs_incremental, counters.packs_escalated,
                   counters.reconciliations, counters.escalations,
                   counters.fallback_incomplete_delta, counters.fallback_oversized_delta,
                   counters.fallback_no_previous, counters.max_divergence_cost,
                   counters.max_divergence_edits, counters.max_kept_staleness);
-    cases_.emplace_back(buffer);
+    std::string line(buffer);
+    if (!telemetry.empty()) {
+      line += ", \"telemetry\": " + telemetry;
+    }
+    line += "}";
+    cases_.push_back(std::move(line));
   }
 
   // Approximation-quality row: the same trace replayed in exact and
@@ -143,15 +170,15 @@ class BenchJsonWriter {
                       std::int64_t jobs_completed_incremental) {
     char buffer[640];
     std::snprintf(buffer, sizeof(buffer),
-                  "    {\"name\": \"%s\", \"jobs\": %d, \"cost_exact\": %.4f, "
+                  "    {\"name\": \"%s\", \"schema_version\": %d, \"jobs\": %d, "
+                  "\"cost_exact\": %.4f, "
                   "\"cost_incremental\": %.4f, \"cost_delta\": %.6f, "
                   "\"jct_exact_hours\": %.6f, \"jct_incremental_hours\": %.6f, "
-                  "\"jct_delta\": %.6f, \"jobs_completed_exact\": %lld, "
-                  "\"jobs_completed_incremental\": %lld}",
-                  name.c_str(), jobs, cost_exact, cost_incremental, cost_delta,
-                  jct_exact_hours, jct_incremental_hours, jct_delta,
-                  static_cast<long long>(jobs_completed_exact),
-                  static_cast<long long>(jobs_completed_incremental));
+                  "\"jct_delta\": %.6f, \"jobs_completed_exact\": " EVA_PRId64
+                  ", \"jobs_completed_incremental\": " EVA_PRId64 "}",
+                  name.c_str(), kSchemaVersion, jobs, cost_exact, cost_incremental,
+                  cost_delta, jct_exact_hours, jct_incremental_hours, jct_delta,
+                  jobs_completed_exact, jobs_completed_incremental);
     cases_.emplace_back(buffer);
   }
 
@@ -160,7 +187,8 @@ class BenchJsonWriter {
   // harnesses whose metrics do not fit the fixed schemas above
   // (bench_federation's per-tenant and provider-level rows).
   void AddCaseFields(const std::string& name, const std::string& fields) {
-    std::string line = "    {\"name\": \"" + name + "\"";
+    std::string line = "    {\"name\": \"" + name + "\", \"schema_version\": " +
+                       std::to_string(kSchemaVersion);
     if (!fields.empty()) {
       line += ", " + fields;
     }

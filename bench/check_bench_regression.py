@@ -41,6 +41,15 @@ alone:
     overhead (re-executed work after kills) may not eat more than half the
     executed compute under the default fault regime.
 
+Independent of the named gates, every row in the *current* file must carry
+`schema_version` == EXPECTED_SCHEMA_VERSION (baseline files are exempt —
+committed baselines may predate the field and are not regenerated), and any
+row embedding a `telemetry` object must match the registry export schema:
+known groups only (counters/gauges/histograms/series), dot-namespaced
+metric names, sorted within each group, no empty groups. A producer that
+drifts from the registry's serialization contract fails here rather than
+corrupting downstream tooling silently.
+
 The perf tolerance is EVA_BENCH_TOLERANCE (default 0.20 = 20%, the margin
 CI grants for runner variance). A case missing from either file is an
 error: a silently dropped case must not read as a pass.
@@ -64,6 +73,14 @@ import sys
 # fail the job yet.
 WARN_ONLY = {"fed100_scale"}
 
+# Bench-row protocol version stamped by BenchJsonWriter::kSchemaVersion.
+# Bump both together when the row layout changes.
+EXPECTED_SCHEMA_VERSION = 2
+
+# The registry export groups, in the order TelemetryRegistry::ToJson emits
+# them. Empty groups are omitted from the export, never serialized as {}.
+TELEMETRY_GROUPS = ("counters", "gauges", "histograms", "series")
+
 
 def load_cases(path):
     with open(path) as handle:
@@ -78,6 +95,66 @@ def allocs_per_event(case):
     if allocs is None or not events:
         return None
     return allocs / events
+
+
+def telemetry_schema_errors(telemetry):
+    """Schema violations in an embedded registry export, [] when clean."""
+    if not isinstance(telemetry, dict):
+        return ["telemetry is not an object"]
+    errors = []
+    for group in telemetry:
+        if group not in TELEMETRY_GROUPS:
+            errors.append(f"unknown telemetry group '{group}'")
+    for group in TELEMETRY_GROUPS:
+        if group not in telemetry:
+            continue
+        metrics = telemetry[group]
+        if not isinstance(metrics, dict):
+            errors.append(f"telemetry group '{group}' is not an object")
+            continue
+        if not metrics:
+            errors.append(f"telemetry group '{group}' is empty (must be omitted)")
+        names = list(metrics)
+        if names != sorted(names):
+            errors.append(f"telemetry group '{group}' keys are not sorted")
+        for metric in names:
+            if "." not in metric:
+                errors.append(
+                    f"telemetry metric '{metric}' in '{group}' lacks a "
+                    "dot namespace"
+                )
+        if group == "counters":
+            for metric, value in metrics.items():
+                if not isinstance(value, int) or value < 0:
+                    errors.append(
+                        f"counter '{metric}' is not a non-negative integer"
+                    )
+    return errors
+
+
+def check_current_schema(current):
+    """schema_version + telemetry schema for every current row. Returns failed."""
+    failed = False
+    for name in sorted(current):
+        case = current[name]
+        version = case.get("schema_version")
+        if version != EXPECTED_SCHEMA_VERSION:
+            print(
+                f"FAIL: {name}: schema_version {version!r} "
+                f"(expected {EXPECTED_SCHEMA_VERSION})"
+            )
+            failed = True
+        if "telemetry" in case:
+            errors = telemetry_schema_errors(case["telemetry"])
+            for error in errors:
+                print(f"FAIL: {name}: {error}")
+            failed = failed or bool(errors)
+    if not failed:
+        print(
+            f"OK: {len(current)} current rows at schema_version "
+            f"{EXPECTED_SCHEMA_VERSION}, embedded telemetry well-formed"
+        )
+    return failed
 
 
 def check_perf_case(name, base, cur, tolerance, warn_only):
@@ -176,7 +253,7 @@ def check_fault_case(name, cur, goodput_floor, warn_only):
 
 def run_checks(baseline, current, names, tolerance, cost_tol, jct_tol,
                goodput_floor=0.50):
-    failed = False
+    failed = check_current_schema(current)
     for name in names:
         warn_only = name in WARN_ONLY
         missing_verdict = "WARN" if warn_only else "FAIL"
@@ -200,11 +277,18 @@ def run_checks(baseline, current, names, tolerance, cost_tol, jct_tol,
 
 def selftest():
     """The gates must fire on known-bad fixtures and stay green on good ones."""
-    good_perf = {"name": "c", "events_per_sec": 1000.0, "events": 1000, "allocs": 50}
-    slow_perf = {"name": "c", "events_per_sec": 700.0, "events": 1000, "allocs": 50}
-    leaky_perf = {"name": "c", "events_per_sec": 1000.0, "events": 1000, "allocs": 500}
+    good_perf = {
+        "name": "c",
+        "schema_version": EXPECTED_SCHEMA_VERSION,
+        "events_per_sec": 1000.0,
+        "events": 1000,
+        "allocs": 50,
+    }
+    slow_perf = dict(good_perf, events_per_sec=700.0)
+    leaky_perf = dict(good_perf, allocs=500)
     good_quality = {
         "name": "quality_c",
+        "schema_version": EXPECTED_SCHEMA_VERSION,
         "cost_delta": 0.05,
         "jct_delta": -0.01,
         "jobs_completed_exact": 10,
@@ -212,16 +296,26 @@ def selftest():
     }
     good_fault = {
         "name": "fault_c",
+        "schema_version": EXPECTED_SCHEMA_VERSION,
         "jobs_completed": 10,
         "jobs_completed_fault_free": 10,
         "goodput_ratio": 0.85,
         "lost_work_hours": 12.5,
         "tasks_lost": 4,
     }
+    good_telemetry = {
+        "counters": {"sim.events_processed": 1000, "sim.jobs_completed": 10},
+        "gauges": {"sim.total_cost": 12.5},
+    }
 
     def variant(base, **overrides):
+        """Copy of `base` with overrides applied; a None value deletes the key."""
         case = dict(base)
-        case.update(overrides)
+        for key, value in overrides.items():
+            if value is None:
+                case.pop(key, None)
+            else:
+                case[key] = value
         return case
 
     scenarios = [
@@ -241,6 +335,24 @@ def selftest():
          ["fault_c"], True),
         ("goodput below floor", None, variant(good_fault, goodput_ratio=0.30),
          ["fault_c"], True),
+        ("missing schema_version", good_perf,
+         variant(good_perf, schema_version=None), ["c"], True),
+        ("stale schema_version", good_perf,
+         variant(good_perf, schema_version=EXPECTED_SCHEMA_VERSION - 1),
+         ["c"], True),
+        ("well-formed telemetry", good_perf,
+         variant(good_perf, telemetry=good_telemetry), ["c"], False),
+        ("telemetry unknown group", good_perf,
+         variant(good_perf, telemetry={"totals": {"sim.events": 1}}),
+         ["c"], True),
+        ("telemetry unsorted keys", good_perf,
+         variant(good_perf, telemetry={
+             "counters": {"sim.jobs_completed": 10, "sim.events_processed": 1000},
+         }), ["c"], True),
+        ("telemetry empty group", good_perf,
+         variant(good_perf, telemetry={"counters": {}}), ["c"], True),
+        ("telemetry non-namespaced metric", good_perf,
+         variant(good_perf, telemetry={"gauges": {"cost": 1.0}}), ["c"], True),
     ]
     broken = False
     for description, base_case, cur_case, names, must_fail in scenarios:

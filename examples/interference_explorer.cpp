@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "src/common/format.h"
 #include "src/core/eva_scheduler.h"
 #include "src/sim/simulator.h"
 #include "src/workload/trace_gen.h"
@@ -28,7 +29,8 @@ int main() {
   const SimulationMetrics metrics =
       RunSimulation(trace, &scheduler, catalog, interference, sim_options);
 
-  std::printf("Ran %lld jobs; Eva adopted Full Reconfiguration in %d of %d rounds.\n\n",
+  std::printf("Ran " EVA_PRId64 " jobs; Eva adopted Full Reconfiguration in %d of %d"
+              " rounds.\n\n",
               static_cast<long long>(metrics.jobs_completed), scheduler.stats().full_adopted,
               scheduler.stats().rounds);
 

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "src/common/format.h"
 #include "src/core/eva_scheduler.h"
 #include "src/core/full_reconfig.h"
 #include "src/sim/experiment.h"
@@ -43,7 +44,7 @@ void Part1PaperExample() {
   Money separate = 0.0;
   for (const TaskInfo& task : context.tasks) {
     const Money rp = calculator.ReservationPrice(task);
-    std::printf("  RP(tau%lld) = $%.1f/hr\n", static_cast<long long>(task.id), rp);
+    std::printf("  RP(tau" EVA_PRId64 ") = $%.1f/hr\n", task.id, rp);
     separate += rp;
   }
 
@@ -52,7 +53,7 @@ void Part1PaperExample() {
   for (const ConfigInstance& instance : config.instances) {
     std::printf("  %s <-", catalog.Get(instance.type_index).name.c_str());
     for (TaskId task : instance.tasks) {
-      std::printf(" tau%lld", static_cast<long long>(task));
+      std::printf(" tau" EVA_PRId64, task);
     }
     std::printf("\n");
   }

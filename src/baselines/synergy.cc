@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/baselines/baseline_util.h"
+#include "src/common/format.h"
 #include "src/common/logging.h"
 #include "src/sched/reservation_price.h"
 
@@ -77,7 +78,7 @@ ClusterConfig SynergyScheduler::Schedule(const SchedulingContext& context) {
     const std::optional<int> type_index = context.catalog->CheapestFitting(
         [&task](InstanceFamily family) { return task.DemandFor(family); });
     if (!type_index.has_value()) {
-      EVA_LOG_WARNING("no instance type fits task %lld", static_cast<long long>(task.id));
+      EVA_LOG_WARNING("no instance type fits task " EVA_PRId64, task.id);
       continue;
     }
     ConfigInstance fresh;

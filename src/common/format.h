@@ -1,0 +1,22 @@
+// Shared printf conversion helpers for fixed-width integers.
+//
+// The tally widths in SimulationMetrics/FederationStats are std::int64_t,
+// which has no portable plain-printf conversion — `%lld` assumes int64_t is
+// long long (it is `long` on LP64 Linux), and sprinkling
+// static_cast<long long> at every call site is noise. Spell the <cinttypes>
+// macros once here and pass the 64-bit value unchanged:
+//
+//   std::printf("barriers=" EVA_PRId64 "\n", stats.barriers);
+//
+// String-literal concatenation keeps these usable inside larger format
+// strings and compatible with __attribute__((format(printf, ...))).
+
+#ifndef SRC_COMMON_FORMAT_H_
+#define SRC_COMMON_FORMAT_H_
+
+#include <cinttypes>
+
+#define EVA_PRId64 "%" PRId64
+#define EVA_PRIu64 "%" PRIu64
+
+#endif  // SRC_COMMON_FORMAT_H_

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 
 namespace eva {
 namespace internal {
@@ -9,6 +10,17 @@ std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 }  // namespace internal
 using internal::g_log_level;
 namespace {
+
+// The active sink. Writes are serialised by stdio's own per-FILE lock; the
+// pointer itself only changes in SetLogFile (setup/test code, not the hot
+// loop), published with release so a concurrently logging thread sees a
+// fully opened FILE.
+std::atomic<std::FILE*> g_log_file{nullptr};
+
+std::FILE* LogSink() {
+  std::FILE* file = g_log_file.load(std::memory_order_acquire);
+  return file != nullptr ? file : stderr;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,22 +38,82 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+bool ParseLogLevel(const char* text, LogLevel* out) {
+  struct NamedLevel {
+    const char* name;
+    LogLevel level;
+  };
+  static const NamedLevel kNames[] = {
+      {"debug", LogLevel::kDebug},     {"info", LogLevel::kInfo},
+      {"warning", LogLevel::kWarning}, {"warn", LogLevel::kWarning},
+      {"error", LogLevel::kError},     {"none", LogLevel::kNone},
+  };
+  for (const NamedLevel& named : kNames) {
+    if (std::strcmp(text, named.name) == 0) {
+      *out = named.level;
+      return true;
+    }
+  }
+  if (text[0] >= '0' && text[0] <= '4' && text[1] == '\0') {
+    *out = static_cast<LogLevel>(text[0] - '0');
+    return true;
+  }
+  return false;
+}
+
+// Reads the environment once before main(), so EVA_LOG_LEVEL=debug works
+// on every binary without per-driver wiring.
+struct EnvInitializer {
+  EnvInitializer() { InitLoggingFromEnv(); }
+} g_env_initializer;
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
+bool SetLogFile(const char* path) {
+  std::FILE* previous = g_log_file.exchange(nullptr);
+  if (previous != nullptr) std::fclose(previous);
+  if (path == nullptr) return true;
+  std::FILE* file = std::fopen(path, "a");
+  if (file == nullptr) return false;
+  g_log_file.store(file, std::memory_order_release);
+  return true;
+}
+
+void InitLoggingFromEnv() {
+  if (const char* level_text = std::getenv("EVA_LOG_LEVEL")) {
+    LogLevel level;
+    if (ParseLogLevel(level_text, &level)) {
+      SetLogLevel(level);
+    } else {
+      std::fprintf(stderr, "[WARN] unrecognised EVA_LOG_LEVEL '%s' ignored\n",
+                   level_text);
+    }
+  }
+  if (const char* path = std::getenv("EVA_LOG_FILE")) {
+    if (!SetLogFile(path[0] != '\0' ? path : nullptr)) {
+      std::fprintf(stderr, "[WARN] cannot open EVA_LOG_FILE '%s'; "
+                           "logging to stderr\n",
+                   path);
+    }
+  }
+}
+
 void LogMessage(LogLevel level, const char* format, ...) {
   if (static_cast<int>(level) < g_log_level.load()) {
     return;
   }
-  std::fprintf(stderr, "[%s] ", LevelName(level));
+  std::FILE* sink = LogSink();
+  std::fprintf(sink, "[%s] ", LevelName(level));
   va_list args;
   va_start(args, format);
-  std::vfprintf(stderr, format, args);
+  std::vfprintf(sink, format, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  std::fputc('\n', sink);
+  if (sink != stderr) std::fflush(sink);
 }
 
 }  // namespace eva

@@ -33,6 +33,16 @@ extern std::atomic<int> g_log_level;
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Redirects the log sink to `path` (append mode); nullptr or an unopenable
+// path restores stderr. Returns false when the file could not be opened.
+bool SetLogFile(const char* path);
+
+// Applies EVA_LOG_LEVEL (a level name like "debug"/"warning" or the
+// numeric enum value) and EVA_LOG_FILE (a path for the sink) from the
+// environment. Runs once automatically before main() via a static
+// initializer; exposed so tests can re-apply a modified environment.
+void InitLoggingFromEnv();
+
 inline bool LogEnabled(LogLevel level) {
   return static_cast<int>(level) >=
          internal::g_log_level.load(std::memory_order_relaxed);

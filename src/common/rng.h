@@ -55,6 +55,22 @@ class Rng {
   // another.
   Rng Fork();
 
+  // Order-sensitive digest of the generator state — the "cursor" the
+  // divergence flight recorder snapshots per round. Two generators compare
+  // equal here iff they have consumed identical draw sequences from the
+  // same seed. Does not advance the state.
+  std::uint64_t StateHash() const {
+    std::uint64_t hash = 0x9e3779b97f4a7c15ULL;
+    for (std::uint64_t word : state_) {
+      hash ^= word + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+      // SplitMix64 finalizer round, so single-bit state deltas avalanche.
+      hash = (hash ^ (hash >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      hash = (hash ^ (hash >> 27)) * 0x94d049bb133111ebULL;
+      hash ^= hash >> 31;
+    }
+    return hash;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

@@ -263,6 +263,14 @@ void EvaScheduler::Reconcile(const SchedulingContext& context,
   const int before = escalation_.escalations();
   escalation_.RecordDivergence(divergence);
   counters_.escalations += escalation_.escalations() - before;
+  if (trace_) {
+    trace_.recorder->Instant(trace_.track, "eva.reconcile", context.now_s,
+                             "divergence", divergence, "edits",
+                             static_cast<double>(edits));
+    if (escalation_.escalations() > before) {
+      trace_.recorder->Instant(trace_.track, "eva.escalate", context.now_s);
+    }
+  }
   EVA_LOG_DEBUG("reconcile t=%.0f: cost_inc=%.3f cost_exact=%.3f div=%.4f edits=%d%s",
                 context.now_s, cost_incremental, cost_exact, divergence, edits,
                 escalation_.escalated() ? " [escalated]" : "");
@@ -279,6 +287,9 @@ void EvaScheduler::ComputeFullCandidate(const SchedulingContext& context,
     FullReconfigurationInto(context, *calculator_, packing, work_full_);
     ++stats_.full_packs;
     ++counters_.packs_full;
+    if (trace_) {
+      trace_.recorder->Instant(trace_.track, "eva.pack.full", context.now_s);
+    }
     return;
   }
   if (escalation_.escalated()) {
@@ -287,6 +298,10 @@ void EvaScheduler::ComputeFullCandidate(const SchedulingContext& context,
     ++counters_.packs_escalated;
     escalation_.RecordPack(/*fell_back=*/false);
     NoteExactIncumbent();
+    if (trace_) {
+      trace_.recorder->Instant(trace_.track, "eva.pack.escalated",
+                               context.now_s);
+    }
     return;
   }
   if (!memo_.valid) {
@@ -296,6 +311,10 @@ void EvaScheduler::ComputeFullCandidate(const SchedulingContext& context,
     ++counters_.fallback_no_previous;
     escalation_.RecordPack(/*fell_back=*/true);
     NoteExactIncumbent();
+    if (trace_) {
+      trace_.recorder->Instant(trace_.track, "eva.pack.fallback",
+                               context.now_s, "reason", 2.0);
+    }
     return;
   }
   IncrementalOptions incremental;
@@ -306,6 +325,11 @@ void EvaScheduler::ComputeFullCandidate(const SchedulingContext& context,
   if (outcome == IncrementalOutcome::kIncremental) {
     ++stats_.incremental_packs;
     ++counters_.packs_incremental;
+    if (trace_) {
+      trace_.recorder->Instant(trace_.track, "eva.pack.incremental",
+                               context.now_s, "staleness",
+                               static_cast<double>(packs_since_reconcile_ + 1));
+    }
     {
       const int before = escalation_.escalations();
       escalation_.RecordPack(/*fell_back=*/false);
@@ -325,18 +349,26 @@ void EvaScheduler::ComputeFullCandidate(const SchedulingContext& context,
   // the fallback-rate EMA see it.
   ++stats_.full_packs;
   ++counters_.packs_full;
+  double fallback_reason = 0.0;
   switch (outcome) {
     case IncrementalOutcome::kFullIncompleteDelta:
       ++counters_.fallback_incomplete_delta;
+      fallback_reason = 0.0;
       break;
     case IncrementalOutcome::kFullNoPrevious:
       ++counters_.fallback_no_previous;
+      fallback_reason = 2.0;
       break;
     case IncrementalOutcome::kFullOversizedDelta:
       ++counters_.fallback_oversized_delta;
+      fallback_reason = 1.0;
       break;
     case IncrementalOutcome::kIncremental:
       break;  // Unreachable.
+  }
+  if (trace_) {
+    trace_.recorder->Instant(trace_.track, "eva.pack.fallback", context.now_s,
+                             "reason", fallback_reason);
   }
   {
     const int before = escalation_.escalations();

@@ -151,6 +151,11 @@ class EvaScheduler : public Scheduler {
   int CoalesceQuiescentRounds(int max_rounds, SimTime period_s) override;
   void BindWorkloadScale(std::size_t expected_jobs) override;
   void ExportCounters(SchedulerCounters& out) const override;
+  // Span sink for the decision path (pack mode, reconciliations,
+  // escalations), stamped at context.now_s. Only the Full-candidate branch
+  // emits — the Partial branch may run concurrently on the pool, and one
+  // emitter per track is the determinism contract (see TraceRecorder).
+  void BindTrace(const TraceBinding& binding) override { trace_ = binding; }
 
   // On-demand reconciliation: the next incremental pack runs the exact
   // repack alongside, measures divergence, and adopts the exact result —
@@ -221,6 +226,10 @@ class EvaScheduler : public Scheduler {
   int packs_since_reconcile_ = 0;  // Packs with a possibly-inexact incumbent.
   bool reconcile_requested_ = false;
   ClusterConfig reconcile_exact_;  // Exact-repack buffer (capacity reused).
+
+  // Span sink on the owning simulator's track; unbound (null recorder)
+  // unless the run enabled tracing.
+  TraceBinding trace_;
 
   // Active-job id set carried between rounds: flat sorted storage with
   // std::set iteration order, mutated O(delta) per round without per-node

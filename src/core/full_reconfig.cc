@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/arena.h"
+#include "src/common/format.h"
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
 
@@ -248,8 +249,8 @@ void PackByReservationPriceInto(const SchedulingContext& context,
     const std::optional<int> type_index = context.catalog->CheapestFitting(
         [task = pool[i]](InstanceFamily family) { return task->DemandFor(family); });
     if (!type_index.has_value()) {
-      EVA_LOG_WARNING("task %lld fits no instance type; leaving unassigned",
-                      static_cast<long long>(pool[i]->id));
+      EVA_LOG_WARNING("task " EVA_PRId64 " fits no instance type; leaving unassigned",
+                      pool[i]->id);
       if (unassigned != nullptr) {
         unassigned->push_back(pool[i]->id);
       }

@@ -1,0 +1,119 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace eva {
+
+void FlightRecorder::Record(const RoundDigest& digest) {
+  RoundDigest stamped = digest;
+  stamped.round = count_;
+  if (ring_.size() < window_) {
+    ring_.push_back(stamped);
+  } else {
+    ring_[static_cast<std::size_t>(count_ % static_cast<std::int64_t>(
+                                                window_))] = stamped;
+  }
+  ++count_;
+}
+
+std::int64_t FlightRecorder::first_retained() const {
+  const std::int64_t retained = static_cast<std::int64_t>(ring_.size());
+  return count_ - retained;
+}
+
+const RoundDigest* FlightRecorder::Get(std::int64_t round) const {
+  if (round < first_retained() || round >= count_) return nullptr;
+  return &ring_[static_cast<std::size_t>(round %
+                                         static_cast<std::int64_t>(window_))];
+}
+
+RoundDigest* FlightRecorder::MutableDigest(std::int64_t round) {
+  return const_cast<RoundDigest*>(
+      static_cast<const FlightRecorder*>(this)->Get(round));
+}
+
+void FlightRecorder::Clear() {
+  ring_.clear();
+  count_ = 0;
+}
+
+std::string DivergenceReport::ToString() const {
+  char buf[160];
+  if (field == "config_hash" || field == "rng_hash") {
+    std::snprintf(buf, sizeof(buf),
+                  "first divergence at round %" PRId64
+                  ": %s %016" PRIx64 " vs %016" PRIx64,
+                  round, field.c_str(), static_cast<std::uint64_t>(value_a),
+                  static_cast<std::uint64_t>(value_b));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "first divergence at round %" PRId64 ": %s %.9g vs %.9g",
+                  round, field.c_str(), value_a, value_b);
+  }
+  return buf;
+}
+
+std::optional<DivergenceReport> DiffFirstDivergence(const FlightRecorder& a,
+                                                    const FlightRecorder& b) {
+  const std::int64_t first =
+      std::max(a.first_retained(), b.first_retained());
+  const std::int64_t last =
+      std::min(a.rounds_recorded(), b.rounds_recorded());
+  for (std::int64_t round = first; round < last; ++round) {
+    const RoundDigest* da = a.Get(round);
+    const RoundDigest* db = b.Get(round);
+    // Sharpest-first: a diverging RNG cursor or config hash names the
+    // culprit round exactly; cost and counts are downstream symptoms.
+    struct FieldView {
+      const char* name;
+      double va;
+      double vb;
+      bool equal;
+    };
+    const FieldView fields[] = {
+        {"rng_hash", static_cast<double>(da->rng_hash),
+         static_cast<double>(db->rng_hash), da->rng_hash == db->rng_hash},
+        {"config_hash", static_cast<double>(da->config_hash),
+         static_cast<double>(db->config_hash),
+         da->config_hash == db->config_hash},
+        {"t_s", da->t_s, db->t_s, da->t_s == db->t_s},
+        {"hourly_cost", da->hourly_cost, db->hourly_cost,
+         da->hourly_cost == db->hourly_cost},
+        {"events_processed", static_cast<double>(da->events_processed),
+         static_cast<double>(db->events_processed),
+         da->events_processed == db->events_processed},
+        {"jobs_completed", static_cast<double>(da->jobs_completed),
+         static_cast<double>(db->jobs_completed),
+         da->jobs_completed == db->jobs_completed},
+        {"active_jobs", static_cast<double>(da->active_jobs),
+         static_cast<double>(db->active_jobs),
+         da->active_jobs == db->active_jobs},
+        {"live_instances", static_cast<double>(da->live_instances),
+         static_cast<double>(db->live_instances),
+         da->live_instances == db->live_instances},
+    };
+    for (const FieldView& field : fields) {
+      if (!field.equal) {
+        DivergenceReport report;
+        report.round = round;
+        report.field = field.name;
+        report.value_a = field.va;
+        report.value_b = field.vb;
+        return report;
+      }
+    }
+  }
+  if (a.rounds_recorded() != b.rounds_recorded()) {
+    DivergenceReport report;
+    report.round = last;
+    report.field = "rounds_recorded";
+    report.value_a = static_cast<double>(a.rounds_recorded());
+    report.value_b = static_cast<double>(b.rounds_recorded());
+    return report;
+  }
+  return std::nullopt;
+}
+
+}  // namespace eva

@@ -1,0 +1,85 @@
+// Divergence flight recorder: a rolling window of per-round digests with a
+// diff that pinpoints the first round where two runs disagree.
+//
+// Determinism failures used to be debugged by bisecting golden blobs: two
+// runs' final metrics differ and nothing says *when* they forked. The
+// flight recorder fixes that. Every scheduling round (coalesced ones too)
+// the simulator appends a cheap digest — config hash, live hourly cost,
+// cumulative event/job counts, the RNG cursor — and DiffFirstDivergence
+// walks two recorders to the first round and first field that disagree.
+// The RNG cursor is the sharpest signal: a stray draw diverges the cursor
+// on the exact round it happened, long before costs drift.
+//
+// Digests carry only values derived from virtual time and simulation state,
+// so two runs of the same seed produce identical windows at any pool size.
+
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eva {
+
+struct RoundDigest {
+  std::int64_t round = -1;   // Assigned by FlightRecorder::Record.
+  double t_s = 0.0;          // Virtual time of the round.
+  std::uint64_t config_hash = 0;  // Hash of the applied cluster config.
+  std::uint64_t rng_hash = 0;     // Simulator RNG state hash (the cursor).
+  double hourly_cost = 0.0;       // Sum of live instances' hourly prices.
+  std::int64_t events_processed = 0;  // Cumulative engine events.
+  std::int64_t jobs_completed = 0;
+  std::int64_t active_jobs = 0;
+  std::int64_t live_instances = 0;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t window = 1024)
+      : window_(window > 0 ? window : 1) {}
+
+  // Appends a digest; its `round` field is overwritten with the recorder's
+  // own monotonic round index. O(1), no allocation once the window filled.
+  void Record(const RoundDigest& digest);
+
+  // Total rounds ever recorded (retained window is the trailing min(window,
+  // rounds_recorded()) of them).
+  std::int64_t rounds_recorded() const { return count_; }
+  // First round index still retained in the window.
+  std::int64_t first_retained() const;
+
+  // Digest for an absolute round index, or nullptr if outside the window.
+  const RoundDigest* Get(std::int64_t round) const;
+  // Mutable access for tests (perturbation injection).
+  RoundDigest* MutableDigest(std::int64_t round);
+
+  void Clear();
+
+ private:
+  std::size_t window_;
+  std::vector<RoundDigest> ring_;
+  std::int64_t count_ = 0;
+};
+
+struct DivergenceReport {
+  std::int64_t round = 0;  // First diverging round.
+  std::string field;       // Digest field that differs there.
+  double value_a = 0.0;    // The two runs' values for that field
+  double value_b = 0.0;    // (numeric view; hashes print as integers).
+
+  std::string ToString() const;
+};
+
+// Compares two recorders over the rounds both retain and returns the first
+// (round, field) where they disagree — or nullopt when the overlapping
+// window is identical and both recorded the same number of rounds. Fields
+// are checked in causal sharpness order (RNG cursor and config hash before
+// derived aggregates), so `field` names the most diagnostic mismatch.
+std::optional<DivergenceReport> DiffFirstDivergence(const FlightRecorder& a,
+                                                    const FlightRecorder& b);
+
+}  // namespace eva
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,52 @@
+// Per-simulator observability switchboard.
+//
+// SimulatorOptions carries one of these. Everything defaults to off/null:
+// the simulator's hot paths guard each sink with a single pointer test, so
+// a run with the default options does zero observability work — goldens
+// stay bit-exact and the allocs/event gate is unaffected.
+//
+// All sinks are caller-owned, outliving the simulator: the same
+// TraceRecorder is typically shared by every tenant of a federation (each
+// on its own track), while FlightRecorder and TelemetryRegistry are
+// single-writer and therefore per-simulator.
+
+#ifndef SRC_OBS_OBSERVABILITY_H_
+#define SRC_OBS_OBSERVABILITY_H_
+
+#include <string>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
+namespace eva {
+
+struct ObservabilityOptions {
+  // Master switch; when false the sinks below are ignored entirely.
+  bool enabled = false;
+
+  // Span sink. The simulator registers its own track at construction
+  // (named `track_name`, or "tenant<id>" when empty) and hands a binding
+  // to its scheduler and solver.
+  TraceRecorder* trace = nullptr;
+
+  // Per-round digest sink for DiffFirstDivergence.
+  FlightRecorder* flight_recorder = nullptr;
+
+  // Counter/gauge/series sink; published at Finish and sampled per round.
+  TelemetryRegistry* registry = nullptr;
+
+  // Also emit one instant span per engine event (arrivals, launches,
+  // completions...). Orders of magnitude more spans than round-level
+  // tracing; off by default even when tracing is on.
+  bool trace_engine_events = false;
+
+  // Virtual-time bucket width for registry time series.
+  double timeseries_bucket_s = 3600.0;
+
+  std::string track_name;
+};
+
+}  // namespace eva
+
+#endif  // SRC_OBS_OBSERVABILITY_H_

@@ -1,0 +1,207 @@
+#include "src/obs/registry.h"
+
+#include <cmath>
+
+#include "src/obs/json_util.h"
+
+namespace eva {
+
+using obs_internal::AppendJsonNumber;
+using obs_internal::AppendJsonString;
+
+namespace {
+
+int Log2Bucket(std::int64_t value) {
+  if (value < 1) return 0;
+  int index = 1;
+  while (value > 1 && index < 63) {
+    value >>= 1;
+    ++index;
+  }
+  return index;
+}
+
+}  // namespace
+
+void TelemetryRegistry::Histogram::Record(std::int64_t value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[Log2Bucket(value)];
+}
+
+std::int64_t TelemetryRegistry::Histogram::bucket(int index) const {
+  if (index < 0 || index > 63) return 0;
+  return buckets_[index];
+}
+
+void TelemetryRegistry::TimeSeries::Sample(double t_s, double value) {
+  const std::int64_t index =
+      static_cast<std::int64_t>(std::floor(t_s / bucket_width_s_));
+  Bucket& bucket = buckets_[index];
+  if (bucket.count == 0) {
+    bucket.min = value;
+    bucket.max = value;
+  } else {
+    if (value < bucket.min) bucket.min = value;
+    if (value > bucket.max) bucket.max = value;
+  }
+  ++bucket.count;
+  bucket.sum += value;
+  bucket.last = value;
+}
+
+void TelemetryRegistry::Inc(const std::string& name, std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+void TelemetryRegistry::SetCounter(const std::string& name,
+                                   std::int64_t value) {
+  counters_[name] = value;
+}
+
+std::int64_t TelemetryRegistry::CounterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void TelemetryRegistry::SetGauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+double TelemetryRegistry::GaugeValue(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+TelemetryRegistry::Histogram& TelemetryRegistry::Hist(const std::string& name) {
+  return histograms_[name];
+}
+
+TelemetryRegistry::TimeSeries& TelemetryRegistry::Series(
+    const std::string& name, double bucket_width_s) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries()).first;
+    it->second.bucket_width_s_ = bucket_width_s > 0.0 ? bucket_width_s : 1.0;
+  }
+  return it->second;
+}
+
+void TelemetryRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+std::string TelemetryRegistry::ToJson() const {
+  std::string out;
+  out.push_back('{');
+  bool first_group = true;
+  auto open_group = [&](const char* name) {
+    if (!first_group) out.push_back(',');
+    first_group = false;
+    out.push_back('"');
+    out.append(name);
+    out.append("\":{");
+  };
+
+  if (!counters_.empty()) {
+    open_group("counters");
+    bool first = true;
+    for (const auto& [name, value] : counters_) {
+      if (!first) out.push_back(',');
+      first = false;
+      AppendJsonString(&out, name);
+      out.push_back(':');
+      AppendJsonNumber(&out, static_cast<double>(value));
+    }
+    out.push_back('}');
+  }
+  if (!gauges_.empty()) {
+    open_group("gauges");
+    bool first = true;
+    for (const auto& [name, value] : gauges_) {
+      if (!first) out.push_back(',');
+      first = false;
+      AppendJsonString(&out, name);
+      out.push_back(':');
+      AppendJsonNumber(&out, value);
+    }
+    out.push_back('}');
+  }
+  if (!histograms_.empty()) {
+    open_group("histograms");
+    bool first = true;
+    for (const auto& [name, hist] : histograms_) {
+      if (!first) out.push_back(',');
+      first = false;
+      AppendJsonString(&out, name);
+      out.append(":{\"count\":");
+      AppendJsonNumber(&out, static_cast<double>(hist.count_));
+      out.append(",\"sum\":");
+      AppendJsonNumber(&out, static_cast<double>(hist.sum_));
+      out.append(",\"min\":");
+      AppendJsonNumber(&out, static_cast<double>(hist.min_));
+      out.append(",\"max\":");
+      AppendJsonNumber(&out, static_cast<double>(hist.max_));
+      out.append(",\"buckets\":{");
+      bool first_bucket = true;
+      for (int i = 0; i < 64; ++i) {
+        if (hist.buckets_[i] == 0) continue;
+        if (!first_bucket) out.push_back(',');
+        first_bucket = false;
+        char key[8];
+        std::snprintf(key, sizeof(key), "\"%d\":", i);
+        out.append(key);
+        AppendJsonNumber(&out, static_cast<double>(hist.buckets_[i]));
+      }
+      out.append("}}");
+    }
+    out.push_back('}');
+  }
+  if (!series_.empty()) {
+    open_group("series");
+    bool first = true;
+    for (const auto& [name, series] : series_) {
+      if (!first) out.push_back(',');
+      first = false;
+      AppendJsonString(&out, name);
+      out.append(":{\"bucket_s\":");
+      AppendJsonNumber(&out, series.bucket_width_s_);
+      out.append(",\"points\":[");
+      bool first_point = true;
+      for (const auto& [index, bucket] : series.buckets_) {
+        if (!first_point) out.push_back(',');
+        first_point = false;
+        out.append("{\"t\":");
+        AppendJsonNumber(&out,
+                         static_cast<double>(index) * series.bucket_width_s_);
+        out.append(",\"count\":");
+        AppendJsonNumber(&out, static_cast<double>(bucket.count));
+        out.append(",\"sum\":");
+        AppendJsonNumber(&out, bucket.sum);
+        out.append(",\"min\":");
+        AppendJsonNumber(&out, bucket.min);
+        out.append(",\"max\":");
+        AppendJsonNumber(&out, bucket.max);
+        out.append(",\"last\":");
+        AppendJsonNumber(&out, bucket.last);
+        out.push_back('}');
+      }
+      out.append("]}");
+    }
+    out.push_back('}');
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace eva

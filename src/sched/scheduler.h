@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sched/types.h"
 #include "src/workload/workload.h"
 
@@ -80,6 +81,15 @@ class Scheduler {
   // scale-dependent defaults (Eva's auto incremental-packing mode) resolve
   // them here; the default ignores the hint.
   virtual void BindWorkloadScale(std::size_t expected_jobs) { (void)expected_jobs; }
+
+  // Hands the scheduler a span sink on its owner's trace track (the
+  // simulator calls this at construction when tracing is enabled; never
+  // called when it is off). Spans must be stamped with the context's
+  // virtual time, and only the serially-executing decision path may emit —
+  // a scheduler fanning work out to a pool must confine emission to one
+  // branch so the track's span order stays deterministic. Default: ignore
+  // (untraced schedulers).
+  virtual void BindTrace(const TraceBinding& binding) { (void)binding; }
 
   // Adds this run's decision-path counters into `out` (+=, so federated
   // callers can aggregate across tenants). Called after the last round.

@@ -7,8 +7,10 @@
 #include <limits>
 #include <memory>
 
+#include "src/common/format.h"
 #include "src/common/stats.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/publish.h"
 #include "src/workload/trace_gen.h"
 
 namespace eva {
@@ -88,6 +90,25 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
     eva.max_parallelism = 1;
   }
 
+  // Observability. One shared TraceRecorder serves every tenant (each
+  // registers its own track at construction); the driver adds a
+  // "federation" track for barrier spans, emitted only from this serial
+  // loop so the track's order never depends on the pool. FlightRecorder
+  // and TelemetryRegistry are single-writer: tenants record into their own
+  // slot of the caller's flight-recorder vector, and the shared registry
+  // pointer is withheld from tenants — the driver publishes the
+  // federation-level stats into it after the run instead.
+  const ObservabilityOptions& obs = options.simulator.observability;
+  TraceRecorder* fed_trace = nullptr;
+  std::uint32_t fed_track = 0;
+  if (obs.enabled && obs.trace != nullptr) {
+    fed_trace = obs.trace;
+    fed_track = fed_trace->RegisterTrack("federation");
+  }
+  if (obs.enabled && options.flight_recorders != nullptr) {
+    options.flight_recorders->resize(tenants.size());
+  }
+
   // One bundle + simulator per tenant, all provisioned from `provider`.
   struct TenantRun {
     SchedulerBundle bundle;
@@ -105,6 +126,12 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
     sim_options.shared_provider = &provider;
     sim_options.tenant_id = static_cast<int>(i);
     sim_options.seed = options.simulator.seed + i;
+    if (obs.enabled) {
+      sim_options.observability.registry = nullptr;
+      sim_options.observability.flight_recorder =
+          options.flight_recorders != nullptr ? &(*options.flight_recorders)[i]
+                                              : nullptr;
+    }
     if (options.stagger_rounds) {
       const auto slot = static_cast<int>(
           Mix64(options.stagger_seed ^ static_cast<std::uint64_t>(i)) %
@@ -259,6 +286,11 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
       largest = std::max(largest, members.size());
     }
     stats.largest_group_participants += static_cast<std::int64_t>(largest);
+    if (fed_trace != nullptr) {
+      fed_trace->Instant(fed_track, "fed.barrier", barrier, "participants",
+                         static_cast<double>(participants.size()), "groups",
+                         static_cast<double>(groups.size()));
+    }
 
     // Grouped round phase: groups fan out on the pool (they touch disjoint
     // finite shards, plus commutative unlimited/quote state); members of a
@@ -292,6 +324,9 @@ FederationResult RunFederation(const std::vector<FederationTenant>& tenants,
     result.tenants.push_back(std::move(tenant));
   }
   result.provider = provider.FinalizeMetrics(result.horizon_s);
+  if (obs.enabled) {
+    PublishFederationStats(stats, obs.registry);
+  }
   return result;
 }
 
@@ -307,14 +342,12 @@ void PrintFederationReport(const FederationResult& result,
   for (std::size_t i = 0; i < shown; ++i) {
     const FederationResult::Tenant& tenant = result.tenants[i];
     const SimulationMetrics& m = tenant.metrics;
-    std::printf("%-12s %-12s %12.2f %10.2f %8.2f %8lld %8lld %8lld %4lld/%-4lld\n",
+    std::printf("%-12s %-12s %12.2f %10.2f %8.2f %8" PRId64 " %8" PRId64
+                " %8" PRId64 " %4" PRId64 "/%-4" PRId64 "\n",
                 tenant.name.c_str(), SchedulerKindName(tenant.kind), m.total_cost,
-                m.spot_cost, m.avg_jct_hours,
-                static_cast<long long>(m.acquisitions_denied),
-                static_cast<long long>(m.spot_preemptions),
-                static_cast<long long>(m.spot_instances_launched),
-                static_cast<long long>(m.jobs_completed),
-                static_cast<long long>(m.jobs_submitted));
+                m.spot_cost, m.avg_jct_hours, m.acquisitions_denied,
+                m.spot_preemptions, m.spot_instances_launched, m.jobs_completed,
+                m.jobs_submitted);
   }
   if (shown < total) {
     std::printf("  ... %zu more tenants elided (max_tenant_rows=%d)\n", total - shown,
@@ -368,17 +401,14 @@ void PrintFederationReport(const FederationResult& result,
           fault_sum.maintenance_drains >
       0) {
     std::printf(
-        "faults: outages=%lld bursts=%lld drains=%lld killed=%lld drained=%lld "
-        "evicted=%lld lost=%lld lost-work=%.2fh replaced=%lld\n",
-        static_cast<long long>(fault_sum.zone_outages),
-        static_cast<long long>(fault_sum.correlated_failures),
-        static_cast<long long>(fault_sum.maintenance_drains),
-        static_cast<long long>(fault_sum.instances_killed),
-        static_cast<long long>(fault_sum.instances_drained),
-        static_cast<long long>(fault_sum.tasks_evicted),
-        static_cast<long long>(fault_sum.tasks_lost),
-        SecondsToHours(fault_sum.lost_work_seconds),
-        static_cast<long long>(fault_sum.replacements_completed));
+        "faults: outages=" EVA_PRId64 " bursts=" EVA_PRId64 " drains=" EVA_PRId64
+        " killed=" EVA_PRId64 " drained=" EVA_PRId64 " evicted=" EVA_PRId64
+        " lost=" EVA_PRId64 " lost-work=%.2fh replaced=" EVA_PRId64 "\n",
+        fault_sum.zone_outages, fault_sum.correlated_failures,
+        fault_sum.maintenance_drains, fault_sum.instances_killed,
+        fault_sum.instances_drained, fault_sum.tasks_evicted,
+        fault_sum.tasks_lost, SecondsToHours(fault_sum.lost_work_seconds),
+        fault_sum.replacements_completed);
     std::printf("  goodput    min=%.4f median=%.4f\n",
                 *std::min_element(goodputs.begin(), goodputs.end()),
                 Quantile(goodputs, 0.5));
@@ -393,22 +423,22 @@ void PrintFederationReport(const FederationResult& result,
     const CloudProviderMetrics::Family& family =
         result.provider.families[static_cast<std::size_t>(f)];
     std::printf(
-        "  %-4s cap=%-4d granted=%-6lld denied=%-6lld fault-denied=%-5lld "
-        "preempted=%-5lld peak=%-4d util=%5.1f%% inst-h=%.1f\n",
+        "  %-4s cap=%-4d granted=%-6" PRId64 " denied=%-6" PRId64
+        " fault-denied=%-5" PRId64 " preempted=%-5" PRId64
+        " peak=%-4d util=%5.1f%% inst-h=%.1f\n",
         InstanceFamilyName(static_cast<InstanceFamily>(f)), family.capacity,
-        static_cast<long long>(family.granted), static_cast<long long>(family.denied),
-        static_cast<long long>(family.fault_denied),
-        static_cast<long long>(family.preempted), family.peak_in_use,
-        family.avg_utilization * 100.0, family.instance_hours);
+        family.granted, family.denied, family.fault_denied, family.preempted,
+        family.peak_in_use, family.avg_utilization * 100.0,
+        family.instance_hours);
   }
   const FederationStats& stats = result.stats;
   std::printf(
-      "driver: barriers=%lld participants=%lld groups=%lld serial-share=%.3f "
+      "driver: barriers=" EVA_PRId64 " participants=" EVA_PRId64
+      " groups=" EVA_PRId64 " serial-share=%.3f "
       "setup=%.3fs advance=%.3fs rounds=%.3fs\n",
-      static_cast<long long>(stats.barriers),
-      static_cast<long long>(stats.round_participants),
-      static_cast<long long>(stats.round_groups), stats.SerialShare(),
-      stats.setup_wall_s, stats.advance_wall_s, stats.round_wall_s);
+      stats.barriers, stats.round_participants, stats.round_groups,
+      stats.SerialShare(), stats.setup_wall_s, stats.advance_wall_s,
+      stats.round_wall_s);
 }
 
 }  // namespace eva

@@ -83,6 +83,17 @@ struct FederationOptions {
   bool stagger_rounds = false;
   int stagger_slots = 8;
   std::uint64_t stagger_seed = 0x57A66E12u;
+
+  // Per-tenant flight recorders (caller-owned; resized to the tenant count
+  // by RunFederation). FlightRecorder is single-writer, so the shared
+  // `simulator.observability.flight_recorder` pointer cannot serve N
+  // concurrent tenants — supply a vector instead and tenant i records into
+  // slot i. Same single-writer story for the registry: the driver nulls the
+  // per-tenant registry pointer and publishes federation-level aggregates
+  // into `simulator.observability.registry` itself after the run. The
+  // TraceRecorder *is* shared (per-track rings), each tenant on its own
+  // track plus a "federation" track for barrier spans.
+  std::vector<FlightRecorder>* flight_recorders = nullptr;
 };
 
 // Where the federation's wall-clock time went, plus the counters behind the

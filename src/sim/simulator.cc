@@ -4,12 +4,15 @@
 #include <chrono>
 #include <cstdlib>
 #include <limits>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/format.h"
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/obs/publish.h"
 #include "src/sched/config_diff.h"
 #include "src/sim/cluster_state.h"
 #include "src/sim/event_queue.h"
@@ -28,6 +31,38 @@ CloudProviderOptions MergedProviderOptions(const SimulatorOptions& options) {
     merged.faults = options.faults;
   }
   return merged;
+}
+
+// Span names for the optional per-event tracing; string literals, interned
+// by pointer in the recorder.
+const char* EventSpanName(SimEventType type) {
+  switch (type) {
+    case SimEventType::kArrival:
+      return "ev.arrival";
+    case SimEventType::kRound:
+      return "ev.round";
+    case SimEventType::kInstanceReady:
+      return "ev.instance_ready";
+    case SimEventType::kCheckpointDone:
+      return "ev.checkpoint_done";
+    case SimEventType::kLaunchDone:
+      return "ev.launch_done";
+    case SimEventType::kCompletionCheck:
+      return "ev.completion_check";
+    case SimEventType::kSpotCheck:
+      return "ev.spot_check";
+    case SimEventType::kSpotPreempt:
+      return "ev.spot_preempt";
+    case SimEventType::kFaultCheck:
+      return "ev.fault_check";
+    case SimEventType::kZoneOutage:
+      return "ev.zone_outage";
+    case SimEventType::kDrainStart:
+      return "ev.drain_start";
+    case SimEventType::kDrainDeadline:
+      return "ev.drain_deadline";
+  }
+  return "ev.unknown";
 }
 
 }  // namespace
@@ -56,6 +91,19 @@ class Simulator::Impl {
     // Let scale-dependent scheduler defaults (Eva's auto incremental-
     // packing mode) resolve against the workload size before any round.
     scheduler_->BindWorkloadScale(trace_.jobs.size());
+    if (options_.observability.enabled) {
+      const ObservabilityOptions& obs = options_.observability;
+      flight_ = obs.flight_recorder;
+      registry_ = obs.registry;
+      if (obs.trace != nullptr) {
+        obs_trace_ = obs.trace;
+        track_ = obs_trace_->RegisterTrack(
+            !obs.track_name.empty()
+                ? obs.track_name
+                : "tenant" + std::to_string(options_.tenant_id));
+        scheduler_->BindTrace(TraceBinding{obs_trace_, track_});
+      }
+    }
     if (provider_ != nullptr) {
       // Spot instances are priced off the market's trace integral (and the
       // spot share is tracked); releases return pool capacity. The hooks
@@ -172,6 +220,76 @@ class Simulator::Impl {
   bool HasActiveJobs() const { return state_.num_active() > 0; }
   bool HasPendingArrivals() const { return next_arrival_ < trace_.jobs.size(); }
 
+  // --- Observability (all no-ops when the sinks below are null) ----------
+
+  // Sum of live instances' hourly prices — the cost-rate sample for the
+  // round digest and the registry time series.
+  double LiveHourlyCost() const {
+    double total = 0.0;
+    for (const auto& [id, instance] : state_.instances()) {
+      total += catalog_.Get(instance.type_index).cost_per_hour;
+    }
+    return total;
+  }
+
+  // Order- and content-sensitive hash of the desired configuration; the
+  // sharpest per-round fingerprint the flight recorder snapshots.
+  std::uint64_t HashConfig(const ClusterConfig& config) const {
+    std::uint64_t hash = 0x9e3779b97f4a7c15ULL;
+    auto mix = [&hash](std::uint64_t value) {
+      hash ^= value + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+    };
+    mix(static_cast<std::uint64_t>(config.instances.size()));
+    for (const ConfigInstance& instance : config.instances) {
+      mix(static_cast<std::uint64_t>(instance.type_index));
+      mix(static_cast<std::uint64_t>(instance.reuse_instance));
+      mix(static_cast<std::uint64_t>(instance.tasks.size()));
+      for (TaskId task : instance.tasks) {
+        mix(static_cast<std::uint64_t>(task));
+      }
+    }
+    return hash;
+  }
+
+  // Appends this round's digest and samples the registry time series.
+  // Called once per scheduling round, coalesced rounds included, so digest
+  // round indices line up with metrics_.scheduling_rounds across runs.
+  void RecordRoundObservability() {
+    const double hourly_cost = LiveHourlyCost();
+    if (flight_ != nullptr) {
+      RoundDigest digest;
+      digest.t_s = now_;
+      digest.config_hash = last_config_hash_;
+      digest.rng_hash = rng_.StateHash();
+      digest.hourly_cost = hourly_cost;
+      digest.events_processed = metrics_.events_processed;
+      digest.jobs_completed = metrics_.jobs_completed;
+      digest.active_jobs = state_.num_active();
+      digest.live_instances = static_cast<std::int64_t>(state_.instances().size());
+      flight_->Record(digest);
+    }
+    if (registry_ != nullptr) {
+      const double width = options_.observability.timeseries_bucket_s;
+      registry_->Series("ts.hourly_cost", width).Sample(now_, hourly_cost);
+      registry_->Series("ts.active_jobs", width).Sample(now_, state_.num_active());
+      registry_->Series("ts.live_instances", width)
+          .Sample(now_, static_cast<double>(state_.instances().size()));
+      registry_->Series("ts.queue_depth", width)
+          .Sample(now_, static_cast<double>(queue_.Size()));
+      registry_->Series("ts.denials", width)
+          .Sample(now_, static_cast<double>(metrics_.acquisitions_denied));
+      // Packing divergence as the scheduler last measured it (zero until
+      // the first reconciliation; zero throughout for exact-only runs).
+      SchedulerCounters counters;
+      scheduler_->ExportCounters(counters);
+      registry_->Series("ts.divergence_cost", width)
+          .Sample(now_, counters.last_divergence_cost);
+      registry_->Hist("round.events_delta")
+          .Record(metrics_.events_processed - last_round_events_);
+      last_round_events_ = metrics_.events_processed;
+    }
+  }
+
   // True when this round is certifiably quiescent: the context the scheduler
   // would see and the observations it would receive are identical (up to the
   // clock and remaining-runtime estimates) to the previous round's, and the
@@ -281,6 +399,16 @@ class Simulator::Impl {
   std::vector<JobId> scratch_job_ids_;
   std::vector<InstanceId> scratch_instance_ids_;
 
+  // Observability sinks, unpacked from options_.observability at
+  // construction; all null in the default (off) configuration, so every
+  // hook below is one pointer test on the hot path.
+  TraceRecorder* obs_trace_ = nullptr;
+  std::uint32_t track_ = 0;
+  FlightRecorder* flight_ = nullptr;
+  TelemetryRegistry* registry_ = nullptr;
+  std::uint64_t last_config_hash_ = 0;
+  std::int64_t last_round_events_ = 0;
+
   SimulationMetrics metrics_;
 };
 
@@ -313,8 +441,8 @@ void Simulator::Impl::HandleArrival(std::int64_t job_index) {
   const std::optional<int> fits = catalog_.CheapestFitting(
       [&spec](InstanceFamily family) { return spec.DemandFor(family); });
   if (!fits.has_value()) {
-    EVA_LOG_WARNING("job %lld demand %s fits no instance type; dropped",
-                    static_cast<long long>(spec.id), spec.demand_p3.ToString().c_str());
+    EVA_LOG_WARNING("job " EVA_PRId64 " demand %s fits no instance type; dropped",
+                    spec.id, spec.demand_p3.ToString().c_str());
     return;
   }
   const JobRec& job = state_.AddJob(spec);
@@ -340,6 +468,12 @@ void Simulator::Impl::HandleRound() {
       (HasActiveJobs() || HasPendingArrivals() || state_.HasLiveInstances()) &&
       scheduler_->CoalesceQuiescentRounds(1, options_.scheduling_period_s) > 0) {
     ++metrics_.rounds_coalesced;
+    if (obs_trace_ != nullptr) {
+      obs_trace_->Instant(track_, "round.coalesced", now_);
+    }
+    if (flight_ != nullptr || registry_ != nullptr) {
+      RecordRoundObservability();
+    }
     PushRound(now_ + options_.scheduling_period_s);
     return;
   }
@@ -393,12 +527,30 @@ void Simulator::Impl::HandleRound() {
   if (HasActiveJobs() || HasPendingArrivals() || state_.HasLiveInstances()) {
     PushRound(now_ + options_.scheduling_period_s);
   }
+
+  if (obs_trace_ != nullptr) {
+    obs_trace_->Instant(track_, "round", now_, "active_jobs",
+                    static_cast<double>(state_.num_active()), "live_instances",
+                    static_cast<double>(state_.instances().size()));
+  }
+  if (flight_ != nullptr || registry_ != nullptr) {
+    RecordRoundObservability();
+  }
 }
 
 void Simulator::Impl::ApplyConfig(const SchedulingContext& context,
                                   const ClusterConfig& config) {
   ConfigDiff& diff = round_diff_;  // Reused storage across rounds.
   DiffConfigInto(context, config, diff);
+
+  if (flight_ != nullptr) {
+    last_config_hash_ = HashConfig(config);
+  }
+  if (obs_trace_ != nullptr) {
+    obs_trace_->Instant(track_, "config.apply", now_, "launches",
+                    static_cast<double>(diff.NumLaunches()), "moves",
+                    static_cast<double>(diff.moves.size()));
+  }
 
   // An application that launches, terminates (or condemns) or moves nothing
   // leaves the cluster exactly as the scheduler saw it — the precondition
@@ -645,8 +797,14 @@ void Simulator::Impl::WarnSpotInstance(InstanceId id) {
   }
   ++metrics_.spot_preemptions;
   provider_->RecordPreemption(inst->type_index);
-  EVA_LOG_DEBUG("tenant %d: spot instance %lld (type %d) preemption warning at t=%.0f",
-                options_.tenant_id, static_cast<long long>(id), inst->type_index, now_);
+  if (obs_trace_ != nullptr) {
+    obs_trace_->Instant(track_, "spot.warn", now_, "instance",
+                    static_cast<double>(id), "type",
+                    static_cast<double>(inst->type_index));
+  }
+  EVA_LOG_DEBUG("tenant %d: spot instance " EVA_PRId64
+                " (type %d) preemption warning at t=%.0f",
+                options_.tenant_id, id, inst->type_index, now_);
   // Evict every task routed here: running tasks checkpoint (and park
   // kPending when the checkpoint lands), parked/launching tasks drop back
   // to the pending pool immediately.
@@ -696,6 +854,10 @@ void Simulator::Impl::HandleSpotPreempt(InstanceId id) {
   // The notice expired with containers still aboard (checkpoints slower
   // than the warning): they are lost. Spot losses are tallied by the spot
   // counters, not the fault ledger.
+  if (obs_trace_ != nullptr) {
+    obs_trace_->Instant(track_, "spot.preempt", now_, "instance",
+                    static_cast<double>(id));
+  }
   AbruptReclaim(id, /*fault_loss=*/false);
 }
 
@@ -800,6 +962,11 @@ void Simulator::Impl::HandleFaultCheck() {
     const std::size_t burst =
         std::min(ranked.size(), static_cast<std::size_t>(
                                     std::max(fopts.correlated_failure_size, 0)));
+    if (obs_trace_ != nullptr) {
+      obs_trace_->Instant(track_, "fault.correlated", now_, "family",
+                      static_cast<double>(family), "victims",
+                      static_cast<double>(burst));
+    }
     for (std::size_t i = 0; i < burst; ++i) {
       AbruptReclaim(ranked[i].second, /*fault_loss=*/true);
     }
@@ -821,6 +988,11 @@ void Simulator::Impl::HandleZoneOutage(int zone) {
       victims.push_back(id);
     }
   }
+  if (obs_trace_ != nullptr) {
+    obs_trace_->Instant(track_, "fault.zone_outage", now_, "zone",
+                    static_cast<double>(zone), "victims",
+                    static_cast<double>(victims.size()));
+  }
   for (InstanceId id : victims) {
     AbruptReclaim(id, /*fault_loss=*/true);
   }
@@ -836,6 +1008,11 @@ void Simulator::Impl::HandleDrainStart(int zone) {
     if (!instance.condemned && instance.zone == zone) {
       draining.push_back(id);
     }
+  }
+  if (obs_trace_ != nullptr) {
+    obs_trace_->Instant(track_, "fault.drain_start", now_, "zone",
+                    static_cast<double>(zone), "instances",
+                    static_cast<double>(draining.size()));
   }
   // The graceful twin of WarnSpotInstance, with a longer lead: evict every
   // assigned task through checkpoint-then-pend, condemn the instance, and
@@ -884,8 +1061,13 @@ bool Simulator::Impl::ProcessOneEvent() {
   }
   Advance(event.time);
   ++metrics_.events_processed;
-  EVA_LOG_DEBUG("event t=%.3f type=%d a=%lld v=%d active=%d live=%zu queue=%zu", event.time,
-                static_cast<int>(event.type), static_cast<long long>(event.a), event.version,
+  if (obs_trace_ != nullptr && options_.observability.trace_engine_events) {
+    obs_trace_->Instant(track_, EventSpanName(event.type), event.time, "a",
+                    static_cast<double>(event.a));
+  }
+  EVA_LOG_DEBUG("event t=%.3f type=%d a=" EVA_PRId64
+                " v=%d active=%d live=%zu queue=%zu",
+                event.time, static_cast<int>(event.type), event.a, event.version,
                 state_.num_active(), state_.instances().size(), queue_.Size());
   switch (event.type) {
     case SimEventType::kArrival:
@@ -1054,6 +1236,9 @@ SimulationMetrics Simulator::Impl::Finish() {
     const double attempted = executed + faults.lost_work_seconds;
     faults.goodput_ratio = attempted > 0.0 ? executed / attempted : 1.0;
   }
+  // Project the finished run onto the uniform registry schema (sim.*,
+  // scheduler.*, faults.*) next to whatever the per-round sampler recorded.
+  PublishSimulationMetrics(metrics_, registry_);
   return metrics_;
 }
 

@@ -30,6 +30,7 @@
 #include "src/cloud/delays.h"
 #include "src/cloud/instance_type.h"
 #include "src/cloud/provider.h"
+#include "src/obs/observability.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/metrics.h"
 #include "src/workload/interference.h"
@@ -104,6 +105,13 @@ struct SimulatorOptions {
   // type must undercut on-demand by the premium before Eva mixes it in.
   // Actual costs charge the raw quote trace.
   double spot_risk_premium = 0.10;
+
+  // Observability sinks (default off: every hot-path hook is a null test,
+  // trajectories and allocation counts bit-identical to a build without the
+  // subsystem). Spans/digests/series are stamped in virtual time, so what
+  // they record is as deterministic as the run itself. See
+  // src/obs/observability.h.
+  ObservabilityOptions observability;
 
   std::uint64_t seed = 42;
 

@@ -528,6 +528,12 @@ SolverResult SolveOptimalPacking(const SchedulingContext& context,
     result.proven_optimal = !search.aborted();
     result.nodes_explored = search.nodes();
     result.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    if (options.trace) {
+      options.trace.recorder->Instant(
+          options.trace.track, "bnb.solve", options.trace_now_s, "nodes",
+          static_cast<double>(result.nodes_explored), "optimal",
+          result.proven_optimal ? 1.0 : 0.0);
+    }
     return result;
   }
 
@@ -589,6 +595,12 @@ SolverResult SolveOptimalPacking(const SchedulingContext& context,
   result.proven_optimal = !aborted;
   result.nodes_explored = shared.nodes.load(std::memory_order_relaxed);
   result.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  if (options.trace) {
+    options.trace.recorder->Instant(
+        options.trace.track, "bnb.solve", options.trace_now_s, "nodes",
+        static_cast<double>(result.nodes_explored), "optimal",
+        result.proven_optimal ? 1.0 : 0.0);
+  }
   return result;
 }
 

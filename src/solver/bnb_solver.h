@@ -28,6 +28,7 @@
 
 #include <cstdint>
 
+#include "src/obs/trace.h"
 #include "src/sched/types.h"
 
 namespace eva {
@@ -48,6 +49,13 @@ struct SolverOptions {
   // Worker threads: 1 = the serial search, 0 = hardware concurrency,
   // n > 1 = exactly n.
   int num_threads = 1;
+
+  // Optional span sink: when bound, the solver emits one "bnb.solve"
+  // instant (nodes explored, optimality) stamped at `trace_now_s` — the
+  // caller's *virtual* time, since the solver itself has none. Wall-clock
+  // duration stays out of the trace so traced runs remain byte-comparable.
+  TraceBinding trace;
+  double trace_now_s = 0.0;
 };
 
 struct SolverResult {

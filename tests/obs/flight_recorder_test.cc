@@ -1,0 +1,132 @@
+// FlightRecorder unit tests: rolling-window digest bookkeeping and the
+// first-divergence diff that pinpoints where two runs forked.
+
+#include "src/obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace eva {
+namespace {
+
+RoundDigest MakeDigest(int i) {
+  RoundDigest digest;
+  digest.t_s = 300.0 * i;
+  digest.config_hash = 0x1000u + static_cast<std::uint64_t>(i);
+  digest.rng_hash = 0x2000u + static_cast<std::uint64_t>(i);
+  digest.hourly_cost = 10.0 + i;
+  digest.events_processed = 100 * i;
+  digest.jobs_completed = i;
+  digest.active_jobs = 50 - i;
+  digest.live_instances = 20 + i;
+  return digest;
+}
+
+void RecordN(FlightRecorder& recorder, int n) {
+  for (int i = 0; i < n; ++i) {
+    recorder.Record(MakeDigest(i));
+  }
+}
+
+TEST(ObsFlightRecorderTest, AssignsMonotonicRoundsAndRetainsWindow) {
+  FlightRecorder recorder(/*window=*/4);
+  RecordN(recorder, 10);
+  EXPECT_EQ(recorder.rounds_recorded(), 10);
+  EXPECT_EQ(recorder.first_retained(), 6);
+  EXPECT_EQ(recorder.Get(5), nullptr);   // Evicted.
+  EXPECT_EQ(recorder.Get(10), nullptr);  // Not yet recorded.
+  ASSERT_NE(recorder.Get(6), nullptr);
+  EXPECT_EQ(recorder.Get(6)->round, 6);
+  EXPECT_EQ(recorder.Get(9)->events_processed, 900);
+}
+
+TEST(ObsFlightRecorderTest, IdenticalRunsShowNoDivergence) {
+  FlightRecorder a(16);
+  FlightRecorder b(16);
+  RecordN(a, 8);
+  RecordN(b, 8);
+  EXPECT_FALSE(DiffFirstDivergence(a, b).has_value());
+}
+
+TEST(ObsFlightRecorderTest, PinpointsInjectedPerturbationRoundAndField) {
+  FlightRecorder a(16);
+  FlightRecorder b(16);
+  RecordN(a, 8);
+  RecordN(b, 8);
+  // Flip one bit of the RNG cursor at round 5 — the canonical symptom of a
+  // stray draw — and the diff must name exactly that round and field.
+  ASSERT_NE(b.MutableDigest(5), nullptr);
+  b.MutableDigest(5)->rng_hash ^= 1u;
+  const auto report = DiffFirstDivergence(a, b);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->round, 5);
+  EXPECT_EQ(report->field, "rng_hash");
+  EXPECT_FALSE(report->ToString().empty());
+}
+
+TEST(ObsFlightRecorderTest, ReportsSharpestFieldFirst) {
+  FlightRecorder a(16);
+  FlightRecorder b(16);
+  RecordN(a, 4);
+  RecordN(b, 4);
+  // Several fields diverge at round 2; rng_hash outranks cost and counts.
+  RoundDigest* d = b.MutableDigest(2);
+  ASSERT_NE(d, nullptr);
+  d->rng_hash ^= 2u;
+  d->hourly_cost += 1.0;
+  d->events_processed += 3;
+  const auto report = DiffFirstDivergence(a, b);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->round, 2);
+  EXPECT_EQ(report->field, "rng_hash");
+}
+
+TEST(ObsFlightRecorderTest, EarlierRoundWinsOverLaterDivergence) {
+  FlightRecorder a(16);
+  FlightRecorder b(16);
+  RecordN(a, 8);
+  RecordN(b, 8);
+  b.MutableDigest(6)->rng_hash ^= 1u;
+  b.MutableDigest(3)->hourly_cost += 0.5;
+  const auto report = DiffFirstDivergence(a, b);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->round, 3);
+  EXPECT_EQ(report->field, "hourly_cost");
+}
+
+TEST(ObsFlightRecorderTest, RoundCountMismatchIsReported) {
+  FlightRecorder a(16);
+  FlightRecorder b(16);
+  RecordN(a, 6);
+  RecordN(b, 4);
+  const auto report = DiffFirstDivergence(a, b);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->field, "rounds_recorded");
+  EXPECT_EQ(report->value_a, 6.0);
+  EXPECT_EQ(report->value_b, 4.0);
+}
+
+TEST(ObsFlightRecorderTest, DiffComparesOnlyOverlappingWindows) {
+  // Recorder `a` kept everything; `b`'s small window evicted early rounds.
+  // Only the overlap may be compared — evicted rounds cannot testify.
+  FlightRecorder a(64);
+  FlightRecorder b(4);
+  RecordN(a, 10);
+  RecordN(b, 10);
+  EXPECT_FALSE(DiffFirstDivergence(a, b).has_value());
+  b.MutableDigest(8)->config_hash ^= 4u;
+  const auto report = DiffFirstDivergence(a, b);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->round, 8);
+  EXPECT_EQ(report->field, "config_hash");
+}
+
+TEST(ObsFlightRecorderTest, ClearResets) {
+  FlightRecorder recorder(8);
+  RecordN(recorder, 5);
+  recorder.Clear();
+  EXPECT_EQ(recorder.rounds_recorded(), 0);
+  EXPECT_EQ(recorder.Get(0), nullptr);
+}
+
+}  // namespace
+}  // namespace eva

@@ -1,0 +1,111 @@
+// TelemetryRegistry unit tests: counters/gauges/histograms/series semantics
+// and the sorted, deterministic JSON schema bench rows embed.
+
+#include "src/obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace eva {
+namespace {
+
+TEST(ObsRegistryTest, CountersAccumulateAndRead) {
+  TelemetryRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  registry.Inc("scheduler.packs_full");
+  registry.Inc("scheduler.packs_full", 4);
+  registry.SetCounter("faults.tasks_lost", 7);
+  EXPECT_EQ(registry.CounterValue("scheduler.packs_full"), 5);
+  EXPECT_EQ(registry.CounterValue("faults.tasks_lost"), 7);
+  EXPECT_EQ(registry.CounterValue("missing"), 0);
+  EXPECT_FALSE(registry.empty());
+}
+
+TEST(ObsRegistryTest, GaugesOverwrite) {
+  TelemetryRegistry registry;
+  registry.SetGauge("sim.hourly_cost", 12.5);
+  registry.SetGauge("sim.hourly_cost", 9.75);
+  EXPECT_EQ(registry.GaugeValue("sim.hourly_cost"), 9.75);
+  EXPECT_EQ(registry.GaugeValue("missing"), 0.0);
+}
+
+TEST(ObsRegistryTest, HistogramLog2Buckets) {
+  TelemetryRegistry registry;
+  TelemetryRegistry::Histogram& hist = registry.Hist("round.events_delta");
+  hist.Record(0);   // bucket 0: v < 1
+  hist.Record(1);   // bucket 1: [1, 2)
+  hist.Record(2);   // bucket 2: [2, 4)
+  hist.Record(3);   // bucket 2
+  hist.Record(900); // bucket 10: [512, 1024)
+  EXPECT_EQ(hist.count(), 5);
+  EXPECT_EQ(hist.sum(), 906);
+  EXPECT_EQ(hist.min(), 0);
+  EXPECT_EQ(hist.max(), 900);
+  EXPECT_EQ(hist.bucket(0), 1);
+  EXPECT_EQ(hist.bucket(1), 1);
+  EXPECT_EQ(hist.bucket(2), 2);
+  EXPECT_EQ(hist.bucket(10), 1);
+  EXPECT_EQ(hist.bucket(3), 0);
+}
+
+TEST(ObsRegistryTest, TimeSeriesBucketsByVirtualTime) {
+  TelemetryRegistry registry;
+  TelemetryRegistry::TimeSeries& series = registry.Series("ts.cost", 3600.0);
+  series.Sample(0.0, 1.0);
+  series.Sample(1800.0, 3.0);   // Same hour bucket.
+  series.Sample(3600.0, 10.0);  // Next bucket.
+  series.Sample(7205.0, 2.0);   // Third bucket.
+  EXPECT_EQ(series.num_buckets(), 3);
+  EXPECT_EQ(series.bucket_width_s(), 3600.0);
+}
+
+TEST(ObsRegistryTest, JsonIsSortedStableAndGrouped) {
+  TelemetryRegistry registry;
+  registry.Inc("b.second", 2);
+  registry.Inc("a.first", 1);
+  registry.SetGauge("z.gauge", 0.5);
+  registry.Hist("h").Record(3);
+  registry.Series("s", 60.0).Sample(90.0, 4.0);
+
+  const std::string json = registry.ToJson();
+  // Counters sort by name regardless of insertion order.
+  EXPECT_LT(json.find("a.first"), json.find("b.second"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  // Deterministic: serialising twice gives the same bytes.
+  EXPECT_EQ(json, registry.ToJson());
+
+  // An equal registry built in a different order serialises identically.
+  TelemetryRegistry other;
+  other.Series("s", 60.0).Sample(90.0, 4.0);
+  other.Hist("h").Record(3);
+  other.SetGauge("z.gauge", 0.5);
+  other.Inc("a.first", 1);
+  other.Inc("b.second", 2);
+  EXPECT_EQ(json, other.ToJson());
+}
+
+TEST(ObsRegistryTest, EmptyGroupsAreOmitted) {
+  TelemetryRegistry registry;
+  registry.Inc("only.counter");
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(json.find("\"gauges\""), std::string::npos);
+  EXPECT_EQ(json.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(json.find("\"series\""), std::string::npos);
+}
+
+TEST(ObsRegistryTest, ClearResets) {
+  TelemetryRegistry registry;
+  registry.Inc("c");
+  registry.SetGauge("g", 1.0);
+  registry.Clear();
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.CounterValue("c"), 0);
+}
+
+}  // namespace
+}  // namespace eva

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "src/obs/flight_recorder.h"
 #include "src/sim/experiment.h"
 #include "src/workload/trace_gen.h"
 
@@ -32,6 +33,16 @@ SimulationMetrics RunCase(const Trace& trace, const SimulatorOptions& options) {
   const InterferenceModel interference = InterferenceModel::Measured();
   SchedulerBundle bundle = MakeScheduler(SchedulerKind::kEva, interference);
   return RunSimulation(trace, bundle.scheduler.get(), catalog, interference, options);
+}
+
+// Same, with the divergence flight recorder attached: `flight` collects a
+// per-round digest so a determinism failure names its first bad round
+// instead of just "the final metrics differ".
+SimulationMetrics RunCaseRecorded(const Trace& trace, SimulatorOptions options,
+                                  FlightRecorder* flight) {
+  options.observability.enabled = true;
+  options.observability.flight_recorder = flight;
+  return RunCase(trace, options);
 }
 
 // One fault kind in isolation: zero the other kinds' probabilities, then
@@ -98,9 +109,17 @@ TEST(FaultInjectionTest, ZoneOutagesAreDeterministicAndLoseNoJobs) {
   const SimulatorOptions options =
       OnlyKind(&FaultInjectorOptions::zone_outage_probability, 0.05);
 
-  const SimulationMetrics first = RunCase(trace, options);
-  const SimulationMetrics second = RunCase(trace, options);
+  FlightRecorder flight_first(1 << 14);
+  FlightRecorder flight_second(1 << 14);
+  const SimulationMetrics first = RunCaseRecorded(trace, options, &flight_first);
+  const SimulationMetrics second = RunCaseRecorded(trace, options, &flight_second);
   ExpectBitIdentical(first, second);
+  // Round-by-round, not just at the end: the flight recorder sees every
+  // digest field agree on every round.
+  const auto divergence = DiffFirstDivergence(flight_first, flight_second);
+  EXPECT_FALSE(divergence.has_value())
+      << "first divergence: " << divergence->ToString();
+  EXPECT_GT(flight_first.rounds_recorded(), 0);
 
   EXPECT_GT(first.faults.zone_outages, 0);
   EXPECT_EQ(first.faults.correlated_failures, 0);
@@ -171,8 +190,10 @@ TEST(FaultInjectionTest, DifferentSeedsDiverge) {
   SimulatorOptions b = a;
   b.faults.seed = 4242;
 
-  const SimulationMetrics first = RunCase(trace, a);
-  const SimulationMetrics second = RunCase(trace, b);
+  FlightRecorder flight_a(1 << 14);
+  FlightRecorder flight_b(1 << 14);
+  const SimulationMetrics first = RunCaseRecorded(trace, a, &flight_a);
+  const SimulationMetrics second = RunCaseRecorded(trace, b, &flight_b);
   // Both engage, but the schedules differ somewhere observable.
   const bool diverged =
       first.faults.zone_outages != second.faults.zone_outages ||
@@ -180,6 +201,8 @@ TEST(FaultInjectionTest, DifferentSeedsDiverge) {
       first.faults.lost_work_seconds != second.faults.lost_work_seconds ||
       first.makespan_s != second.makespan_s;
   EXPECT_TRUE(diverged);
+  // And the flight recorder localises the fork to a specific round.
+  EXPECT_TRUE(DiffFirstDivergence(flight_a, flight_b).has_value());
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/flight_recorder.h"
 #include "src/workload/trace_gen.h"
 
 namespace eva {
@@ -95,17 +96,31 @@ void ExpectBitIdentical(const SimulationMetrics& a, const SimulationMetrics& b) 
 TEST(FederationTest, DeterministicAcrossRunsAndThreadPoolSizes) {
   const std::vector<FederationTenant> tenants = MakeTenants(25);
   FederationOptions options = ConstrainedSpotOptions();
+  // Flight recorders ride along so a determinism regression reports the
+  // first diverging round and field, not just mismatched final metrics.
+  options.simulator.observability.enabled = true;
+  std::vector<FlightRecorder> flights_first, flights_second, flights_serial;
 
   options.num_threads = 4;
+  options.flight_recorders = &flights_first;
   const FederationResult first = RunFederation(tenants, options);
+  options.flight_recorders = &flights_second;
   const FederationResult second = RunFederation(tenants, options);
   options.num_threads = 1;
+  options.flight_recorders = &flights_serial;
   const FederationResult serial = RunFederation(tenants, options);
 
   ASSERT_EQ(first.tenants.size(), 3u);
   for (std::size_t i = 0; i < first.tenants.size(); ++i) {
     ExpectBitIdentical(first.tenants[i].metrics, second.tenants[i].metrics);
     ExpectBitIdentical(first.tenants[i].metrics, serial.tenants[i].metrics);
+    const auto rerun = DiffFirstDivergence(flights_first[i], flights_second[i]);
+    EXPECT_FALSE(rerun.has_value())
+        << "tenant " << i << " re-run divergence: " << rerun->ToString();
+    const auto pools = DiffFirstDivergence(flights_first[i], flights_serial[i]);
+    EXPECT_FALSE(pools.has_value())
+        << "tenant " << i << " pool-size divergence: " << pools->ToString();
+    EXPECT_GT(flights_first[i].rounds_recorded(), 0) << "tenant " << i;
   }
   for (std::size_t f = 0; f < static_cast<std::size_t>(kNumInstanceFamilies); ++f) {
     EXPECT_EQ(first.provider.families[f].granted, serial.provider.families[f].granted);
